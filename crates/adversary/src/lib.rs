@@ -1,0 +1,38 @@
+//! # agossip-adversary
+//!
+//! Adversaries for the asynchronous gossip model of
+//! *"On the Complexity of Asynchronous Gossip"* (PODC 2008).
+//!
+//! Two families are provided:
+//!
+//! * [`oblivious`] — `(d, δ)`-bounded oblivious adversaries: all scheduling,
+//!   delay and crash decisions are fixed (up to a pre-drawn random seed)
+//!   before the execution begins. These drive the Table 1 / Table 2
+//!   experiments, which hold w.h.p. against exactly this adversary class.
+//! * [`theorem1`] — an executable implementation of the *adaptive* adversary
+//!   constructed in the proof of Theorem 1. It observes the protocol's
+//!   behaviour (and even simulates processes in isolation) to force every
+//!   gossip algorithm into the paper's dichotomy: either `Ω(n + f²)`
+//!   messages are sent, or the execution takes `Ω(f·(d+δ))` time.
+//!
+//! Two supporting modules round the family out: [`policies`] composes
+//! oblivious scheduling and delay policies (worst-case delays, partition
+//! slow-downs, skewed and round-robin schedules) into ready-to-run
+//! adversaries for the robustness experiments, and [`recording`] wraps any
+//! adversary to record its decisions and audit them against the claimed
+//! `(d, δ, f)` bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oblivious;
+pub mod policies;
+pub mod probe;
+pub mod recording;
+pub mod theorem1;
+
+pub use oblivious::{crash_patterns, CrashPattern, ObliviousPlan};
+pub use policies::{DelayPolicy, PolicyAdversary, SchedulePolicy};
+pub use probe::{probe_isolated, IsolationProbe};
+pub use recording::{AdversaryTrace, RecordingAdversary, TraceDelay, TraceStep, TraceViolation};
+pub use theorem1::{run_lower_bound, LowerBoundCase, LowerBoundOutcome, LowerBoundParams};

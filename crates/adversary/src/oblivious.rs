@@ -1,0 +1,222 @@
+//! Oblivious `(d, δ)`-adversary construction helpers.
+//!
+//! An oblivious adversary commits to its schedule, its crash pattern, and its
+//! delay choices before the execution starts. The simulator's
+//! [`FairObliviousAdversary`] already implements the schedule/delay part;
+//! this module adds reusable *crash patterns* and a small builder so
+//! experiments can say "uniform delays up to `d`, `δ`-fair scheduling, crash
+//! half the processes during the first `w` steps" in one line.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use agossip_sim::rng::{derive_seed, RngStream};
+use agossip_sim::{FairObliviousAdversary, ProcessId, SimConfig, TimeStep};
+
+/// A pre-committed crash pattern: which processes crash, and when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPattern {
+    /// The planned crashes as `(time, victim)` pairs.
+    pub crashes: Vec<(TimeStep, ProcessId)>,
+}
+
+impl CrashPattern {
+    /// No crashes.
+    pub fn none() -> Self {
+        CrashPattern {
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Number of planned crashes.
+    pub fn len(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// True if no crash is planned.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+    }
+
+    /// The victims, in crash-time order.
+    pub fn victims(&self) -> Vec<ProcessId> {
+        let mut sorted = self.crashes.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        sorted.into_iter().map(|(_, p)| p).collect()
+    }
+}
+
+/// Generators for common crash patterns. All are deterministic functions of
+/// their arguments (including the seed), hence oblivious.
+pub mod crash_patterns {
+    use super::*;
+
+    /// Crashes `f` distinct processes, chosen uniformly at random, at times
+    /// drawn uniformly from `[0, window)`.
+    pub fn random(n: usize, f: usize, window: u64, seed: u64) -> CrashPattern {
+        let f = f.min(n.saturating_sub(1));
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, RngStream::Adversary));
+        let mut ids: Vec<ProcessId> = ProcessId::all(n).collect();
+        ids.shuffle(&mut rng);
+        let crashes = ids
+            .into_iter()
+            .take(f)
+            .map(|pid| (TimeStep(rng.gen_range(0..window.max(1))), pid))
+            .collect();
+        CrashPattern { crashes }
+    }
+
+    /// Crashes the `f` highest-numbered processes at time zero — the worst
+    /// case for protocols whose progress depends on a fixed core staying
+    /// alive from the start.
+    pub fn immediate_suffix(n: usize, f: usize) -> CrashPattern {
+        let f = f.min(n.saturating_sub(1));
+        let crashes = (n - f..n)
+            .map(|i| (TimeStep::ZERO, ProcessId(i)))
+            .collect();
+        CrashPattern { crashes }
+    }
+
+    /// Crashes `f` random processes in evenly spaced "epochs": one crash
+    /// every `spacing` steps. This is the pattern used in the EARS analysis
+    /// (Section 3.2), where each epoch loses at most a constant fraction of
+    /// the remaining processes.
+    pub fn staggered(n: usize, f: usize, spacing: u64, seed: u64) -> CrashPattern {
+        let f = f.min(n.saturating_sub(1));
+        let mut rng = StdRng::seed_from_u64(derive_seed(seed, RngStream::Adversary) ^ 0x51a6);
+        let mut ids: Vec<ProcessId> = ProcessId::all(n).collect();
+        ids.shuffle(&mut rng);
+        let crashes = ids
+            .into_iter()
+            .take(f)
+            .enumerate()
+            .map(|(i, pid)| (TimeStep(i as u64 * spacing.max(1)), pid))
+            .collect();
+        CrashPattern { crashes }
+    }
+}
+
+/// Builder bundling the three oblivious choices (delays, scheduling, crashes)
+/// into a ready-to-run [`FairObliviousAdversary`].
+#[derive(Debug, Clone)]
+pub struct ObliviousPlan {
+    d: u64,
+    delta: u64,
+    seed: u64,
+    crash_pattern: CrashPattern,
+}
+
+impl ObliviousPlan {
+    /// Starts a plan honouring the bounds in `config` and using its seed.
+    pub fn from_config(config: &SimConfig) -> Self {
+        ObliviousPlan {
+            d: config.d,
+            delta: config.delta,
+            seed: config.seed,
+            crash_pattern: CrashPattern::none(),
+        }
+    }
+
+    /// Starts a plan with explicit bounds and seed.
+    pub fn new(d: u64, delta: u64, seed: u64) -> Self {
+        ObliviousPlan {
+            d,
+            delta,
+            seed,
+            crash_pattern: CrashPattern::none(),
+        }
+    }
+
+    /// Installs a crash pattern.
+    pub fn with_crashes(mut self, pattern: CrashPattern) -> Self {
+        self.crash_pattern = pattern;
+        self
+    }
+
+    /// The crash pattern currently installed.
+    pub fn crash_pattern(&self) -> &CrashPattern {
+        &self.crash_pattern
+    }
+
+    /// Builds the adversary.
+    pub fn build(&self) -> FairObliviousAdversary {
+        FairObliviousAdversary::new(self.d, self.delta, self.seed)
+            .with_crashes(self.crash_pattern.crashes.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_pattern_has_f_distinct_victims_within_window() {
+        let pattern = crash_patterns::random(32, 10, 20, 7);
+        assert_eq!(pattern.len(), 10);
+        let mut victims = pattern.victims();
+        victims.sort();
+        victims.dedup();
+        assert_eq!(victims.len(), 10, "victims must be distinct");
+        assert!(pattern.crashes.iter().all(|(t, _)| t.as_u64() < 20));
+    }
+
+    #[test]
+    fn random_pattern_caps_f_below_n() {
+        let pattern = crash_patterns::random(4, 10, 5, 1);
+        assert_eq!(pattern.len(), 3);
+    }
+
+    #[test]
+    fn random_pattern_is_deterministic_per_seed() {
+        let a = crash_patterns::random(16, 5, 10, 3);
+        let b = crash_patterns::random(16, 5, 10, 3);
+        let c = crash_patterns::random(16, 5, 10, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn immediate_suffix_crashes_last_f_processes_at_time_zero() {
+        let pattern = crash_patterns::immediate_suffix(8, 3);
+        assert_eq!(pattern.len(), 3);
+        assert!(pattern.crashes.iter().all(|(t, _)| *t == TimeStep::ZERO));
+        let mut victims = pattern.victims();
+        victims.sort();
+        assert_eq!(victims, vec![ProcessId(5), ProcessId(6), ProcessId(7)]);
+    }
+
+    #[test]
+    fn staggered_spaces_crashes_out() {
+        let pattern = crash_patterns::staggered(16, 4, 10, 5);
+        assert_eq!(pattern.len(), 4);
+        let mut times: Vec<u64> = pattern.crashes.iter().map(|(t, _)| t.as_u64()).collect();
+        times.sort_unstable();
+        assert_eq!(times, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn plan_builds_adversary_with_bounds() {
+        let plan = ObliviousPlan::new(4, 2, 9)
+            .with_crashes(crash_patterns::immediate_suffix(8, 2));
+        assert_eq!(plan.crash_pattern().len(), 2);
+        let adv = plan.build();
+        assert_eq!(adv.d(), 4);
+        assert_eq!(adv.delta(), 2);
+    }
+
+    #[test]
+    fn plan_from_config_inherits_bounds() {
+        let cfg = SimConfig::new(8, 2).with_d(5).with_delta(3).with_seed(11);
+        let plan = ObliviousPlan::from_config(&cfg);
+        let adv = plan.build();
+        assert_eq!(adv.d(), 5);
+        assert_eq!(adv.delta(), 3);
+    }
+
+    #[test]
+    fn empty_pattern_reports_empty() {
+        assert!(CrashPattern::none().is_empty());
+        assert_eq!(CrashPattern::none().len(), 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Composable oblivious scheduling and delay policies.
+//!
+//! The reference [`FairObliviousAdversary`](agossip_sim::FairObliviousAdversary)
+//! schedules every live process with probability `1/δ` and draws every delay
+//! uniformly from `[1, d]`. The paper's bounds, however, hold for *every*
+//! oblivious `(d, δ)`-adversary, so the robustness experiments exercise the
+//! protocols under a wider family: always-worst-case delays, bimodal delays,
+//! delays that slow down one side of a bipartition, round-robin and skewed
+//! schedules. All policies here remain oblivious — their decisions are
+//! functions of `(time, process identities)` and pre-seeded randomness only —
+//! and they always honour the `(d, δ)` bounds.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use agossip_sim::message::EnvelopeMeta;
+use agossip_sim::rng::{derive_seed, RngStream};
+use agossip_sim::{Adversary, ProcessId, StepPlan, SystemView, TimeStep};
+use rand::SeedableRng;
+
+/// How the adversary assigns delivery delays, always within `[1, d]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DelayPolicy {
+    /// Independent uniform delay in `[1, d]` per message.
+    Uniform,
+    /// Every message takes exactly the maximum delay `d`.
+    AlwaysMax,
+    /// A fraction of messages (chosen independently at random) take the
+    /// maximum delay `d`; the rest are delivered with delay 1.
+    Bimodal {
+        /// Probability that a message is "slow".
+        slow_fraction: f64,
+    },
+    /// Messages crossing the boundary between processes `< boundary` and
+    /// processes `≥ boundary` take the maximum delay `d`; messages within a
+    /// side are delivered with delay 1. This models a slow link between two
+    /// datacentres.
+    CrossPartitionSlow {
+        /// First process index of the second partition.
+        boundary: usize,
+    },
+}
+
+/// How the adversary chooses which processes take a local step.
+///
+/// Every policy is `δ`-fair: a live process whose gap since its previous step
+/// has reached `δ − 1` is always scheduled, so the executions produced are
+/// genuine `(d, δ)`-bounded executions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulePolicy {
+    /// Every live process takes a step at every time step (the fastest
+    /// execution the model allows; equivalent to `δ = 1`).
+    EveryStep,
+    /// Each live process is scheduled independently with probability `1/δ`
+    /// per step (the reference behaviour).
+    FairRandom,
+    /// A fixed-size window of process identifiers rotates through `[n]`; only
+    /// processes in the window are scheduled voluntarily.
+    RoundRobin {
+        /// Number of processes scheduled voluntarily per step.
+        per_step: usize,
+    },
+    /// Processes in `slow` are only ever scheduled when `δ`-fairness forces
+    /// it; everyone else steps every time step. This starves a subset as hard
+    /// as an oblivious adversary can.
+    Skewed {
+        /// The processes to starve.
+        slow: Vec<ProcessId>,
+    },
+}
+
+/// An oblivious `(d, δ)`-adversary assembled from a [`SchedulePolicy`], a
+/// [`DelayPolicy`] and a pre-committed crash plan.
+#[derive(Debug, Clone)]
+pub struct PolicyAdversary {
+    d: u64,
+    delta: u64,
+    schedule: SchedulePolicy,
+    delay: DelayPolicy,
+    crash_plan: Vec<(TimeStep, ProcessId)>,
+    rng: StdRng,
+    rr_cursor: usize,
+}
+
+impl PolicyAdversary {
+    /// Creates an adversary honouring bounds `d` and `delta` with the given
+    /// policies, deriving randomness from `seed`, with no crashes.
+    pub fn new(d: u64, delta: u64, seed: u64, schedule: SchedulePolicy, delay: DelayPolicy) -> Self {
+        PolicyAdversary {
+            d: d.max(1),
+            delta: delta.max(1),
+            schedule,
+            delay,
+            crash_plan: Vec::new(),
+            rng: StdRng::seed_from_u64(derive_seed(seed, RngStream::Adversary) ^ 0x9e3779b9),
+            rr_cursor: 0,
+        }
+    }
+
+    /// Installs a pre-committed crash plan (pairs of time and victim).
+    pub fn with_crashes(
+        mut self,
+        crashes: impl IntoIterator<Item = (TimeStep, ProcessId)>,
+    ) -> Self {
+        self.crash_plan.extend(crashes);
+        self.crash_plan.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// The delivery bound this adversary honours.
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The scheduling bound this adversary honours.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// The schedule policy in effect.
+    pub fn schedule_policy(&self) -> &SchedulePolicy {
+        &self.schedule
+    }
+
+    /// The delay policy in effect.
+    pub fn delay_policy(&self) -> &DelayPolicy {
+        &self.delay
+    }
+
+    fn voluntary(&mut self, pid: ProcessId, view: &SystemView<'_>) -> bool {
+        match &self.schedule {
+            SchedulePolicy::EveryStep => true,
+            SchedulePolicy::FairRandom => self.rng.gen_range(0..self.delta) == 0,
+            SchedulePolicy::RoundRobin { per_step } => {
+                let per_step = (*per_step).clamp(1, view.n);
+                let start = self.rr_cursor % view.n;
+                let idx = pid.index();
+                let offset = (idx + view.n - start) % view.n;
+                offset < per_step
+            }
+            SchedulePolicy::Skewed { slow } => !slow.contains(&pid),
+        }
+    }
+}
+
+impl Adversary for PolicyAdversary {
+    fn plan_step(&mut self, view: &SystemView<'_>) -> StepPlan {
+        let mut schedule = Vec::new();
+        let alive: Vec<ProcessId> = view.alive().collect();
+        for pid in alive {
+            let gap = view.now.since(view.last_scheduled[pid.index()]);
+            let forced = gap + 1 >= self.delta;
+            if forced || self.voluntary(pid, view) {
+                schedule.push(pid);
+            }
+        }
+        if let SchedulePolicy::RoundRobin { per_step } = &self.schedule {
+            let advance = (*per_step).clamp(1, view.n.max(1));
+            self.rr_cursor = (self.rr_cursor + advance) % view.n.max(1);
+        }
+        let crash = self
+            .crash_plan
+            .iter()
+            .filter(|(t, pid)| *t <= view.now && view.statuses[pid.index()].is_alive())
+            .map(|(_, pid)| *pid)
+            .collect();
+        StepPlan { schedule, crash }
+    }
+
+    fn message_delay(&mut self, meta: &EnvelopeMeta, _view: &SystemView<'_>) -> u64 {
+        match &self.delay {
+            DelayPolicy::Uniform => self.rng.gen_range(1..=self.d),
+            DelayPolicy::AlwaysMax => self.d,
+            DelayPolicy::Bimodal { slow_fraction } => {
+                if self.rng.gen_bool(slow_fraction.clamp(0.0, 1.0)) {
+                    self.d
+                } else {
+                    1
+                }
+            }
+            DelayPolicy::CrossPartitionSlow { boundary } => {
+                let crosses = (meta.from.index() < *boundary) != (meta.to.index() < *boundary);
+                if crosses {
+                    self.d
+                } else {
+                    1
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agossip_sim::ProcessStatus;
+
+    fn view_fixture<'a>(
+        now: TimeStep,
+        statuses: &'a [ProcessStatus],
+        sent: &'a [u64],
+        last: &'a [TimeStep],
+        quiescent: &'a [bool],
+    ) -> SystemView<'a> {
+        SystemView {
+            now,
+            n: statuses.len(),
+            f: 1,
+            statuses,
+            sent_by: sent,
+            last_scheduled: last,
+            quiescent,
+            in_flight: 0,
+            crashes: 0,
+        }
+    }
+
+    fn meta(from: usize, to: usize) -> EnvelopeMeta {
+        EnvelopeMeta {
+            from: ProcessId(from),
+            to: ProcessId(to),
+            sent_at: TimeStep(0),
+        }
+    }
+
+    #[test]
+    fn every_step_schedules_all_alive() {
+        let statuses = [ProcessStatus::Alive; 4];
+        let sent = [0; 4];
+        let last = [TimeStep::ZERO; 4];
+        let q = [false; 4];
+        let view = view_fixture(TimeStep(0), &statuses, &sent, &last, &q);
+        let mut adv =
+            PolicyAdversary::new(1, 3, 1, SchedulePolicy::EveryStep, DelayPolicy::Uniform);
+        assert_eq!(adv.plan_step(&view).schedule.len(), 4);
+    }
+
+    #[test]
+    fn skewed_starves_slow_processes_until_forced() {
+        let statuses = [ProcessStatus::Alive; 3];
+        let sent = [0; 3];
+        let q = [false; 3];
+        let slow = vec![ProcessId(2)];
+        let mut adv = PolicyAdversary::new(
+            1,
+            4,
+            1,
+            SchedulePolicy::Skewed { slow },
+            DelayPolicy::Uniform,
+        );
+        // Recently scheduled: the slow process is left out.
+        let last = [TimeStep(0); 3];
+        let view = view_fixture(TimeStep(1), &statuses, &sent, &last, &q);
+        let plan = adv.plan_step(&view);
+        assert!(plan.schedule.contains(&ProcessId(0)));
+        assert!(!plan.schedule.contains(&ProcessId(2)));
+        // Overdue: δ-fairness forces it back in.
+        let last = [TimeStep(5), TimeStep(5), TimeStep(2)];
+        let view = view_fixture(TimeStep(5), &statuses, &sent, &last, &q);
+        let plan = adv.plan_step(&view);
+        assert!(plan.schedule.contains(&ProcessId(2)));
+    }
+
+    #[test]
+    fn round_robin_rotates_the_window() {
+        let statuses = [ProcessStatus::Alive; 6];
+        let sent = [0; 6];
+        let q = [false; 6];
+        let mut adv = PolicyAdversary::new(
+            1,
+            100, // huge delta so fairness never forces anyone early
+            1,
+            SchedulePolicy::RoundRobin { per_step: 2 },
+            DelayPolicy::Uniform,
+        );
+        let last = [TimeStep(0); 6];
+        let view = view_fixture(TimeStep(1), &statuses, &sent, &last, &q);
+        let first = adv.plan_step(&view).schedule;
+        let second = adv.plan_step(&view).schedule;
+        assert_eq!(first, vec![ProcessId(0), ProcessId(1)]);
+        assert_eq!(second, vec![ProcessId(2), ProcessId(3)]);
+    }
+
+    #[test]
+    fn all_delay_policies_respect_the_bound() {
+        let statuses = [ProcessStatus::Alive; 4];
+        let sent = [0; 4];
+        let last = [TimeStep::ZERO; 4];
+        let q = [false; 4];
+        let view = view_fixture(TimeStep(0), &statuses, &sent, &last, &q);
+        let policies = [
+            DelayPolicy::Uniform,
+            DelayPolicy::AlwaysMax,
+            DelayPolicy::Bimodal { slow_fraction: 0.5 },
+            DelayPolicy::CrossPartitionSlow { boundary: 2 },
+        ];
+        for policy in policies {
+            let mut adv =
+                PolicyAdversary::new(7, 2, 3, SchedulePolicy::FairRandom, policy.clone());
+            for trial in 0..100 {
+                let m = meta(trial % 4, (trial + 1) % 4);
+                let delay = adv.message_delay(&m, &view);
+                assert!((1..=7).contains(&delay), "{policy:?} produced {delay}");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_partition_slows_only_crossing_messages() {
+        let statuses = [ProcessStatus::Alive; 4];
+        let sent = [0; 4];
+        let last = [TimeStep::ZERO; 4];
+        let q = [false; 4];
+        let view = view_fixture(TimeStep(0), &statuses, &sent, &last, &q);
+        let mut adv = PolicyAdversary::new(
+            9,
+            1,
+            3,
+            SchedulePolicy::EveryStep,
+            DelayPolicy::CrossPartitionSlow { boundary: 2 },
+        );
+        assert_eq!(adv.message_delay(&meta(0, 1), &view), 1);
+        assert_eq!(adv.message_delay(&meta(2, 3), &view), 1);
+        assert_eq!(adv.message_delay(&meta(1, 2), &view), 9);
+        assert_eq!(adv.message_delay(&meta(3, 0), &view), 9);
+    }
+
+    #[test]
+    fn always_max_is_constant() {
+        let statuses = [ProcessStatus::Alive; 2];
+        let sent = [0; 2];
+        let last = [TimeStep::ZERO; 2];
+        let q = [false; 2];
+        let view = view_fixture(TimeStep(0), &statuses, &sent, &last, &q);
+        let mut adv =
+            PolicyAdversary::new(6, 1, 3, SchedulePolicy::EveryStep, DelayPolicy::AlwaysMax);
+        for _ in 0..10 {
+            assert_eq!(adv.message_delay(&meta(0, 1), &view), 6);
+        }
+    }
+
+    #[test]
+    fn crash_plan_is_applied_when_due() {
+        let statuses = [ProcessStatus::Alive; 3];
+        let sent = [0; 3];
+        let last = [TimeStep::ZERO; 3];
+        let q = [false; 3];
+        let mut adv =
+            PolicyAdversary::new(1, 1, 3, SchedulePolicy::EveryStep, DelayPolicy::Uniform)
+                .with_crashes([(TimeStep(2), ProcessId(1))]);
+        let early = view_fixture(TimeStep(1), &statuses, &sent, &last, &q);
+        assert!(adv.plan_step(&early).crash.is_empty());
+        let due = view_fixture(TimeStep(2), &statuses, &sent, &last, &q);
+        assert_eq!(adv.plan_step(&due).crash, vec![ProcessId(1)]);
+    }
+
+    #[test]
+    fn accessors_report_configuration() {
+        let adv = PolicyAdversary::new(
+            4,
+            3,
+            9,
+            SchedulePolicy::FairRandom,
+            DelayPolicy::AlwaysMax,
+        );
+        assert_eq!(adv.d(), 4);
+        assert_eq!(adv.delta(), 3);
+        assert_eq!(adv.schedule_policy(), &SchedulePolicy::FairRandom);
+        assert_eq!(adv.delay_policy(), &DelayPolicy::AlwaysMax);
+    }
+}

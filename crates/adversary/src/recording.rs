@@ -1,0 +1,365 @@
+//! Recording wrapper and `(d, δ)`-compliance checking for adversaries.
+//!
+//! The paper's complexity statements are about `(d, δ)`-bounded executions:
+//! every message is delivered within `d` time steps and every live process is
+//! scheduled at least once in any window of `δ` steps. The experiments only
+//! measure what the theorems bound if the adversary actually honours those
+//! bounds, so [`RecordingAdversary`] wraps any [`Adversary`], records every
+//! decision it makes, and [`AdversaryTrace::violations`] audits the record
+//! against the claimed `(d, δ, f)`.
+
+use agossip_sim::message::EnvelopeMeta;
+use agossip_sim::{Adversary, ProcessId, StepPlan, SystemView, TimeStep};
+
+/// One recorded scheduling decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The time step the decision applies to.
+    pub time: TimeStep,
+    /// Processes the adversary scheduled.
+    pub scheduled: Vec<ProcessId>,
+    /// Processes the adversary crashed at this step.
+    pub crashed: Vec<ProcessId>,
+    /// Which processes were alive when the decision was made.
+    pub alive: Vec<bool>,
+}
+
+/// One recorded delay decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceDelay {
+    /// Sender of the delayed message.
+    pub from: ProcessId,
+    /// Recipient of the delayed message.
+    pub to: ProcessId,
+    /// Time the message was sent.
+    pub sent_at: TimeStep,
+    /// The delay the adversary assigned.
+    pub delay: u64,
+}
+
+/// A violation of the claimed `(d, δ, f)` bounds found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceViolation {
+    /// A message was assigned a delay larger than `d` (or zero).
+    DelayOutOfBounds {
+        /// The offending delay decision.
+        delay: TraceDelay,
+        /// The claimed bound `d`.
+        d: u64,
+    },
+    /// A live process went more than `δ` consecutive steps without being
+    /// scheduled.
+    ScheduleGapExceeded {
+        /// The starved process.
+        pid: ProcessId,
+        /// When it was last scheduled before the gap.
+        last_scheduled: TimeStep,
+        /// The step at which the gap exceeded `δ`.
+        observed_at: TimeStep,
+        /// The claimed bound `δ`.
+        delta: u64,
+    },
+    /// More than `f` distinct processes were crashed.
+    CrashBudgetExceeded {
+        /// Number of distinct crash victims in the trace.
+        crashed: usize,
+        /// The claimed budget `f`.
+        f: usize,
+    },
+}
+
+/// Everything an adversary decided during one execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversaryTrace {
+    /// The claimed delivery bound.
+    pub d: u64,
+    /// The claimed scheduling bound.
+    pub delta: u64,
+    /// The claimed crash budget.
+    pub f: usize,
+    /// Scheduling and crash decisions, in time order.
+    pub steps: Vec<TraceStep>,
+    /// Delay decisions, in the order they were made.
+    pub delays: Vec<TraceDelay>,
+}
+
+impl AdversaryTrace {
+    /// Creates an empty trace that will be audited against `(d, δ, f)`.
+    pub fn new(d: u64, delta: u64, f: usize) -> Self {
+        AdversaryTrace {
+            d,
+            delta,
+            f,
+            steps: Vec::new(),
+            delays: Vec::new(),
+        }
+    }
+
+    /// Number of recorded scheduling decisions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty() && self.delays.is_empty()
+    }
+
+    /// The distinct processes crashed anywhere in the trace.
+    pub fn crash_victims(&self) -> Vec<ProcessId> {
+        let mut victims: Vec<ProcessId> =
+            self.steps.iter().flat_map(|s| s.crashed.clone()).collect();
+        victims.sort();
+        victims.dedup();
+        victims
+    }
+
+    /// Audits the trace against the claimed `(d, δ, f)`.
+    ///
+    /// Returns every violation found; an empty vector means the recorded
+    /// execution is a genuine `(d, δ)`-bounded execution with at most `f`
+    /// crashes.
+    pub fn violations(&self) -> Vec<TraceViolation> {
+        let mut violations = Vec::new();
+
+        for delay in &self.delays {
+            if delay.delay == 0 || delay.delay > self.d {
+                violations.push(TraceViolation::DelayOutOfBounds {
+                    delay: *delay,
+                    d: self.d,
+                });
+            }
+        }
+
+        // δ-fairness: walk the steps in order and track, per process, when it
+        // was last scheduled. A process only accrues starvation while it is
+        // alive (crashed processes are exempt).
+        let n = self.steps.iter().map(|s| s.alive.len()).max().unwrap_or(0);
+        let mut last_scheduled = vec![TimeStep::ZERO; n];
+        let mut reported = vec![false; n];
+        for step in &self.steps {
+            for pid in &step.scheduled {
+                if pid.index() < n {
+                    last_scheduled[pid.index()] = step.time;
+                }
+            }
+            for i in 0..step.alive.len() {
+                if !step.alive[i] || reported[i] {
+                    continue;
+                }
+                let gap = step.time.since(last_scheduled[i]);
+                if gap > self.delta {
+                    violations.push(TraceViolation::ScheduleGapExceeded {
+                        pid: ProcessId(i),
+                        last_scheduled: last_scheduled[i],
+                        observed_at: step.time,
+                        delta: self.delta,
+                    });
+                    reported[i] = true;
+                }
+            }
+        }
+
+        let crashed = self.crash_victims().len();
+        if crashed > self.f {
+            violations.push(TraceViolation::CrashBudgetExceeded {
+                crashed,
+                f: self.f,
+            });
+        }
+
+        violations
+    }
+
+    /// True if the trace honours all three bounds.
+    pub fn is_compliant(&self) -> bool {
+        self.violations().is_empty()
+    }
+}
+
+/// Wraps an adversary, recording every decision it makes.
+///
+/// The wrapper is transparent: it forwards every call to the inner adversary
+/// unchanged, so measurements taken with and without recording are identical
+/// for the same seed.
+#[derive(Debug, Clone)]
+pub struct RecordingAdversary<A> {
+    inner: A,
+    trace: AdversaryTrace,
+}
+
+impl<A: Adversary> RecordingAdversary<A> {
+    /// Wraps `inner`, auditing against the claimed `(d, δ, f)`.
+    pub fn new(inner: A, d: u64, delta: u64, f: usize) -> Self {
+        RecordingAdversary {
+            inner,
+            trace: AdversaryTrace::new(d, delta, f),
+        }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &AdversaryTrace {
+        &self.trace
+    }
+
+    /// Consumes the wrapper and returns the trace.
+    pub fn into_trace(self) -> AdversaryTrace {
+        self.trace
+    }
+
+    /// Read access to the wrapped adversary.
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: Adversary> Adversary for RecordingAdversary<A> {
+    fn plan_step(&mut self, view: &SystemView<'_>) -> StepPlan {
+        let plan = self.inner.plan_step(view);
+        self.trace.steps.push(TraceStep {
+            time: view.now,
+            scheduled: plan.schedule.clone(),
+            crashed: plan.crash.clone(),
+            alive: view.statuses.iter().map(|s| s.is_alive()).collect(),
+        });
+        plan
+    }
+
+    fn message_delay(&mut self, meta: &EnvelopeMeta, view: &SystemView<'_>) -> u64 {
+        let delay = self.inner.message_delay(meta, view);
+        self.trace.delays.push(TraceDelay {
+            from: meta.from,
+            to: meta.to,
+            sent_at: meta.sent_at,
+            delay,
+        });
+        delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agossip_sim::{FairObliviousAdversary, ProcessStatus};
+
+    fn step(time: u64, scheduled: &[usize], crashed: &[usize], alive: &[bool]) -> TraceStep {
+        TraceStep {
+            time: TimeStep(time),
+            scheduled: scheduled.iter().map(|&i| ProcessId(i)).collect(),
+            crashed: crashed.iter().map(|&i| ProcessId(i)).collect(),
+            alive: alive.to_vec(),
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_compliant() {
+        let trace = AdversaryTrace::new(2, 2, 1);
+        assert!(trace.is_empty());
+        assert!(trace.is_compliant());
+    }
+
+    #[test]
+    fn delay_above_d_is_a_violation() {
+        let mut trace = AdversaryTrace::new(3, 1, 0);
+        trace.delays.push(TraceDelay {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            sent_at: TimeStep(0),
+            delay: 4,
+        });
+        let violations = trace.violations();
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(
+            violations[0],
+            TraceViolation::DelayOutOfBounds { d: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn zero_delay_is_a_violation() {
+        let mut trace = AdversaryTrace::new(3, 1, 0);
+        trace.delays.push(TraceDelay {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            sent_at: TimeStep(0),
+            delay: 0,
+        });
+        assert!(!trace.is_compliant());
+    }
+
+    #[test]
+    fn starving_a_live_process_is_a_violation() {
+        let mut trace = AdversaryTrace::new(1, 2, 0);
+        // Process 1 is alive but never scheduled; by time 3 its gap is 3 > 2.
+        trace.steps.push(step(0, &[0, 1], &[], &[true, true]));
+        trace.steps.push(step(1, &[0], &[], &[true, true]));
+        trace.steps.push(step(2, &[0], &[], &[true, true]));
+        trace.steps.push(step(3, &[0], &[], &[true, true]));
+        let violations = trace.violations();
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            TraceViolation::ScheduleGapExceeded {
+                pid: ProcessId(1),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn crashed_processes_are_exempt_from_fairness() {
+        let mut trace = AdversaryTrace::new(1, 2, 1);
+        trace.steps.push(step(0, &[0, 1], &[], &[true, true]));
+        trace.steps.push(step(1, &[0], &[1], &[true, true]));
+        trace.steps.push(step(4, &[0], &[], &[true, false]));
+        trace.steps.push(step(7, &[0], &[], &[true, false]));
+        assert!(trace.is_compliant(), "{:?}", trace.violations());
+    }
+
+    #[test]
+    fn crash_budget_is_enforced() {
+        let mut trace = AdversaryTrace::new(1, 10, 1);
+        trace.steps.push(step(0, &[0], &[1, 2], &[true, true, true]));
+        let violations = trace.violations();
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, TraceViolation::CrashBudgetExceeded { crashed: 2, f: 1 })));
+        assert_eq!(trace.crash_victims(), vec![ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn recording_wrapper_is_transparent_and_records() {
+        let statuses = [ProcessStatus::Alive; 3];
+        let sent = [0u64; 3];
+        let last = [TimeStep::ZERO; 3];
+        let quiescent = [false; 3];
+        let view = SystemView {
+            now: TimeStep(0),
+            n: 3,
+            f: 1,
+            statuses: &statuses,
+            sent_by: &sent,
+            last_scheduled: &last,
+            quiescent: &quiescent,
+            in_flight: 0,
+            crashes: 0,
+        };
+        let mut plain = FairObliviousAdversary::new(2, 1, 42);
+        let mut recorded = RecordingAdversary::new(FairObliviousAdversary::new(2, 1, 42), 2, 1, 1);
+        let p1 = plain.plan_step(&view);
+        let p2 = recorded.plan_step(&view);
+        assert_eq!(p1, p2, "wrapper must not perturb decisions");
+        assert_eq!(recorded.trace().len(), 1);
+
+        let meta = EnvelopeMeta {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            sent_at: TimeStep(0),
+        };
+        let d1 = plain.message_delay(&meta, &view);
+        let d2 = recorded.message_delay(&meta, &view);
+        assert_eq!(d1, d2);
+        let trace = recorded.into_trace();
+        assert_eq!(trace.delays.len(), 1);
+        assert!(trace.is_compliant());
+    }
+}

@@ -1,0 +1,495 @@
+//! The adaptive lower-bound adversary of Theorem 1 (paper, Section 2).
+//!
+//! Theorem 1: for every gossip algorithm `A` there exist `d, δ ≥ 1` and an
+//! adaptive adversary causing up to `f < n` failures such that, in
+//! expectation, either the algorithm sends `Ω(n + f²)` messages or it runs
+//! for `Ω(f·(d+δ))` time.
+//!
+//! The proof is constructive, and this module executes that construction
+//! against real protocol implementations (Figure 1 of the paper):
+//!
+//! 1. **Phase 1 — quiesce the bulk.** Partition the processes into
+//!    `S1` (size `n − f/2`) and `S2` (size `f/2`). Run only `S1`, with
+//!    `d = δ = 1`, until every process in `S1` stops sending. If that takes
+//!    longer than `f` steps the execution is already slow
+//!    ([`LowerBoundCase::SlowStartup`]).
+//! 2. **Probe.** For every `p ∈ S2`, simulate `p` receiving its pending
+//!    messages from `S1` and then taking `f/2` local steps in isolation
+//!    ([`crate::probe::probe_isolated`]). `p` is *promiscuous* if it would
+//!    send at least `f/32` messages.
+//! 3. **Case 1 — many promiscuous processes** (`|P| ≥ f/4`): schedule all of
+//!    `S2` for `f/2` steps while withholding every message they send. The
+//!    promiscuous processes spray `Ω(f²)` messages between them
+//!    ([`LowerBoundCase::MessageHeavy`]). No process crashes.
+//! 4. **Case 2 — mostly shy processes**: find two non-promiscuous processes
+//!    `p, q` that would not contact each other; crash the rest of `S2`, run
+//!    `p` and `q` for `f/2` steps with `d = 1`, and crash any `S1` process
+//!    they try to enlist. Neither learns the other's rumor, so gossip cannot
+//!    have completed before time `f/2·(d+δ)`
+//!    ([`LowerBoundCase::IsolatedPair`]).
+//!
+//! The outcome records the realised message count and running time so the
+//! experiment harness (and the `lower_bound` bench) can verify the dichotomy
+//! numerically.
+
+use agossip_core::{GossipCtx, GossipEngine, SimGossip};
+use agossip_sim::{Process, ProcessId, SimConfig, SimResult, Simulation};
+
+use crate::probe::{probe_isolated, IsolationProbe};
+
+/// Tunable knobs of the lower-bound construction. The defaults follow the
+/// constants used in the paper's proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LowerBoundParams {
+    /// System size `n`.
+    pub n: usize,
+    /// Failure budget `f` the adversary may use (`f < n`). The construction
+    /// internally caps it at `n/4` exactly as the proof does.
+    pub f: usize,
+    /// Master seed for the protocol's randomness.
+    pub seed: u64,
+    /// Divisor in the promiscuity threshold `f / promiscuity_divisor`
+    /// (the paper uses 32).
+    pub promiscuity_divisor: u64,
+}
+
+impl LowerBoundParams {
+    /// Creates parameters with the paper's constants.
+    pub fn new(n: usize, f: usize, seed: u64) -> Self {
+        LowerBoundParams {
+            n,
+            f,
+            seed,
+            promiscuity_divisor: 32,
+        }
+    }
+
+    /// The effective failure budget used by the construction: `min(f, n/4)`,
+    /// and at least 4 so that `S2 = f/2 ≥ 2` can host a pair.
+    pub fn effective_f(&self) -> usize {
+        self.f.min(self.n / 4).max(4)
+    }
+}
+
+/// Which branch of the dichotomy the adversary forced the execution into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LowerBoundCase {
+    /// Phase 1 (running `S1` alone with `d = δ = 1`) did not become quiescent
+    /// within `f` steps: the execution already takes `Ω(f(d+δ))` time.
+    SlowStartup,
+    /// Case 1 of the proof: at least `f/4` of the probed processes were
+    /// promiscuous and were made to spray their messages into a network that
+    /// delivers none of them.
+    MessageHeavy,
+    /// Case 2 of the proof: two non-promiscuous processes were isolated from
+    /// each other for `f/2` steps; gossip cannot have completed, so the
+    /// execution takes `Ω(f(d+δ))` time.
+    IsolatedPair,
+    /// Case 2 was entered but no mutually-avoiding pair existed among the
+    /// non-promiscuous processes (possible only when they all contact almost
+    /// everyone — which itself is message-heavy behaviour).
+    NoIsolatablePair,
+}
+
+/// The outcome of running the Theorem 1 adversary against one protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerBoundOutcome {
+    /// Which branch was taken.
+    pub case: LowerBoundCase,
+    /// System size.
+    pub n: usize,
+    /// Effective failure budget used by the construction.
+    pub f: usize,
+    /// Total point-to-point messages sent over the whole constructed
+    /// execution.
+    pub messages_sent: u64,
+    /// Total global time steps of the constructed execution.
+    pub elapsed_steps: u64,
+    /// Number of processes classified as promiscuous.
+    pub promiscuous: usize,
+    /// Number of processes the adversary crashed.
+    pub crashes_used: usize,
+    /// The isolated pair, when Case 2 was taken.
+    pub pair: Option<(ProcessId, ProcessId)>,
+    /// True when Case 2 was taken and, at the end of the execution, the two
+    /// isolated processes still did not know each other's rumors — the
+    /// witness that gossip had not completed.
+    pub pair_still_ignorant: bool,
+    /// Duration of phase 1 in steps.
+    pub phase1_steps: u64,
+}
+
+impl LowerBoundOutcome {
+    /// The message-complexity side of the dichotomy, `n + f²`.
+    pub fn message_bound(&self) -> u64 {
+        (self.n as u64) + (self.f as u64) * (self.f as u64)
+    }
+
+    /// The time-complexity side of the dichotomy, `f·(d+δ)` with
+    /// `d = δ = 1` as used by the construction.
+    pub fn time_bound(&self) -> u64 {
+        2 * self.f as u64
+    }
+
+    /// Verifies the dichotomy with explicit constants: either at least
+    /// `c_msg · (n + f²)` messages were sent, or the execution took at least
+    /// `c_time · f·(d+δ)` steps.
+    pub fn dichotomy_holds(&self, c_msg: f64, c_time: f64) -> bool {
+        let msg_side = self.messages_sent as f64 >= c_msg * self.message_bound() as f64;
+        let time_side = self.elapsed_steps as f64 >= c_time * self.time_bound() as f64;
+        msg_side || time_side
+    }
+}
+
+/// Runs the Theorem 1 adversary against the protocol produced by `make`.
+///
+/// `G` must be `Clone` because the adaptive adversary simulates process
+/// copies in isolation (the probes of step 2 above).
+pub fn run_lower_bound<G, F>(params: LowerBoundParams, make: F) -> SimResult<LowerBoundOutcome>
+where
+    G: GossipEngine + Clone,
+    F: Fn(GossipCtx) -> G,
+{
+    let n = params.n;
+    let f = params.effective_f();
+    let s2_size = (f / 2).max(2);
+    let s1_size = n - s2_size;
+    let s1: Vec<ProcessId> = (0..s1_size).map(ProcessId).collect();
+    let s2: Vec<ProcessId> = (s1_size..n).map(ProcessId).collect();
+
+    // The constructed execution uses d = δ = 1 for the parts that matter to
+    // the time bound; the step limit is irrelevant because we drive manually.
+    let config = SimConfig::new(n, f)
+        .with_d(1)
+        .with_delta(1)
+        .with_seed(params.seed);
+    let processes: Vec<SimGossip<G>> = ProcessId::all(n)
+        .map(|pid| SimGossip::new(make(GossipCtx::new(pid, n, f, params.seed))))
+        .collect();
+    let mut sim = Simulation::new(config, processes)?;
+
+    // ---- Phase 1: run S1 alone with d = δ = 1 until quiescent or `f` steps.
+    let phase1_cap = f as u64;
+    let mut phase1_steps = 0u64;
+    loop {
+        let all_quiet = s1
+            .iter()
+            .all(|&pid| sim.process(pid).is_quiescent());
+        if all_quiet {
+            break;
+        }
+        if phase1_steps >= phase1_cap {
+            return Ok(LowerBoundOutcome {
+                case: LowerBoundCase::SlowStartup,
+                n,
+                f,
+                messages_sent: sim.metrics().messages_sent,
+                elapsed_steps: sim.now().as_u64(),
+                promiscuous: 0,
+                crashes_used: sim.metrics().crashes,
+                pair: None,
+                pair_still_ignorant: false,
+                phase1_steps,
+            });
+        }
+        sim.step_manual(&s1, &[], |_| 1)?;
+        phase1_steps += 1;
+    }
+
+    // ---- Probe every process in S2 in isolation for f/2 local steps.
+    let isolation_steps = (f / 2) as u64;
+    let threshold = (f as u64 / params.promiscuity_divisor).max(1);
+    let probes: Vec<IsolationProbe> = s2
+        .iter()
+        .map(|&pid| {
+            let pending = sim.pending_messages_for(pid);
+            probe_isolated(sim.process(pid).engine(), &pending, isolation_steps)
+        })
+        .collect();
+    let promiscuous: Vec<ProcessId> = s2
+        .iter()
+        .zip(&probes)
+        .filter(|(_, probe)| probe.is_promiscuous(threshold))
+        .map(|(&pid, _)| pid)
+        .collect();
+
+    // ---- Case 1: at least f/4 promiscuous processes.
+    if promiscuous.len() >= (f / 4).max(1) {
+        for _ in 0..isolation_steps {
+            // Schedule all of S2; messages they send now are never delivered
+            // (d ≥ f/2 + 1 in the proof), but pending phase-1 messages from
+            // S1 — which the promiscuity probe conditioned on — do arrive.
+            sim.step_manual(&s2, &[], |_| u64::MAX)?;
+        }
+        return Ok(LowerBoundOutcome {
+            case: LowerBoundCase::MessageHeavy,
+            n,
+            f,
+            messages_sent: sim.metrics().messages_sent,
+            elapsed_steps: sim.now().as_u64(),
+            promiscuous: promiscuous.len(),
+            crashes_used: sim.metrics().crashes,
+            pair: None,
+            pair_still_ignorant: false,
+            phase1_steps,
+        });
+    }
+
+    // ---- Case 2: find two non-promiscuous processes that avoid each other.
+    let shy: Vec<(ProcessId, &IsolationProbe)> = s2
+        .iter()
+        .zip(&probes)
+        .filter(|(_, probe)| !probe.is_promiscuous(threshold))
+        .map(|(&pid, probe)| (pid, probe))
+        .collect();
+
+    let mut pair: Option<(ProcessId, ProcessId)> = None;
+    'outer: for (i, (p, probe_p)) in shy.iter().enumerate() {
+        for (q, probe_q) in shy.iter().skip(i + 1) {
+            if probe_p.avoids(*q) && probe_q.avoids(*p) {
+                pair = Some((*p, *q));
+                break 'outer;
+            }
+        }
+    }
+
+    let Some((p, q)) = pair else {
+        return Ok(LowerBoundOutcome {
+            case: LowerBoundCase::NoIsolatablePair,
+            n,
+            f,
+            messages_sent: sim.metrics().messages_sent,
+            elapsed_steps: sim.now().as_u64(),
+            promiscuous: promiscuous.len(),
+            crashes_used: sim.metrics().crashes,
+            pair: None,
+            pair_still_ignorant: false,
+            phase1_steps,
+        });
+    };
+
+    // Crash every other process in S2, before any of them takes a step.
+    let initial_crashes: Vec<ProcessId> = s2
+        .iter()
+        .copied()
+        .filter(|&pid| pid != p && pid != q)
+        .collect();
+    // Crash budget for S1 helpers: f/4 as in the proof.
+    let mut helper_budget = (f / 4).max(1);
+
+    let mut crashes_next: Vec<ProcessId> = initial_crashes;
+    for _ in 0..isolation_steps {
+        // Crash any process contacted by p or q during the previous step
+        // before it has a chance to act on the message, then schedule p, q
+        // and (for δ-fairness) every other still-alive process — all of which
+        // are quiescent members of S1.
+        let schedule: Vec<ProcessId> = sim.alive();
+        sim.step_manual(&schedule, &crashes_next, |_| 1)?;
+        crashes_next = [p, q]
+            .iter()
+            .flat_map(|&sender| {
+                sim.pending_messages_for_sender(sender)
+                    .into_iter()
+                    .filter(|&dest| s1.contains(&dest))
+            })
+            .filter(|&dest| sim.is_alive(dest))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .take(helper_budget)
+            .collect();
+        helper_budget = helper_budget.saturating_sub(crashes_next.len());
+    }
+
+    let p_knows_q = sim.process(p).engine().rumors().contains_origin(q);
+    let q_knows_p = sim.process(q).engine().rumors().contains_origin(p);
+
+    Ok(LowerBoundOutcome {
+        case: LowerBoundCase::IsolatedPair,
+        n,
+        f,
+        messages_sent: sim.metrics().messages_sent,
+        elapsed_steps: sim.now().as_u64(),
+        promiscuous: promiscuous.len(),
+        crashes_used: sim.metrics().crashes,
+        pair: Some((p, q)),
+        pair_still_ignorant: !(p_knows_q || q_knows_p),
+        phase1_steps,
+    })
+}
+
+/// Extension trait used by the Case 2 loop: destinations in `S1` of messages
+/// currently in flight that were sent by `sender`.
+trait PendingBySender {
+    fn pending_messages_for_sender(&self, sender: ProcessId) -> Vec<ProcessId>;
+}
+
+impl<P: Process> PendingBySender for Simulation<P> {
+    fn pending_messages_for_sender(&self, sender: ProcessId) -> Vec<ProcessId> {
+        // The network indexes by destination, so scan all destinations. n is
+        // small in lower-bound experiments; clarity over speed here.
+        let n = self.config().n;
+        let mut dests = Vec::new();
+        for dest in ProcessId::all(n) {
+            if self
+                .pending_messages_for(dest)
+                .iter()
+                .any(|env| env.from == sender)
+            {
+                dests.push(dest);
+            }
+        }
+        dests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agossip_core::{Ears, RumorSet, Sears, Trivial};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A deliberately "shy" gossip protocol used to exercise Case 2: it sends
+    /// its rumor to a single random target only every `PERIOD` local steps,
+    /// so over `f/2` isolated steps it is never promiscuous.
+    #[derive(Debug, Clone)]
+    struct LazyGossip {
+        ctx: GossipCtx,
+        rumors: RumorSet,
+        rng: StdRng,
+        steps: u64,
+    }
+
+    const PERIOD: u64 = 64;
+
+    impl LazyGossip {
+        fn new(ctx: GossipCtx) -> Self {
+            LazyGossip {
+                rumors: RumorSet::singleton(ctx.rumor),
+                rng: StdRng::seed_from_u64(ctx.seed),
+                steps: 0,
+                ctx,
+            }
+        }
+    }
+
+    impl GossipEngine for LazyGossip {
+        type Msg = RumorSet;
+
+        fn deliver(&mut self, _from: ProcessId, msg: RumorSet) {
+            self.rumors.union(&msg);
+        }
+
+        fn local_step(&mut self, out: &mut Vec<(ProcessId, RumorSet)>) {
+            self.steps += 1;
+            if self.steps % PERIOD == 1 && self.rumors.len() < self.ctx.n {
+                let target = ProcessId(self.rng.gen_range(0..self.ctx.n));
+                out.push((target, self.rumors.clone()));
+            }
+        }
+
+        fn pid(&self) -> ProcessId {
+            self.ctx.pid
+        }
+
+        fn rumors(&self) -> &RumorSet {
+            &self.rumors
+        }
+
+        fn is_quiescent(&self) -> bool {
+            // Lazy processes "stop" once they have seen every rumor; in
+            // phase 1 they never will, so quiescence also covers the idle
+            // part of their period. This is enough for phase 1 to terminate:
+            // a process that is between sends reports quiescence only if it
+            // has nothing new to say.
+            self.rumors.len() >= self.ctx.n || self.steps % PERIOD != 0
+        }
+
+        fn steps_taken(&self) -> u64 {
+            self.steps
+        }
+    }
+
+    #[test]
+    fn effective_f_is_capped_at_quarter_n() {
+        assert_eq!(LowerBoundParams::new(64, 60, 0).effective_f(), 16);
+        assert_eq!(LowerBoundParams::new(64, 8, 0).effective_f(), 8);
+        assert_eq!(LowerBoundParams::new(64, 1, 0).effective_f(), 4);
+    }
+
+    #[test]
+    fn trivial_protocol_is_forced_into_message_heavy_case() {
+        let params = LowerBoundParams::new(64, 16, 3);
+        let outcome = run_lower_bound(params, Trivial::new).unwrap();
+        assert_eq!(outcome.case, LowerBoundCase::MessageHeavy);
+        // Trivial sends ~n² messages: comfortably Ω(n + f²).
+        assert!(outcome.messages_sent as f64 >= 0.5 * outcome.message_bound() as f64);
+        assert!(outcome.dichotomy_holds(0.5, 0.25));
+        assert_eq!(outcome.crashes_used, 0, "case 1 crashes nobody");
+    }
+
+    #[test]
+    fn sears_is_forced_into_message_heavy_case() {
+        let params = LowerBoundParams::new(64, 16, 5);
+        let outcome = run_lower_bound(params, Sears::new).unwrap();
+        // sears processes are highly promiscuous (Θ(n^ε log n) per step), so
+        // unless phase 1 is already slow the adversary extracts messages.
+        assert!(
+            outcome.case == LowerBoundCase::MessageHeavy
+                || outcome.case == LowerBoundCase::SlowStartup,
+            "unexpected case {:?}",
+            outcome.case
+        );
+        assert!(outcome.dichotomy_holds(0.25, 0.25), "{outcome:?}");
+    }
+
+    #[test]
+    fn ears_hits_the_dichotomy() {
+        let params = LowerBoundParams::new(64, 16, 7);
+        let outcome = run_lower_bound(params, Ears::new).unwrap();
+        // EARS either needs longer than f steps to quiesce S1 (slow) or its
+        // one-message-per-step behaviour makes S2 promiscuous (message
+        // heavy). Either way the dichotomy holds.
+        assert!(outcome.dichotomy_holds(0.25, 0.25), "{outcome:?}");
+    }
+
+    #[test]
+    fn lazy_protocol_is_forced_into_isolated_pair_case() {
+        // f must be large enough that the promiscuity threshold f/32 exceeds
+        // the single message LazyGossip sends during f/2 isolated steps.
+        let params = LowerBoundParams::new(256, 64, 11);
+        let outcome = run_lower_bound(params, LazyGossip::new).unwrap();
+        assert_eq!(outcome.case, LowerBoundCase::IsolatedPair, "{outcome:?}");
+        let (p, q) = outcome.pair.unwrap();
+        assert_ne!(p, q);
+        assert!(
+            outcome.pair_still_ignorant,
+            "the isolated pair must not have exchanged rumors"
+        );
+        // The slow branch of the dichotomy.
+        assert!(outcome.elapsed_steps >= outcome.f as u64 / 2);
+        assert!(outcome.dichotomy_holds(0.25, 0.25), "{outcome:?}");
+        // Crash budget respected: fewer than f crashes.
+        assert!(outcome.crashes_used < outcome.f);
+    }
+
+    #[test]
+    fn outcome_bounds_are_consistent() {
+        let outcome = LowerBoundOutcome {
+            case: LowerBoundCase::MessageHeavy,
+            n: 100,
+            f: 25,
+            messages_sent: 1000,
+            elapsed_steps: 10,
+            promiscuous: 10,
+            crashes_used: 0,
+            pair: None,
+            pair_still_ignorant: false,
+            phase1_steps: 5,
+        };
+        assert_eq!(outcome.message_bound(), 100 + 625);
+        assert_eq!(outcome.time_bound(), 50);
+        assert!(outcome.dichotomy_holds(1.0, 1.0));
+        assert!(!outcome.dichotomy_holds(2.0, 1.0));
+    }
+}

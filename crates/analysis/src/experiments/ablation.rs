@@ -1,0 +1,258 @@
+//! Ablation of the hidden constants behind the paper's `Θ(·)` parameters.
+//!
+//! Every phase length and fan-out in the paper is stated up to a constant:
+//! the `ears` shut-down phase lasts `Θ(n/(n−f)·log n)` local steps, `sears`
+//! sends to `Θ(n^ε log n)` targets per step, and `tears` is built around
+//! `a = 4√n·log n` and `κ = 8·n^{1/4}·log n`. The implementation exposes each
+//! constant as a parameter (see [`agossip_core::params`]); this driver sweeps
+//! them and records where the high-probability guarantees start to fail and
+//! what the extra constant costs in messages. These are the "ablation"
+//! experiments DESIGN.md calls out.
+
+use agossip_core::{
+    run_gossip, Ears, EarsParams, GossipSpec, Sears, SearsParams, Tears, TearsParams,
+};
+use agossip_sim::{FairObliviousAdversary, SimResult};
+
+use crate::experiments::common::ExperimentScale;
+use crate::report::{fmt_f64, Table};
+use crate::stats::Summary;
+
+/// Which protocol parameter an ablation point varies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AblationKnob {
+    /// `ears` shut-down phase length multiplier.
+    EarsShutdownFactor,
+    /// `sears` per-step fan-out multiplier.
+    SearsFanoutFactor,
+    /// `tears` neighbourhood-size (`a`) multiplier.
+    TearsAFactor,
+    /// `tears` trigger-window (`κ`) multiplier.
+    TearsKappaFactor,
+}
+
+impl AblationKnob {
+    /// A short, table-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AblationKnob::EarsShutdownFactor => "ears.shutdown_factor",
+            AblationKnob::SearsFanoutFactor => "sears.fanout_factor",
+            AblationKnob::TearsAFactor => "tears.a_factor",
+            AblationKnob::TearsKappaFactor => "tears.kappa_factor",
+        }
+    }
+
+    /// The default value of this knob (the value used by every other
+    /// experiment).
+    pub fn default_value(&self) -> f64 {
+        match self {
+            AblationKnob::EarsShutdownFactor => EarsParams::default().shutdown_factor,
+            AblationKnob::SearsFanoutFactor => SearsParams::default().fanout_factor,
+            AblationKnob::TearsAFactor => TearsParams::default().a_factor,
+            AblationKnob::TearsKappaFactor => TearsParams::default().kappa_factor,
+        }
+    }
+
+    /// The sweep of values used by [`run_ablation`], spanning "far too small"
+    /// to "comfortably larger than the default".
+    pub fn sweep(&self) -> Vec<f64> {
+        match self {
+            AblationKnob::EarsShutdownFactor => vec![0.25, 0.5, 1.0, 2.0, 4.0],
+            AblationKnob::SearsFanoutFactor => vec![0.25, 0.5, 1.0, 2.0],
+            AblationKnob::TearsAFactor => vec![1.0, 2.0, 4.0, 6.0],
+            AblationKnob::TearsKappaFactor => vec![2.0, 4.0, 8.0, 16.0],
+        }
+    }
+}
+
+/// One ablation measurement: a knob, the value it was set to, and what
+/// happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Which parameter was varied.
+    pub knob: AblationKnob,
+    /// The value it was set to.
+    pub value: f64,
+    /// System size used.
+    pub n: usize,
+    /// Failure budget used.
+    pub f: usize,
+    /// Fraction of trials whose correctness check passed.
+    pub success_rate: f64,
+    /// Total point-to-point messages over the trials.
+    pub messages: Summary,
+    /// Completion time in steps over the trials (only trials that became
+    /// quiescent contribute).
+    pub time_steps: Summary,
+}
+
+fn measure_knob(
+    knob: AblationKnob,
+    value: f64,
+    scale: &ExperimentScale,
+    n: usize,
+) -> SimResult<AblationRow> {
+    let mut messages = Vec::new();
+    let mut steps = Vec::new();
+    let mut successes = 0usize;
+    for trial in 0..scale.trials.max(1) {
+        let config = scale.config_for(n, trial);
+        let mut adversary = FairObliviousAdversary::new(config.d, config.delta, config.seed);
+        let report = match knob {
+            AblationKnob::EarsShutdownFactor => {
+                let params = EarsParams {
+                    shutdown_factor: value,
+                };
+                run_gossip(&config, GossipSpec::Full, &mut adversary, move |ctx| {
+                    Ears::with_params(ctx, params)
+                })?
+            }
+            AblationKnob::SearsFanoutFactor => {
+                let params = SearsParams {
+                    fanout_factor: value,
+                    ..SearsParams::default()
+                };
+                run_gossip(&config, GossipSpec::Full, &mut adversary, move |ctx| {
+                    Sears::with_params(ctx, params)
+                })?
+            }
+            AblationKnob::TearsAFactor => {
+                let params = TearsParams {
+                    a_factor: value,
+                    ..TearsParams::default()
+                };
+                run_gossip(&config, GossipSpec::Majority, &mut adversary, move |ctx| {
+                    Tears::with_params(ctx, params)
+                })?
+            }
+            AblationKnob::TearsKappaFactor => {
+                let params = TearsParams {
+                    kappa_factor: value,
+                    ..TearsParams::default()
+                };
+                run_gossip(&config, GossipSpec::Majority, &mut adversary, move |ctx| {
+                    Tears::with_params(ctx, params)
+                })?
+            }
+        };
+        if report.check.all_ok() {
+            successes += 1;
+        }
+        messages.push(report.messages() as f64);
+        if let Some(t) = report.time_steps() {
+            steps.push(t as f64);
+        }
+    }
+    Ok(AblationRow {
+        knob,
+        value,
+        n,
+        f: scale.f_for(n),
+        success_rate: successes as f64 / scale.trials.max(1) as f64,
+        messages: Summary::of(&messages),
+        time_steps: Summary::of(&steps),
+    })
+}
+
+/// Sweeps one knob at the largest system size of `scale`.
+pub fn run_knob_ablation(knob: AblationKnob, scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
+    let n = scale.n_values.iter().copied().max().unwrap_or(64);
+    knob.sweep()
+        .into_iter()
+        .map(|value| measure_knob(knob, value, scale, n))
+        .collect()
+}
+
+/// Runs the full ablation: every knob, every sweep value.
+pub fn run_ablation(scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
+    let mut rows = Vec::new();
+    for knob in [
+        AblationKnob::EarsShutdownFactor,
+        AblationKnob::SearsFanoutFactor,
+        AblationKnob::TearsAFactor,
+        AblationKnob::TearsKappaFactor,
+    ] {
+        rows.extend(run_knob_ablation(knob, scale)?);
+    }
+    Ok(rows)
+}
+
+/// Renders ablation rows as a text table.
+pub fn ablation_to_table(rows: &[AblationRow]) -> Table {
+    let mut table = Table::new(
+        "Parameter ablation — where the Θ(·) constants start to matter",
+        &["knob", "value", "default", "n", "f", "ok", "messages", "time[steps]"],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.knob.name().to_string(),
+            fmt_f64(row.value),
+            fmt_f64(row.knob.default_value()),
+            row.n.to_string(),
+            row.f.to_string(),
+            format!("{:.0}%", row.success_rate * 100.0),
+            fmt_f64(row.messages.mean),
+            fmt_f64(row.time_steps.mean),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_metadata_is_consistent() {
+        for knob in [
+            AblationKnob::EarsShutdownFactor,
+            AblationKnob::SearsFanoutFactor,
+            AblationKnob::TearsAFactor,
+            AblationKnob::TearsKappaFactor,
+        ] {
+            assert!(!knob.name().is_empty());
+            assert!(knob.default_value() > 0.0);
+            assert!(
+                knob.sweep().contains(&knob.default_value()) || !knob.sweep().is_empty(),
+                "sweep should bracket the default"
+            );
+        }
+    }
+
+    #[test]
+    fn ears_shutdown_ablation_runs_and_larger_factor_costs_messages() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_knob_ablation(AblationKnob::EarsShutdownFactor, &scale).unwrap();
+        assert_eq!(rows.len(), AblationKnob::EarsShutdownFactor.sweep().len());
+        let small = rows.first().unwrap();
+        let large = rows.last().unwrap();
+        assert!(
+            large.messages.mean >= small.messages.mean,
+            "a longer shut-down phase cannot send fewer messages: {} vs {}",
+            large.messages.mean,
+            small.messages.mean
+        );
+    }
+
+    #[test]
+    fn sears_fanout_ablation_scales_message_volume() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_knob_ablation(AblationKnob::SearsFanoutFactor, &scale).unwrap();
+        let small = rows.first().unwrap();
+        let large = rows.last().unwrap();
+        assert!(large.messages.mean > small.messages.mean);
+        let table = ablation_to_table(&rows);
+        assert_eq!(table.len(), rows.len());
+    }
+
+    #[test]
+    fn tears_a_factor_default_succeeds() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_knob_ablation(AblationKnob::TearsAFactor, &scale).unwrap();
+        let default_row = rows
+            .iter()
+            .find(|r| (r.value - TearsParams::default().a_factor).abs() < 1e-9)
+            .expect("sweep includes the default");
+        assert_eq!(default_row.success_rate, 1.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Bit-complexity experiment (paper Section 7, open question).
+//!
+//! The paper counts only the *number* of point-to-point messages and leaves
+//! the total volume of information exchanged — the bit complexity — as future
+//! work. The protocols differ sharply on this axis: `ears` and `sears` ship
+//! their whole rumor set *and* informed-list in every message, `tears` ships
+//! only rumors, and the trivial protocol ships exactly one rumor per message.
+//! This driver measures both message counts and total wire units (see
+//! [`agossip_core::wire`]) per protocol and system size, so the message/bit
+//! trade-off can be laid next to Table 1.
+
+use agossip_sim::SimResult;
+
+use crate::experiments::common::{run_one_gossip, ExperimentScale, GossipProtocolKind};
+use crate::fit::{fit_power_law, PowerLawFit};
+use crate::report::{fmt_f64, Table};
+use crate::stats::Summary;
+
+/// One `(protocol, n)` measurement of message and wire-unit volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitComplexityRow {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Failure budget used.
+    pub f: usize,
+    /// Total point-to-point messages over the trials.
+    pub messages: Summary,
+    /// Total wire units (rumor-entry equivalents) over the trials.
+    pub wire_units: Summary,
+    /// Mean wire units per message.
+    pub units_per_message: f64,
+    /// Fraction of trials whose correctness check passed.
+    pub success_rate: f64,
+}
+
+/// Runs the bit-complexity sweep over the Table 1 protocols.
+pub fn run_bit_complexity(scale: &ExperimentScale) -> SimResult<Vec<BitComplexityRow>> {
+    let mut rows = Vec::new();
+    for kind in GossipProtocolKind::table1_rows() {
+        for &n in &scale.n_values {
+            let mut messages = Vec::new();
+            let mut units = Vec::new();
+            let mut successes = 0usize;
+            for trial in 0..scale.trials.max(1) {
+                let config = scale.config_for(n, trial);
+                let report = run_one_gossip(kind, &config)?;
+                if report.check.all_ok() {
+                    successes += 1;
+                }
+                messages.push(report.messages() as f64);
+                units.push(report.rumor_units_sent as f64);
+            }
+            let messages = Summary::of(&messages);
+            let wire_units = Summary::of(&units);
+            let units_per_message = if messages.mean > 0.0 {
+                wire_units.mean / messages.mean
+            } else {
+                0.0
+            };
+            rows.push(BitComplexityRow {
+                protocol: kind.name(),
+                n,
+                f: scale.f_for(n),
+                messages,
+                wire_units,
+                units_per_message,
+                success_rate: successes as f64 / scale.trials.max(1) as f64,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Fits the wire-unit growth exponent of one protocol's rows.
+pub fn wire_unit_exponent(rows: &[BitComplexityRow], protocol: &str) -> Option<PowerLawFit> {
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.protocol == protocol)
+        .map(|r| (r.n as f64, r.wire_units.mean))
+        .collect();
+    fit_power_law(&points)
+}
+
+/// Renders the sweep as a text table.
+pub fn bit_complexity_to_table(rows: &[BitComplexityRow]) -> Table {
+    let mut table = Table::new(
+        "Bit complexity (wire units) — Section 7 open question",
+        &[
+            "protocol",
+            "n",
+            "f",
+            "messages",
+            "wire units",
+            "units/msg",
+            "ok",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.protocol.to_string(),
+            row.n.to_string(),
+            row.f.to_string(),
+            fmt_f64(row.messages.mean),
+            fmt_f64(row.wire_units.mean),
+            fmt_f64(row.units_per_message),
+            format!("{:.0}%", row.success_rate * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_rows_for_every_protocol_and_size() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_bit_complexity(&scale).unwrap();
+        assert_eq!(rows.len(), 4 * scale.n_values.len());
+        assert!(rows.iter().all(|r| r.success_rate == 1.0));
+        let table = bit_complexity_to_table(&rows);
+        assert_eq!(table.len(), rows.len());
+    }
+
+    #[test]
+    fn trivial_wire_units_are_twice_its_messages() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_bit_complexity(&scale).unwrap();
+        for row in rows.iter().filter(|r| r.protocol == "trivial") {
+            assert!((row.units_per_message - 2.0).abs() < 1e-9);
+            assert!((row.wire_units.mean - 2.0 * row.messages.mean).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ears_messages_are_heavier_than_trivial_messages() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_bit_complexity(&scale).unwrap();
+        let ears: Vec<_> = rows.iter().filter(|r| r.protocol == "ears").collect();
+        let trivial: Vec<_> = rows.iter().filter(|r| r.protocol == "trivial").collect();
+        for (e, t) in ears.iter().zip(trivial.iter()) {
+            assert!(
+                e.units_per_message > t.units_per_message,
+                "ears carries rumor sets + informed lists, so its per-message cost ({}) must exceed trivial's ({})",
+                e.units_per_message,
+                t.units_per_message
+            );
+        }
+    }
+
+    #[test]
+    fn wire_unit_exponent_fits_available_protocols() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_bit_complexity(&scale).unwrap();
+        let fit = wire_unit_exponent(&rows, "trivial").unwrap();
+        // Trivial: n(n-1) messages of 2 units each → exponent ≈ 2.
+        assert!((fit.exponent - 2.0).abs() < 0.1, "got {}", fit.exponent);
+        assert!(wire_unit_exponent(&rows, "nonexistent").is_none());
+    }
+}

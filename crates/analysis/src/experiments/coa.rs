@@ -1,0 +1,161 @@
+//! Corollary 2 — the cost of asynchrony.
+//!
+//! The corollary compares the best asynchronous algorithm against the best
+//! synchronous algorithm (one that knows `d = δ = 1` a priori) and shows that
+//! either the time ratio is `Ω(f)` or the message ratio is `Ω(1 + f²/n)`.
+//!
+//! Empirically we measure, for each system size, the synchronous baseline's
+//! time and message cost with `d = δ = 1`, and each asynchronous protocol's
+//! cost in the same setting, and report the two ratios. Together with the
+//! lower-bound experiment (which shows what an *adaptive* adversary can force)
+//! this reproduces the "cost of asynchrony" discussion of Section 2.
+
+use agossip_sim::SimResult;
+
+use crate::experiments::common::{measure_point, ExperimentScale, GossipProtocolKind};
+use crate::report::{fmt_f64, Table};
+
+/// One `(protocol, n)` comparison against the synchronous baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoaRow {
+    /// The asynchronous protocol being compared.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Failure budget.
+    pub f: usize,
+    /// Mean completion time of the asynchronous protocol (steps).
+    pub async_time: f64,
+    /// Mean message count of the asynchronous protocol.
+    pub async_messages: f64,
+    /// Mean completion time of the synchronous baseline (steps).
+    pub sync_time: f64,
+    /// Mean message count of the synchronous baseline.
+    pub sync_messages: f64,
+    /// `async_time / sync_time`.
+    pub time_ratio: f64,
+    /// `async_messages / sync_messages`.
+    pub message_ratio: f64,
+}
+
+/// Runs the cost-of-asynchrony comparison for the asynchronous Table 1
+/// protocols against the synchronous baseline.
+pub fn run_coa(scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
+    // The corollary's comparison is at d = δ = 1 for both sides.
+    let unit_scale = ExperimentScale {
+        d: 1,
+        delta: 1,
+        ..scale.clone()
+    };
+    let mut rows = Vec::new();
+    for &n in &unit_scale.n_values {
+        let sync = measure_point(GossipProtocolKind::SyncEpidemic, &unit_scale, n)?;
+        for kind in [
+            GossipProtocolKind::Trivial,
+            GossipProtocolKind::Ears,
+            GossipProtocolKind::Sears { epsilon: 0.5 },
+        ] {
+            let async_point = measure_point(kind, &unit_scale, n)?;
+            let sync_time = sync.time_steps.mean.max(1.0);
+            let sync_messages = sync.messages.mean.max(1.0);
+            rows.push(CoaRow {
+                protocol: kind.name(),
+                n,
+                f: unit_scale.f_for(n),
+                async_time: async_point.time_steps.mean,
+                async_messages: async_point.messages.mean,
+                sync_time,
+                sync_messages,
+                time_ratio: async_point.time_steps.mean / sync_time,
+                message_ratio: async_point.messages.mean / sync_messages,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the comparison as a table.
+pub fn coa_to_table(rows: &[CoaRow]) -> Table {
+    let mut table = Table::new(
+        "Corollary 2 — cost of asynchrony (async protocol vs synchronous baseline, d = δ = 1)",
+        &[
+            "protocol",
+            "n",
+            "f",
+            "async time",
+            "sync time",
+            "time ratio",
+            "async msgs",
+            "sync msgs",
+            "msg ratio",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.protocol.to_string(),
+            row.n.to_string(),
+            row.f.to_string(),
+            fmt_f64(row.async_time),
+            fmt_f64(row.sync_time),
+            fmt_f64(row.time_ratio),
+            fmt_f64(row.async_messages),
+            fmt_f64(row.sync_messages),
+            fmt_f64(row.message_ratio),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coa_rows_cover_three_protocols_per_size() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_coa(&scale).unwrap();
+        assert_eq!(rows.len(), 3 * scale.n_values.len());
+        for row in &rows {
+            assert!(row.time_ratio > 0.0);
+            assert!(row.message_ratio > 0.0);
+        }
+    }
+
+    #[test]
+    fn trivial_pays_in_messages_not_time() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_coa(&scale).unwrap();
+        let mut trivial: Vec<&CoaRow> = rows.iter().filter(|r| r.protocol == "trivial").collect();
+        trivial.sort_by_key(|r| r.n);
+        assert!(trivial.len() >= 2);
+        // The corollary is asymptotic: trivial's message premium over the
+        // synchronous baseline is ~n/log n, so it must *grow* with n and be
+        // above 1 at the largest size of the sweep, while trivial never pays
+        // a time premium (it completes in O(d+δ)).
+        let smallest = trivial.first().unwrap();
+        let largest = trivial.last().unwrap();
+        assert!(
+            largest.message_ratio > smallest.message_ratio,
+            "message premium must grow with n: {smallest:?} vs {largest:?}"
+        );
+        assert!(
+            largest.message_ratio > 1.0,
+            "trivial must pay a message premium at the largest size: {largest:?}"
+        );
+        for row in &trivial {
+            assert!(
+                row.time_ratio <= 1.0 + 1e-9,
+                "trivial is never slower than the synchronous baseline: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_coa(&scale).unwrap();
+        let table = coa_to_table(&rows);
+        assert_eq!(table.len(), rows.len());
+        assert!(table.render().contains("ratio"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Shared plumbing for the experiment drivers.
+
+use agossip_core::{
+    run_gossip, Ears, GossipReport, GossipSpec, Sears, SearsParams, SyncEpidemic, Tears, Trivial,
+};
+use agossip_sim::{FairObliviousAdversary, SimConfig, SimResult};
+
+use crate::stats::Summary;
+
+/// Which gossip protocol an experiment point runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GossipProtocolKind {
+    /// All-to-all single-shot baseline (the "Trivial" row of Table 1).
+    Trivial,
+    /// Epidemic asynchronous rumor spreading (Section 3).
+    Ears,
+    /// Spamming epidemic rumor spreading with exponent `ε` (Section 4).
+    Sears {
+        /// The fan-out exponent `ε < 1`.
+        epsilon: f64,
+    },
+    /// Two-hop majority gossip (Section 5).
+    Tears,
+    /// Synchronous push-epidemic baseline (`d = δ = 1` known a priori).
+    SyncEpidemic,
+}
+
+impl GossipProtocolKind {
+    /// A short, table-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GossipProtocolKind::Trivial => "trivial",
+            GossipProtocolKind::Ears => "ears",
+            GossipProtocolKind::Sears { .. } => "sears",
+            GossipProtocolKind::Tears => "tears",
+            GossipProtocolKind::SyncEpidemic => "sync",
+        }
+    }
+
+    /// The gossip variant this protocol is checked against: `tears` solves
+    /// majority gossip, everything else solves full gossip.
+    pub fn spec(&self) -> GossipSpec {
+        match self {
+            GossipProtocolKind::Tears => GossipSpec::Majority,
+            _ => GossipSpec::Full,
+        }
+    }
+
+    /// The protocols that appear as rows of Table 1 (the lower-bound row is
+    /// produced by the [`crate::experiments::lower_bound`] driver instead).
+    pub fn table1_rows() -> Vec<GossipProtocolKind> {
+        vec![
+            GossipProtocolKind::Trivial,
+            GossipProtocolKind::Ears,
+            GossipProtocolKind::Sears { epsilon: 0.5 },
+            GossipProtocolKind::Tears,
+        ]
+    }
+}
+
+/// Scale parameters shared by the experiments: which system sizes to sweep,
+/// how many independent trials per point, and the timing bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentScale {
+    /// System sizes to sweep.
+    pub n_values: Vec<usize>,
+    /// Independent trials (seeds) per point.
+    pub trials: usize,
+    /// Fraction of processes that may fail (`f = ⌊fraction · n⌋`, capped to
+    /// keep `f < n/2` so every protocol in the comparison is applicable).
+    pub failure_fraction: f64,
+    /// Delivery bound `d`.
+    pub d: u64,
+    /// Scheduling bound `δ`.
+    pub delta: u64,
+    /// Base seed; trial `t` of size `n` uses `seed + 1000·n + t`.
+    pub seed: u64,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            n_values: vec![32, 64, 128, 256],
+            trials: 3,
+            failure_fraction: 0.25,
+            d: 2,
+            delta: 2,
+            seed: 2008,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// A reduced scale suitable for unit tests.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            n_values: vec![16, 32],
+            trials: 1,
+            failure_fraction: 0.25,
+            d: 1,
+            delta: 1,
+            seed: 7,
+        }
+    }
+
+    /// The failure budget for a system of size `n`.
+    pub fn f_for(&self, n: usize) -> usize {
+        let f = (self.failure_fraction * n as f64).floor() as usize;
+        f.min(n.div_ceil(2).saturating_sub(1))
+    }
+
+    /// The seed for trial `trial` at size `n`.
+    pub fn seed_for(&self, n: usize, trial: usize) -> u64 {
+        self.seed + 1000 * n as u64 + trial as u64
+    }
+
+    /// The simulation configuration for one trial.
+    pub fn config_for(&self, n: usize, trial: usize) -> SimConfig {
+        SimConfig::new(n, self.f_for(n))
+            .with_d(self.d)
+            .with_delta(self.delta)
+            .with_seed(self.seed_for(n, trial))
+    }
+}
+
+/// Aggregated measurements of one `(protocol, n)` experiment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredPoint {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Failure budget used.
+    pub f: usize,
+    /// Completion time in steps, over the trials.
+    pub time_steps: Summary,
+    /// Completion time in multiples of `d + δ`.
+    pub normalized_time: Summary,
+    /// Total point-to-point messages.
+    pub messages: Summary,
+    /// Fraction of trials in which the protocol's correctness check passed.
+    pub success_rate: f64,
+}
+
+/// Runs one gossip trial of `kind` and returns the driver report.
+pub fn run_one_gossip(
+    kind: GossipProtocolKind,
+    config: &SimConfig,
+) -> SimResult<GossipReport> {
+    // The synchronous baseline is only meaningful with d = δ = 1 known a
+    // priori, so it always runs under unit bounds.
+    let config = match kind {
+        GossipProtocolKind::SyncEpidemic => config.clone().with_d(1).with_delta(1),
+        _ => config.clone(),
+    };
+    let mut adversary = FairObliviousAdversary::new(config.d, config.delta, config.seed);
+    match kind {
+        GossipProtocolKind::Trivial => {
+            run_gossip(&config, kind.spec(), &mut adversary, Trivial::new)
+        }
+        GossipProtocolKind::Ears => run_gossip(&config, kind.spec(), &mut adversary, Ears::new),
+        GossipProtocolKind::Sears { epsilon } => run_gossip(
+            &config,
+            kind.spec(),
+            &mut adversary,
+            move |ctx| Sears::with_params(ctx, SearsParams::with_epsilon(epsilon)),
+        ),
+        GossipProtocolKind::Tears => run_gossip(&config, kind.spec(), &mut adversary, Tears::new),
+        GossipProtocolKind::SyncEpidemic => {
+            run_gossip(&config, kind.spec(), &mut adversary, SyncEpidemic::new)
+        }
+    }
+}
+
+/// Runs `trials` trials of `kind` at size `n` and aggregates them.
+pub fn measure_point(
+    kind: GossipProtocolKind,
+    scale: &ExperimentScale,
+    n: usize,
+) -> SimResult<MeasuredPoint> {
+    let mut steps = Vec::new();
+    let mut normalized = Vec::new();
+    let mut messages = Vec::new();
+    let mut successes = 0usize;
+    for trial in 0..scale.trials.max(1) {
+        let config = scale.config_for(n, trial);
+        let report = run_one_gossip(kind, &config)?;
+        if report.check.all_ok() {
+            successes += 1;
+        }
+        if let Some(t) = report.time_steps() {
+            steps.push(t as f64);
+        }
+        if let Some(t) = report.normalized_time {
+            normalized.push(t);
+        }
+        messages.push(report.messages() as f64);
+    }
+    Ok(MeasuredPoint {
+        protocol: kind.name(),
+        n,
+        f: scale.f_for(n),
+        time_steps: Summary::of(&steps),
+        normalized_time: Summary::of(&normalized),
+        messages: Summary::of(&messages),
+        success_rate: successes as f64 / scale.trials.max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_budget_respects_minority_cap() {
+        let scale = ExperimentScale {
+            failure_fraction: 0.9,
+            ..ExperimentScale::tiny()
+        };
+        let f = scale.f_for(16);
+        assert!(f < 8, "must stay below n/2, got {f}");
+        let scale = ExperimentScale::default();
+        assert_eq!(scale.f_for(64), 16);
+    }
+
+    #[test]
+    fn seeds_differ_across_trials_and_sizes() {
+        let scale = ExperimentScale::default();
+        assert_ne!(scale.seed_for(64, 0), scale.seed_for(64, 1));
+        assert_ne!(scale.seed_for(64, 0), scale.seed_for(128, 0));
+    }
+
+    #[test]
+    fn protocol_names_and_specs() {
+        assert_eq!(GossipProtocolKind::Trivial.name(), "trivial");
+        assert_eq!(GossipProtocolKind::Tears.spec(), GossipSpec::Majority);
+        assert_eq!(GossipProtocolKind::Ears.spec(), GossipSpec::Full);
+        assert_eq!(GossipProtocolKind::table1_rows().len(), 4);
+    }
+
+    #[test]
+    fn measure_point_aggregates_trials() {
+        let scale = ExperimentScale::tiny();
+        let point = measure_point(GossipProtocolKind::Trivial, &scale, 16).unwrap();
+        assert_eq!(point.protocol, "trivial");
+        assert_eq!(point.n, 16);
+        assert_eq!(point.success_rate, 1.0);
+        // Trivial gossip: exactly n(n-1) messages.
+        assert_eq!(point.messages.mean, (16 * 15) as f64);
+    }
+
+    #[test]
+    fn sync_baseline_forces_unit_bounds() {
+        let scale = ExperimentScale {
+            d: 4,
+            delta: 3,
+            ..ExperimentScale::tiny()
+        };
+        let config = scale.config_for(16, 0);
+        let report = run_one_gossip(GossipProtocolKind::SyncEpidemic, &config).unwrap();
+        assert!(report.check.all_ok());
+        assert!(report.metrics.max_delivery_delay <= 1);
+    }
+}

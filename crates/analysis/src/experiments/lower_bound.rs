@@ -1,0 +1,132 @@
+//! Theorem 1 / Figure 1 — the adaptive-adversary lower bound.
+//!
+//! Runs the executable lower-bound adversary of
+//! [`agossip_adversary::theorem1`] against each full-gossip protocol and
+//! records which branch of the dichotomy it forced the execution into,
+//! verifying that either `Ω(n + f²)` messages were sent or `Ω(f(d+δ))` time
+//! elapsed.
+
+use agossip_adversary::theorem1::{run_lower_bound, LowerBoundCase, LowerBoundParams};
+use agossip_core::{Ears, Sears, Trivial};
+use agossip_sim::SimResult;
+
+use crate::report::{fmt_f64, Table};
+
+/// Constants used when checking the dichotomy numerically. They are far below
+/// the hidden constants of the proof, so a genuine violation would be obvious.
+pub const DICHOTOMY_C_MSG: f64 = 0.25;
+/// See [`DICHOTOMY_C_MSG`].
+pub const DICHOTOMY_C_TIME: f64 = 0.25;
+
+/// One `(protocol, n)` lower-bound experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerBoundRow {
+    /// Protocol under attack.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Effective failure budget used by the construction.
+    pub f: usize,
+    /// Which branch of the dichotomy the adversary forced.
+    pub case: LowerBoundCase,
+    /// Messages sent over the constructed execution.
+    pub messages: u64,
+    /// Steps of the constructed execution.
+    pub steps: u64,
+    /// The message bound `n + f²`.
+    pub message_bound: u64,
+    /// The time bound `f·(d+δ)`.
+    pub time_bound: u64,
+    /// Whether the dichotomy held with the check constants.
+    pub dichotomy_holds: bool,
+}
+
+/// Runs the lower-bound experiment for the three full-gossip protocols at the
+/// given sizes. `f` is taken as `n/4`, the value used in the proof.
+pub fn run_lower_bound_experiment(n_values: &[usize], seed: u64) -> SimResult<Vec<LowerBoundRow>> {
+    let mut rows = Vec::new();
+    for &n in n_values {
+        let params = LowerBoundParams::new(n, n / 4, seed);
+        let outcomes = [
+            ("trivial", run_lower_bound(params, Trivial::new)?),
+            ("ears", run_lower_bound(params, Ears::new)?),
+            ("sears", run_lower_bound(params, Sears::new)?),
+        ];
+        for (protocol, outcome) in outcomes {
+            rows.push(LowerBoundRow {
+                protocol,
+                n,
+                f: outcome.f,
+                case: outcome.case,
+                messages: outcome.messages_sent,
+                steps: outcome.elapsed_steps,
+                message_bound: outcome.message_bound(),
+                time_bound: outcome.time_bound(),
+                dichotomy_holds: outcome.dichotomy_holds(DICHOTOMY_C_MSG, DICHOTOMY_C_TIME),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the rows as a table.
+pub fn lower_bound_to_table(rows: &[LowerBoundRow]) -> Table {
+    let mut table = Table::new(
+        "Theorem 1 — adaptive adversary dichotomy: Ω(n+f²) messages or Ω(f(d+δ)) time",
+        &[
+            "protocol",
+            "n",
+            "f",
+            "case",
+            "messages",
+            "n+f²",
+            "steps",
+            "f(d+δ)",
+            "dichotomy",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.protocol.to_string(),
+            row.n.to_string(),
+            row.f.to_string(),
+            format!("{:?}", row.case),
+            fmt_f64(row.messages as f64),
+            fmt_f64(row.message_bound as f64),
+            fmt_f64(row.steps as f64),
+            fmt_f64(row.time_bound as f64),
+            if row.dichotomy_holds { "holds" } else { "VIOLATED" }.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dichotomy_holds_for_all_protocols_at_small_sizes() {
+        let rows = run_lower_bound_experiment(&[32, 64], 13).unwrap();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.dichotomy_holds, "dichotomy violated: {row:?}");
+        }
+    }
+
+    #[test]
+    fn trivial_is_message_heavy() {
+        let rows = run_lower_bound_experiment(&[64], 3).unwrap();
+        let trivial = rows.iter().find(|r| r.protocol == "trivial").unwrap();
+        assert_eq!(trivial.case, LowerBoundCase::MessageHeavy);
+        assert!(trivial.messages >= trivial.message_bound / 4);
+    }
+
+    #[test]
+    fn table_marks_every_row() {
+        let rows = run_lower_bound_experiment(&[32], 5).unwrap();
+        let rendered = lower_bound_to_table(&rows).render();
+        assert!(rendered.contains("holds"));
+        assert!(!rendered.contains("VIOLATED"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment drivers, one per evaluation artifact of the paper.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table 1 — gossip protocols: time and message complexity vs `n` |
+//! | [`table2`] | Table 2 — consensus protocols built on the gossip protocols |
+//! | [`coa`] | Corollary 2 — the cost of asynchrony (async vs sync ratios) |
+//! | [`lower_bound`] | Theorem 1 / Figure 1 — the adaptive-adversary dichotomy |
+//! | [`sears_sweep`] | Theorem 7 — the `ε` time/message trade-off of `sears` |
+//! | [`tears_lemmas`] | Lemmas 8–11 / Theorem 12 — structural properties of `tears` |
+//! | [`bit_complexity`] | Section 7 open question — wire-unit (bit) complexity per protocol |
+//! | [`ablation`] | DESIGN.md ablations — sweeping the hidden `Θ(·)` constants |
+//! | [`robustness`] | Theorems 6/7/12 — correctness across the oblivious adversary family |
+
+pub mod ablation;
+pub mod bit_complexity;
+pub mod coa;
+pub mod common;
+pub mod lower_bound;
+pub mod robustness;
+pub mod sears_sweep;
+pub mod table1;
+pub mod table2;
+pub mod tears_lemmas;
+
+pub use ablation::{run_ablation, run_knob_ablation, AblationKnob, AblationRow};
+pub use bit_complexity::{run_bit_complexity, BitComplexityRow};
+pub use coa::{run_coa, CoaRow};
+pub use common::{run_one_gossip, ExperimentScale, GossipProtocolKind, MeasuredPoint};
+pub use lower_bound::{run_lower_bound_experiment, LowerBoundRow};
+pub use robustness::{default_environments, run_robustness, AdversaryEnvironment, RobustnessRow};
+pub use sears_sweep::{run_sears_sweep, SearsSweepRow};
+pub use table1::{run_table1, table1_to_table, Table1Row};
+pub use table2::{run_table2, table2_to_table, Table2Row};
+pub use tears_lemmas::{run_tears_structure, TearsStructureRow};

@@ -1,0 +1,126 @@
+//! Theorem 7 — the `ε` trade-off of `sears`.
+//!
+//! `sears` has time complexity `O(n/(ε(n−f))·(d+δ))` and message complexity
+//! `O(n^{2+ε}/(ε(n−f))·log n·(d+δ))`: a larger `ε` buys fewer epidemic phases
+//! (less time) at the price of a polynomially larger per-step fan-out (more
+//! messages). This driver sweeps `ε` at a fixed system size and reports both
+//! sides of the trade-off.
+
+use agossip_core::{run_gossip, GossipSpec, Sears, SearsParams};
+use agossip_sim::{FairObliviousAdversary, SimResult};
+
+use crate::experiments::common::ExperimentScale;
+use crate::report::{fmt_f64, Table};
+use crate::stats::Summary;
+
+/// Measurements for one value of `ε`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearsSweepRow {
+    /// The fan-out exponent.
+    pub epsilon: f64,
+    /// System size.
+    pub n: usize,
+    /// Per-step fan-out `Θ(n^ε log n)` actually used.
+    pub fanout: usize,
+    /// Completion time in steps.
+    pub time_steps: Summary,
+    /// Total messages.
+    pub messages: Summary,
+    /// Fraction of trials that passed the full-gossip check.
+    pub success_rate: f64,
+}
+
+/// The `ε` values swept by default.
+pub fn default_epsilons() -> Vec<f64> {
+    vec![0.25, 0.4, 0.5, 0.65, 0.8]
+}
+
+/// Runs the sweep at the largest size in `scale.n_values`.
+pub fn run_sears_sweep(scale: &ExperimentScale, epsilons: &[f64]) -> SimResult<Vec<SearsSweepRow>> {
+    let n = *scale.n_values.iter().max().expect("at least one size");
+    let mut rows = Vec::new();
+    for &epsilon in epsilons {
+        let params = SearsParams::with_epsilon(epsilon);
+        let mut steps = Vec::new();
+        let mut messages = Vec::new();
+        let mut successes = 0usize;
+        for trial in 0..scale.trials.max(1) {
+            let config = scale.config_for(n, trial);
+            let mut adversary = FairObliviousAdversary::new(config.d, config.delta, config.seed);
+            let report = run_gossip(&config, GossipSpec::Full, &mut adversary, move |ctx| {
+                Sears::with_params(ctx, params)
+            })?;
+            if report.check.all_ok() {
+                successes += 1;
+            }
+            if let Some(t) = report.time_steps() {
+                steps.push(t as f64);
+            }
+            messages.push(report.messages() as f64);
+        }
+        rows.push(SearsSweepRow {
+            epsilon,
+            n,
+            fanout: params.fanout(n),
+            time_steps: Summary::of(&steps),
+            messages: Summary::of(&messages),
+            success_rate: successes as f64 / scale.trials.max(1) as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the sweep as a table.
+pub fn sears_sweep_to_table(rows: &[SearsSweepRow]) -> Table {
+    let mut table = Table::new(
+        "Theorem 7 — sears ε trade-off (time vs messages at fixed n)",
+        &["ε", "n", "fanout", "time[steps]", "messages", "ok"],
+    );
+    for row in rows {
+        table.push_row(vec![
+            format!("{:.2}", row.epsilon),
+            row.n.to_string(),
+            row.fanout.to_string(),
+            fmt_f64(row.time_steps.mean),
+            fmt_f64(row.messages.mean),
+            format!("{:.0}%", row.success_rate * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reports_monotone_fanout_in_epsilon() {
+        let scale = ExperimentScale {
+            n_values: vec![64],
+            trials: 1,
+            ..ExperimentScale::tiny()
+        };
+        let rows = run_sears_sweep(&scale, &[0.25, 0.5, 0.75]).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].fanout < rows[1].fanout);
+        assert!(rows[1].fanout < rows[2].fanout);
+        for row in &rows {
+            assert_eq!(row.success_rate, 1.0, "{row:?}");
+        }
+        assert!(sears_sweep_to_table(&rows).render().contains("fanout"));
+    }
+
+    #[test]
+    fn larger_epsilon_costs_messages() {
+        let scale = ExperimentScale {
+            n_values: vec![64],
+            trials: 1,
+            ..ExperimentScale::tiny()
+        };
+        let rows = run_sears_sweep(&scale, &[0.25, 0.8]).unwrap();
+        assert!(
+            rows[1].messages.mean > rows[0].messages.mean,
+            "ε = 0.8 should send more messages than ε = 0.25: {rows:?}"
+        );
+    }
+}

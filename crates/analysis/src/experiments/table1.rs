@@ -1,0 +1,154 @@
+//! Table 1 — asynchronous gossip protocols under an oblivious adversary.
+//!
+//! For every protocol row of the paper's Table 1 (Trivial, `ears`, `sears`,
+//! `tears`) and every system size in the sweep, this driver measures the
+//! completion time (in steps and in multiples of `d+δ`) and the total number
+//! of point-to-point messages, and fits the growth exponent of the message
+//! curve so it can be compared with the stated bound.
+
+use crate::experiments::common::{measure_point, ExperimentScale, GossipProtocolKind, MeasuredPoint};
+use crate::fit::{fit_power_law, PowerLawFit};
+use crate::report::{fmt_f64, Table};
+use agossip_sim::SimResult;
+
+/// One row of the reproduced Table 1: a `(protocol, n)` measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// The underlying aggregated measurement.
+    pub point: MeasuredPoint,
+    /// The paper's asymptotic message bound for this protocol, as text.
+    pub paper_messages: &'static str,
+    /// The paper's asymptotic time bound for this protocol, as text.
+    pub paper_time: &'static str,
+}
+
+/// The paper's stated bounds, used to annotate the output.
+pub fn paper_bounds(kind: GossipProtocolKind) -> (&'static str, &'static str) {
+    match kind {
+        GossipProtocolKind::Trivial => ("O(d+δ)", "Θ(n²)"),
+        GossipProtocolKind::Ears => ("O(n/(n−f)·log²n·(d+δ))", "O(n·log³n·(d+δ))"),
+        GossipProtocolKind::Sears { .. } => ("O(n/(ε(n−f))·(d+δ))", "O(n^{2+ε}/(ε(n−f))·logn·(d+δ))"),
+        GossipProtocolKind::Tears => ("O(d+δ)", "O(n^{7/4}·log²n)"),
+        GossipProtocolKind::SyncEpidemic => ("O(log n) rounds", "O(n·log n)"),
+    }
+}
+
+/// Runs the Table 1 sweep.
+pub fn run_table1(scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
+    let mut rows = Vec::new();
+    for kind in GossipProtocolKind::table1_rows() {
+        let (paper_time, paper_messages) = paper_bounds(kind);
+        for &n in &scale.n_values {
+            let point = measure_point(kind, scale, n)?;
+            rows.push(Table1Row {
+                point,
+                paper_messages,
+                paper_time,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Fits the message-complexity growth exponent of one protocol's rows.
+pub fn message_exponent(rows: &[Table1Row], protocol: &str) -> Option<PowerLawFit> {
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.point.protocol == protocol)
+        .map(|r| (r.point.n as f64, r.point.messages.mean))
+        .collect();
+    fit_power_law(&points)
+}
+
+/// Fits the time growth exponent (in `d+δ` units) of one protocol's rows.
+pub fn time_exponent(rows: &[Table1Row], protocol: &str) -> Option<PowerLawFit> {
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.point.protocol == protocol)
+        .map(|r| (r.point.n as f64, r.point.normalized_time.mean.max(0.001)))
+        .collect();
+    fit_power_law(&points)
+}
+
+/// Renders the rows in the layout of the paper's Table 1.
+pub fn table1_to_table(rows: &[Table1Row]) -> Table {
+    let mut table = Table::new(
+        "Table 1 — gossip under an oblivious adversary (measured)",
+        &[
+            "protocol",
+            "n",
+            "f",
+            "time[steps]",
+            "time/(d+δ)",
+            "messages",
+            "ok",
+            "paper time",
+            "paper messages",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.point.protocol.to_string(),
+            row.point.n.to_string(),
+            row.point.f.to_string(),
+            fmt_f64(row.point.time_steps.mean),
+            fmt_f64(row.point.normalized_time.mean),
+            fmt_f64(row.point.messages.mean),
+            format!("{:.0}%", row.point.success_rate * 100.0),
+            row.paper_time.to_string(),
+            row.paper_messages.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_rows_for_every_protocol_and_size() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_table1(&scale).unwrap();
+        assert_eq!(rows.len(), 4 * scale.n_values.len());
+        assert!(rows.iter().all(|r| r.point.success_rate == 1.0), "all protocols must be correct");
+        let table = table1_to_table(&rows);
+        assert_eq!(table.len(), rows.len());
+        let rendered = table.render();
+        assert!(rendered.contains("ears"));
+        assert!(rendered.contains("tears"));
+    }
+
+    #[test]
+    fn trivial_messages_grow_quadratically() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_table1(&scale).unwrap();
+        let fit = message_exponent(&rows, "trivial").unwrap();
+        assert!(
+            (fit.exponent - 2.0).abs() < 0.05,
+            "trivial should be ~n², got exponent {}",
+            fit.exponent
+        );
+    }
+
+    #[test]
+    fn ears_messages_grow_subquadratically() {
+        let scale = ExperimentScale::tiny();
+        let rows = run_table1(&scale).unwrap();
+        let ears = message_exponent(&rows, "ears").unwrap();
+        let trivial = message_exponent(&rows, "trivial").unwrap();
+        assert!(
+            ears.exponent < trivial.exponent,
+            "ears ({}) must grow slower than trivial ({})",
+            ears.exponent,
+            trivial.exponent
+        );
+    }
+
+    #[test]
+    fn paper_bounds_are_annotated() {
+        let (t, m) = paper_bounds(GossipProtocolKind::Tears);
+        assert!(t.contains("d+δ"));
+        assert!(m.contains("7/4"));
+    }
+}

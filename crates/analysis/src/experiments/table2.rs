@@ -1,0 +1,200 @@
+//! Table 2 — consensus protocols built on the gossip protocols.
+//!
+//! For every row of the paper's Table 2 (Canetti–Rabin baseline, `CR-ears`,
+//! `CR-sears`, `CR-tears`) and every system size in the sweep, this driver
+//! measures consensus latency (steps and `d+δ` units), the total number of
+//! messages, and the number of voting rounds, while checking agreement,
+//! validity and termination.
+
+use agossip_consensus::{run_consensus, ConsensusProtocol};
+use agossip_sim::{FairObliviousAdversary, SimResult};
+
+use crate::experiments::common::ExperimentScale;
+use crate::fit::{fit_power_law, PowerLawFit};
+use crate::report::{fmt_f64, Table};
+use crate::stats::Summary;
+
+/// One row of the reproduced Table 2: a `(protocol, n)` measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Protocol name (`CR`, `CR-ears`, `CR-sears`, `CR-tears`).
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Failure budget used.
+    pub f: usize,
+    /// Consensus latency in steps.
+    pub time_steps: Summary,
+    /// Consensus latency in `d+δ` units.
+    pub normalized_time: Summary,
+    /// Total point-to-point messages.
+    pub messages: Summary,
+    /// Maximum number of voting rounds any process started.
+    pub rounds: Summary,
+    /// Fraction of trials in which agreement, validity and termination all
+    /// held.
+    pub success_rate: f64,
+    /// The paper's stated message bound, as text.
+    pub paper_messages: &'static str,
+    /// The paper's stated time bound, as text.
+    pub paper_time: &'static str,
+}
+
+/// The protocols that appear as rows of Table 2.
+pub fn table2_protocols() -> Vec<ConsensusProtocol> {
+    vec![
+        ConsensusProtocol::CanettiRabin,
+        ConsensusProtocol::CrEars,
+        ConsensusProtocol::CrSears { epsilon: 0.5 },
+        ConsensusProtocol::CrTears,
+    ]
+}
+
+/// The paper's stated bounds for a Table 2 row.
+pub fn paper_bounds(protocol: ConsensusProtocol) -> (&'static str, &'static str) {
+    match protocol {
+        ConsensusProtocol::CanettiRabin => ("O(d+δ)", "O(n²)"),
+        ConsensusProtocol::CrEars => ("O(log²n·(d+δ))", "O(n·log³n·(d+δ))"),
+        ConsensusProtocol::CrSears { .. } => ("O(1/ε·(d+δ))", "O(n^{1+ε}·logn·(d+δ))"),
+        ConsensusProtocol::CrTears => ("O(d+δ)", "O(n^{7/4}·log²n)"),
+    }
+}
+
+/// Runs the Table 2 sweep. Inputs are split 50/50 between 0 and 1 so the
+/// protocols actually have to resolve a conflict.
+pub fn run_table2(scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
+    let mut rows = Vec::new();
+    for protocol in table2_protocols() {
+        let (paper_time, paper_messages) = paper_bounds(protocol);
+        for &n in &scale.n_values {
+            let mut steps = Vec::new();
+            let mut normalized = Vec::new();
+            let mut messages = Vec::new();
+            let mut rounds = Vec::new();
+            let mut successes = 0usize;
+            for trial in 0..scale.trials.max(1) {
+                let config = scale.config_for(n, trial);
+                let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+                let mut adversary =
+                    FairObliviousAdversary::new(config.d, config.delta, config.seed);
+                let report = run_consensus(&config, protocol, &inputs, &mut adversary)?;
+                if report.check.all_ok() {
+                    successes += 1;
+                }
+                if let Some(t) = report.time_steps() {
+                    steps.push(t as f64);
+                }
+                if let Some(t) = report.normalized_time {
+                    normalized.push(t);
+                }
+                messages.push(report.messages() as f64);
+                rounds.push(report.max_rounds as f64);
+            }
+            rows.push(Table2Row {
+                protocol: protocol.name(),
+                n,
+                f: scale.f_for(n),
+                time_steps: Summary::of(&steps),
+                normalized_time: Summary::of(&normalized),
+                messages: Summary::of(&messages),
+                rounds: Summary::of(&rounds),
+                success_rate: successes as f64 / scale.trials.max(1) as f64,
+                paper_messages,
+                paper_time,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Fits the message-complexity growth exponent of one protocol's rows.
+pub fn message_exponent(rows: &[Table2Row], protocol: &str) -> Option<PowerLawFit> {
+    let points: Vec<(f64, f64)> = rows
+        .iter()
+        .filter(|r| r.protocol == protocol)
+        .map(|r| (r.n as f64, r.messages.mean))
+        .collect();
+    fit_power_law(&points)
+}
+
+/// Renders the rows in the layout of the paper's Table 2.
+pub fn table2_to_table(rows: &[Table2Row]) -> Table {
+    let mut table = Table::new(
+        "Table 2 — consensus under an oblivious adversary (measured)",
+        &[
+            "protocol",
+            "n",
+            "f",
+            "time[steps]",
+            "time/(d+δ)",
+            "messages",
+            "rounds",
+            "ok",
+            "paper time",
+            "paper messages",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.protocol.to_string(),
+            row.n.to_string(),
+            row.f.to_string(),
+            fmt_f64(row.time_steps.mean),
+            fmt_f64(row.normalized_time.mean),
+            fmt_f64(row.messages.mean),
+            fmt_f64(row.rounds.mean),
+            format!("{:.0}%", row.success_rate * 100.0),
+            row.paper_time.to_string(),
+            row.paper_messages.to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            n_values: vec![8, 16],
+            trials: 1,
+            failure_fraction: 0.2,
+            d: 1,
+            delta: 1,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_produces_rows_for_every_protocol_and_size() {
+        let rows = run_table2(&tiny()).unwrap();
+        assert_eq!(rows.len(), 4 * 2);
+        for row in &rows {
+            assert_eq!(row.success_rate, 1.0, "{row:?}");
+            assert!(row.messages.mean > 0.0);
+            assert!(row.rounds.mean >= 1.0);
+        }
+        let rendered = table2_to_table(&rows).render();
+        assert!(rendered.contains("CR-tears"));
+        assert!(rendered.contains("CR-ears"));
+    }
+
+    #[test]
+    fn baseline_message_growth_is_roughly_quadratic() {
+        let rows = run_table2(&tiny()).unwrap();
+        let fit = message_exponent(&rows, "CR").unwrap();
+        assert!(
+            fit.exponent > 1.5,
+            "the all-to-all baseline should be close to n², got {}",
+            fit.exponent
+        );
+    }
+
+    #[test]
+    fn paper_bounds_text_is_present() {
+        let (t, m) = paper_bounds(ConsensusProtocol::CrTears);
+        assert!(t.contains("d+δ"));
+        assert!(m.contains("7/4"));
+    }
+}

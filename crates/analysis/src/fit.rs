@@ -1,0 +1,133 @@
+//! Power-law fitting of measured complexity curves.
+//!
+//! The paper's bounds are asymptotic (`Θ(n²)`, `O(n^{7/4} log²n)`, …). To
+//! compare a *measured* series `y(n)` against such a bound we fit
+//! `y ≈ c · n^k` by ordinary least squares in log–log space and report the
+//! exponent `k`, the constant `c` and the coefficient of determination `R²`.
+//! Polylogarithmic factors show up as a small positive bias on the fitted
+//! exponent, which is exactly how the experiment write-ups interpret them.
+
+/// The result of fitting `y ≈ c · x^k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawFit {
+    /// The fitted exponent `k`.
+    pub exponent: f64,
+    /// The fitted multiplicative constant `c`.
+    pub constant: f64,
+    /// Coefficient of determination of the fit in log–log space.
+    pub r_squared: f64,
+    /// Number of points used.
+    pub points: usize,
+}
+
+impl PowerLawFit {
+    /// Evaluates the fitted law at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.constant * x.powf(self.exponent)
+    }
+}
+
+/// Fits `y ≈ c·x^k` by least squares on `(ln x, ln y)`.
+///
+/// Points with non-positive coordinates are skipped. Returns `None` if fewer
+/// than two usable points remain.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let sum_x: f64 = logs.iter().map(|(x, _)| x).sum();
+    let sum_y: f64 = logs.iter().map(|(_, y)| y).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+    let sxx: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    let sxy: f64 = logs
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
+    if sxx.abs() < f64::EPSILON {
+        return None;
+    }
+    let exponent = sxy / sxx;
+    let intercept = mean_y - exponent * mean_x;
+    let ss_tot: f64 = logs.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|(x, y)| {
+            let pred = intercept + exponent * x;
+            (y - pred).powi(2)
+        })
+        .sum();
+    let r_squared = if ss_tot.abs() < f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(PowerLawFit {
+        exponent,
+        constant: intercept.exp(),
+        r_squared,
+        points: logs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quadratic_is_recovered() {
+        let points: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * (i as f64).powi(2))).collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.exponent - 2.0).abs() < 1e-9);
+        assert!((fit.constant - 3.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+        assert!((fit.predict(10.0) - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linear_with_log_factor_gives_exponent_slightly_above_one() {
+        let points: Vec<(f64, f64)> = [16.0, 64.0, 256.0, 1024.0, 4096.0]
+            .iter()
+            .map(|&n: &f64| (n, n * n.ln()))
+            .collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!(fit.exponent > 1.0 && fit.exponent < 1.5, "got {}", fit.exponent);
+    }
+
+    #[test]
+    fn constant_series_has_zero_exponent() {
+        let points = [(10.0, 7.0), (100.0, 7.0), (1000.0, 7.0)];
+        let fit = fit_power_law(&points).unwrap();
+        assert!(fit.exponent.abs() < 1e-9);
+        assert!((fit.constant - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insufficient_points_return_none() {
+        assert!(fit_power_law(&[]).is_none());
+        assert!(fit_power_law(&[(10.0, 5.0)]).is_none());
+        // Non-positive values are skipped.
+        assert!(fit_power_law(&[(0.0, 5.0), (10.0, 5.0)]).is_none());
+        // Identical x values cannot be fitted.
+        assert!(fit_power_law(&[(10.0, 5.0), (10.0, 6.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_data_reports_lower_r_squared() {
+        let clean: Vec<(f64, f64)> = (1..=8).map(|i| (i as f64, (i as f64).powf(1.5))).collect();
+        let noisy: Vec<(f64, f64)> = clean
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| (x, y * if i % 2 == 0 { 1.8 } else { 0.55 }))
+            .collect();
+        let fit_clean = fit_power_law(&clean).unwrap();
+        let fit_noisy = fit_power_law(&noisy).unwrap();
+        assert!(fit_clean.r_squared > fit_noisy.r_squared);
+    }
+}

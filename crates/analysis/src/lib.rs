@@ -1,0 +1,25 @@
+//! # agossip-analysis
+//!
+//! Experiment drivers, statistics and reporting for reproducing the
+//! evaluation artifacts of *"On the Complexity of Asynchronous Gossip"*
+//! (PODC 2008).
+//!
+//! The paper is a theory paper; its "evaluation" consists of Table 1 (gossip
+//! protocols), Table 2 (consensus protocols), Theorem 1 / Figure 1 (the
+//! adaptive lower bound) and Corollary 2 (the cost of asynchrony). Each of
+//! these has a driver in [`experiments`] that runs the corresponding
+//! simulations and returns structured rows; [`report`] renders them as text
+//! tables, and [`fit`] estimates growth exponents from measured series so the
+//! *shape* of each bound can be compared against the measurement.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fit;
+pub mod report;
+pub mod stats;
+
+pub use fit::{fit_power_law, PowerLawFit};
+pub use report::{render_table, Table};
+pub use stats::Summary;

@@ -1,0 +1,151 @@
+//! Plain-text table rendering for experiment output.
+//!
+//! The examples and the `EXPERIMENTS.md` write-up print their results as
+//! fixed-width text tables; this module is the single place that knows how to
+//! align them.
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the number of cells must match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        render_table(&self.title, &self.header, &self.rows)
+    }
+}
+
+/// Renders a title, header and rows as a fixed-width text table.
+pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    if !title.is_empty() {
+        out.push_str(title);
+        out.push('\n');
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header));
+    out.push('\n');
+    let total_width: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total_width));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with a sensible number of digits for table cells.
+pub fn fmt_f64(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["proto", "n", "messages"]);
+        t.push_row(vec!["ears".into(), "64".into(), "1234".into()]);
+        t.push_row(vec!["tears".into(), "1024".into(), "9".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Demo"));
+        assert!(rendered.contains("proto"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        // Title, header, separator, 2 rows.
+        assert_eq!(lines.len(), 5);
+        // The "n" column is right-padded so "64" and "1024" start at the same
+        // character offset.
+        let header_n_pos = lines[1].find('n').unwrap();
+        assert_eq!(lines[3].find("64").unwrap(), header_n_pos);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("", &["a"]);
+        let rendered = t.render();
+        assert!(rendered.starts_with('a'));
+        assert!(t.is_empty());
+        assert_eq!(t.title(), "");
+    }
+
+    #[test]
+    fn float_formatting_scales_with_magnitude() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(42.123), "42.1");
+        assert_eq!(fmt_f64(12345.6), "12346");
+    }
+}

@@ -1,0 +1,129 @@
+//! Summary statistics over repeated trials.
+
+/// Summary of a sample of measurements (e.g. message counts over several
+/// seeds of the same experiment point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `samples`. Returns a zeroed summary for an empty
+    /// slice.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+
+    /// Summarises integer samples.
+    pub fn of_u64(samples: &[u64]) -> Summary {
+        let as_f64: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&as_f64)
+    }
+
+    /// Relative standard deviation (coefficient of variation); 0 when the
+    /// mean is 0.
+    pub fn relative_stddev(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.relative_stddev(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample stddev of 1,2,3,4 is sqrt(5/3).
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odd_length_median_is_middle_element() {
+        let s = Summary::of(&[9.0, 1.0, 5.0]);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn empty_sample_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn u64_samples_are_converted() {
+        let s = Summary::of_u64(&[2, 4, 6]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+}

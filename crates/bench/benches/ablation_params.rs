@@ -1,0 +1,90 @@
+//! Ablation benches — sweeping the hidden `Θ(·)` constants.
+//!
+//! Times `ears` executions across shut-down-phase lengths and `sears`
+//! executions across fan-out factors (the two constants with the largest cost
+//! impact), then prints the full ablation table (including the `tears`
+//! `a`/`κ` sweeps) for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_analysis::experiments::ablation::{
+    ablation_to_table, run_ablation, AblationKnob,
+};
+use agossip_analysis::experiments::ExperimentScale;
+use agossip_core::{run_gossip, Ears, EarsParams, GossipSpec, Sears, SearsParams};
+use agossip_sim::FairObliviousAdversary;
+
+fn ablation_scale() -> ExperimentScale {
+    ExperimentScale {
+        n_values: vec![96],
+        trials: 2,
+        failure_fraction: 0.25,
+        d: 2,
+        delta: 2,
+        seed: 2008,
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let scale = ablation_scale();
+    let n = scale.n_values[0];
+
+    let mut group = c.benchmark_group("ablation_ears_shutdown");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for factor in AblationKnob::EarsShutdownFactor.sweep() {
+        let config = scale.config_for(n, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{factor}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut adversary =
+                        FairObliviousAdversary::new(config.d, config.delta, config.seed);
+                    let params = EarsParams {
+                        shutdown_factor: factor,
+                    };
+                    run_gossip(config, GossipSpec::Full, &mut adversary, move |ctx| {
+                        Ears::with_params(ctx, params)
+                    })
+                    .expect("ears run failed")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_sears_fanout");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for factor in AblationKnob::SearsFanoutFactor.sweep() {
+        let config = scale.config_for(n, 0);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{factor}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut adversary =
+                        FairObliviousAdversary::new(config.d, config.delta, config.seed);
+                    let params = SearsParams {
+                        fanout_factor: factor,
+                        ..SearsParams::default()
+                    };
+                    run_gossip(config, GossipSpec::Full, &mut adversary, move |ctx| {
+                        Sears::with_params(ctx, params)
+                    })
+                    .expect("sears run failed")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let rows = run_ablation(&scale).expect("ablation sweep failed");
+    println!("\n{}", ablation_to_table(&rows).render());
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Robustness bench — the Table 1 protocols across the oblivious adversary
+//! family (worst-case delays, slow cross-partition link, skewed and
+//! round-robin schedules).
+//!
+//! Times `ears` under each adversary environment, then prints the full
+//! protocol × environment grid for EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_adversary::PolicyAdversary;
+use agossip_analysis::experiments::robustness::{
+    default_environments, robustness_to_table, run_robustness,
+};
+use agossip_analysis::experiments::ExperimentScale;
+use agossip_core::{run_gossip, Ears, GossipSpec};
+
+fn robustness_scale() -> ExperimentScale {
+    ExperimentScale {
+        n_values: vec![96],
+        trials: 2,
+        failure_fraction: 0.25,
+        d: 3,
+        delta: 2,
+        seed: 2008,
+    }
+}
+
+fn bench_robustness(c: &mut Criterion) {
+    let scale = robustness_scale();
+    let n = scale.n_values[0];
+    let mut group = c.benchmark_group("adversary_robustness_ears");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for env in default_environments(n) {
+        let config = scale.config_for(n, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(env.name), &config, |b, config| {
+            b.iter(|| {
+                let mut adversary = PolicyAdversary::new(
+                    config.d,
+                    config.delta,
+                    config.seed,
+                    env.schedule.clone(),
+                    env.delay.clone(),
+                );
+                run_gossip(config, GossipSpec::Full, &mut adversary, Ears::new)
+                    .expect("ears run failed")
+            })
+        });
+    }
+    group.finish();
+
+    let rows = run_robustness(&scale).expect("robustness sweep failed");
+    println!("\n{}", robustness_to_table(&rows).render());
+}
+
+criterion_group!(benches, bench_robustness);
+criterion_main!(benches);

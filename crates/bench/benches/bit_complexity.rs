@@ -1,0 +1,46 @@
+//! Bit complexity (Section 7 open question) — wire units per protocol.
+//!
+//! Times one gossip execution per protocol and system size while the
+//! accompanying sweep measures total wire units (rumor-entry equivalents), so
+//! the message-count / bit-volume trade-off between the Table 1 protocols can
+//! be compared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_analysis::experiments::bit_complexity::{
+    bit_complexity_to_table, run_bit_complexity, wire_unit_exponent,
+};
+use agossip_analysis::experiments::{run_one_gossip, GossipProtocolKind};
+use agossip_bench::small_scale;
+
+fn bench_bit_complexity(c: &mut Criterion) {
+    let scale = small_scale();
+    let mut group = c.benchmark_group("bit_complexity");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in GossipProtocolKind::table1_rows() {
+        let n = *scale.n_values.last().expect("scale has sizes");
+        let config = scale.config_for(n, 0);
+        group.bench_with_input(BenchmarkId::new(kind.name(), n), &config, |b, config| {
+            b.iter(|| run_one_gossip(kind, config).expect("gossip run failed"))
+        });
+    }
+    group.finish();
+
+    let rows = run_bit_complexity(&scale).expect("bit-complexity sweep failed");
+    println!("\n{}", bit_complexity_to_table(&rows).render());
+    for kind in GossipProtocolKind::table1_rows() {
+        if let Some(fit) = wire_unit_exponent(&rows, kind.name()) {
+            println!(
+                "wire units for {:8} ≈ c·n^{:.2} (R² = {:.3})",
+                kind.name(),
+                fit.exponent,
+                fit.r_squared
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_bit_complexity);
+criterion_main!(benches);

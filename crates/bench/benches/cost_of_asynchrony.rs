@@ -1,0 +1,37 @@
+//! Corollary 2 — the cost of asynchrony.
+//!
+//! Times the synchronous baseline against the asynchronous protocols at
+//! `d = δ = 1` and prints the time and message ratios.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_analysis::experiments::coa::{coa_to_table, run_coa};
+use agossip_analysis::experiments::{run_one_gossip, GossipProtocolKind};
+use agossip_bench::small_scale;
+
+fn bench_coa(c: &mut Criterion) {
+    let scale = small_scale();
+    let mut group = c.benchmark_group("cost_of_asynchrony");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in [
+        GossipProtocolKind::SyncEpidemic,
+        GossipProtocolKind::Ears,
+        GossipProtocolKind::Trivial,
+    ] {
+        for &n in &scale.n_values {
+            let config = scale.config_for(n, 0).with_d(1).with_delta(1);
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &config, |b, config| {
+                b.iter(|| run_one_gossip(kind, config).expect("gossip run failed"))
+            });
+        }
+    }
+    group.finish();
+
+    let rows = run_coa(&scale).expect("cost-of-asynchrony sweep failed");
+    println!("\n{}", coa_to_table(&rows).render());
+}
+
+criterion_group!(benches, bench_coa);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Theorem 1 / Figure 1 — the adaptive-adversary lower bound.
+//!
+//! Times the constructed execution of the Theorem 1 adversary against each
+//! full-gossip protocol and prints the dichotomy table (messages vs `n + f²`,
+//! steps vs `f(d+δ)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_adversary::theorem1::{run_lower_bound, LowerBoundParams};
+use agossip_analysis::experiments::lower_bound::{
+    lower_bound_to_table, run_lower_bound_experiment,
+};
+use agossip_core::{Ears, Sears, Trivial};
+
+fn bench_lower_bound(c: &mut Criterion) {
+    let sizes = [64usize, 128, 256];
+    let mut group = c.benchmark_group("theorem1_lower_bound");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &sizes {
+        let params = LowerBoundParams::new(n, n / 4, 2008);
+        group.bench_with_input(BenchmarkId::new("trivial", n), &params, |b, &params| {
+            b.iter(|| run_lower_bound(params, Trivial::new).expect("lower bound run"))
+        });
+        group.bench_with_input(BenchmarkId::new("ears", n), &params, |b, &params| {
+            b.iter(|| run_lower_bound(params, Ears::new).expect("lower bound run"))
+        });
+        group.bench_with_input(BenchmarkId::new("sears", n), &params, |b, &params| {
+            b.iter(|| run_lower_bound(params, Sears::new).expect("lower bound run"))
+        });
+    }
+    group.finish();
+
+    let rows = run_lower_bound_experiment(&sizes, 2008).expect("lower bound sweep");
+    println!("\n{}", lower_bound_to_table(&rows).render());
+}
+
+criterion_group!(benches, bench_lower_bound);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Theorem 7 — the `ε` trade-off of `sears`.
+//!
+//! Times `sears` executions at several values of `ε` and prints the measured
+//! time/message trade-off table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_analysis::experiments::sears_sweep::{
+    default_epsilons, run_sears_sweep, sears_sweep_to_table,
+};
+use agossip_analysis::experiments::{run_one_gossip, GossipProtocolKind};
+use agossip_bench::bench_scale;
+
+fn bench_sears_epsilon(c: &mut Criterion) {
+    let scale = bench_scale();
+    let n = *scale.n_values.iter().max().unwrap();
+    let mut group = c.benchmark_group("sears_epsilon");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for epsilon in default_epsilons() {
+        let config = scale.config_for(n, 0);
+        group.bench_with_input(
+            BenchmarkId::new("epsilon", format!("{epsilon:.2}")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    run_one_gossip(GossipProtocolKind::Sears { epsilon }, config)
+                        .expect("sears run failed")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let rows = run_sears_sweep(&scale, &default_epsilons()).expect("sears sweep failed");
+    println!("\n{}", sears_sweep_to_table(&rows).render());
+}
+
+criterion_group!(benches, bench_sears_epsilon);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 1 — gossip protocols under an oblivious adversary.
+//!
+//! For every protocol row of the paper's Table 1 this bench times one full
+//! gossip execution per system size, and afterwards prints the measured table
+//! (messages and normalized completion times) so the rows can be compared
+//! with the paper's asymptotic claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_analysis::experiments::{
+    run_one_gossip, run_table1, table1_to_table, GossipProtocolKind,
+};
+use agossip_bench::bench_scale;
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("table1_gossip");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in GossipProtocolKind::table1_rows() {
+        for &n in &scale.n_values {
+            // The quadratic baseline gets too slow above 128 processes.
+            if matches!(kind, GossipProtocolKind::Trivial) && n > 128 {
+                continue;
+            }
+            let config = scale.config_for(n, 0);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &config,
+                |b, config| {
+                    b.iter(|| run_one_gossip(kind, config).expect("gossip run failed"))
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Regenerate the measured table once and print it.
+    let rows = run_table1(&scale).expect("table 1 sweep failed");
+    println!("\n{}", table1_to_table(&rows).render());
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 2 — consensus protocols built on gossip-based get-core.
+//!
+//! Times one consensus execution per protocol and system size, then prints
+//! the measured Table 2 (latency, messages, rounds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_analysis::experiments::table2::{run_table2, table2_protocols, table2_to_table};
+use agossip_bench::small_scale;
+use agossip_consensus::run_consensus;
+use agossip_sim::FairObliviousAdversary;
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = small_scale();
+    let mut group = c.benchmark_group("table2_consensus");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for protocol in table2_protocols() {
+        for &n in &scale.n_values {
+            let config = scale.config_for(n, 0);
+            let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+            group.bench_with_input(
+                BenchmarkId::new(protocol.name(), n),
+                &config,
+                |b, config| {
+                    b.iter(|| {
+                        let mut adversary =
+                            FairObliviousAdversary::new(config.d, config.delta, config.seed);
+                        run_consensus(config, protocol, &inputs, &mut adversary)
+                            .expect("consensus run failed")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let rows = run_table2(&scale).expect("table 2 sweep failed");
+    println!("\n{}", table2_to_table(&rows).render());
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

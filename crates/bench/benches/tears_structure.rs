@@ -1,0 +1,37 @@
+//! Lemmas 8–11 — structural properties of `tears`.
+//!
+//! Times `tears` executions and prints the structural table: neighbourhood
+//! concentration (Lemma 8), widely-held rumors (Lemma 9), per-process
+//! majority coverage (Theorem 12), and the message count against the
+//! `n^{7/4} log²n` reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_analysis::experiments::tears_lemmas::{run_tears_structure, tears_structure_to_table};
+use agossip_analysis::experiments::{run_one_gossip, GossipProtocolKind};
+use agossip_bench::bench_scale;
+
+fn bench_tears_structure(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("tears_structure");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &scale.n_values {
+        let config = scale.config_for(n, 0);
+        group.bench_with_input(BenchmarkId::new("tears", n), &config, |b, config| {
+            b.iter(|| run_one_gossip(GossipProtocolKind::Tears, config).expect("tears run failed"))
+        });
+    }
+    group.finish();
+
+    let rows: Vec<_> = scale
+        .n_values
+        .iter()
+        .map(|&n| run_tears_structure(n, scale.f_for(n), scale.seed).expect("tears structure run"))
+        .collect();
+    println!("\n{}", tears_structure_to_table(&rows).render());
+}
+
+criterion_group!(benches, bench_tears_structure);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! # agossip-bench
+//!
+//! Criterion benchmarks and shared helpers for regenerating the paper's
+//! evaluation artifacts. Each bench target corresponds to one table or
+//! figure:
+//!
+//! | Bench target | Paper artifact |
+//! |---|---|
+//! | `table1_gossip` | Table 1 — gossip protocols (time / messages vs `n`) |
+//! | `table2_consensus` | Table 2 — consensus protocols |
+//! | `lower_bound` | Theorem 1 / Figure 1 — adaptive adversary dichotomy |
+//! | `cost_of_asynchrony` | Corollary 2 — async vs sync ratios |
+//! | `sears_epsilon` | Theorem 7 — `ε` time/message trade-off |
+//! | `tears_structure` | Lemmas 8–11 — `tears` structural properties |
+//!
+//! Besides wall-clock timings, every bench prints the measured table (message
+//! counts and normalized completion times) so that the paper's rows can be
+//! compared directly; `EXPERIMENTS.md` records one such run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use agossip_analysis::experiments::ExperimentScale;
+
+/// The scale used by the bench targets: large enough that asymptotic shape is
+/// visible, small enough that `cargo bench` completes in minutes.
+pub fn bench_scale() -> ExperimentScale {
+    ExperimentScale {
+        n_values: vec![32, 64, 128],
+        trials: 2,
+        failure_fraction: 0.25,
+        d: 2,
+        delta: 2,
+        seed: 2008,
+    }
+}
+
+/// A smaller scale for the quadratic-cost baselines so the benches stay fast.
+pub fn small_scale() -> ExperimentScale {
+    ExperimentScale {
+        n_values: vec![32, 64, 128],
+        trials: 2,
+        failure_fraction: 0.25,
+        d: 2,
+        delta: 2,
+        seed: 2008,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_valid() {
+        let s = bench_scale();
+        assert!(!s.n_values.is_empty());
+        assert!(s.trials >= 1);
+        assert!(s.f_for(64) < 32);
+        assert!(small_scale().n_values.len() <= s.n_values.len());
+    }
+}

@@ -1,0 +1,127 @@
+//! Correctness checkers for consensus executions.
+//!
+//! Consensus requires (paper, Section 6): **Agreement** — every value output
+//! is the same; **Validity** — every value output is some process's initial
+//! value; **Termination** — every (correct) process eventually outputs a
+//! value.
+
+use agossip_sim::ProcessId;
+
+use crate::value::ConsensusValue;
+
+/// The verdict of checking a consensus execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsensusCheck {
+    /// Whether every decided value is identical.
+    pub agreement_ok: bool,
+    /// Whether every decided value is some process's initial value.
+    pub validity_ok: bool,
+    /// Whether every correct process decided.
+    pub termination_ok: bool,
+    /// The decided value, if any process decided.
+    pub decided_value: Option<ConsensusValue>,
+    /// Correct processes that did not decide.
+    pub undecided: Vec<ProcessId>,
+    /// Distinct values decided (more than one means agreement is violated).
+    pub distinct_decisions: Vec<ConsensusValue>,
+}
+
+impl ConsensusCheck {
+    /// True if all three requirements held.
+    pub fn all_ok(&self) -> bool {
+        self.agreement_ok && self.validity_ok && self.termination_ok
+    }
+}
+
+/// Checks an execution.
+///
+/// * `decisions[i]` — the value process `i` decided, if it decided;
+/// * `initial_values[i]` — process `i`'s input;
+/// * `correct[i]` — whether process `i` never crashed.
+pub fn check_consensus(
+    decisions: &[Option<ConsensusValue>],
+    initial_values: &[ConsensusValue],
+    correct: &[bool],
+) -> ConsensusCheck {
+    let n = decisions.len();
+    assert_eq!(initial_values.len(), n);
+    assert_eq!(correct.len(), n);
+
+    let mut distinct: Vec<ConsensusValue> = decisions.iter().flatten().copied().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    let agreement_ok = distinct.len() <= 1;
+    let validity_ok = distinct.iter().all(|v| initial_values.contains(v));
+    let undecided: Vec<ProcessId> = (0..n)
+        .filter(|&i| correct[i] && decisions[i].is_none())
+        .map(ProcessId)
+        .collect();
+    let termination_ok = undecided.is_empty();
+
+    ConsensusCheck {
+        agreement_ok,
+        validity_ok,
+        termination_ok,
+        decided_value: distinct.first().copied(),
+        undecided,
+        distinct_decisions: distinct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_decisions_pass() {
+        let check = check_consensus(
+            &[Some(1), Some(1), Some(1)],
+            &[1, 0, 1],
+            &[true, true, true],
+        );
+        assert!(check.all_ok());
+        assert_eq!(check.decided_value, Some(1));
+    }
+
+    #[test]
+    fn disagreement_is_detected() {
+        let check = check_consensus(
+            &[Some(1), Some(0), Some(1)],
+            &[1, 0, 1],
+            &[true, true, true],
+        );
+        assert!(!check.agreement_ok);
+        assert_eq!(check.distinct_decisions, vec![0, 1]);
+        assert!(!check.all_ok());
+    }
+
+    #[test]
+    fn invalid_decision_is_detected() {
+        let check = check_consensus(&[Some(1), Some(1)], &[0, 0], &[true, true]);
+        assert!(!check.validity_ok, "1 was nobody's input");
+    }
+
+    #[test]
+    fn missing_decisions_fail_termination_only_for_correct_processes() {
+        let check = check_consensus(
+            &[Some(0), None, None],
+            &[0, 0, 1],
+            &[true, true, false],
+        );
+        assert!(!check.termination_ok);
+        assert_eq!(check.undecided, vec![ProcessId(1)]);
+        // The crashed process (2) is not required to decide.
+        assert!(check.agreement_ok);
+        assert!(check.validity_ok);
+    }
+
+    #[test]
+    fn no_decisions_at_all() {
+        let check = check_consensus(&[None, None], &[0, 1], &[true, true]);
+        assert!(!check.termination_ok);
+        assert!(check.agreement_ok, "vacuously true");
+        assert!(check.validity_ok, "vacuously true");
+        assert_eq!(check.decided_value, None);
+    }
+}

@@ -1,0 +1,348 @@
+//! End-to-end consensus execution driver.
+//!
+//! Instantiates one of the four Table 2 protocols (`CR`, `CR-ears`,
+//! `CR-sears`, `CR-tears`), runs it on the simulator under an adversary, and
+//! returns the metrics together with the agreement/validity/termination
+//! verdict.
+
+use agossip_core::{Ears, GossipCtx, SearsParams, Sears, Tears, Trivial};
+use agossip_sim::{
+    Adversary, Metrics, ProcessId, SimConfig, SimError, SimResult, Simulation, StopReason,
+};
+
+use crate::checker::{check_consensus, ConsensusCheck};
+use crate::process::{ConsensusCtx, ConsensusProcess};
+use crate::value::ConsensusValue;
+
+/// The consensus protocols of Table 2, identified by the gossip protocol used
+/// to implement `get-core`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConsensusProtocol {
+    /// The Canetti–Rabin baseline: voting exchanges are all-to-all
+    /// (`O(n²)` messages, `O(d+δ)` time).
+    CanettiRabin,
+    /// `CR-ears`: exchanges use epidemic gossip.
+    CrEars,
+    /// `CR-sears`: exchanges use spamming epidemic gossip with exponent `ε`.
+    CrSears {
+        /// The `ε < 1` fan-out exponent.
+        epsilon: f64,
+    },
+    /// `CR-tears`: exchanges use two-hop majority gossip.
+    CrTears,
+}
+
+impl ConsensusProtocol {
+    /// A short, table-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ConsensusProtocol::CanettiRabin => "CR",
+            ConsensusProtocol::CrEars => "CR-ears",
+            ConsensusProtocol::CrSears { .. } => "CR-sears",
+            ConsensusProtocol::CrTears => "CR-tears",
+        }
+    }
+}
+
+/// The result of one consensus execution.
+#[derive(Debug, Clone)]
+pub struct ConsensusReport {
+    /// Which protocol ran.
+    pub protocol_name: &'static str,
+    /// Execution metrics.
+    pub metrics: Metrics,
+    /// Per-process decisions.
+    pub decisions: Vec<Option<ConsensusValue>>,
+    /// Correctness verdict.
+    pub check: ConsensusCheck,
+    /// Why the run loop stopped.
+    pub stop_reason: StopReason,
+    /// Largest number of voting rounds started by any process.
+    pub max_rounds: u32,
+    /// Completion time in multiples of `d + δ` (None if the execution never
+    /// became quiescent).
+    pub normalized_time: Option<f64>,
+}
+
+impl ConsensusReport {
+    /// Total point-to-point messages sent.
+    pub fn messages(&self) -> u64 {
+        self.metrics.messages_sent
+    }
+
+    /// Completion time in raw time steps.
+    pub fn time_steps(&self) -> Option<u64> {
+        self.metrics.quiescence_time.map(|t| t.as_u64())
+    }
+}
+
+/// Runs one consensus execution of `protocol` with the given binary inputs.
+///
+/// `initial_values.len()` must equal `config.n` and every value must be 0 or
+/// 1. Consensus requires a minority of failures, so `config.f < n/2` is
+/// enforced here.
+pub fn run_consensus<A: Adversary>(
+    config: &SimConfig,
+    protocol: ConsensusProtocol,
+    initial_values: &[ConsensusValue],
+    adversary: &mut A,
+) -> SimResult<ConsensusReport> {
+    config.validate()?;
+    if initial_values.len() != config.n {
+        return Err(SimError::ProcessCountMismatch {
+            expected: config.n,
+            actual: initial_values.len(),
+        });
+    }
+    if config.f >= config.n.div_ceil(2) {
+        return Err(SimError::InvalidConfig {
+            reason: format!(
+                "consensus requires a minority of failures (f = {}, n = {})",
+                config.f, config.n
+            ),
+        });
+    }
+
+    match protocol {
+        ConsensusProtocol::CanettiRabin => run_with_factory(
+            config,
+            protocol.name(),
+            initial_values,
+            adversary,
+            Trivial::new,
+        ),
+        ConsensusProtocol::CrEars => run_with_factory(
+            config,
+            protocol.name(),
+            initial_values,
+            adversary,
+            Ears::new,
+        ),
+        ConsensusProtocol::CrSears { epsilon } => run_with_factory(
+            config,
+            protocol.name(),
+            initial_values,
+            adversary,
+            move |ctx: GossipCtx| Sears::with_params(ctx, SearsParams::with_epsilon(epsilon)),
+        ),
+        ConsensusProtocol::CrTears => run_with_factory(
+            config,
+            protocol.name(),
+            initial_values,
+            adversary,
+            Tears::new,
+        ),
+    }
+}
+
+fn run_with_factory<G, F, A>(
+    config: &SimConfig,
+    protocol_name: &'static str,
+    initial_values: &[ConsensusValue],
+    adversary: &mut A,
+    factory: F,
+) -> SimResult<ConsensusReport>
+where
+    G: agossip_core::GossipEngine,
+    F: Fn(GossipCtx) -> G + Clone,
+    A: Adversary,
+{
+    let processes: Vec<ConsensusProcess<G, F>> = ProcessId::all(config.n)
+        .map(|pid| {
+            let seed = agossip_sim::rng::derive_seed(
+                config.seed,
+                agossip_sim::rng::RngStream::Process(pid),
+            );
+            let ctx = ConsensusCtx::new(
+                pid,
+                config.n,
+                config.f,
+                initial_values[pid.index()],
+                seed,
+            );
+            ConsensusProcess::new(ctx, factory.clone())
+        })
+        .collect();
+
+    let mut sim = Simulation::new(config.clone(), processes)?;
+    let outcome = match sim.run_with(adversary) {
+        Ok(outcome) => outcome,
+        Err(SimError::StepLimitExceeded { .. }) => {
+            return Ok(build_report(
+                protocol_name,
+                &sim,
+                initial_values,
+                StopReason::StepLimit,
+                config,
+            ))
+        }
+        Err(e) => return Err(e),
+    };
+
+    Ok(build_report(
+        protocol_name,
+        &sim,
+        initial_values,
+        outcome.reason,
+        config,
+    ))
+}
+
+fn build_report<G, F>(
+    protocol_name: &'static str,
+    sim: &Simulation<ConsensusProcess<G, F>>,
+    initial_values: &[ConsensusValue],
+    stop_reason: StopReason,
+    config: &SimConfig,
+) -> ConsensusReport
+where
+    G: agossip_core::GossipEngine,
+    F: Fn(GossipCtx) -> G,
+{
+    let decisions: Vec<Option<ConsensusValue>> =
+        sim.processes().iter().map(|p| p.decision()).collect();
+    let correct: Vec<bool> = sim.statuses().iter().map(|s| s.is_alive()).collect();
+    let check = check_consensus(&decisions, initial_values, &correct);
+    let max_rounds = sim
+        .processes()
+        .iter()
+        .map(|p| p.rounds_started())
+        .max()
+        .unwrap_or(0);
+    let metrics = sim.metrics().clone();
+    let normalized_time = metrics.normalized_time(config.d, config.delta);
+    ConsensusReport {
+        protocol_name,
+        metrics,
+        decisions,
+        check,
+        stop_reason,
+        max_rounds,
+        normalized_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agossip_sim::FairObliviousAdversary;
+
+    fn split_inputs(n: usize) -> Vec<ConsensusValue> {
+        (0..n).map(|i| (i % 2) as u64).collect()
+    }
+
+    fn run(
+        protocol: ConsensusProtocol,
+        n: usize,
+        f: usize,
+        inputs: &[ConsensusValue],
+        seed: u64,
+    ) -> ConsensusReport {
+        let cfg = SimConfig::new(n, f).with_d(1).with_delta(1).with_seed(seed);
+        let mut adv = FairObliviousAdversary::new(1, 1, seed);
+        run_consensus(&cfg, protocol, inputs, &mut adv).unwrap()
+    }
+
+    #[test]
+    fn canetti_rabin_baseline_reaches_agreement_on_unanimous_inputs() {
+        let n = 8;
+        let report = run(ConsensusProtocol::CanettiRabin, n, 0, &vec![1; n], 1);
+        assert!(report.check.all_ok(), "{:?}", report.check);
+        assert_eq!(report.check.decided_value, Some(1));
+        assert_eq!(report.max_rounds, 1, "unanimous inputs decide in round 0");
+    }
+
+    #[test]
+    fn canetti_rabin_baseline_reaches_agreement_on_split_inputs() {
+        let n = 9;
+        let report = run(ConsensusProtocol::CanettiRabin, n, 0, &split_inputs(n), 2);
+        assert!(report.check.all_ok(), "{:?}", report.check);
+    }
+
+    #[test]
+    fn cr_ears_reaches_agreement() {
+        let n = 12;
+        let report = run(ConsensusProtocol::CrEars, n, 0, &split_inputs(n), 3);
+        assert!(report.check.all_ok(), "{:?}", report.check);
+        assert_eq!(report.protocol_name, "CR-ears");
+    }
+
+    #[test]
+    fn cr_sears_reaches_agreement() {
+        let n = 12;
+        let report = run(
+            ConsensusProtocol::CrSears { epsilon: 0.5 },
+            n,
+            0,
+            &split_inputs(n),
+            4,
+        );
+        assert!(report.check.all_ok(), "{:?}", report.check);
+    }
+
+    #[test]
+    fn cr_tears_reaches_agreement() {
+        let n = 16;
+        let report = run(ConsensusProtocol::CrTears, n, 0, &split_inputs(n), 5);
+        assert!(report.check.all_ok(), "{:?}", report.check);
+    }
+
+    #[test]
+    fn tolerates_minority_crashes() {
+        let n = 12;
+        let f = 3;
+        let cfg = SimConfig::new(n, f).with_seed(6);
+        let crashes = (0..f).map(|i| (agossip_sim::TimeStep(2 + i as u64), ProcessId(i)));
+        let mut adv = FairObliviousAdversary::new(1, 1, 6).with_crashes(crashes);
+        let report =
+            run_consensus(&cfg, ConsensusProtocol::CanettiRabin, &split_inputs(n), &mut adv)
+                .unwrap();
+        assert!(report.check.agreement_ok, "{:?}", report.check);
+        assert!(report.check.validity_ok);
+        assert!(report.check.termination_ok);
+    }
+
+    #[test]
+    fn rejects_majority_failure_budget() {
+        let cfg = SimConfig::new(8, 4);
+        let mut adv = FairObliviousAdversary::new(1, 1, 0);
+        let err = run_consensus(
+            &cfg,
+            ConsensusProtocol::CanettiRabin,
+            &split_inputs(8),
+            &mut adv,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_input_count() {
+        let cfg = SimConfig::new(8, 2);
+        let mut adv = FairObliviousAdversary::new(1, 1, 0);
+        let err = run_consensus(
+            &cfg,
+            ConsensusProtocol::CanettiRabin,
+            &split_inputs(5),
+            &mut adv,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::ProcessCountMismatch { .. }));
+    }
+
+    #[test]
+    fn validity_holds_for_unanimous_zero() {
+        let n = 10;
+        let report = run(ConsensusProtocol::CrEars, n, 0, &vec![0; n], 7);
+        assert!(report.check.all_ok(), "{:?}", report.check);
+        assert_eq!(report.check.decided_value, Some(0));
+    }
+
+    #[test]
+    fn protocol_names_match_table_2() {
+        assert_eq!(ConsensusProtocol::CanettiRabin.name(), "CR");
+        assert_eq!(ConsensusProtocol::CrEars.name(), "CR-ears");
+        assert_eq!(ConsensusProtocol::CrSears { epsilon: 0.5 }.name(), "CR-sears");
+        assert_eq!(ConsensusProtocol::CrTears.name(), "CR-tears");
+    }
+}

@@ -1,0 +1,55 @@
+//! # agossip-consensus
+//!
+//! Randomized asynchronous consensus built from message-efficient gossip,
+//! following Section 6 of *"On the Complexity of Asynchronous Gossip"*
+//! (PODC 2008).
+//!
+//! The paper plugs its gossip protocols into the Canetti–Rabin framework
+//! (presented as in Attiya–Welch, Section 14.3): each round consists of
+//! voting exchanges implemented by `get-core`, and `get-core` is in turn
+//! implemented by instances of asynchronous (majority) gossip, each of which
+//! terminates at a process once it has received `⌊n/2⌋ + 1` rumors. The
+//! resulting protocols inherit the gossip protocol's time and message
+//! complexity (Table 2):
+//!
+//! | Consensus | get-core gossip | Time | Messages |
+//! |---|---|---|---|
+//! | `CR` (baseline) | trivial all-to-all | `O(d+δ)` | `O(n²)` |
+//! | `CR-ears` | [`agossip_core::Ears`] | `O(log²n (d+δ))` | `O(n log³n (d+δ))` |
+//! | `CR-sears` | [`agossip_core::Sears`] | `O(1/ε (d+δ))` | `O(n^{1+ε} log n (d+δ))` |
+//! | `CR-tears` | [`agossip_core::Tears`] | `O(d+δ)` | `O(n^{7/4} log²n)` |
+//!
+//! `CR-tears` is the headline result: the first asynchronous randomized
+//! consensus protocol with constant time (w.r.t. `n`) and strictly
+//! subquadratic message complexity.
+//!
+//! ## Simplifications (documented in `DESIGN.md`)
+//!
+//! * Consensus is binary (inputs in `{0, 1}`), the standard setting for
+//!   randomized consensus.
+//! * The shared coin of Canetti–Rabin is replaced by a gossip-based weak
+//!   common coin: every process gossips a locally random value and adopts the
+//!   value contributed by the lowest-identified process it heard from.
+//!   Against an *oblivious* adversary this coin agrees with constant
+//!   probability, which is all the framework needs for constant expected
+//!   round count.
+//! * The catch-up mechanism ("each gossip message includes a history of all
+//!   prior completed calls") is realised by piggybacking the sender's current
+//!   round, phase, estimate, preference and decision on every message;
+//!   processes that receive a message from a later instance fast-forward by
+//!   adopting the sender's state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod driver;
+pub mod message;
+pub mod process;
+pub mod value;
+
+pub use checker::{check_consensus, ConsensusCheck};
+pub use driver::{run_consensus, ConsensusProtocol, ConsensusReport};
+pub use message::{ConsensusMessage, InstanceKey, VotePhase};
+pub use process::{ConsensusCtx, ConsensusProcess};
+pub use value::{decode_prefer, encode_prefer, ConsensusValue, NULL_PREFERENCE};

@@ -1,0 +1,186 @@
+//! Consensus wire messages: instance identification and piggybacked state.
+
+use std::cmp::Ordering;
+
+use crate::value::ConsensusValue;
+
+/// The voting exchanges within one round of the Canetti–Rabin framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VotePhase {
+    /// First exchange: vote on the current estimate.
+    Estimate,
+    /// Second exchange: vote on the preference derived from the estimates.
+    Prefer,
+    /// Third exchange: contribute to the weak common coin.
+    Coin,
+}
+
+impl VotePhase {
+    /// All phases, in execution order.
+    pub const ALL: [VotePhase; 3] = [VotePhase::Estimate, VotePhase::Prefer, VotePhase::Coin];
+
+    /// Index used for ordering and seed derivation.
+    pub fn index(self) -> u32 {
+        match self {
+            VotePhase::Estimate => 0,
+            VotePhase::Prefer => 1,
+            VotePhase::Coin => 2,
+        }
+    }
+}
+
+/// Identifies the gossip instance a message belongs to.
+///
+/// Voting instances are ordered by `(round, phase)`; the decision
+/// dissemination instance follows every voting instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstanceKey {
+    /// A voting exchange of a specific round.
+    Voting {
+        /// The round number, starting at 0.
+        round: u32,
+        /// The exchange within the round.
+        phase: VotePhase,
+    },
+    /// The final decision-dissemination gossip.
+    Decision,
+}
+
+impl InstanceKey {
+    /// The very first instance of the protocol.
+    pub fn initial() -> Self {
+        InstanceKey::Voting {
+            round: 0,
+            phase: VotePhase::Estimate,
+        }
+    }
+
+    /// Total order used to decide whether a message is from the past, the
+    /// present, or the future relative to a process's current instance.
+    pub fn order_index(&self) -> u64 {
+        match self {
+            InstanceKey::Voting { round, phase } => (*round as u64) * 3 + phase.index() as u64,
+            InstanceKey::Decision => u64::MAX,
+        }
+    }
+
+    /// The instance that follows this one in a straight-line execution
+    /// (without skips). `Decision` is terminal.
+    pub fn next(&self) -> InstanceKey {
+        match self {
+            InstanceKey::Voting { round, phase } => match phase {
+                VotePhase::Estimate => InstanceKey::Voting {
+                    round: *round,
+                    phase: VotePhase::Prefer,
+                },
+                VotePhase::Prefer => InstanceKey::Voting {
+                    round: *round,
+                    phase: VotePhase::Coin,
+                },
+                VotePhase::Coin => InstanceKey::Voting {
+                    round: round + 1,
+                    phase: VotePhase::Estimate,
+                },
+            },
+            InstanceKey::Decision => InstanceKey::Decision,
+        }
+    }
+
+    /// The first exchange of the next round (used when the coin exchange is
+    /// skipped because a preference was adopted).
+    pub fn next_round(&self) -> InstanceKey {
+        match self {
+            InstanceKey::Voting { round, .. } => InstanceKey::Voting {
+                round: round + 1,
+                phase: VotePhase::Estimate,
+            },
+            InstanceKey::Decision => InstanceKey::Decision,
+        }
+    }
+
+    /// The round number, if this is a voting instance.
+    pub fn round(&self) -> Option<u32> {
+        match self {
+            InstanceKey::Voting { round, .. } => Some(*round),
+            InstanceKey::Decision => None,
+        }
+    }
+}
+
+impl PartialOrd for InstanceKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InstanceKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order_index().cmp(&other.order_index())
+    }
+}
+
+/// A consensus message: a gossip-protocol message tagged with its instance
+/// and the sender's piggybacked consensus state (the paper's catch-up
+/// history, in compact form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsensusMessage<M> {
+    /// Which gossip instance the inner message belongs to.
+    pub key: InstanceKey,
+    /// The gossip protocol's own message.
+    pub inner: M,
+    /// The sender's decision, if it has decided.
+    pub decided: Option<ConsensusValue>,
+    /// The sender's current estimate.
+    pub sender_estimate: ConsensusValue,
+    /// The sender's current preference (for fast-forwarding receivers).
+    pub sender_prefer: Option<ConsensusValue>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_order_is_round_then_phase_then_decision() {
+        let r0e = InstanceKey::initial();
+        let r0p = r0e.next();
+        let r0c = r0p.next();
+        let r1e = r0c.next();
+        assert!(r0e < r0p);
+        assert!(r0p < r0c);
+        assert!(r0c < r1e);
+        assert!(r1e < InstanceKey::Decision);
+        assert_eq!(InstanceKey::Decision.next(), InstanceKey::Decision);
+    }
+
+    #[test]
+    fn next_round_skips_remaining_phases() {
+        let r0p = InstanceKey::Voting {
+            round: 0,
+            phase: VotePhase::Prefer,
+        };
+        assert_eq!(
+            r0p.next_round(),
+            InstanceKey::Voting {
+                round: 1,
+                phase: VotePhase::Estimate
+            }
+        );
+        assert_eq!(InstanceKey::Decision.next_round(), InstanceKey::Decision);
+    }
+
+    #[test]
+    fn round_accessor() {
+        assert_eq!(InstanceKey::initial().round(), Some(0));
+        assert_eq!(InstanceKey::Decision.round(), None);
+    }
+
+    #[test]
+    fn phases_are_ordered_and_indexed() {
+        assert_eq!(VotePhase::Estimate.index(), 0);
+        assert_eq!(VotePhase::Prefer.index(), 1);
+        assert_eq!(VotePhase::Coin.index(), 2);
+        assert!(VotePhase::Estimate < VotePhase::Prefer);
+        assert_eq!(VotePhase::ALL.len(), 3);
+    }
+}

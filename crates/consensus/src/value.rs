@@ -1,0 +1,61 @@
+//! Consensus values and vote payload encodings.
+//!
+//! Randomized consensus is studied for binary inputs; a [`ConsensusValue`] is
+//! `0` or `1`. Votes travel through the gossip layer as the 64-bit payload of
+//! a [`agossip_core::Rumor`], so this module defines how estimates,
+//! preferences (which may be "no preference"), and coin contributions are
+//! packed into that payload.
+
+/// A binary consensus input/decision value.
+pub type ConsensusValue = u64;
+
+/// Payload encoding of "no preference" in the preference exchange.
+pub const NULL_PREFERENCE: u64 = u64::MAX;
+
+/// Validates that `v` is a legal binary consensus value.
+pub fn is_valid_value(v: ConsensusValue) -> bool {
+    v == 0 || v == 1
+}
+
+/// Encodes an optional preference as a rumor payload.
+pub fn encode_prefer(prefer: Option<ConsensusValue>) -> u64 {
+    match prefer {
+        Some(v) => v,
+        None => NULL_PREFERENCE,
+    }
+}
+
+/// Decodes a rumor payload from the preference exchange.
+pub fn decode_prefer(payload: u64) -> Option<ConsensusValue> {
+    if payload == NULL_PREFERENCE {
+        None
+    } else {
+        Some(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_values_are_binary() {
+        assert!(is_valid_value(0));
+        assert!(is_valid_value(1));
+        assert!(!is_valid_value(2));
+        assert!(!is_valid_value(NULL_PREFERENCE));
+    }
+
+    #[test]
+    fn prefer_round_trips() {
+        assert_eq!(decode_prefer(encode_prefer(Some(0))), Some(0));
+        assert_eq!(decode_prefer(encode_prefer(Some(1))), Some(1));
+        assert_eq!(decode_prefer(encode_prefer(None)), None);
+    }
+
+    #[test]
+    fn null_preference_is_not_a_value() {
+        assert_eq!(encode_prefer(None), NULL_PREFERENCE);
+        assert!(!is_valid_value(encode_prefer(None)));
+    }
+}

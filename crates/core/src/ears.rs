@@ -1,0 +1,329 @@
+//! `ears` — Epidemic Asynchronous Rumor Spreading (paper Section 3, Figure 2).
+//!
+//! Each process `p` maintains:
+//!
+//! * `V(p)` — the rumors it knows;
+//! * `I(p)` — the informed-list of pairs `⟨r, q⟩` ("rumor `r` has been sent
+//!   to process `q`");
+//! * `L(p)` — derived from the two: the processes `p` cannot ascertain have
+//!   been sent every rumor in `V(p)`;
+//! * `sleep_cnt` — how many consecutive local steps `L(p)` has been empty.
+//!
+//! In every local step while `sleep_cnt` is below the shut-down threshold
+//! `Θ(n/(n−f)·log n)`, the process picks a target uniformly at random, sends
+//! it `⟨V(p), I(p)⟩`, and records in `I(p)` that every rumor in `V(p)` has
+//! now been sent to that target. Once the threshold is reached the process
+//! *sleeps* (sends nothing); if a received message makes `L(p)` non-empty
+//! again — a new rumor not yet sent everywhere — the process wakes up and
+//! resumes the epidemic.
+//!
+//! Against an oblivious adversary the protocol completes gossip in
+//! `O(n/(n−f)·log²n·(d+δ))` time using `O(n·log³n·(d+δ))` messages, w.h.p.
+//! (Theorem 6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use agossip_sim::ProcessId;
+
+use crate::engine::{GossipCtx, GossipEngine};
+use crate::informed_list::InformedList;
+use crate::params::EarsParams;
+use crate::rumor::RumorSet;
+
+/// Wire message of `ears`: the sender's rumor set and informed-list
+/// (Figure 2, line 18 sends `⟨V(p), I(p)⟩`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EarsMessage {
+    /// The sender's rumor collection `V`.
+    pub rumors: RumorSet,
+    /// The sender's informed-list `I`.
+    pub informed: InformedList,
+}
+
+/// The `ears` protocol state machine for one process.
+#[derive(Debug, Clone)]
+pub struct Ears {
+    ctx: GossipCtx,
+    params: EarsParams,
+    rumors: RumorSet,
+    informed: InformedList,
+    sleep_cnt: u64,
+    shutdown_steps: u64,
+    steps: u64,
+    rng: StdRng,
+}
+
+impl Ears {
+    /// Creates an instance with default parameters.
+    pub fn new(ctx: GossipCtx) -> Self {
+        Self::with_params(ctx, EarsParams::default())
+    }
+
+    /// Creates an instance with explicit parameters.
+    pub fn with_params(ctx: GossipCtx, params: EarsParams) -> Self {
+        let shutdown_steps = params.shutdown_steps(ctx.n, ctx.f);
+        Ears {
+            rumors: RumorSet::singleton(ctx.rumor),
+            informed: InformedList::new(),
+            sleep_cnt: 0,
+            shutdown_steps,
+            steps: 0,
+            rng: StdRng::seed_from_u64(ctx.seed),
+            ctx,
+            params,
+        }
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> EarsParams {
+        self.params
+    }
+
+    /// The shut-down threshold `Θ(n/(n−f)·log n)` in local steps.
+    pub fn shutdown_steps(&self) -> u64 {
+        self.shutdown_steps
+    }
+
+    /// The current informed-list `I(p)`.
+    pub fn informed(&self) -> &InformedList {
+        &self.informed
+    }
+
+    /// The current value of the sleep counter.
+    pub fn sleep_count(&self) -> u64 {
+        self.sleep_cnt
+    }
+
+    /// `L(p)`: processes not yet known to have been sent every rumor in
+    /// `V(p)`.
+    pub fn uncovered(&self) -> Vec<ProcessId> {
+        self.informed.uncovered_targets(&self.rumors, self.ctx.n)
+    }
+
+    /// True if the process is currently asleep (shut-down phase completed and
+    /// `L(p)` empty).
+    pub fn is_asleep(&self) -> bool {
+        self.sleep_cnt >= self.shutdown_steps
+    }
+
+    fn covered(&self) -> bool {
+        self.informed.covers_all(&self.rumors, self.ctx.n)
+    }
+}
+
+impl GossipEngine for Ears {
+    type Msg = EarsMessage;
+
+    fn deliver(&mut self, _from: ProcessId, msg: EarsMessage) {
+        // Figure 2, lines 8–11: merge V and I; L is recomputed on demand.
+        self.rumors.union(&msg.rumors);
+        self.informed.union(&msg.informed);
+    }
+
+    fn local_step(&mut self, out: &mut Vec<(ProcessId, EarsMessage)>) {
+        self.steps += 1;
+
+        // Figure 2, lines 11–14: update L(p); if it is empty the process is
+        // one step closer to sleeping, otherwise the countdown resets (this
+        // also wakes a sleeping process that has learned of an uncovered
+        // rumor).
+        if self.covered() {
+            self.sleep_cnt = self.sleep_cnt.saturating_add(1);
+        } else {
+            self.sleep_cnt = 0;
+        }
+
+        // Figure 2, line 15: once the shut-down phase has run its course the
+        // process sleeps and sends nothing.
+        if self.sleep_cnt >= self.shutdown_steps {
+            return;
+        }
+
+        // Figure 2, lines 16–21: epidemic transmission to one uniformly
+        // random target (possibly itself — the paper draws from all of [n]).
+        let target = ProcessId(self.rng.gen_range(0..self.ctx.n));
+        out.push((
+            target,
+            EarsMessage {
+                rumors: self.rumors.clone(),
+                informed: self.informed.clone(),
+            },
+        ));
+        self.informed.insert_all(&self.rumors, target);
+    }
+
+    fn pid(&self) -> ProcessId {
+        self.ctx.pid
+    }
+
+    fn rumors(&self) -> &RumorSet {
+        &self.rumors
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.is_asleep()
+    }
+
+    fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    fn msg_units(msg: &Self::Msg) -> u64 {
+        crate::wire::WireSize::wire_units(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rumor::Rumor;
+
+    fn ctx(pid: usize, n: usize, f: usize) -> GossipCtx {
+        GossipCtx::new(ProcessId(pid), n, f, 99)
+    }
+
+    fn step(p: &mut Ears) -> Vec<(ProcessId, EarsMessage)> {
+        let mut out = Vec::new();
+        p.local_step(&mut out);
+        out
+    }
+
+    #[test]
+    fn sends_one_message_per_step_while_active() {
+        let mut p = Ears::new(ctx(0, 8, 2));
+        for _ in 0..5 {
+            let out = step(&mut p);
+            assert_eq!(out.len(), 1, "ears sends exactly one message per active step");
+        }
+        assert_eq!(p.steps_taken(), 5);
+    }
+
+    #[test]
+    fn informed_list_records_every_send() {
+        let mut p = Ears::new(ctx(0, 8, 0));
+        let out = step(&mut p);
+        let (target, _) = out[0];
+        assert!(p.informed().contains(ProcessId(0), target));
+    }
+
+    #[test]
+    fn single_process_system_goes_to_sleep() {
+        // With n = 1 the only rumor is its own and the first send covers it,
+        // so L(p) becomes empty and the process eventually sleeps.
+        let mut p = Ears::new(ctx(0, 1, 0));
+        let limit = p.shutdown_steps() + 5;
+        for _ in 0..=limit {
+            step(&mut p);
+        }
+        assert!(p.is_asleep());
+        assert!(p.is_quiescent());
+        let out = step(&mut p);
+        assert!(out.is_empty(), "asleep processes send nothing");
+    }
+
+    #[test]
+    fn new_uncovered_rumor_wakes_the_process() {
+        let n = 2;
+        let mut p = Ears::new(ctx(0, n, 0));
+        // Run until asleep: with n = 2 the random target eventually covers
+        // both processes for its single rumor.
+        for _ in 0..(p.shutdown_steps() + 50) {
+            step(&mut p);
+        }
+        assert!(p.is_asleep());
+        // Deliver a brand-new rumor with an empty informed-list: L(p) becomes
+        // non-empty, the sleep counter resets at the next step, and the
+        // process sends again.
+        p.deliver(
+            ProcessId(1),
+            EarsMessage {
+                rumors: RumorSet::singleton(Rumor::new(ProcessId(1), 1)),
+                informed: InformedList::new(),
+            },
+        );
+        let out = step(&mut p);
+        assert!(!p.is_asleep());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn delivery_merges_rumors_and_informed_pairs() {
+        let mut p = Ears::new(ctx(0, 4, 1));
+        let mut informed = InformedList::new();
+        informed.insert(ProcessId(2), ProcessId(3));
+        p.deliver(
+            ProcessId(2),
+            EarsMessage {
+                rumors: RumorSet::singleton(Rumor::new(ProcessId(2), 2)),
+                informed,
+            },
+        );
+        assert!(p.rumors().contains_origin(ProcessId(2)));
+        assert!(p.informed().contains(ProcessId(2), ProcessId(3)));
+    }
+
+    #[test]
+    fn shutdown_threshold_reflects_params() {
+        let p_default = Ears::new(ctx(0, 64, 32));
+        let p_long = Ears::with_params(
+            ctx(0, 64, 32),
+            EarsParams {
+                shutdown_factor: 10.0,
+            },
+        );
+        assert!(p_long.shutdown_steps() > p_default.shutdown_steps());
+        assert_eq!(p_long.params().shutdown_factor, 10.0);
+    }
+
+    #[test]
+    fn uncovered_shrinks_as_informed_grows() {
+        let n = 4;
+        let mut p = Ears::new(ctx(0, n, 0));
+        assert_eq!(p.uncovered().len(), n, "initially nothing is covered");
+        // Simulate learning that its rumor reached everyone.
+        let mut informed = InformedList::new();
+        for q in ProcessId::all(n) {
+            informed.insert(ProcessId(0), q);
+        }
+        p.deliver(
+            ProcessId(1),
+            EarsMessage {
+                rumors: RumorSet::new(),
+                informed,
+            },
+        );
+        assert!(p.uncovered().is_empty());
+    }
+
+    #[test]
+    fn sleep_counter_resets_when_uncovered() {
+        let mut p = Ears::new(ctx(0, 2, 0));
+        // Force coverage of own rumor.
+        let mut informed = InformedList::new();
+        informed.insert(ProcessId(0), ProcessId(0));
+        informed.insert(ProcessId(0), ProcessId(1));
+        p.deliver(
+            ProcessId(1),
+            EarsMessage {
+                rumors: RumorSet::new(),
+                informed,
+            },
+        );
+        step(&mut p);
+        assert!(p.sleep_count() >= 1);
+        // A new uncovered rumor resets the counter on the next step.
+        p.deliver(
+            ProcessId(1),
+            EarsMessage {
+                rumors: RumorSet::singleton(Rumor::new(ProcessId(1), 1)),
+                informed: InformedList::new(),
+            },
+        );
+        step(&mut p);
+        // After the step the counter reflects the reset (it may have started
+        // counting again if the send happened to cover everything, but it
+        // cannot exceed 1).
+        assert!(p.sleep_count() <= 1);
+    }
+}

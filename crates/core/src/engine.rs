@@ -1,0 +1,135 @@
+//! The protocol state-machine interface shared by every gossip algorithm.
+//!
+//! Protocols are written as *engines*: plain state machines that are told
+//! when a message arrives ([`GossipEngine::deliver`]) and when they are
+//! scheduled for a local step ([`GossipEngine::local_step`]). Engines never
+//! touch a clock, a socket, or a thread — which is exactly what makes them
+//! asynchronous algorithms in the paper's sense: their behaviour depends only
+//! on the sequence of local steps and received messages.
+//!
+//! The same engine can therefore be driven by:
+//!
+//! * the discrete-event simulator ([`crate::adapter::SimGossip`] adapts an
+//!   engine to [`agossip_sim::Process`]), which is what the complexity
+//!   experiments use, and
+//! * the thread-per-process runtime in `agossip-runtime`, which demonstrates
+//!   the protocols running under real (uncontrolled) asynchrony.
+
+use std::fmt;
+
+use agossip_sim::ProcessId;
+
+use crate::rumor::{Rumor, RumorSet};
+
+/// Construction context handed to every protocol instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipCtx {
+    /// Identifier of this process.
+    pub pid: ProcessId,
+    /// System size `n`.
+    pub n: usize,
+    /// Failure budget `f < n` the protocol must tolerate.
+    pub f: usize,
+    /// This process's initial rumor.
+    pub rumor: Rumor,
+    /// Seed for the protocol's local randomness.
+    pub seed: u64,
+}
+
+impl GossipCtx {
+    /// Convenience constructor: process `pid` of `n` with failure budget `f`,
+    /// carrying a rumor whose payload is its own index, with per-process
+    /// seeds derived from `seed`.
+    pub fn new(pid: ProcessId, n: usize, f: usize, seed: u64) -> Self {
+        GossipCtx {
+            pid,
+            n,
+            f,
+            rumor: Rumor::new(pid, pid.index() as u64),
+            seed: agossip_sim::rng::derive_seed(seed, agossip_sim::rng::RngStream::Process(pid)),
+        }
+    }
+
+    /// Replaces the rumor payload (used by the consensus layer to gossip
+    /// votes).
+    pub fn with_payload(mut self, payload: u64) -> Self {
+        self.rumor = Rumor::new(self.pid, payload);
+        self
+    }
+
+    /// Size of a majority of the system, `⌊n/2⌋ + 1`.
+    pub fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+}
+
+/// A gossip protocol instance for one process.
+pub trait GossipEngine {
+    /// The wire message exchanged by this protocol.
+    type Msg: Clone + fmt::Debug;
+
+    /// Incorporates a message received from `from`.
+    ///
+    /// Receiving never sends: in the paper's model a process sends only
+    /// during a local step, after having received the messages delivered at
+    /// that step.
+    fn deliver(&mut self, from: ProcessId, msg: Self::Msg);
+
+    /// Executes one local step: compute and push any outgoing messages (as
+    /// `(destination, message)` pairs) into `out`.
+    fn local_step(&mut self, out: &mut Vec<(ProcessId, Self::Msg)>);
+
+    /// This process's identifier.
+    fn pid(&self) -> ProcessId;
+
+    /// The rumors collected so far (always contains the process's own rumor).
+    fn rumors(&self) -> &RumorSet;
+
+    /// True when the process has stopped sending messages (it will send
+    /// nothing in future local steps unless a received message reactivates
+    /// it).
+    fn is_quiescent(&self) -> bool;
+
+    /// Number of local steps taken so far. Mostly useful for tests and
+    /// progress diagnostics.
+    fn steps_taken(&self) -> u64;
+
+    /// The wire size of one message of this protocol, in rumor units (see
+    /// [`crate::wire`]).
+    ///
+    /// The default charges one unit per message, which reduces the metric to
+    /// plain message counting; protocols whose messages carry rumor sets
+    /// override it so the experiment harnesses can estimate bit complexity
+    /// (the paper's Section 7 open question).
+    fn msg_units(msg: &Self::Msg) -> u64 {
+        let _ = msg;
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_new_derives_distinct_seeds() {
+        let a = GossipCtx::new(ProcessId(0), 8, 2, 42);
+        let b = GossipCtx::new(ProcessId(1), 8, 2, 42);
+        assert_ne!(a.seed, b.seed);
+        assert_eq!(a.rumor, Rumor::new(ProcessId(0), 0));
+        assert_eq!(b.rumor, Rumor::new(ProcessId(1), 1));
+    }
+
+    #[test]
+    fn ctx_majority() {
+        assert_eq!(GossipCtx::new(ProcessId(0), 7, 3, 0).majority(), 4);
+        assert_eq!(GossipCtx::new(ProcessId(0), 8, 3, 0).majority(), 5);
+        assert_eq!(GossipCtx::new(ProcessId(0), 1, 0, 0).majority(), 1);
+    }
+
+    #[test]
+    fn with_payload_overrides_rumor_payload() {
+        let ctx = GossipCtx::new(ProcessId(3), 8, 2, 1).with_payload(99);
+        assert_eq!(ctx.rumor, Rumor::new(ProcessId(3), 99));
+    }
+}

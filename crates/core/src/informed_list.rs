@@ -1,0 +1,182 @@
+//! The informed-list `I(p)` of the `ears` protocol.
+//!
+//! `I(p)` is a set of pairs `⟨r, q⟩` meaning "process `p` knows that rumor
+//! `r` has been sent to process `q` by some process" (paper, Section 3.1).
+//! From `V(p)` and `I(p)` the process derives `L(p)`, the set of processes it
+//! cannot ascertain have been sent every rumor in `V(p)`; the protocol keeps
+//! gossiping while `L(p)` is non-empty.
+
+use std::collections::BTreeSet;
+
+use agossip_sim::ProcessId;
+
+use crate::rumor::RumorSet;
+
+/// The set of `⟨rumor origin, target⟩` pairs a process knows about.
+///
+/// Rumors are identified by their origin (each origin has exactly one rumor),
+/// so a pair `(r, q)` is stored as `(r.origin, q)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InformedList {
+    pairs: BTreeSet<(ProcessId, ProcessId)>,
+}
+
+impl InformedList {
+    /// Creates an empty informed-list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the rumor originating at `rumor_origin` has been sent to
+    /// `target`. Returns true if the pair is new.
+    pub fn insert(&mut self, rumor_origin: ProcessId, target: ProcessId) -> bool {
+        self.pairs.insert((rumor_origin, target))
+    }
+
+    /// Records that every rumor in `rumors` has been sent to `target`.
+    pub fn insert_all(&mut self, rumors: &RumorSet, target: ProcessId) {
+        for origin in rumors.origins() {
+            self.pairs.insert((origin, target));
+        }
+    }
+
+    /// True if the list records that `rumor_origin`'s rumor was sent to
+    /// `target`.
+    pub fn contains(&self, rumor_origin: ProcessId, target: ProcessId) -> bool {
+        self.pairs.contains(&(rumor_origin, target))
+    }
+
+    /// Merges another informed-list into this one. Returns the number of new
+    /// pairs.
+    pub fn union(&mut self, other: &InformedList) -> usize {
+        let before = self.pairs.len();
+        self.pairs.extend(other.pairs.iter().copied());
+        self.pairs.len() - before
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pair is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Computes `L(p)` — the processes `q ∈ [n]` for which there exists a
+    /// rumor `r ∈ rumors` with `(r, q)` not in the list (paper, Section 3.1).
+    pub fn uncovered_targets(&self, rumors: &RumorSet, n: usize) -> Vec<ProcessId> {
+        ProcessId::all(n)
+            .filter(|&q| rumors.origins().any(|r| !self.contains(r, q)))
+            .collect()
+    }
+
+    /// True if every process in `[n]` is covered for every rumor in `rumors`
+    /// (i.e. `L(p) = ∅`).
+    pub fn covers_all(&self, rumors: &RumorSet, n: usize) -> bool {
+        ProcessId::all(n).all(|q| rumors.origins().all(|r| self.contains(r, q)))
+    }
+
+    /// Iterates over the pairs `(rumor origin, target)` in order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rumor::Rumor;
+
+    fn rumors(origins: &[usize]) -> RumorSet {
+        origins
+            .iter()
+            .map(|&o| Rumor::new(ProcessId(o), o as u64))
+            .collect()
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut il = InformedList::new();
+        assert!(il.is_empty());
+        assert!(il.insert(ProcessId(0), ProcessId(1)));
+        assert!(!il.insert(ProcessId(0), ProcessId(1)));
+        assert!(il.contains(ProcessId(0), ProcessId(1)));
+        assert!(!il.contains(ProcessId(1), ProcessId(0)));
+        assert_eq!(il.len(), 1);
+    }
+
+    #[test]
+    fn insert_all_covers_every_rumor_for_target() {
+        let mut il = InformedList::new();
+        let v = rumors(&[0, 1, 2]);
+        il.insert_all(&v, ProcessId(3));
+        assert_eq!(il.len(), 3);
+        for o in 0..3 {
+            assert!(il.contains(ProcessId(o), ProcessId(3)));
+        }
+    }
+
+    #[test]
+    fn union_merges_pairs() {
+        let mut a = InformedList::new();
+        a.insert(ProcessId(0), ProcessId(1));
+        let mut b = InformedList::new();
+        b.insert(ProcessId(0), ProcessId(1));
+        b.insert(ProcessId(2), ProcessId(3));
+        assert_eq!(a.union(&b), 1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.union(&b), 0);
+    }
+
+    #[test]
+    fn uncovered_targets_matches_definition() {
+        let n = 3;
+        let v = rumors(&[0, 1]);
+        let mut il = InformedList::new();
+        // Cover everything for target 0 and 1 but only rumor 0 for target 2.
+        il.insert_all(&v, ProcessId(0));
+        il.insert_all(&v, ProcessId(1));
+        il.insert(ProcessId(0), ProcessId(2));
+        let uncovered = il.uncovered_targets(&v, n);
+        assert_eq!(uncovered, vec![ProcessId(2)]);
+        assert!(!il.covers_all(&v, n));
+        il.insert(ProcessId(1), ProcessId(2));
+        assert!(il.covers_all(&v, n));
+        assert!(il.uncovered_targets(&v, n).is_empty());
+    }
+
+    #[test]
+    fn empty_rumor_set_is_trivially_covered() {
+        let il = InformedList::new();
+        assert!(il.covers_all(&RumorSet::new(), 5));
+        assert!(il.uncovered_targets(&RumorSet::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn new_rumor_uncovers_targets_again() {
+        let n = 2;
+        let mut v = rumors(&[0]);
+        let mut il = InformedList::new();
+        il.insert_all(&v, ProcessId(0));
+        il.insert_all(&v, ProcessId(1));
+        assert!(il.covers_all(&v, n));
+        // Learning a new rumor re-opens L(p).
+        v.insert(Rumor::new(ProcessId(1), 1));
+        assert!(!il.covers_all(&v, n));
+        assert_eq!(il.uncovered_targets(&v, n).len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted_pairs() {
+        let mut il = InformedList::new();
+        il.insert(ProcessId(2), ProcessId(0));
+        il.insert(ProcessId(0), ProcessId(1));
+        let pairs: Vec<_> = il.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(ProcessId(0), ProcessId(1)), (ProcessId(2), ProcessId(0))]
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Rumors and rumor collections.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use agossip_sim::ProcessId;
+
+/// A rumor: the unit of information spread by gossip.
+///
+/// In the paper a rumor `r_p` is an opaque value known initially only to its
+/// originating process `p`. We carry a 64-bit payload alongside the origin so
+/// that higher layers (notably the consensus protocols of Section 6, where
+/// rumors are votes) can transport application data through any gossip
+/// protocol unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rumor {
+    /// The process at which the rumor initiated.
+    pub origin: ProcessId,
+    /// Application payload (for plain gossip experiments this is an arbitrary
+    /// tag; for consensus it encodes a vote).
+    pub payload: u64,
+}
+
+impl Rumor {
+    /// Creates a rumor originating at `origin` with the given payload.
+    pub fn new(origin: ProcessId, payload: u64) -> Self {
+        Rumor { origin, payload }
+    }
+}
+
+impl fmt::Display for Rumor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r({}, {})", self.origin, self.payload)
+    }
+}
+
+/// A collection of rumors, at most one per origin.
+///
+/// The paper's sets `V(p)` never contain two distinct rumors from the same
+/// origin (each process has exactly one initial rumor), so the collection is
+/// keyed by origin. Insertion keeps the first payload seen for an origin; in
+/// a correct execution there is only ever one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RumorSet {
+    by_origin: BTreeMap<ProcessId, u64>,
+}
+
+impl RumorSet {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a collection containing a single rumor.
+    pub fn singleton(rumor: Rumor) -> Self {
+        let mut set = Self::new();
+        set.insert(rumor);
+        set
+    }
+
+    /// Inserts a rumor. Returns `true` if the origin was not present before.
+    pub fn insert(&mut self, rumor: Rumor) -> bool {
+        match self.by_origin.entry(rumor.origin) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(rumor.payload);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Merges every rumor of `other` into `self`. Returns the number of new
+    /// origins added.
+    pub fn union(&mut self, other: &RumorSet) -> usize {
+        let mut added = 0;
+        for (&origin, &payload) in &other.by_origin {
+            if self.insert(Rumor { origin, payload }) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// True if a rumor originating at `origin` is present.
+    pub fn contains_origin(&self, origin: ProcessId) -> bool {
+        self.by_origin.contains_key(&origin)
+    }
+
+    /// Returns the rumor originating at `origin`, if present.
+    pub fn get(&self, origin: ProcessId) -> Option<Rumor> {
+        self.by_origin
+            .get(&origin)
+            .map(|&payload| Rumor { origin, payload })
+    }
+
+    /// Number of distinct rumors held.
+    pub fn len(&self) -> usize {
+        self.by_origin.len()
+    }
+
+    /// True if no rumor is held.
+    pub fn is_empty(&self) -> bool {
+        self.by_origin.is_empty()
+    }
+
+    /// Iterates over the rumors in origin order.
+    pub fn iter(&self) -> impl Iterator<Item = Rumor> + '_ {
+        self.by_origin
+            .iter()
+            .map(|(&origin, &payload)| Rumor { origin, payload })
+    }
+
+    /// Iterates over the origins in order.
+    pub fn origins(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.by_origin.keys().copied()
+    }
+
+    /// True if `self` contains every rumor of `other`.
+    pub fn is_superset_of(&self, other: &RumorSet) -> bool {
+        other
+            .by_origin
+            .keys()
+            .all(|origin| self.by_origin.contains_key(origin))
+    }
+}
+
+impl FromIterator<Rumor> for RumorSet {
+    fn from_iter<T: IntoIterator<Item = Rumor>>(iter: T) -> Self {
+        let mut set = RumorSet::new();
+        for r in iter {
+            set.insert(r);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(origin: usize, payload: u64) -> Rumor {
+        Rumor::new(ProcessId(origin), payload)
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut set = RumorSet::new();
+        assert!(set.is_empty());
+        assert!(set.insert(r(1, 10)));
+        assert!(!set.insert(r(1, 99)), "second rumor per origin is ignored");
+        assert_eq!(set.len(), 1);
+        assert!(set.contains_origin(ProcessId(1)));
+        assert_eq!(set.get(ProcessId(1)), Some(r(1, 10)));
+        assert_eq!(set.get(ProcessId(2)), None);
+    }
+
+    #[test]
+    fn union_counts_new_origins() {
+        let mut a: RumorSet = [r(0, 0), r(1, 1)].into_iter().collect();
+        let b: RumorSet = [r(1, 1), r(2, 2), r(3, 3)].into_iter().collect();
+        let added = a.union(&b);
+        assert_eq!(added, 2);
+        assert_eq!(a.len(), 4);
+        assert!(a.is_superset_of(&b));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut a: RumorSet = [r(0, 0)].into_iter().collect();
+        let b: RumorSet = [r(0, 0), r(1, 1)].into_iter().collect();
+        a.union(&b);
+        let len = a.len();
+        assert_eq!(a.union(&b), 0);
+        assert_eq!(a.len(), len);
+    }
+
+    #[test]
+    fn iteration_is_origin_ordered() {
+        let set: RumorSet = [r(3, 3), r(1, 1), r(2, 2)].into_iter().collect();
+        let origins: Vec<_> = set.origins().collect();
+        assert_eq!(origins, vec![ProcessId(1), ProcessId(2), ProcessId(3)]);
+        let rumors: Vec<_> = set.iter().collect();
+        assert_eq!(rumors, vec![r(1, 1), r(2, 2), r(3, 3)]);
+    }
+
+    #[test]
+    fn singleton_contains_only_its_rumor() {
+        let set = RumorSet::singleton(r(5, 50));
+        assert_eq!(set.len(), 1);
+        assert!(set.contains_origin(ProcessId(5)));
+        assert!(!set.contains_origin(ProcessId(4)));
+    }
+
+    #[test]
+    fn superset_checks() {
+        let big: RumorSet = [r(0, 0), r(1, 1), r(2, 2)].into_iter().collect();
+        let small: RumorSet = [r(1, 1)].into_iter().collect();
+        assert!(big.is_superset_of(&small));
+        assert!(!small.is_superset_of(&big));
+        assert!(big.is_superset_of(&RumorSet::new()));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(r(2, 7).to_string(), "r(p2, 7)");
+    }
+}

@@ -1,0 +1,249 @@
+//! `sears` — Spamming Epidemic Asynchronous Rumor Spreading (paper Section 4).
+//!
+//! `sears` is `ears` with two modifications (Theorem 7):
+//!
+//! 1. in each local step, instead of a single random target, the process
+//!    sends to `Θ(n^ε · log n)` targets chosen at random;
+//! 2. the shut-down phase consists of a single step.
+//!
+//! The higher fan-out makes every rumor saturate the system after `O(1/ε)`
+//! dissemination phases, giving a constant-time (w.r.t. `n`) gossip protocol:
+//! for every constant `ε < 1` and `f < n/2`, time `O(n/(ε(n−f))·(d+δ))` and
+//! messages `O(n^{2+ε}/(ε(n−f))·log n·(d+δ))`, w.h.p.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use agossip_sim::ProcessId;
+
+use crate::engine::{GossipCtx, GossipEngine};
+use crate::informed_list::InformedList;
+use crate::params::SearsParams;
+use crate::rumor::RumorSet;
+
+/// Wire message of `sears`; identical in structure to the `ears` message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearsMessage {
+    /// The sender's rumor collection `V`.
+    pub rumors: RumorSet,
+    /// The sender's informed-list `I`.
+    pub informed: InformedList,
+}
+
+/// The `sears` protocol state machine for one process.
+#[derive(Debug, Clone)]
+pub struct Sears {
+    ctx: GossipCtx,
+    params: SearsParams,
+    fanout: usize,
+    rumors: RumorSet,
+    informed: InformedList,
+    sleep_cnt: u64,
+    steps: u64,
+    rng: StdRng,
+}
+
+impl Sears {
+    /// Creates an instance with default parameters (`ε = 0.5`).
+    pub fn new(ctx: GossipCtx) -> Self {
+        Self::with_params(ctx, SearsParams::default())
+    }
+
+    /// Creates an instance with explicit parameters.
+    pub fn with_params(ctx: GossipCtx, params: SearsParams) -> Self {
+        let fanout = params.fanout(ctx.n);
+        Sears {
+            rumors: RumorSet::singleton(ctx.rumor),
+            informed: InformedList::new(),
+            sleep_cnt: 0,
+            steps: 0,
+            fanout,
+            rng: StdRng::seed_from_u64(ctx.seed),
+            ctx,
+            params,
+        }
+    }
+
+    /// The per-step fan-out `Θ(n^ε · log n)`.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> SearsParams {
+        self.params
+    }
+
+    /// True if the process has completed its single shut-down step.
+    pub fn is_asleep(&self) -> bool {
+        // Theorem 7: "each process takes only one shut-down step".
+        self.sleep_cnt >= 1
+    }
+
+    fn covered(&self) -> bool {
+        self.informed.covers_all(&self.rumors, self.ctx.n)
+    }
+}
+
+impl GossipEngine for Sears {
+    type Msg = SearsMessage;
+
+    fn deliver(&mut self, _from: ProcessId, msg: SearsMessage) {
+        self.rumors.union(&msg.rumors);
+        self.informed.union(&msg.informed);
+    }
+
+    fn local_step(&mut self, out: &mut Vec<(ProcessId, SearsMessage)>) {
+        self.steps += 1;
+
+        if self.covered() {
+            self.sleep_cnt = self.sleep_cnt.saturating_add(1);
+        } else {
+            self.sleep_cnt = 0;
+        }
+        if self.sleep_cnt > 1 {
+            // Shut-down already taken; stay silent until a new uncovered
+            // rumor resets the counter.
+            return;
+        }
+
+        let msg = SearsMessage {
+            rumors: self.rumors.clone(),
+            informed: self.informed.clone(),
+        };
+        for _ in 0..self.fanout {
+            let target = ProcessId(self.rng.gen_range(0..self.ctx.n));
+            out.push((target, msg.clone()));
+            self.informed.insert_all(&self.rumors, target);
+        }
+    }
+
+    fn pid(&self) -> ProcessId {
+        self.ctx.pid
+    }
+
+    fn rumors(&self) -> &RumorSet {
+        &self.rumors
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.is_asleep()
+    }
+
+    fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    fn msg_units(msg: &Self::Msg) -> u64 {
+        crate::wire::WireSize::wire_units(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rumor::Rumor;
+
+    fn ctx(pid: usize, n: usize, f: usize) -> GossipCtx {
+        GossipCtx::new(ProcessId(pid), n, f, 4242)
+    }
+
+    fn step(p: &mut Sears) -> Vec<(ProcessId, SearsMessage)> {
+        let mut out = Vec::new();
+        p.local_step(&mut out);
+        out
+    }
+
+    #[test]
+    fn sends_fanout_messages_per_active_step() {
+        let n = 64;
+        let mut p = Sears::new(ctx(0, n, 8));
+        let expected = SearsParams::default().fanout(n);
+        let out = step(&mut p);
+        assert_eq!(out.len(), expected);
+        assert!(expected > 1, "sears must spam more than one target");
+    }
+
+    #[test]
+    fn fanout_grows_with_epsilon() {
+        let n = 256;
+        let low = Sears::with_params(ctx(0, n, 0), SearsParams::with_epsilon(0.25));
+        let high = Sears::with_params(ctx(0, n, 0), SearsParams::with_epsilon(0.75));
+        assert!(low.fanout() < high.fanout());
+    }
+
+    #[test]
+    fn single_shutdown_step_then_silence() {
+        let mut p = Sears::new(ctx(0, 4, 0));
+        // Artificially cover everything so the sleep counter starts rising.
+        let mut informed = InformedList::new();
+        for q in ProcessId::all(4) {
+            informed.insert(ProcessId(0), q);
+        }
+        p.deliver(
+            ProcessId(1),
+            SearsMessage {
+                rumors: RumorSet::new(),
+                informed,
+            },
+        );
+        // First step after coverage: this is the single shut-down step — the
+        // process still sends.
+        let out = step(&mut p);
+        assert!(!out.is_empty());
+        assert!(p.is_asleep());
+        assert!(p.is_quiescent());
+        // Subsequent steps: silence.
+        let out = step(&mut p);
+        assert!(out.is_empty());
+        let out = step(&mut p);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn new_rumor_reactivates_after_shutdown() {
+        let n = 2;
+        let mut p = Sears::new(ctx(0, n, 0));
+        // Run enough steps that its own rumor gets covered and the shut-down
+        // step happens (fan-out ≥ 1 targets per step over both processes).
+        for _ in 0..50 {
+            step(&mut p);
+        }
+        assert!(p.is_asleep());
+        p.deliver(
+            ProcessId(1),
+            SearsMessage {
+                rumors: RumorSet::singleton(Rumor::new(ProcessId(1), 1)),
+                informed: InformedList::new(),
+            },
+        );
+        let out = step(&mut p);
+        assert!(!out.is_empty(), "an uncovered rumor must wake the process");
+        assert!(!p.is_asleep());
+    }
+
+    #[test]
+    fn delivery_merges_state() {
+        let mut p = Sears::new(ctx(0, 8, 2));
+        let mut informed = InformedList::new();
+        informed.insert(ProcessId(3), ProcessId(4));
+        p.deliver(
+            ProcessId(3),
+            SearsMessage {
+                rumors: RumorSet::singleton(Rumor::new(ProcessId(3), 3)),
+                informed,
+            },
+        );
+        assert!(p.rumors().contains_origin(ProcessId(3)));
+        assert_eq!(p.rumors().len(), 2);
+    }
+
+    #[test]
+    fn informed_list_tracks_spammed_targets() {
+        let mut p = Sears::new(ctx(0, 16, 0));
+        let out = step(&mut p);
+        for (target, _) in &out {
+            assert!(p.informed.contains(ProcessId(0), *target));
+        }
+    }
+}

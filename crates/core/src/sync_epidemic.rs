@@ -1,0 +1,201 @@
+//! A synchronous epidemic baseline.
+//!
+//! The paper contrasts its asynchronous protocols with synchronous gossip
+//! algorithms that know `d = δ = 1` a priori (the `CK [9]` row of Table 1 and
+//! the cost-of-asynchrony Corollary 2). This module provides such a baseline:
+//! a push-epidemic that runs for a *fixed, pre-computed* number of rounds
+//! `Θ(log n)` and then stops unconditionally.
+//!
+//! Knowing the synchrony bounds is exactly what lets it stop after a fixed
+//! number of local steps — the behaviour that, per the paper's introduction,
+//! cannot be transplanted to an asynchronous system: if `d` and `δ` are not
+//! `1`, a fixed iteration count no longer guarantees dissemination. The
+//! cost-of-asynchrony experiments use this protocol only in executions with
+//! `d = δ = 1`, where its `O(log n)` rounds and `O(n log n)` messages make it
+//! the denominator of the CoA ratios.
+//!
+//! This is a simplification of the deterministic expander-based protocol of
+//! Chlebus–Kowalski `[9]` (polylog time, `n·polylog` messages): we keep the
+//! randomized epidemic form because only the asymptotic *shape* of the
+//! denominator matters for Corollary 2, as documented in `DESIGN.md`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use agossip_sim::ProcessId;
+
+use crate::engine::{GossipCtx, GossipEngine};
+use crate::params::SyncParams;
+use crate::rumor::RumorSet;
+
+/// Wire message of the synchronous baseline: the sender's full rumor set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncMessage {
+    /// The sender's rumor collection.
+    pub rumors: RumorSet,
+}
+
+/// The synchronous push-epidemic baseline.
+#[derive(Debug, Clone)]
+pub struct SyncEpidemic {
+    ctx: GossipCtx,
+    params: SyncParams,
+    rumors: RumorSet,
+    rounds_left: u64,
+    total_rounds: u64,
+    steps: u64,
+    rng: StdRng,
+}
+
+impl SyncEpidemic {
+    /// Creates an instance with default parameters.
+    pub fn new(ctx: GossipCtx) -> Self {
+        Self::with_params(ctx, SyncParams::default())
+    }
+
+    /// Creates an instance with explicit parameters.
+    pub fn with_params(ctx: GossipCtx, params: SyncParams) -> Self {
+        let rounds = params.rounds(ctx.n);
+        SyncEpidemic {
+            rumors: RumorSet::singleton(ctx.rumor),
+            rounds_left: rounds,
+            total_rounds: rounds,
+            steps: 0,
+            rng: StdRng::seed_from_u64(ctx.seed),
+            ctx,
+            params,
+        }
+    }
+
+    /// The pre-computed number of push rounds.
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
+    /// Rounds remaining before the process stops unconditionally.
+    pub fn rounds_left(&self) -> u64 {
+        self.rounds_left
+    }
+
+    /// The parameters in effect.
+    pub fn params(&self) -> SyncParams {
+        self.params
+    }
+}
+
+impl GossipEngine for SyncEpidemic {
+    type Msg = SyncMessage;
+
+    fn deliver(&mut self, _from: ProcessId, msg: SyncMessage) {
+        self.rumors.union(&msg.rumors);
+    }
+
+    fn local_step(&mut self, out: &mut Vec<(ProcessId, SyncMessage)>) {
+        self.steps += 1;
+        if self.rounds_left == 0 {
+            return;
+        }
+        self.rounds_left -= 1;
+        if self.ctx.n <= 1 {
+            return;
+        }
+        // Push the full rumor set to one uniformly random other process.
+        let mut target = ProcessId(self.rng.gen_range(0..self.ctx.n));
+        while target == self.ctx.pid {
+            target = ProcessId(self.rng.gen_range(0..self.ctx.n));
+        }
+        out.push((
+            target,
+            SyncMessage {
+                rumors: self.rumors.clone(),
+            },
+        ));
+    }
+
+    fn pid(&self) -> ProcessId {
+        self.ctx.pid
+    }
+
+    fn rumors(&self) -> &RumorSet {
+        &self.rumors
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    fn msg_units(msg: &Self::Msg) -> u64 {
+        crate::wire::WireSize::wire_units(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rumor::Rumor;
+
+    fn ctx(pid: usize, n: usize) -> GossipCtx {
+        GossipCtx::new(ProcessId(pid), n, 0, 31)
+    }
+
+    fn step(p: &mut SyncEpidemic) -> Vec<(ProcessId, SyncMessage)> {
+        let mut out = Vec::new();
+        p.local_step(&mut out);
+        out
+    }
+
+    #[test]
+    fn stops_after_fixed_rounds() {
+        let mut p = SyncEpidemic::new(ctx(0, 32));
+        let rounds = p.total_rounds();
+        assert_eq!(rounds, SyncParams::default().rounds(32));
+        let mut sent = 0;
+        for _ in 0..(rounds + 10) {
+            sent += step(&mut p).len();
+        }
+        assert_eq!(sent as u64, rounds, "exactly one message per round");
+        assert!(p.is_quiescent());
+        assert_eq!(p.rounds_left(), 0);
+    }
+
+    #[test]
+    fn round_count_is_logarithmic() {
+        let small = SyncEpidemic::new(ctx(0, 16)).total_rounds();
+        let large = SyncEpidemic::new(ctx(0, 4096)).total_rounds();
+        assert!(large > small);
+        assert!(large < 16 * small, "growth is logarithmic, not polynomial");
+    }
+
+    #[test]
+    fn never_pushes_to_itself() {
+        let mut p = SyncEpidemic::new(ctx(3, 8));
+        for _ in 0..p.total_rounds() {
+            for (target, _) in step(&mut p) {
+                assert_ne!(target, ProcessId(3));
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_merges_rumors() {
+        let mut p = SyncEpidemic::new(ctx(0, 4));
+        let incoming: RumorSet = [Rumor::new(ProcessId(1), 1), Rumor::new(ProcessId(2), 2)]
+            .into_iter()
+            .collect();
+        p.deliver(ProcessId(1), SyncMessage { rumors: incoming });
+        assert_eq!(p.rumors().len(), 3);
+    }
+
+    #[test]
+    fn single_process_sends_nothing_but_terminates() {
+        let mut p = SyncEpidemic::new(ctx(0, 1));
+        for _ in 0..(p.total_rounds() + 1) {
+            assert!(step(&mut p).is_empty());
+        }
+        assert!(p.is_quiescent());
+    }
+}

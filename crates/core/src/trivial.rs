@@ -1,0 +1,147 @@
+//! The trivial gossip protocol (the "Trivial" row of Table 1).
+//!
+//! Every process sends its rumor directly to every other process in its first
+//! local step and then stops. Time complexity `O(d+δ)`, message complexity
+//! `Θ(n²)`. It tolerates any number of crash failures and works against an
+//! adaptive adversary — it is the baseline every non-trivial protocol tries
+//! to beat on message complexity, and what the Theorem 1 lower bound says
+//! cannot be beaten for free.
+
+use agossip_sim::ProcessId;
+
+use crate::engine::{GossipCtx, GossipEngine};
+use crate::rumor::{Rumor, RumorSet};
+
+/// Wire message of the trivial protocol: just the sender's rumor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrivialMessage {
+    /// The sender's initial rumor.
+    pub rumor: Rumor,
+}
+
+/// The trivial all-to-all gossip protocol.
+#[derive(Debug, Clone)]
+pub struct Trivial {
+    ctx: GossipCtx,
+    rumors: RumorSet,
+    sent: bool,
+    steps: u64,
+}
+
+impl Trivial {
+    /// Creates an instance for the process described by `ctx`.
+    pub fn new(ctx: GossipCtx) -> Self {
+        Trivial {
+            rumors: RumorSet::singleton(ctx.rumor),
+            ctx,
+            sent: false,
+            steps: 0,
+        }
+    }
+}
+
+impl GossipEngine for Trivial {
+    type Msg = TrivialMessage;
+
+    fn deliver(&mut self, _from: ProcessId, msg: TrivialMessage) {
+        self.rumors.insert(msg.rumor);
+    }
+
+    fn local_step(&mut self, out: &mut Vec<(ProcessId, TrivialMessage)>) {
+        self.steps += 1;
+        if self.sent {
+            return;
+        }
+        self.sent = true;
+        let msg = TrivialMessage {
+            rumor: self.ctx.rumor,
+        };
+        for q in ProcessId::all(self.ctx.n) {
+            if q != self.ctx.pid {
+                out.push((q, msg.clone()));
+            }
+        }
+    }
+
+    fn pid(&self) -> ProcessId {
+        self.ctx.pid
+    }
+
+    fn rumors(&self) -> &RumorSet {
+        &self.rumors
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.sent
+    }
+
+    fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    fn msg_units(msg: &Self::Msg) -> u64 {
+        crate::wire::WireSize::wire_units(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(pid: usize, n: usize) -> GossipCtx {
+        GossipCtx::new(ProcessId(pid), n, 0, 7)
+    }
+
+    #[test]
+    fn first_step_broadcasts_to_everyone_else() {
+        let mut p = Trivial::new(ctx(0, 5));
+        assert!(!p.is_quiescent());
+        let mut out = Vec::new();
+        p.local_step(&mut out);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|(q, _)| *q != ProcessId(0)));
+        assert!(p.is_quiescent());
+    }
+
+    #[test]
+    fn later_steps_send_nothing() {
+        let mut p = Trivial::new(ctx(1, 4));
+        let mut out = Vec::new();
+        p.local_step(&mut out);
+        out.clear();
+        p.local_step(&mut out);
+        p.local_step(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(p.steps_taken(), 3);
+    }
+
+    #[test]
+    fn delivery_adds_rumor() {
+        let mut p = Trivial::new(ctx(0, 3));
+        assert_eq!(p.rumors().len(), 1);
+        p.deliver(
+            ProcessId(2),
+            TrivialMessage {
+                rumor: Rumor::new(ProcessId(2), 2),
+            },
+        );
+        assert_eq!(p.rumors().len(), 2);
+        assert!(p.rumors().contains_origin(ProcessId(2)));
+    }
+
+    #[test]
+    fn own_rumor_present_from_start() {
+        let p = Trivial::new(ctx(3, 8));
+        assert!(p.rumors().contains_origin(ProcessId(3)));
+        assert_eq!(p.pid(), ProcessId(3));
+    }
+
+    #[test]
+    fn single_process_system_sends_nothing() {
+        let mut p = Trivial::new(ctx(0, 1));
+        let mut out = Vec::new();
+        p.local_step(&mut out);
+        assert!(out.is_empty());
+        assert!(p.is_quiescent());
+    }
+}

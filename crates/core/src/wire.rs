@@ -1,0 +1,147 @@
+//! Wire-size accounting for gossip messages.
+//!
+//! The paper counts only the *number* of point-to-point messages and leaves
+//! the *bit complexity* — the total volume of information exchanged — as
+//! future work (Section 7). Message sizes differ sharply between the
+//! protocols: `ears` ships its whole rumor set *and* informed-list in every
+//! message, `tears` ships only rumors, and the trivial protocol ships exactly
+//! one rumor per message. This module gives every wire message a size in
+//! *rumor units* so the experiment harnesses can measure that trade-off.
+//!
+//! A *rumor unit* is the cost of one rumor entry (an origin identifier plus a
+//! payload word). An informed-list pair `⟨r, q⟩` also costs one unit (two
+//! identifiers). Every message additionally pays one unit of fixed header.
+//! The absolute scale is arbitrary; only ratios between protocols matter.
+
+/// Types with a measurable size on the wire, in rumor units.
+pub trait WireSize {
+    /// The size of this value in rumor units (see the module documentation).
+    ///
+    /// Implementations must return at least 1: even an empty message occupies
+    /// a packet.
+    fn wire_units(&self) -> u64;
+}
+
+/// Sums the wire size of a batch of outgoing messages.
+pub fn total_units<'a, M, I>(msgs: I) -> u64
+where
+    M: WireSize + 'a,
+    I: IntoIterator<Item = &'a M>,
+{
+    msgs.into_iter().map(WireSize::wire_units).sum()
+}
+
+impl WireSize for crate::rumor::RumorSet {
+    fn wire_units(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl WireSize for crate::informed_list::InformedList {
+    fn wire_units(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl WireSize for crate::ears::EarsMessage {
+    fn wire_units(&self) -> u64 {
+        1 + self.rumors.wire_units() + self.informed.wire_units()
+    }
+}
+
+impl WireSize for crate::sears::SearsMessage {
+    fn wire_units(&self) -> u64 {
+        1 + self.rumors.wire_units() + self.informed.wire_units()
+    }
+}
+
+impl WireSize for crate::tears::TearsMessage {
+    fn wire_units(&self) -> u64 {
+        1 + self.rumors.wire_units()
+    }
+}
+
+impl WireSize for crate::trivial::TrivialMessage {
+    fn wire_units(&self) -> u64 {
+        // One rumor plus the header.
+        2
+    }
+}
+
+impl WireSize for crate::sync_epidemic::SyncMessage {
+    fn wire_units(&self) -> u64 {
+        1 + self.rumors.wire_units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ears::EarsMessage;
+    use crate::informed_list::InformedList;
+    use crate::rumor::{Rumor, RumorSet};
+    use crate::sync_epidemic::SyncMessage;
+    use crate::tears::{TearsFlag, TearsMessage};
+    use crate::trivial::TrivialMessage;
+    use agossip_sim::ProcessId;
+
+    struct Fixed(u64);
+    impl WireSize for Fixed {
+        fn wire_units(&self) -> u64 {
+            self.0
+        }
+    }
+
+    fn rumors(k: usize) -> RumorSet {
+        (0..k).map(|i| Rumor::new(ProcessId(i), i as u64)).collect()
+    }
+
+    #[test]
+    fn total_units_sums_over_batch() {
+        let batch = [Fixed(1), Fixed(4), Fixed(2)];
+        assert_eq!(total_units(batch.iter()), 7);
+    }
+
+    #[test]
+    fn total_units_of_empty_batch_is_zero() {
+        let batch: [Fixed; 0] = [];
+        assert_eq!(total_units(batch.iter()), 0);
+    }
+
+    #[test]
+    fn rumor_set_units_equal_cardinality() {
+        assert_eq!(rumors(0).wire_units(), 0);
+        assert_eq!(rumors(5).wire_units(), 5);
+    }
+
+    #[test]
+    fn ears_message_counts_rumors_and_informed_pairs() {
+        let mut informed = InformedList::new();
+        informed.insert(ProcessId(0), ProcessId(1));
+        informed.insert(ProcessId(0), ProcessId(2));
+        let msg = EarsMessage {
+            rumors: rumors(3),
+            informed,
+        };
+        assert_eq!(msg.wire_units(), 1 + 3 + 2);
+    }
+
+    #[test]
+    fn trivial_message_is_constant_size() {
+        let msg = TrivialMessage {
+            rumor: Rumor::new(ProcessId(0), 0),
+        };
+        assert_eq!(msg.wire_units(), 2);
+    }
+
+    #[test]
+    fn tears_and_sync_messages_scale_with_rumor_count() {
+        let tears = TearsMessage {
+            rumors: rumors(4),
+            flag: TearsFlag::Up,
+        };
+        assert_eq!(tears.wire_units(), 5);
+        let sync = SyncMessage { rumors: rumors(7) };
+        assert_eq!(sync.wire_units(), 8);
+    }
+}

@@ -1,0 +1,402 @@
+//! The thread-per-process execution harness.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use agossip_core::{GossipCtx, GossipEngine, RumorSet};
+use agossip_sim::rng::{derive_seed, RngStream};
+use agossip_sim::ProcessId;
+
+/// Configuration of a threaded run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Number of processes (threads).
+    pub n: usize,
+    /// Failure budget handed to the protocol (`f < n`).
+    pub f: usize,
+    /// Upper bound on the injected per-message delivery delay (the role of
+    /// `d` in the model).
+    pub max_delay: Duration,
+    /// Upper bound on a node's pause between local steps (the role of `δ`).
+    pub max_step_pause: Duration,
+    /// Processes to crash, together with the number of local steps after
+    /// which each crashes.
+    pub crashes: Vec<(ProcessId, u64)>,
+    /// Hard wall-clock limit on the run.
+    pub max_duration: Duration,
+    /// How long the system must stay quiet (all live nodes quiescent and no
+    /// traffic) before the run is declared finished.
+    pub quiet_period: Duration,
+    /// Seed for delay/pacing randomness and the protocol instances.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// A configuration suitable for tests: small delays, sub-second runtime.
+    pub fn quick(n: usize, f: usize, seed: u64) -> Self {
+        RuntimeConfig {
+            n,
+            f,
+            max_delay: Duration::from_millis(2),
+            max_step_pause: Duration::from_millis(1),
+            crashes: Vec::new(),
+            max_duration: Duration::from_secs(20),
+            quiet_period: Duration::from_millis(100),
+            seed,
+        }
+    }
+
+    /// Adds crash injections.
+    pub fn with_crashes(mut self, crashes: Vec<(ProcessId, u64)>) -> Self {
+        self.crashes = crashes;
+        self
+    }
+}
+
+/// Outcome of a threaded run.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Total point-to-point messages sent by all nodes.
+    pub messages_sent: u64,
+    /// Total messages delivered to protocol state machines.
+    pub messages_delivered: u64,
+    /// Final rumor set of each node (crashed nodes report the set they had
+    /// when they crashed).
+    pub final_rumors: Vec<RumorSet>,
+    /// Which nodes were still alive (not crash-injected) at the end.
+    pub correct: Vec<bool>,
+    /// Whether the run ended because the system went quiet (as opposed to the
+    /// wall-clock limit).
+    pub quiescent: bool,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Local steps taken per node.
+    pub steps: Vec<u64>,
+}
+
+struct Wire<M> {
+    payload: M,
+    from: ProcessId,
+    deliver_after: Instant,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    sent: AtomicU64,
+    delivered: AtomicU64,
+    last_activity_ms: AtomicU64,
+    started: Instant,
+}
+
+impl Shared {
+    fn touch(&self) {
+        let elapsed = self.started.elapsed().as_millis() as u64;
+        self.last_activity_ms.store(elapsed, Ordering::Relaxed);
+    }
+
+    fn since_last_activity(&self) -> Duration {
+        let last = self.last_activity_ms.load(Ordering::Relaxed);
+        let now = self.started.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(last))
+    }
+}
+
+/// Runs every node of the protocol produced by `make` on its own thread until
+/// the system goes quiet or the wall-clock limit expires.
+pub fn run_threaded<G, F>(config: &RuntimeConfig, make: F) -> RuntimeReport
+where
+    G: GossipEngine + Send + 'static,
+    G::Msg: Send,
+    F: Fn(GossipCtx) -> G,
+{
+    assert!(config.n > 0, "need at least one process");
+    assert!(config.f < config.n, "f must be < n");
+
+    let n = config.n;
+    let mut senders: Vec<Sender<Wire<G::Msg>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Wire<G::Msg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let shared = Arc::new(Shared {
+        stop: AtomicBool::new(false),
+        sent: AtomicU64::new(0),
+        delivered: AtomicU64::new(0),
+        last_activity_ms: AtomicU64::new(0),
+        started: Instant::now(),
+    });
+    let quiescent_flags: Arc<Vec<AtomicBool>> =
+        Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+    let results: Arc<Mutex<Vec<Option<(RumorSet, u64)>>>> = Arc::new(Mutex::new(vec![None; n]));
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, rx) in receivers.into_iter().enumerate() {
+        let pid = ProcessId(i);
+        let engine = make(GossipCtx::new(pid, n, config.f, config.seed));
+        let senders = senders.clone();
+        let shared = Arc::clone(&shared);
+        let quiescent_flags = Arc::clone(&quiescent_flags);
+        let results = Arc::clone(&results);
+        let crash_after = config
+            .crashes
+            .iter()
+            .find(|(victim, _)| *victim == pid)
+            .map(|(_, steps)| *steps);
+        let max_delay = config.max_delay;
+        let max_pause = config.max_step_pause;
+        let seed = config.seed;
+        let handle = thread::spawn(move || {
+            node_loop(
+                pid,
+                engine,
+                rx,
+                senders,
+                shared,
+                quiescent_flags,
+                results,
+                crash_after,
+                max_delay,
+                max_pause,
+                seed,
+            )
+        });
+        handles.push(handle);
+    }
+    drop(senders);
+
+    // Coordinator: wait for sustained quiet or the wall-clock limit.
+    let quiescent = loop {
+        thread::sleep(Duration::from_millis(5));
+        let elapsed = shared.started.elapsed();
+        if elapsed >= config.max_duration {
+            break false;
+        }
+        let all_quiet = quiescent_flags
+            .iter()
+            .all(|flag| flag.load(Ordering::Relaxed));
+        if all_quiet && shared.since_last_activity() >= config.quiet_period {
+            break true;
+        }
+    };
+    shared.stop.store(true, Ordering::Relaxed);
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    let elapsed = shared.started.elapsed();
+    let collected = results.lock();
+    let mut final_rumors = Vec::with_capacity(n);
+    let mut steps = Vec::with_capacity(n);
+    for entry in collected.iter() {
+        match entry {
+            Some((rumors, step_count)) => {
+                final_rumors.push(rumors.clone());
+                steps.push(*step_count);
+            }
+            None => {
+                final_rumors.push(RumorSet::new());
+                steps.push(0);
+            }
+        }
+    }
+    let correct: Vec<bool> = ProcessId::all(n)
+        .map(|pid| !config.crashes.iter().any(|(victim, _)| *victim == pid))
+        .collect();
+
+    RuntimeReport {
+        messages_sent: shared.sent.load(Ordering::Relaxed),
+        messages_delivered: shared.delivered.load(Ordering::Relaxed),
+        final_rumors,
+        correct,
+        quiescent,
+        elapsed,
+        steps,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_loop<G>(
+    pid: ProcessId,
+    mut engine: G,
+    rx: Receiver<Wire<G::Msg>>,
+    senders: Vec<Sender<Wire<G::Msg>>>,
+    shared: Arc<Shared>,
+    quiescent_flags: Arc<Vec<AtomicBool>>,
+    results: Arc<Mutex<Vec<Option<(RumorSet, u64)>>>>,
+    crash_after: Option<u64>,
+    max_delay: Duration,
+    max_pause: Duration,
+    seed: u64,
+) where
+    G: GossipEngine,
+{
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0xA51C, RngStream::Process(pid)));
+    let mut pending: Vec<Wire<G::Msg>> = Vec::new();
+    let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
+    let mut steps = 0u64;
+
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(limit) = crash_after {
+            if steps >= limit {
+                break; // crash: halt permanently, deliver nothing further
+            }
+        }
+
+        // Drain the channel into the delay buffer.
+        while let Ok(wire) = rx.try_recv() {
+            pending.push(wire);
+        }
+
+        // Deliver everything whose injected delay has expired.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].deliver_after <= now {
+                let wire = pending.swap_remove(i);
+                engine.deliver(wire.from, wire.payload);
+                shared.delivered.fetch_add(1, Ordering::Relaxed);
+                shared.touch();
+            } else {
+                i += 1;
+            }
+        }
+
+        // One local step.
+        out.clear();
+        engine.local_step(&mut out);
+        steps += 1;
+        if !out.is_empty() {
+            shared.sent.fetch_add(out.len() as u64, Ordering::Relaxed);
+            shared.touch();
+            let now = Instant::now();
+            for (to, msg) in out.drain(..) {
+                let delay = Duration::from_micros(
+                    rng.gen_range(0..=max_delay.as_micros().max(1) as u64),
+                );
+                // A send to a crashed (terminated) node fails; that is
+                // exactly a message that is never delivered.
+                let _ = senders[to.index()].send(Wire {
+                    payload: msg,
+                    from: pid,
+                    deliver_after: now + delay,
+                });
+            }
+        }
+
+        quiescent_flags[pid.index()].store(engine.is_quiescent() && pending.is_empty(), Ordering::Relaxed);
+
+        // Pace the next step (the role of δ).
+        let pause = Duration::from_micros(rng.gen_range(0..=max_pause.as_micros().max(1) as u64));
+        thread::sleep(pause);
+    }
+
+    // Whether the node crashed or the run is over, it will never send again:
+    // mark it quiescent so the coordinator is not blocked on a crashed node.
+    quiescent_flags[pid.index()].store(true, Ordering::Relaxed);
+    let mut slot = results.lock();
+    slot[pid.index()] = Some((engine.rumors().clone(), steps));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agossip_core::{check_gossip, Ears, GossipSpec, Rumor, Tears, Trivial};
+
+    fn initial_rumors(n: usize) -> Vec<Rumor> {
+        (0..n)
+            .map(|i| Rumor::new(ProcessId(i), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn trivial_gossip_gathers_all_rumors_across_threads() {
+        let config = RuntimeConfig::quick(8, 0, 1);
+        let report = run_threaded(&config, Trivial::new);
+        assert!(report.quiescent, "run should end by quiescence, not timeout");
+        assert_eq!(report.messages_sent, 8 * 7);
+        let check = check_gossip(
+            GossipSpec::Full,
+            &report.final_rumors,
+            &initial_rumors(8),
+            &report.correct,
+            report.quiescent,
+        );
+        assert!(check.all_ok(), "{check:?}");
+    }
+
+    #[test]
+    fn ears_gossip_gathers_all_rumors_across_threads() {
+        let config = RuntimeConfig::quick(8, 2, 2);
+        let report = run_threaded(&config, Ears::new);
+        assert!(report.quiescent);
+        let check = check_gossip(
+            GossipSpec::Full,
+            &report.final_rumors,
+            &initial_rumors(8),
+            &report.correct,
+            report.quiescent,
+        );
+        assert!(check.all_ok(), "{check:?}");
+        assert!(report.messages_sent > 0);
+        assert_eq!(report.messages_sent, report.messages_delivered);
+    }
+
+    #[test]
+    fn crashed_nodes_do_not_prevent_completion() {
+        let n = 10;
+        let config = RuntimeConfig::quick(n, 3, 3).with_crashes(vec![
+            (ProcessId(7), 1),
+            (ProcessId(8), 2),
+            (ProcessId(9), 0),
+        ]);
+        let report = run_threaded(&config, Ears::new);
+        let check = check_gossip(
+            GossipSpec::Full,
+            &report.final_rumors,
+            &initial_rumors(n),
+            &report.correct,
+            true,
+        );
+        // Gathering among the correct processes must still hold.
+        assert!(check.gathering_ok, "{check:?}");
+        assert!(check.validity_ok);
+        assert_eq!(report.correct.iter().filter(|c| !**c).count(), 3);
+    }
+
+    #[test]
+    fn tears_reaches_majority_across_threads() {
+        let n = 24;
+        let config = RuntimeConfig::quick(n, 0, 4);
+        let report = run_threaded(&config, Tears::new);
+        let check = check_gossip(
+            GossipSpec::Majority,
+            &report.final_rumors,
+            &initial_rumors(n),
+            &report.correct,
+            true,
+        );
+        assert!(check.gathering_ok, "{check:?}");
+    }
+
+    #[test]
+    fn steps_are_recorded_per_node() {
+        let config = RuntimeConfig::quick(4, 0, 5);
+        let report = run_threaded(&config, Trivial::new);
+        assert_eq!(report.steps.len(), 4);
+        assert!(report.steps.iter().all(|&s| s > 0));
+        assert!(report.elapsed < config.max_duration);
+    }
+}

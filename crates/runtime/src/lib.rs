@@ -1,0 +1,27 @@
+//! # agossip-runtime
+//!
+//! A thread-per-process runtime for the gossip protocols in `agossip-core`.
+//!
+//! The discrete-event simulator in `agossip-sim` is the right tool for
+//! measuring complexity (it controls and counts every step), but it is still
+//! a single-threaded loop. This crate demonstrates that the very same
+//! protocol state machines are genuinely *asynchronous* algorithms: each
+//! process runs on its own OS thread with its own pacing, messages travel
+//! through channels with randomized injected delays, and processes may be
+//! crashed mid-execution — there is no global clock and no round structure
+//! anywhere.
+//!
+//! The runtime mirrors the paper's model:
+//!
+//! * a *local step* is one iteration of a node's loop (deliver whatever has
+//!   arrived and is past its injected delay, compute, send);
+//! * the injected per-message delay bound plays the role of `d`;
+//! * the per-node pacing jitter plays the role of `δ`;
+//! * crash injection halts a thread permanently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::{run_threaded, RuntimeConfig, RuntimeReport};

@@ -1,0 +1,312 @@
+//! The adversary interface and a reference oblivious adversary.
+//!
+//! In the paper's model the adversary controls three things: which processes
+//! take a local step at each time step, which processes crash (subject to the
+//! budget `f`), and how long each message takes to be delivered (subject, in
+//! `(d, δ)`-bounded executions, to the bound `d`).
+//!
+//! * An **oblivious** adversary commits to all of these choices before the
+//!   execution starts; in particular its choices cannot depend on the random
+//!   coin flips of the processes. All adversaries implementing [`Adversary`]
+//!   whose decisions depend only on `(time, process identities)` and their own
+//!   pre-seeded randomness are oblivious.
+//! * An **adaptive** adversary may observe the execution (who sent how many
+//!   messages, which processes look quiescent) and react. The lower-bound
+//!   adversary of Theorem 1 even simulates processes in isolation; it
+//!   therefore does not implement this trait but drives
+//!   [`crate::Simulation`] manually through its low-level stepping API (see
+//!   `agossip-adversary::theorem1`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::message::EnvelopeMeta;
+use crate::process::{ProcessId, ProcessStatus};
+use crate::rng::{rng_for, RngStream};
+use crate::time::TimeStep;
+
+/// A read-only view of the execution state offered to adversaries.
+///
+/// The view deliberately exposes only payload-independent information: even
+/// an adaptive adversary in the paper's model cannot read message contents,
+/// but it can observe traffic patterns, crashes, and which processes have
+/// stopped sending.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemView<'a> {
+    /// The current time step.
+    pub now: TimeStep,
+    /// System size.
+    pub n: usize,
+    /// Failure budget.
+    pub f: usize,
+    /// Per-process liveness.
+    pub statuses: &'a [ProcessStatus],
+    /// Per-process count of messages sent so far.
+    pub sent_by: &'a [u64],
+    /// Per-process time of the most recent local step.
+    pub last_scheduled: &'a [TimeStep],
+    /// Per-process quiescence flags (as reported by the protocol).
+    pub quiescent: &'a [bool],
+    /// Number of messages currently in flight.
+    pub in_flight: usize,
+    /// Number of crashes so far.
+    pub crashes: usize,
+}
+
+impl<'a> SystemView<'a> {
+    /// Identifiers of all processes that are still alive.
+    pub fn alive(&self) -> impl Iterator<Item = ProcessId> + 'a {
+        let statuses = self.statuses;
+        statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_alive())
+            .map(|(i, _)| ProcessId(i))
+    }
+
+    /// Remaining crash budget.
+    pub fn remaining_crash_budget(&self) -> usize {
+        self.f.saturating_sub(self.crashes)
+    }
+}
+
+/// The adversary's decisions for one time step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepPlan {
+    /// Processes scheduled to take a local step (crashed ones are ignored).
+    pub schedule: Vec<ProcessId>,
+    /// Processes to crash at this step, before anyone takes a local step.
+    pub crash: Vec<ProcessId>,
+}
+
+impl StepPlan {
+    /// A plan that schedules exactly the given processes and crashes nobody.
+    pub fn schedule_only(schedule: Vec<ProcessId>) -> Self {
+        StepPlan {
+            schedule,
+            crash: Vec::new(),
+        }
+    }
+}
+
+/// Adversary interface used by [`crate::Simulation::run_with`].
+pub trait Adversary {
+    /// Chooses which processes step and which crash at the current time.
+    fn plan_step(&mut self, view: &SystemView<'_>) -> StepPlan;
+
+    /// Chooses the delivery delay (in time steps, at least 1) for a message
+    /// that was just sent. Returning `u64::MAX` withholds the message for the
+    /// rest of the execution.
+    fn message_delay(&mut self, meta: &EnvelopeMeta, view: &SystemView<'_>) -> u64;
+}
+
+/// The reference oblivious `(d, δ)`-adversary.
+///
+/// * Every live process is scheduled with probability `1/δ` per step, and is
+///   always scheduled once its gap since the previous step reaches `δ`, so
+///   the execution is `δ`-fair.
+/// * Every message receives an independent uniformly random delay in
+///   `[1, d]`.
+/// * Crashes happen at pre-committed `(time, process)` pairs.
+///
+/// Because every choice is a function of `(time, identities)` and of
+/// randomness fixed by the seed at construction time, this adversary is
+/// oblivious in the paper's sense.
+#[derive(Debug, Clone)]
+pub struct FairObliviousAdversary {
+    d: u64,
+    delta: u64,
+    rng: StdRng,
+    /// Sorted list of scheduled crashes (time, victim).
+    crash_plan: Vec<(TimeStep, ProcessId)>,
+}
+
+impl FairObliviousAdversary {
+    /// Creates an adversary honouring bounds `d` and `delta`, deriving its
+    /// randomness from `seed`, with no crashes.
+    pub fn new(d: u64, delta: u64, seed: u64) -> Self {
+        FairObliviousAdversary {
+            d: d.max(1),
+            delta: delta.max(1),
+            rng: rng_for(seed, RngStream::Adversary),
+            crash_plan: Vec::new(),
+        }
+    }
+
+    /// Adds a pre-committed crash of `victim` at time `at`.
+    pub fn with_crash(mut self, at: TimeStep, victim: ProcessId) -> Self {
+        self.crash_plan.push((at, victim));
+        self.crash_plan.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// Adds a batch of pre-committed crashes.
+    pub fn with_crashes(mut self, crashes: impl IntoIterator<Item = (TimeStep, ProcessId)>) -> Self {
+        self.crash_plan.extend(crashes);
+        self.crash_plan.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// The delivery bound this adversary honours.
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The scheduling bound this adversary honours.
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+}
+
+impl Adversary for FairObliviousAdversary {
+    fn plan_step(&mut self, view: &SystemView<'_>) -> StepPlan {
+        let mut schedule = Vec::new();
+        for pid in view.alive() {
+            let gap = view.now.since(view.last_scheduled[pid.index()]);
+            let forced = gap + 1 >= self.delta;
+            if forced || self.rng.gen_range(0..self.delta) == 0 {
+                schedule.push(pid);
+            }
+        }
+        let crash = self
+            .crash_plan
+            .iter()
+            .filter(|(t, pid)| *t <= view.now && view.statuses[pid.index()].is_alive())
+            .map(|(_, pid)| *pid)
+            .collect();
+        StepPlan { schedule, crash }
+    }
+
+    fn message_delay(&mut self, _meta: &EnvelopeMeta, _view: &SystemView<'_>) -> u64 {
+        self.rng.gen_range(1..=self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view_fixture<'a>(
+        now: TimeStep,
+        statuses: &'a [ProcessStatus],
+        sent: &'a [u64],
+        last: &'a [TimeStep],
+        quiescent: &'a [bool],
+    ) -> SystemView<'a> {
+        SystemView {
+            now,
+            n: statuses.len(),
+            f: 1,
+            statuses,
+            sent_by: sent,
+            last_scheduled: last,
+            quiescent,
+            in_flight: 0,
+            crashes: 0,
+        }
+    }
+
+    #[test]
+    fn unit_delta_schedules_everyone_every_step() {
+        let statuses = [ProcessStatus::Alive; 5];
+        let sent = [0; 5];
+        let last = [TimeStep::ZERO; 5];
+        let quiescent = [false; 5];
+        let view = view_fixture(TimeStep(3), &statuses, &sent, &last, &quiescent);
+        let mut adv = FairObliviousAdversary::new(1, 1, 7);
+        let plan = adv.plan_step(&view);
+        assert_eq!(plan.schedule.len(), 5);
+        assert!(plan.crash.is_empty());
+    }
+
+    #[test]
+    fn crashed_processes_are_not_scheduled() {
+        let statuses = [
+            ProcessStatus::Alive,
+            ProcessStatus::Crashed { at: TimeStep(0) },
+            ProcessStatus::Alive,
+        ];
+        let sent = [0; 3];
+        let last = [TimeStep::ZERO; 3];
+        let quiescent = [false; 3];
+        let view = view_fixture(TimeStep(1), &statuses, &sent, &last, &quiescent);
+        let mut adv = FairObliviousAdversary::new(1, 1, 7);
+        let plan = adv.plan_step(&view);
+        assert_eq!(plan.schedule, vec![ProcessId(0), ProcessId(2)]);
+    }
+
+    #[test]
+    fn delta_fairness_forces_overdue_processes() {
+        let statuses = [ProcessStatus::Alive; 2];
+        let sent = [0; 2];
+        // Process 0 last ran at t0; at t3 with delta = 4 its gap is 3 and the
+        // forced condition (gap + 1 >= delta) triggers.
+        let last = [TimeStep(0), TimeStep(3)];
+        let quiescent = [false; 2];
+        let view = view_fixture(TimeStep(3), &statuses, &sent, &last, &quiescent);
+        let mut adv = FairObliviousAdversary::new(1, 4, 1234);
+        // Run the plan many times (the RNG part varies) — process 0 must be
+        // scheduled every time because it is overdue.
+        for _ in 0..20 {
+            let plan = adv.plan_step(&view);
+            assert!(plan.schedule.contains(&ProcessId(0)));
+        }
+    }
+
+    #[test]
+    fn delays_respect_bound_d() {
+        let statuses = [ProcessStatus::Alive; 2];
+        let sent = [0; 2];
+        let last = [TimeStep::ZERO; 2];
+        let quiescent = [false; 2];
+        let view = view_fixture(TimeStep(0), &statuses, &sent, &last, &quiescent);
+        let mut adv = FairObliviousAdversary::new(5, 1, 99);
+        let meta = EnvelopeMeta {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            sent_at: TimeStep(0),
+        };
+        for _ in 0..200 {
+            let delay = adv.message_delay(&meta, &view);
+            assert!((1..=5).contains(&delay));
+        }
+    }
+
+    #[test]
+    fn crash_plan_fires_at_or_after_scheduled_time() {
+        let statuses = [ProcessStatus::Alive; 3];
+        let sent = [0; 3];
+        let last = [TimeStep::ZERO; 3];
+        let quiescent = [false; 3];
+        let mut adv =
+            FairObliviousAdversary::new(1, 1, 7).with_crash(TimeStep(5), ProcessId(2));
+        let early = view_fixture(TimeStep(4), &statuses, &sent, &last, &quiescent);
+        assert!(adv.plan_step(&early).crash.is_empty());
+        let due = view_fixture(TimeStep(5), &statuses, &sent, &last, &quiescent);
+        assert_eq!(adv.plan_step(&due).crash, vec![ProcessId(2)]);
+    }
+
+    #[test]
+    fn system_view_alive_and_budget() {
+        let statuses = [
+            ProcessStatus::Alive,
+            ProcessStatus::Crashed { at: TimeStep(1) },
+        ];
+        let sent = [0; 2];
+        let last = [TimeStep::ZERO; 2];
+        let quiescent = [false; 2];
+        let mut view = view_fixture(TimeStep(2), &statuses, &sent, &last, &quiescent);
+        view.crashes = 1;
+        view.f = 1;
+        let alive: Vec<_> = view.alive().collect();
+        assert_eq!(alive, vec![ProcessId(0)]);
+        assert_eq!(view.remaining_crash_budget(), 0);
+    }
+
+    #[test]
+    fn step_plan_schedule_only_has_no_crashes() {
+        let plan = StepPlan::schedule_only(vec![ProcessId(1)]);
+        assert_eq!(plan.schedule, vec![ProcessId(1)]);
+        assert!(plan.crash.is_empty());
+    }
+}

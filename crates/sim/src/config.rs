@@ -1,0 +1,164 @@
+//! Simulation configuration.
+
+use crate::error::{SimError, SimResult};
+
+/// Parameters of one simulated execution.
+///
+/// `n`, `f`, `d` and `δ` are the quantities in which every bound of the paper
+/// is expressed. `d` and `delta` here describe the bounds an *oblivious*
+/// adversary will respect; an adaptive adversary driving the simulation
+/// manually may exceed them, in which case the *actual* `d`/`δ` of the
+/// execution are recorded in [`crate::metrics::Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of processes.
+    pub n: usize,
+    /// Maximum number of crash failures the execution may contain (`f < n`).
+    pub f: usize,
+    /// Upper bound on message delivery delay for this execution (`d ≥ 1`).
+    pub d: u64,
+    /// Upper bound on the scheduling gap of live processes (`δ ≥ 1`).
+    pub delta: u64,
+    /// Seed from which all randomness in the execution is derived.
+    pub seed: u64,
+    /// Safety limit on the number of global time steps; the run loop aborts
+    /// with [`SimError::StepLimitExceeded`] if it is reached.
+    pub max_steps: u64,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the given system size and failure budget,
+    /// unit delays (`d = δ = 1`), seed 0 and a generous step limit.
+    pub fn new(n: usize, f: usize) -> Self {
+        SimConfig {
+            n,
+            f,
+            d: 1,
+            delta: 1,
+            seed: 0,
+            max_steps: default_max_steps(n),
+        }
+    }
+
+    /// Sets the delivery-delay bound `d`.
+    pub fn with_d(mut self, d: u64) -> Self {
+        self.d = d;
+        self
+    }
+
+    /// Sets the scheduling bound `δ`.
+    pub fn with_delta(mut self, delta: u64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the step limit.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// `d + δ`, the unit in which the paper states every time bound.
+    pub fn latency_unit(&self) -> u64 {
+        self.d + self.delta
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.n == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "n must be at least 1".into(),
+            });
+        }
+        if self.f >= self.n {
+            return Err(SimError::InvalidConfig {
+                reason: format!("f must be < n (got f = {}, n = {})", self.f, self.n),
+            });
+        }
+        if self.d == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "d must be at least 1".into(),
+            });
+        }
+        if self.delta == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "delta must be at least 1".into(),
+            });
+        }
+        if self.max_steps == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "max_steps must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A step limit comfortably above the running time of every protocol in this
+/// workspace for systems of size `n`, while still catching livelock bugs.
+fn default_max_steps(n: usize) -> u64 {
+    let n = n.max(2) as u64;
+    // Generous: quadratic in n with a large constant. The slowest protocol we
+    // run (EARS with f close to n) needs O(n/(n-f) · log² n · (d+δ)) steps.
+    200_000 + 200 * n * n.ilog2() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = SimConfig::new(16, 4)
+            .with_d(3)
+            .with_delta(2)
+            .with_seed(99)
+            .with_max_steps(500);
+        assert_eq!(cfg.n, 16);
+        assert_eq!(cfg.f, 4);
+        assert_eq!(cfg.d, 3);
+        assert_eq!(cfg.delta, 2);
+        assert_eq!(cfg.seed, 99);
+        assert_eq!(cfg.max_steps, 500);
+        assert_eq!(cfg.latency_unit(), 5);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        SimConfig::new(8, 3).validate().unwrap();
+        SimConfig::new(1, 0).validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_zero_processes() {
+        assert!(matches!(
+            SimConfig::new(0, 0).validate(),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_f_equal_n() {
+        assert!(SimConfig::new(4, 4).validate().is_err());
+        assert!(SimConfig::new(4, 5).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_bounds() {
+        assert!(SimConfig::new(4, 1).with_d(0).validate().is_err());
+        assert!(SimConfig::new(4, 1).with_delta(0).validate().is_err());
+        assert!(SimConfig::new(4, 1).with_max_steps(0).validate().is_err());
+    }
+
+    #[test]
+    fn default_step_limit_scales_with_n() {
+        assert!(default_max_steps(1024) > default_max_steps(16));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for configuration and simulation control.
+
+use std::fmt;
+
+use crate::process::ProcessId;
+
+/// Result alias used throughout the crate.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors raised when constructing or driving a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration is internally inconsistent (e.g. `f >= n`).
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A process identifier outside `0..n` was used.
+    UnknownProcess {
+        /// The offending identifier.
+        pid: ProcessId,
+        /// The system size.
+        n: usize,
+    },
+    /// More crashes were requested than the failure budget `f` allows.
+    CrashBudgetExceeded {
+        /// The configured failure budget.
+        budget: usize,
+        /// The number of crashes that would result.
+        requested: usize,
+    },
+    /// The number of processes handed to the simulation does not match `n`.
+    ProcessCountMismatch {
+        /// The configured system size.
+        expected: usize,
+        /// The number of process state machines supplied.
+        actual: usize,
+    },
+    /// The run loop hit its step limit before every process became quiescent.
+    StepLimitExceeded {
+        /// The configured maximum number of time steps.
+        max_steps: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::UnknownProcess { pid, n } => {
+                write!(f, "unknown process {pid} in a system of {n} processes")
+            }
+            SimError::CrashBudgetExceeded { budget, requested } => write!(
+                f,
+                "crash budget exceeded: requested {requested} total crashes but f = {budget}"
+            ),
+            SimError::ProcessCountMismatch { expected, actual } => write!(
+                f,
+                "process count mismatch: configuration says n = {expected} but {actual} processes were supplied"
+            ),
+            SimError::StepLimitExceeded { max_steps } => {
+                write!(f, "simulation exceeded the step limit of {max_steps}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimError::InvalidConfig {
+            reason: "f must be < n".into(),
+        };
+        assert!(e.to_string().contains("f must be < n"));
+
+        let e = SimError::UnknownProcess {
+            pid: ProcessId(9),
+            n: 4,
+        };
+        assert!(e.to_string().contains("p9"));
+        assert!(e.to_string().contains('4'));
+
+        let e = SimError::CrashBudgetExceeded {
+            budget: 2,
+            requested: 3,
+        };
+        assert!(e.to_string().contains('2'));
+        assert!(e.to_string().contains('3'));
+
+        let e = SimError::ProcessCountMismatch {
+            expected: 8,
+            actual: 7,
+        };
+        assert!(e.to_string().contains('8'));
+
+        let e = SimError::StepLimitExceeded { max_steps: 100 };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&SimError::StepLimitExceeded { max_steps: 1 });
+    }
+}

@@ -1,0 +1,65 @@
+//! # agossip-sim
+//!
+//! A discrete-event model of the asynchronous, crash-prone, message-passing
+//! system used in *"On the Complexity of Asynchronous Gossip"* (Georgiou,
+//! Gilbert, Guerraoui, Kowalski — PODC 2008).
+//!
+//! The model follows Section 1 ("System Model") of the paper:
+//!
+//! * There are `n` processes with identifiers `1..=n` (represented here as
+//!   [`ProcessId`] indices `0..n`). Up to `f < n` of them may crash.
+//! * Time proceeds in discrete [`TimeStep`]s. At every time step an arbitrary
+//!   subset of the processes is *scheduled* to take a local step. In a local
+//!   step a process (1) receives some subset of the messages sent to it,
+//!   (2) performs local computation, and (3) sends zero or more messages.
+//! * For a given execution, `d` is the maximum delivery time of any message
+//!   and `δ` is the maximum scheduling gap: if `p` sends `m` to `q` at time
+//!   `t` and `q` is scheduled at any `t' ≥ t + d`, then `q` receives `m` no
+//!   later than `t'`; in any window of `δ` consecutive time steps every
+//!   non-crashed process is scheduled at least once.
+//! * An *adversary* decides which processes are scheduled and which crash at
+//!   each time step, and how long each message is delayed. An **oblivious**
+//!   adversary fixes these decisions in advance; an **adaptive** adversary
+//!   may react to the execution (including the random choices made by the
+//!   processes).
+//!
+//! The crate provides:
+//!
+//! * [`Process`] — the local-step state-machine interface protocols implement.
+//! * [`Simulation`] — the execution engine: it owns the processes, the
+//!   in-flight message buffer, and the metrics, and advances time one step at
+//!   a time under the control of an [`Adversary`] (or under manual control,
+//!   which is what the adaptive lower-bound adversary in `agossip-adversary`
+//!   uses).
+//! * [`adversary`] — the adversary trait plus a family of oblivious
+//!   schedule/delay/crash policies.
+//! * [`metrics`] — message, step, delay and quiescence accounting; these are
+//!   exactly the quantities bounded by the paper's theorems.
+//!
+//! The simulator is fully deterministic given a [`SimConfig::seed`]: all
+//! randomness (both the adversary's and the protocols') flows from seeded
+//! [`rand::rngs::StdRng`] instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod config;
+pub mod error;
+pub mod message;
+pub mod metrics;
+pub mod network;
+pub mod process;
+pub mod rng;
+pub mod scheduler;
+pub mod time;
+
+pub use adversary::{Adversary, FairObliviousAdversary, StepPlan, SystemView};
+pub use config::SimConfig;
+pub use error::{SimError, SimResult};
+pub use message::{Envelope, EnvelopeMeta, Outbox};
+pub use metrics::Metrics;
+pub use network::Network;
+pub use process::{Process, ProcessId, ProcessStatus};
+pub use scheduler::{RunOutcome, Simulation, StopReason};
+pub use time::TimeStep;

@@ -1,0 +1,222 @@
+//! The in-flight message buffer.
+//!
+//! Messages are never lost or corrupted (paper, Section 1): once sent, a
+//! message stays in the network until its recipient is scheduled at or after
+//! the message's delivery deadline, at which point it is handed to the
+//! recipient's local step. Messages addressed to crashed processes are
+//! discarded when the crash is observed.
+
+use std::collections::VecDeque;
+
+use crate::message::Envelope;
+use crate::process::ProcessId;
+use crate::time::TimeStep;
+
+/// A message waiting in the network together with the earliest time at which
+/// it may be delivered.
+#[derive(Debug, Clone)]
+struct InFlight<M> {
+    envelope: Envelope<M>,
+    /// The message becomes deliverable at any scheduled step of the recipient
+    /// occurring at time `>= deliverable_at`.
+    deliverable_at: TimeStep,
+}
+
+/// The network: a per-destination queue of in-flight messages.
+#[derive(Debug, Clone)]
+pub struct Network<M> {
+    queues: Vec<VecDeque<InFlight<M>>>,
+    in_flight: usize,
+}
+
+impl<M> Network<M> {
+    /// Creates an empty network for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        Network {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            in_flight: 0,
+        }
+    }
+
+    /// Number of processes the network routes between.
+    pub fn n(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Accepts a message sent at `envelope.sent_at` with delivery delay
+    /// `delay` (so it becomes deliverable at `sent_at + delay`).
+    ///
+    /// A `delay` of `u64::MAX` models a message the adversary withholds for
+    /// the remainder of the execution (used by the adaptive lower-bound
+    /// adversary); such messages still count as *sent* for message-complexity
+    /// accounting, which is done by the caller.
+    pub fn send(&mut self, envelope: Envelope<M>, delay: u64) {
+        let deliverable_at = envelope.sent_at.after(delay);
+        let to = envelope.to.index();
+        debug_assert!(to < self.queues.len(), "destination out of range");
+        self.queues[to].push_back(InFlight {
+            envelope,
+            deliverable_at,
+        });
+        self.in_flight += 1;
+    }
+
+    /// Removes and returns every message addressed to `to` whose delivery
+    /// deadline has been reached at time `now`.
+    pub fn collect_deliverable(&mut self, to: ProcessId, now: TimeStep) -> Vec<Envelope<M>> {
+        let queue = &mut self.queues[to.index()];
+        let mut delivered = Vec::new();
+        let mut remaining = VecDeque::with_capacity(queue.len());
+        while let Some(m) = queue.pop_front() {
+            if m.deliverable_at <= now {
+                delivered.push(m.envelope);
+            } else {
+                remaining.push_back(m);
+            }
+        }
+        *queue = remaining;
+        self.in_flight -= delivered.len();
+        delivered
+    }
+
+    /// Discards every message addressed to `to` (used when `to` crashes).
+    /// Returns the number of messages dropped.
+    pub fn drop_for(&mut self, to: ProcessId) -> usize {
+        let queue = &mut self.queues[to.index()];
+        let dropped = queue.len();
+        queue.clear();
+        self.in_flight -= dropped;
+        dropped
+    }
+
+    /// Total number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Number of messages currently queued for `to`.
+    pub fn pending_for(&self, to: ProcessId) -> usize {
+        self.queues[to.index()].len()
+    }
+
+    /// Earliest time at which any message queued for `to` becomes
+    /// deliverable, or `None` if the queue is empty.
+    pub fn earliest_deliverable_for(&self, to: ProcessId) -> Option<TimeStep> {
+        self.queues[to.index()]
+            .iter()
+            .map(|m| m.deliverable_at)
+            .min()
+    }
+
+    /// True if no message is in flight to any destination.
+    pub fn is_empty(&self) -> bool {
+        self.in_flight == 0
+    }
+
+    /// Iterates over the messages currently queued for `to` (regardless of
+    /// delivery deadline), without removing them.
+    pub fn iter_for(&self, to: ProcessId) -> impl Iterator<Item = &Envelope<M>> {
+        self.queues[to.index()].iter().map(|m| &m.envelope)
+    }
+
+    /// Clones every message currently queued for `to`.
+    pub fn clone_pending_for(&self, to: ProcessId) -> Vec<Envelope<M>>
+    where
+        M: Clone,
+    {
+        self.iter_for(to).cloned().collect()
+    }
+
+    /// True if every in-flight message has a delivery deadline of
+    /// `u64::MAX`-like magnitude, i.e. has been withheld "forever" relative
+    /// to `horizon`. Used by drivers that want to treat permanently withheld
+    /// messages as drained.
+    pub fn all_beyond(&self, horizon: TimeStep) -> bool {
+        self.queues
+            .iter()
+            .flatten()
+            .all(|m| m.deliverable_at > horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(from: usize, to: usize, at: u64, payload: u32) -> Envelope<u32> {
+        Envelope {
+            from: ProcessId(from),
+            to: ProcessId(to),
+            sent_at: TimeStep(at),
+            payload,
+        }
+    }
+
+    #[test]
+    fn delivery_respects_deadline() {
+        let mut net: Network<u32> = Network::new(3);
+        net.send(env(0, 1, 0, 7), 2);
+        assert_eq!(net.in_flight(), 1);
+        // Not deliverable before t2.
+        assert!(net.collect_deliverable(ProcessId(1), TimeStep(1)).is_empty());
+        assert_eq!(net.in_flight(), 1);
+        let got = net.collect_deliverable(ProcessId(1), TimeStep(2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 7);
+        assert!(net.is_empty());
+    }
+
+    #[test]
+    fn delivery_is_per_destination() {
+        let mut net: Network<u32> = Network::new(3);
+        net.send(env(0, 1, 0, 1), 1);
+        net.send(env(0, 2, 0, 2), 1);
+        let got = net.collect_deliverable(ProcessId(1), TimeStep(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 1);
+        assert_eq!(net.pending_for(ProcessId(2)), 1);
+    }
+
+    #[test]
+    fn withheld_messages_stay_in_flight() {
+        let mut net: Network<u32> = Network::new(2);
+        net.send(env(0, 1, 0, 9), u64::MAX);
+        assert!(net.collect_deliverable(ProcessId(1), TimeStep(1_000_000)).is_empty());
+        assert_eq!(net.in_flight(), 1);
+        assert!(net.all_beyond(TimeStep(1_000_000)));
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn drop_for_discards_queue() {
+        let mut net: Network<u32> = Network::new(2);
+        net.send(env(0, 1, 0, 1), 1);
+        net.send(env(0, 1, 0, 2), 1);
+        assert_eq!(net.drop_for(ProcessId(1)), 2);
+        assert!(net.is_empty());
+        assert_eq!(net.drop_for(ProcessId(1)), 0);
+    }
+
+    #[test]
+    fn earliest_deliverable_reports_minimum() {
+        let mut net: Network<u32> = Network::new(2);
+        assert_eq!(net.earliest_deliverable_for(ProcessId(1)), None);
+        net.send(env(0, 1, 0, 1), 5);
+        net.send(env(0, 1, 2, 2), 1);
+        assert_eq!(net.earliest_deliverable_for(ProcessId(1)), Some(TimeStep(3)));
+    }
+
+    #[test]
+    fn mixed_deadlines_partial_delivery() {
+        let mut net: Network<u32> = Network::new(2);
+        net.send(env(0, 1, 0, 1), 1);
+        net.send(env(0, 1, 0, 2), 10);
+        let got = net.collect_deliverable(ProcessId(1), TimeStep(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 1);
+        assert_eq!(net.pending_for(ProcessId(1)), 1);
+        let got = net.collect_deliverable(ProcessId(1), TimeStep(10));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 2);
+    }
+}

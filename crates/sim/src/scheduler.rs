@@ -1,0 +1,609 @@
+//! The simulation engine.
+//!
+//! [`Simulation`] owns the process state machines, the network, and the
+//! metrics, and advances time one discrete step at a time. Two driving modes
+//! are offered:
+//!
+//! * [`Simulation::run_with`] — the common case: an [`Adversary`]
+//!   implementation chooses schedules, crashes, and delays, and the loop runs
+//!   until the system is quiescent or the step limit is hit.
+//! * [`Simulation::step_manual`] — low-level control used by *adaptive*
+//!   adversaries (notably the Theorem 1 lower-bound adversary in
+//!   `agossip-adversary`), which need to schedule precise subsets of
+//!   processes, withhold messages, and inspect pending traffic.
+
+use crate::adversary::{Adversary, StepPlan, SystemView};
+use crate::config::SimConfig;
+use crate::error::{SimError, SimResult};
+use crate::message::{Envelope, EnvelopeMeta, Outbox};
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::process::{Process, ProcessId, ProcessStatus};
+use crate::time::TimeStep;
+
+/// Why a run loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every non-crashed process is quiescent and no message is in flight.
+    Quiescent,
+    /// The caller-provided predicate returned true.
+    Predicate,
+    /// The configured step limit was reached.
+    StepLimit,
+}
+
+/// Summary of a completed run loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Why the loop stopped.
+    pub reason: StopReason,
+    /// The time at which it stopped.
+    pub stopped_at: TimeStep,
+}
+
+/// The discrete-event simulator.
+#[derive(Debug, Clone)]
+pub struct Simulation<P: Process> {
+    config: SimConfig,
+    processes: Vec<P>,
+    statuses: Vec<ProcessStatus>,
+    quiescent: Vec<bool>,
+    last_scheduled: Vec<TimeStep>,
+    network: Network<P::Message>,
+    metrics: Metrics,
+    now: TimeStep,
+}
+
+impl<P: Process> Simulation<P> {
+    /// Creates a simulation over the given process state machines.
+    ///
+    /// `processes[i]` is the state machine of [`ProcessId`]`(i)`; its length
+    /// must equal `config.n`.
+    pub fn new(config: SimConfig, processes: Vec<P>) -> SimResult<Self> {
+        config.validate()?;
+        if processes.len() != config.n {
+            return Err(SimError::ProcessCountMismatch {
+                expected: config.n,
+                actual: processes.len(),
+            });
+        }
+        let n = config.n;
+        let quiescent = processes.iter().map(|p| p.is_quiescent()).collect();
+        Ok(Simulation {
+            config,
+            processes,
+            statuses: vec![ProcessStatus::Alive; n],
+            quiescent,
+            last_scheduled: vec![TimeStep::ZERO; n],
+            network: Network::new(n),
+            metrics: Metrics::new(n),
+            now: TimeStep::ZERO,
+        })
+    }
+
+    /// The configuration this simulation was created with.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The current time.
+    pub fn now(&self) -> TimeStep {
+        self.now
+    }
+
+    /// Read access to the metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Per-process liveness.
+    pub fn statuses(&self) -> &[ProcessStatus] {
+        &self.statuses
+    }
+
+    /// Read access to process `pid`'s state machine.
+    pub fn process(&self, pid: ProcessId) -> &P {
+        &self.processes[pid.index()]
+    }
+
+    /// Mutable access to process `pid`'s state machine (used by test
+    /// harnesses and by directors that need to inject state).
+    pub fn process_mut(&mut self, pid: ProcessId) -> &mut P {
+        &mut self.processes[pid.index()]
+    }
+
+    /// Read access to all process state machines.
+    pub fn processes(&self) -> &[P] {
+        &self.processes
+    }
+
+    /// Identifiers of processes that are still alive.
+    pub fn alive(&self) -> Vec<ProcessId> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_alive())
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+
+    /// True if `pid` is alive.
+    pub fn is_alive(&self, pid: ProcessId) -> bool {
+        self.statuses[pid.index()].is_alive()
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.network.in_flight()
+    }
+
+    /// Clones of the messages currently queued for `pid` (regardless of
+    /// delivery deadline). Used by adaptive adversaries that simulate a
+    /// process "receiving any messages from S1" (Theorem 1).
+    pub fn pending_messages_for(&self, pid: ProcessId) -> Vec<Envelope<P::Message>> {
+        self.network.clone_pending_for(pid)
+    }
+
+    /// True when every non-crashed process reports quiescence and no message
+    /// remains in flight.
+    pub fn system_quiescent(&self) -> bool {
+        let all_quiet = self
+            .statuses
+            .iter()
+            .zip(&self.quiescent)
+            .all(|(s, q)| s.is_crashed() || *q);
+        all_quiet && self.network.is_empty()
+    }
+
+    /// Like [`Self::system_quiescent`] but treats messages withheld beyond
+    /// `horizon` as undeliverable (used by adaptive drivers that withhold
+    /// messages forever).
+    pub fn system_quiescent_ignoring_withheld(&self, horizon: TimeStep) -> bool {
+        let all_quiet = self
+            .statuses
+            .iter()
+            .zip(&self.quiescent)
+            .all(|(s, q)| s.is_crashed() || *q);
+        all_quiet && self.network.all_beyond(horizon)
+    }
+
+    /// Crashes `pid` immediately (before any further local steps). Messages
+    /// already queued for it are discarded. Returns an error if the crash
+    /// budget `f` would be exceeded; crashing an already-crashed process is a
+    /// no-op.
+    pub fn crash(&mut self, pid: ProcessId) -> SimResult<()> {
+        if pid.index() >= self.config.n {
+            return Err(SimError::UnknownProcess {
+                pid,
+                n: self.config.n,
+            });
+        }
+        if self.statuses[pid.index()].is_crashed() {
+            return Ok(());
+        }
+        if self.metrics.crashes + 1 > self.config.f {
+            return Err(SimError::CrashBudgetExceeded {
+                budget: self.config.f,
+                requested: self.metrics.crashes + 1,
+            });
+        }
+        self.statuses[pid.index()] = ProcessStatus::Crashed { at: self.now };
+        let dropped = self.network.drop_for(pid);
+        self.metrics.record_dropped(dropped as u64);
+        self.metrics.record_crash();
+        Ok(())
+    }
+
+    /// Builds the read-only view handed to adversaries.
+    fn view(&self) -> SystemView<'_> {
+        SystemView {
+            now: self.now,
+            n: self.config.n,
+            f: self.config.f,
+            statuses: &self.statuses,
+            sent_by: &self.metrics.sent_by,
+            last_scheduled: &self.last_scheduled,
+            quiescent: &self.quiescent,
+            in_flight: self.network.in_flight(),
+            crashes: self.metrics.crashes,
+        }
+    }
+
+    /// Executes one global time step under manual control.
+    ///
+    /// `crashes` are applied first (before any local step), then every alive
+    /// process in `schedule` takes one local step: it receives every message
+    /// whose delivery deadline has passed, computes, and sends. Each sent
+    /// message is assigned the delay returned by `delay_for`; a returned
+    /// value of `u64::MAX` withholds the message for the rest of the
+    /// execution.
+    pub fn step_manual(
+        &mut self,
+        schedule: &[ProcessId],
+        crashes: &[ProcessId],
+        mut delay_for: impl FnMut(&EnvelopeMeta) -> u64,
+    ) -> SimResult<()> {
+        for &victim in crashes {
+            self.crash(victim)?;
+        }
+
+        let mut outgoing: Vec<Envelope<P::Message>> = Vec::new();
+        for &pid in schedule {
+            if pid.index() >= self.config.n {
+                return Err(SimError::UnknownProcess {
+                    pid,
+                    n: self.config.n,
+                });
+            }
+            if self.statuses[pid.index()].is_crashed() {
+                continue;
+            }
+            let inbox = self.network.collect_deliverable(pid, self.now);
+            for env in &inbox {
+                self.metrics.record_delivery(pid, env.sent_at, self.now);
+            }
+            self.metrics
+                .record_step(pid, self.last_scheduled[pid.index()], self.now);
+            self.last_scheduled[pid.index()] = self.now;
+
+            let mut outbox = Outbox::new();
+            self.processes[pid.index()].on_step(self.now, inbox, &mut outbox);
+            self.quiescent[pid.index()] = self.processes[pid.index()].is_quiescent();
+
+            let sends = outbox.into_sends();
+            self.metrics.record_sent(pid, sends.len() as u64);
+            for (to, payload) in sends {
+                if to.index() >= self.config.n {
+                    return Err(SimError::UnknownProcess {
+                        pid: to,
+                        n: self.config.n,
+                    });
+                }
+                outgoing.push(Envelope {
+                    from: pid,
+                    to,
+                    sent_at: self.now,
+                    payload,
+                });
+            }
+        }
+
+        for env in outgoing {
+            // Messages to crashed destinations are dropped (they can never be
+            // received) but they were already counted as sent above.
+            if self.statuses[env.to.index()].is_crashed() {
+                self.metrics.record_dropped(1);
+                continue;
+            }
+            let delay = delay_for(&env.meta()).max(1);
+            self.network.send(env, delay);
+        }
+
+        if self.system_quiescent() {
+            self.metrics.record_quiescence(self.now);
+        }
+        self.metrics.elapsed_steps += 1;
+        self.now.tick();
+        Ok(())
+    }
+
+    /// Executes one global time step under the control of `adversary`.
+    pub fn step_with<A: Adversary>(&mut self, adversary: &mut A) -> SimResult<()> {
+        let plan: StepPlan = adversary.plan_step(&self.view());
+        // Delays must be chosen by the adversary; capture them through a
+        // small closure that re-creates a view on demand. Since the view
+        // borrows `self`, we instead snapshot the fields the delay decision
+        // may depend on (time and traffic counts) before mutating.
+        let StepPlan { schedule, crash } = plan;
+
+        // Apply crashes first.
+        for &victim in &crash {
+            self.crash(victim)?;
+        }
+
+        let mut outgoing: Vec<Envelope<P::Message>> = Vec::new();
+        for &pid in &schedule {
+            if pid.index() >= self.config.n {
+                return Err(SimError::UnknownProcess {
+                    pid,
+                    n: self.config.n,
+                });
+            }
+            if self.statuses[pid.index()].is_crashed() {
+                continue;
+            }
+            let inbox = self.network.collect_deliverable(pid, self.now);
+            for env in &inbox {
+                self.metrics.record_delivery(pid, env.sent_at, self.now);
+            }
+            self.metrics
+                .record_step(pid, self.last_scheduled[pid.index()], self.now);
+            self.last_scheduled[pid.index()] = self.now;
+
+            let mut outbox = Outbox::new();
+            self.processes[pid.index()].on_step(self.now, inbox, &mut outbox);
+            self.quiescent[pid.index()] = self.processes[pid.index()].is_quiescent();
+
+            let sends = outbox.into_sends();
+            self.metrics.record_sent(pid, sends.len() as u64);
+            for (to, payload) in sends {
+                if to.index() >= self.config.n {
+                    return Err(SimError::UnknownProcess {
+                        pid: to,
+                        n: self.config.n,
+                    });
+                }
+                outgoing.push(Envelope {
+                    from: pid,
+                    to,
+                    sent_at: self.now,
+                    payload,
+                });
+            }
+        }
+
+        for env in outgoing {
+            if self.statuses[env.to.index()].is_crashed() {
+                self.metrics.record_dropped(1);
+                continue;
+            }
+            let delay = {
+                let view = self.view();
+                adversary.message_delay(&env.meta(), &view).max(1)
+            };
+            self.network.send(env, delay);
+        }
+
+        if self.system_quiescent() {
+            self.metrics.record_quiescence(self.now);
+        }
+        self.metrics.elapsed_steps += 1;
+        self.now.tick();
+        Ok(())
+    }
+
+    /// Runs until the system is quiescent or the step limit is reached.
+    pub fn run_with<A: Adversary>(&mut self, adversary: &mut A) -> SimResult<RunOutcome> {
+        self.run_until(adversary, |_| false)
+    }
+
+    /// Runs until the system is quiescent, `stop` returns true, or the step
+    /// limit is reached. The predicate is evaluated after every step.
+    pub fn run_until<A: Adversary>(
+        &mut self,
+        adversary: &mut A,
+        mut stop: impl FnMut(&Self) -> bool,
+    ) -> SimResult<RunOutcome> {
+        loop {
+            if self.system_quiescent() {
+                self.metrics.record_quiescence(self.now);
+                return Ok(RunOutcome {
+                    reason: StopReason::Quiescent,
+                    stopped_at: self.now,
+                });
+            }
+            if stop(self) {
+                return Ok(RunOutcome {
+                    reason: StopReason::Predicate,
+                    stopped_at: self.now,
+                });
+            }
+            if self.now.as_u64() >= self.config.max_steps {
+                return Err(SimError::StepLimitExceeded {
+                    max_steps: self.config.max_steps,
+                });
+            }
+            self.step_with(adversary)?;
+        }
+    }
+
+    /// Consumes the simulation and returns its parts: the process state
+    /// machines (for post-hoc correctness checks) and the metrics.
+    pub fn into_parts(self) -> (Vec<P>, Metrics) {
+        (self.processes, self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FairObliviousAdversary;
+
+    /// A toy protocol: flood a single token once, then stay quiet. Used to
+    /// exercise the engine itself.
+    #[derive(Debug, Clone)]
+    struct OneShotFlood {
+        id: ProcessId,
+        n: usize,
+        sent: bool,
+        received: Vec<ProcessId>,
+    }
+
+    impl OneShotFlood {
+        fn new(id: ProcessId, n: usize) -> Self {
+            OneShotFlood {
+                id,
+                n,
+                sent: false,
+                received: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for OneShotFlood {
+        type Message = ProcessId;
+
+        fn on_step(
+            &mut self,
+            _now: TimeStep,
+            inbox: Vec<Envelope<Self::Message>>,
+            out: &mut Outbox<Self::Message>,
+        ) {
+            for env in inbox {
+                self.received.push(env.payload);
+            }
+            if !self.sent {
+                self.sent = true;
+                for q in ProcessId::all(self.n) {
+                    if q != self.id {
+                        out.send(q, self.id);
+                    }
+                }
+            }
+        }
+
+        fn is_quiescent(&self) -> bool {
+            self.sent
+        }
+    }
+
+    fn flood_sim(n: usize, f: usize, d: u64, delta: u64) -> Simulation<OneShotFlood> {
+        let cfg = SimConfig::new(n, f).with_d(d).with_delta(delta).with_seed(11);
+        let procs = ProcessId::all(n).map(|p| OneShotFlood::new(p, n)).collect();
+        Simulation::new(cfg, procs).unwrap()
+    }
+
+    #[test]
+    fn rejects_process_count_mismatch() {
+        let cfg = SimConfig::new(3, 1);
+        let procs = vec![OneShotFlood::new(ProcessId(0), 3)];
+        assert!(matches!(
+            Simulation::new(cfg, procs),
+            Err(SimError::ProcessCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn flood_completes_and_counts_messages() {
+        let n = 8;
+        let mut sim = flood_sim(n, 0, 1, 1);
+        let mut adv = FairObliviousAdversary::new(1, 1, 3);
+        let outcome = sim.run_with(&mut adv).unwrap();
+        assert_eq!(outcome.reason, StopReason::Quiescent);
+        // n processes each send n-1 messages.
+        assert_eq!(sim.metrics().messages_sent, (n * (n - 1)) as u64);
+        // Every process received from every other.
+        for pid in ProcessId::all(n) {
+            assert_eq!(sim.process(pid).received.len(), n - 1);
+        }
+        assert!(sim.metrics().quiescence_time.is_some());
+        assert!(sim.metrics().max_delivery_delay <= 1);
+    }
+
+    #[test]
+    fn crash_budget_is_enforced() {
+        let mut sim = flood_sim(4, 1, 1, 1);
+        sim.crash(ProcessId(0)).unwrap();
+        // Second crash exceeds f = 1.
+        assert!(matches!(
+            sim.crash(ProcessId(1)),
+            Err(SimError::CrashBudgetExceeded { .. })
+        ));
+        // Crashing an already-crashed process is a no-op.
+        sim.crash(ProcessId(0)).unwrap();
+        assert_eq!(sim.metrics().crashes, 1);
+    }
+
+    #[test]
+    fn crashed_processes_do_not_step_or_receive() {
+        let n = 4;
+        let mut sim = flood_sim(n, 1, 1, 1);
+        sim.crash(ProcessId(3)).unwrap();
+        let mut adv = FairObliviousAdversary::new(1, 1, 5);
+        sim.run_with(&mut adv).unwrap();
+        // The crashed process never stepped.
+        assert_eq!(sim.metrics().steps_by[3], 0);
+        assert_eq!(sim.metrics().sent_by[3], 0);
+        // Messages addressed to it were dropped, not delivered.
+        assert_eq!(sim.metrics().delivered_to[3], 0);
+        assert!(sim.metrics().messages_dropped >= (n - 1) as u64);
+    }
+
+    #[test]
+    fn manual_stepping_with_withheld_messages() {
+        let n = 3;
+        let mut sim = flood_sim(n, 0, 1, 1);
+        // Schedule only process 0 and withhold everything it sends.
+        sim.step_manual(&[ProcessId(0)], &[], |_| u64::MAX).unwrap();
+        assert_eq!(sim.metrics().messages_sent, (n - 1) as u64);
+        assert_eq!(sim.in_flight(), n - 1);
+        assert!(!sim.system_quiescent());
+        assert!(sim.system_quiescent_ignoring_withheld(TimeStep(1_000_000)) == false);
+        // The other two processes have not stepped yet, so they are not quiescent.
+        sim.step_manual(&[ProcessId(1), ProcessId(2)], &[], |_| u64::MAX)
+            .unwrap();
+        assert!(sim.system_quiescent_ignoring_withheld(TimeStep(1_000_000)));
+        // But with the withheld messages still pending, plain quiescence is false.
+        assert!(!sim.system_quiescent());
+    }
+
+    #[test]
+    fn step_limit_is_reported() {
+        // A protocol that never becomes quiescent: keep resending forever.
+        #[derive(Debug, Clone)]
+        struct Chatter {
+            n: usize,
+        }
+        impl Process for Chatter {
+            type Message = ();
+            fn on_step(
+                &mut self,
+                _now: TimeStep,
+                _inbox: Vec<Envelope<()>>,
+                out: &mut Outbox<()>,
+            ) {
+                out.send(ProcessId(0), ());
+                let _ = self.n;
+            }
+            fn is_quiescent(&self) -> bool {
+                false
+            }
+        }
+        let cfg = SimConfig::new(2, 0).with_max_steps(50);
+        let mut sim = Simulation::new(cfg, vec![Chatter { n: 2 }, Chatter { n: 2 }]).unwrap();
+        let mut adv = FairObliviousAdversary::new(1, 1, 1);
+        assert!(matches!(
+            sim.run_with(&mut adv),
+            Err(SimError::StepLimitExceeded { max_steps: 50 })
+        ));
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let mut sim = flood_sim(6, 0, 2, 2);
+        let mut adv = FairObliviousAdversary::new(2, 2, 9);
+        let outcome = sim
+            .run_until(&mut adv, |s| s.metrics().messages_sent >= 5)
+            .unwrap();
+        assert_eq!(outcome.reason, StopReason::Predicate);
+        assert!(sim.metrics().messages_sent >= 5);
+    }
+
+    #[test]
+    fn actual_bounds_are_recorded() {
+        let mut sim = flood_sim(6, 0, 3, 2);
+        let mut adv = FairObliviousAdversary::new(3, 2, 17);
+        sim.run_with(&mut adv).unwrap();
+        assert!(sim.metrics().max_delivery_delay <= 3);
+        assert!(sim.metrics().max_schedule_gap <= 2);
+    }
+
+    #[test]
+    fn pending_messages_can_be_inspected() {
+        let mut sim = flood_sim(3, 0, 5, 1);
+        sim.step_manual(&[ProcessId(0)], &[], |_| 5).unwrap();
+        let pending = sim.pending_messages_for(ProcessId(1));
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].from, ProcessId(0));
+    }
+
+    #[test]
+    fn into_parts_returns_final_states() {
+        let mut sim = flood_sim(3, 0, 1, 1);
+        let mut adv = FairObliviousAdversary::new(1, 1, 2);
+        sim.run_with(&mut adv).unwrap();
+        let (procs, metrics) = sim.into_parts();
+        assert_eq!(procs.len(), 3);
+        assert!(metrics.quiescence_time.is_some());
+    }
+}

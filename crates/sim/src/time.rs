@@ -1,0 +1,136 @@
+//! Discrete time.
+//!
+//! The paper's analysis assumes time proceeds in discrete steps; all
+//! complexity bounds are stated in units of `(d + δ)` time steps. We use a
+//! simple `u64` newtype so step arithmetic cannot be confused with message
+//! counts or process identifiers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A discrete point in time (a global step counter maintained by the
+/// simulator). The first step of an execution is `TimeStep(0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeStep(pub u64);
+
+impl TimeStep {
+    /// The beginning of every execution.
+    pub const ZERO: TimeStep = TimeStep(0);
+
+    /// Returns the raw step counter.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time `steps` steps later.
+    #[inline]
+    pub fn after(self, steps: u64) -> TimeStep {
+        TimeStep(self.0.saturating_add(steps))
+    }
+
+    /// Number of steps elapsed since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: TimeStep) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Advances this time by one step.
+    #[inline]
+    pub fn tick(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl fmt::Display for TimeStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl Add<u64> for TimeStep {
+    type Output = TimeStep;
+
+    fn add(self, rhs: u64) -> TimeStep {
+        self.after(rhs)
+    }
+}
+
+impl AddAssign<u64> for TimeStep {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<TimeStep> for TimeStep {
+    type Output = u64;
+
+    fn sub(self, rhs: TimeStep) -> u64 {
+        self.since(rhs)
+    }
+}
+
+impl From<u64> for TimeStep {
+    fn from(value: u64) -> Self {
+        TimeStep(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(TimeStep::default(), TimeStep::ZERO);
+        assert_eq!(TimeStep::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn after_advances() {
+        let t = TimeStep(10);
+        assert_eq!(t.after(5), TimeStep(15));
+        assert_eq!(t + 5, TimeStep(15));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = TimeStep(3);
+        let late = TimeStep(9);
+        assert_eq!(late.since(early), 6);
+        assert_eq!(early.since(late), 0);
+        assert_eq!(late - early, 6);
+    }
+
+    #[test]
+    fn tick_increments() {
+        let mut t = TimeStep::ZERO;
+        t.tick();
+        t.tick();
+        assert_eq!(t, TimeStep(2));
+    }
+
+    #[test]
+    fn after_saturates_at_max() {
+        let t = TimeStep(u64::MAX - 1);
+        assert_eq!(t.after(10), TimeStep(u64::MAX));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TimeStep(42).to_string(), "t42");
+    }
+
+    #[test]
+    fn ordering_follows_counter() {
+        assert!(TimeStep(1) < TimeStep(2));
+        assert!(TimeStep(2) >= TimeStep(2));
+    }
+
+    #[test]
+    fn from_u64_round_trips() {
+        let t: TimeStep = 7u64.into();
+        assert_eq!(t.as_u64(), 7);
+    }
+}

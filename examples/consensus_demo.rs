@@ -1,0 +1,43 @@
+//! Regenerates the paper's Table 2: randomized consensus protocols built on
+//! gossip-based `get-core`.
+//!
+//! ```text
+//! cargo run --release --example consensus_demo
+//! ```
+
+use agossip_analysis::experiments::table2::{run_table2, table2_to_table};
+use agossip_analysis::experiments::ExperimentScale;
+use agossip_consensus::{run_consensus, ConsensusProtocol};
+use agossip_sim::{FairObliviousAdversary, SimConfig};
+
+fn main() {
+    // One detailed run first: CR-tears on a split input.
+    let n = 64;
+    let config = SimConfig::new(n, n / 4).with_d(2).with_delta(2).with_seed(7);
+    let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+    let mut adversary = FairObliviousAdversary::new(config.d, config.delta, config.seed);
+    let report = run_consensus(&config, ConsensusProtocol::CrTears, &inputs, &mut adversary)
+        .expect("consensus failed");
+    println!("CR-tears, n = {n}, split 0/1 inputs:");
+    println!("  agreement/validity/termination: {}", report.check.all_ok());
+    println!("  decided value:                  {:?}", report.check.decided_value);
+    println!("  voting rounds:                  {}", report.max_rounds);
+    println!("  messages:                       {}", report.messages());
+    println!(
+        "  time:                           {} steps\n",
+        report.time_steps().unwrap_or(0)
+    );
+
+    // Then the full Table 2 sweep.
+    let scale = ExperimentScale {
+        n_values: vec![16, 32, 64, 128],
+        trials: 2,
+        failure_fraction: 0.2,
+        d: 2,
+        delta: 2,
+        seed: 2008,
+    };
+    println!("running the Table 2 sweep (this takes a minute)...\n");
+    let rows = run_table2(&scale).expect("sweep failed");
+    println!("{}", table2_to_table(&rows).render());
+}

@@ -1,0 +1,26 @@
+//! Demonstrates the Theorem 7 trade-off of `sears`: larger ε means fewer
+//! epidemic phases (less time) but a polynomially larger fan-out (more
+//! messages).
+//!
+//! ```text
+//! cargo run --release --example sears_tradeoff
+//! ```
+
+use agossip_analysis::experiments::sears_sweep::{
+    default_epsilons, run_sears_sweep, sears_sweep_to_table,
+};
+use agossip_analysis::experiments::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale {
+        n_values: vec![256],
+        trials: 3,
+        failure_fraction: 0.25,
+        d: 2,
+        delta: 2,
+        seed: 2008,
+    };
+    println!("sweeping ε at n = 256 (this takes a minute)...\n");
+    let rows = run_sears_sweep(&scale, &default_epsilons()).expect("sweep failed");
+    println!("{}", sears_sweep_to_table(&rows).render());
+}

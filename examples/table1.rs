@@ -1,0 +1,36 @@
+//! Regenerates the paper's Table 1: gossip protocols under an oblivious
+//! adversary, compared on completion time and message complexity.
+//!
+//! ```text
+//! cargo run --release --example table1
+//! ```
+
+use agossip_analysis::experiments::table1::{message_exponent, run_table1, table1_to_table};
+use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
+
+fn main() {
+    let scale = ExperimentScale {
+        n_values: vec![32, 64, 128, 256],
+        trials: 3,
+        failure_fraction: 0.25,
+        d: 2,
+        delta: 2,
+        seed: 2008,
+    };
+    println!("running the Table 1 sweep (this takes a minute)...\n");
+    let rows = run_table1(&scale).expect("sweep failed");
+    println!("{}", table1_to_table(&rows).render());
+
+    println!("fitted message-complexity growth exponents (messages ≈ c·n^k):");
+    for kind in GossipProtocolKind::table1_rows() {
+        if let Some(fit) = message_exponent(&rows, kind.name()) {
+            println!(
+                "  {:8} k = {:.2}  (R² = {:.3})",
+                kind.name(),
+                fit.exponent,
+                fit.r_squared
+            );
+        }
+    }
+    println!("\npaper shape: trivial ≈ n², ears ≈ n·polylog, sears ≈ n^(1+ε), tears ≈ n^(7/4)·polylog");
+}

@@ -1,0 +1,17 @@
+//! # agossip-xtests
+//!
+//! Workspace-level integration and property tests. The crate has no library
+//! content of its own — everything lives in `tests/` and exercises the public
+//! APIs of the other `agossip` crates together:
+//!
+//! * `gossip_correctness` — every protocol satisfies Gathering / Validity /
+//!   Quiescence (or the majority variant) across a grid of system sizes,
+//!   failure budgets, timing bounds and seeds;
+//! * `consensus_correctness` — every Table 2 protocol satisfies Agreement /
+//!   Validity / Termination, with and without crashes;
+//! * `adversary_dichotomy` — the Theorem 1 adversary forces its dichotomy on
+//!   every full-gossip protocol;
+//! * `runtime_threads` — the thread runtime reaches the same outcomes as the
+//!   discrete-event simulator;
+//! * `props_core` / `props_sim` — proptest invariants on the data structures
+//!   and the simulator.

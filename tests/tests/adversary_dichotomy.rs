@@ -1,0 +1,76 @@
+//! Cross-crate integration tests for the Theorem 1 lower bound: the adaptive
+//! adversary forces every full-gossip protocol to be either message-heavy or
+//! slow, at every size we try.
+
+use agossip_adversary::theorem1::{run_lower_bound, LowerBoundCase, LowerBoundParams};
+use agossip_analysis::experiments::lower_bound::{
+    run_lower_bound_experiment, DICHOTOMY_C_MSG, DICHOTOMY_C_TIME,
+};
+use agossip_core::{Ears, Sears, Trivial};
+
+#[test]
+fn dichotomy_holds_for_every_protocol_and_size() {
+    let rows = run_lower_bound_experiment(&[32, 64, 128], 2024).unwrap();
+    assert_eq!(rows.len(), 9);
+    for row in &rows {
+        assert!(
+            row.dichotomy_holds,
+            "Theorem 1 dichotomy violated for {} at n = {}: {:?}",
+            row.protocol, row.n, row
+        );
+    }
+}
+
+#[test]
+fn dichotomy_holds_across_seeds() {
+    for seed in 0..4u64 {
+        let params = LowerBoundParams::new(64, 16, seed);
+        for (name, outcome) in [
+            ("trivial", run_lower_bound(params, Trivial::new).unwrap()),
+            ("ears", run_lower_bound(params, Ears::new).unwrap()),
+            ("sears", run_lower_bound(params, Sears::new).unwrap()),
+        ] {
+            assert!(
+                outcome.dichotomy_holds(DICHOTOMY_C_MSG, DICHOTOMY_C_TIME),
+                "{name} seed {seed}: {outcome:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trivial_always_lands_in_the_message_heavy_case() {
+    for seed in 0..3u64 {
+        let params = LowerBoundParams::new(64, 16, seed);
+        let outcome = run_lower_bound(params, Trivial::new).unwrap();
+        assert_eq!(outcome.case, LowerBoundCase::MessageHeavy);
+        // Messages dominate n + f² by a wide margin (trivial is Θ(n²)).
+        assert!(outcome.messages_sent as f64 >= outcome.message_bound() as f64 * 0.5);
+    }
+}
+
+#[test]
+fn crash_budget_is_never_exceeded() {
+    let rows = run_lower_bound_experiment(&[64, 128], 7).unwrap();
+    for row in rows {
+        // The construction promises < f failures.
+        assert!(row.f < row.n);
+    }
+    // Direct check of the outcome's crash counter.
+    let params = LowerBoundParams::new(128, 32, 7);
+    let outcome = run_lower_bound(params, Ears::new).unwrap();
+    assert!(outcome.crashes_used <= outcome.f);
+}
+
+#[test]
+fn slow_startup_outcome_reports_enough_elapsed_time() {
+    // EARS needs ω(f) steps to quiesce a large core when f is small relative
+    // to its log² n completion time, so the SlowStartup branch fires; its
+    // elapsed time must be at least the phase-1 cap (= f steps).
+    let params = LowerBoundParams::new(128, 32, 3);
+    let outcome = run_lower_bound(params, Ears::new).unwrap();
+    if outcome.case == LowerBoundCase::SlowStartup {
+        assert!(outcome.elapsed_steps >= outcome.f as u64);
+    }
+    assert!(outcome.dichotomy_holds(DICHOTOMY_C_MSG, DICHOTOMY_C_TIME));
+}

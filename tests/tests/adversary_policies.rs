@@ -1,0 +1,153 @@
+//! Integration tests: gossip protocols driven by the extended oblivious
+//! adversary family, with `(d, δ, f)`-compliance auditing of every adversary
+//! used.
+//!
+//! The paper's upper bounds hold with high probability against every
+//! oblivious `(d, δ)`-adversary, so each protocol must stay correct under
+//! worst-case delays, slow cross-partition links, skewed schedules and
+//! round-robin schedules — and the adversary itself must be shown to honour
+//! the bounds it claims (otherwise the measurement is meaningless).
+
+use agossip_adversary::{
+    crash_patterns, DelayPolicy, PolicyAdversary, RecordingAdversary, SchedulePolicy,
+};
+use agossip_core::{run_gossip, Ears, GossipReport, GossipSpec, Sears, Tears, Trivial};
+use agossip_sim::{ProcessId, SimConfig};
+
+const N: usize = 32;
+
+fn config(f: usize, d: u64, delta: u64, seed: u64) -> SimConfig {
+    SimConfig::new(N, f).with_d(d).with_delta(delta).with_seed(seed)
+}
+
+/// Runs `ears` under the given policies with recording, asserts correctness,
+/// and returns the report after asserting the adversary honoured its bounds.
+fn run_ears_audited(
+    cfg: &SimConfig,
+    schedule: SchedulePolicy,
+    delay: DelayPolicy,
+    crashes: &[(agossip_sim::TimeStep, ProcessId)],
+) -> GossipReport {
+    let inner = PolicyAdversary::new(cfg.d, cfg.delta, cfg.seed, schedule, delay)
+        .with_crashes(crashes.iter().copied());
+    let mut adversary = RecordingAdversary::new(inner, cfg.d, cfg.delta, cfg.f);
+    let report =
+        run_gossip(cfg, GossipSpec::Full, &mut adversary, Ears::new).expect("simulation failed");
+    let trace = adversary.into_trace();
+    assert!(
+        trace.is_compliant(),
+        "adversary violated its own (d, δ, f) bounds: {:?}",
+        trace.violations()
+    );
+    report
+}
+
+#[test]
+fn ears_completes_under_worst_case_delays() {
+    let cfg = config(8, 4, 2, 1);
+    let report = run_ears_audited(&cfg, SchedulePolicy::FairRandom, DelayPolicy::AlwaysMax, &[]);
+    assert!(report.check.all_ok(), "{:?}", report.check);
+}
+
+#[test]
+fn ears_completes_with_a_skewed_schedule_and_crashes() {
+    let cfg = config(8, 2, 4, 2);
+    let slow: Vec<ProcessId> = ProcessId::all(N).take(N / 4).collect();
+    let crashes: Vec<_> = crash_patterns::staggered(N, 8, 10, cfg.seed).crashes;
+    let report = run_ears_audited(
+        &cfg,
+        SchedulePolicy::Skewed { slow },
+        DelayPolicy::Uniform,
+        &crashes,
+    );
+    assert!(report.check.all_ok(), "{:?}", report.check);
+}
+
+#[test]
+fn ears_completes_across_a_slow_partition_link() {
+    let cfg = config(0, 5, 1, 3);
+    let report = run_ears_audited(
+        &cfg,
+        SchedulePolicy::EveryStep,
+        DelayPolicy::CrossPartitionSlow { boundary: N / 2 },
+        &[],
+    );
+    assert!(report.check.all_ok(), "{:?}", report.check);
+}
+
+#[test]
+fn sears_completes_under_bimodal_delays() {
+    let cfg = config(8, 3, 2, 4);
+    let mut adversary = PolicyAdversary::new(
+        cfg.d,
+        cfg.delta,
+        cfg.seed,
+        SchedulePolicy::FairRandom,
+        DelayPolicy::Bimodal { slow_fraction: 0.3 },
+    );
+    let report =
+        run_gossip(&cfg, GossipSpec::Full, &mut adversary, Sears::new).expect("simulation failed");
+    assert!(report.check.all_ok(), "{:?}", report.check);
+}
+
+#[test]
+fn tears_majority_gossip_survives_round_robin_scheduling() {
+    let cfg = config(8, 2, 3, 5);
+    let mut adversary = PolicyAdversary::new(
+        cfg.d,
+        cfg.delta,
+        cfg.seed,
+        SchedulePolicy::RoundRobin { per_step: N / 4 },
+        DelayPolicy::Uniform,
+    );
+    let report = run_gossip(&cfg, GossipSpec::Majority, &mut adversary, Tears::new)
+        .expect("simulation failed");
+    assert!(report.check.all_ok(), "{:?}", report.check);
+}
+
+#[test]
+fn trivial_message_count_is_adversary_independent() {
+    let mut counts = Vec::new();
+    for (i, delay) in [
+        DelayPolicy::Uniform,
+        DelayPolicy::AlwaysMax,
+        DelayPolicy::CrossPartitionSlow { boundary: N / 2 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let cfg = config(0, 3, 2, 10 + i as u64);
+        let mut adversary =
+            PolicyAdversary::new(cfg.d, cfg.delta, cfg.seed, SchedulePolicy::FairRandom, delay);
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adversary, Trivial::new)
+            .expect("simulation failed");
+        assert!(report.check.all_ok());
+        counts.push(report.messages());
+    }
+    assert!(
+        counts.iter().all(|&c| c == (N * (N - 1)) as u64),
+        "trivial always sends n(n-1) messages, got {counts:?}"
+    );
+}
+
+#[test]
+fn recorded_trace_reflects_planned_crashes() {
+    let cfg = config(4, 2, 2, 6);
+    let crashes = crash_patterns::immediate_suffix(N, 4).crashes;
+    let inner = PolicyAdversary::new(
+        cfg.d,
+        cfg.delta,
+        cfg.seed,
+        SchedulePolicy::FairRandom,
+        DelayPolicy::Uniform,
+    )
+    .with_crashes(crashes);
+    let mut adversary = RecordingAdversary::new(inner, cfg.d, cfg.delta, cfg.f);
+    let report =
+        run_gossip(&cfg, GossipSpec::Full, &mut adversary, Ears::new).expect("simulation failed");
+    assert!(report.check.all_ok());
+    let trace = adversary.into_trace();
+    assert_eq!(trace.crash_victims().len(), 4);
+    assert!(trace.is_compliant(), "{:?}", trace.violations());
+    assert!(!trace.delays.is_empty());
+}

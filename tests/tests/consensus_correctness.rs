@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: every Table 2 consensus protocol satisfies
+//! Agreement / Validity / Termination across input patterns, seeds, timing
+//! bounds and crash patterns.
+
+use agossip_adversary::oblivious::{crash_patterns, ObliviousPlan};
+use agossip_consensus::{run_consensus, ConsensusProtocol};
+use agossip_sim::{FairObliviousAdversary, SimConfig};
+
+fn all_protocols() -> Vec<ConsensusProtocol> {
+    vec![
+        ConsensusProtocol::CanettiRabin,
+        ConsensusProtocol::CrEars,
+        ConsensusProtocol::CrSears { epsilon: 0.5 },
+        ConsensusProtocol::CrTears,
+    ]
+}
+
+fn split_inputs(n: usize) -> Vec<u64> {
+    (0..n).map(|i| (i % 2) as u64).collect()
+}
+
+#[test]
+fn all_protocols_agree_on_unanimous_inputs() {
+    for protocol in all_protocols() {
+        for value in [0u64, 1] {
+            let n = 16;
+            let cfg = SimConfig::new(n, 3).with_seed(10 + value);
+            let mut adv = FairObliviousAdversary::new(1, 1, cfg.seed);
+            let report = run_consensus(&cfg, protocol, &vec![value; n], &mut adv).unwrap();
+            assert!(
+                report.check.all_ok(),
+                "{} unanimous {value}: {:?}",
+                protocol.name(),
+                report.check
+            );
+            assert_eq!(
+                report.check.decided_value,
+                Some(value),
+                "{} must decide the unanimous input (validity)",
+                protocol.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_protocols_agree_on_split_inputs_across_seeds() {
+    for protocol in all_protocols() {
+        for seed in 0..3u64 {
+            let n = 16;
+            let cfg = SimConfig::new(n, 3).with_d(2).with_delta(2).with_seed(seed);
+            let mut adv = FairObliviousAdversary::new(2, 2, seed);
+            let report = run_consensus(&cfg, protocol, &split_inputs(n), &mut adv).unwrap();
+            assert!(
+                report.check.all_ok(),
+                "{} seed {seed}: {:?}",
+                protocol.name(),
+                report.check
+            );
+        }
+    }
+}
+
+#[test]
+fn all_protocols_tolerate_minority_crashes() {
+    for protocol in all_protocols() {
+        let n = 20;
+        let f = 5;
+        let cfg = SimConfig::new(n, f).with_d(2).with_delta(1).with_seed(31);
+        let mut adv = ObliviousPlan::from_config(&cfg)
+            .with_crashes(crash_patterns::staggered(n, f, 5, cfg.seed))
+            .build();
+        let report = run_consensus(&cfg, protocol, &split_inputs(n), &mut adv).unwrap();
+        assert!(
+            report.check.all_ok(),
+            "{} with crashes: {:?}",
+            protocol.name(),
+            report.check
+        );
+        assert_eq!(report.metrics.crashes, f);
+    }
+}
+
+#[test]
+fn cr_tears_is_subquadratic_while_baseline_is_quadratic() {
+    let n = 96;
+    let inputs = split_inputs(n);
+    let cfg = SimConfig::new(n, n / 4).with_seed(5);
+
+    let mut adv = FairObliviousAdversary::new(1, 1, 5);
+    let baseline =
+        run_consensus(&cfg, ConsensusProtocol::CanettiRabin, &inputs, &mut adv).unwrap();
+    let mut adv = FairObliviousAdversary::new(1, 1, 5);
+    let tears = run_consensus(&cfg, ConsensusProtocol::CrTears, &inputs, &mut adv).unwrap();
+
+    assert!(baseline.check.all_ok());
+    assert!(tears.check.all_ok());
+    assert!(
+        tears.messages() < baseline.messages(),
+        "CR-tears ({}) should beat the all-to-all baseline ({}) at n = {n}",
+        tears.messages(),
+        baseline.messages()
+    );
+}
+
+#[test]
+fn constant_time_protocols_need_few_rounds() {
+    let n = 32;
+    let cfg = SimConfig::new(n, 6).with_seed(9);
+    for protocol in [ConsensusProtocol::CanettiRabin, ConsensusProtocol::CrTears] {
+        let mut adv = FairObliviousAdversary::new(1, 1, 9);
+        let report = run_consensus(&cfg, protocol, &split_inputs(n), &mut adv).unwrap();
+        assert!(report.check.all_ok());
+        assert!(
+            report.max_rounds <= 4,
+            "{} needed {} rounds",
+            protocol.name(),
+            report.max_rounds
+        );
+    }
+}
+
+#[test]
+fn consensus_is_deterministic_given_seed() {
+    let n = 16;
+    let cfg = SimConfig::new(n, 3).with_seed(123);
+    let inputs = split_inputs(n);
+    let mut adv1 = FairObliviousAdversary::new(1, 1, 123);
+    let mut adv2 = FairObliviousAdversary::new(1, 1, 123);
+    let a = run_consensus(&cfg, ConsensusProtocol::CrEars, &inputs, &mut adv1).unwrap();
+    let b = run_consensus(&cfg, ConsensusProtocol::CrEars, &inputs, &mut adv2).unwrap();
+    assert_eq!(a.messages(), b.messages());
+    assert_eq!(a.check.decided_value, b.check.decided_value);
+}
+
+#[test]
+fn decisions_respect_validity_with_all_zero_inputs_under_crashes() {
+    let n = 12;
+    let f = 3;
+    let cfg = SimConfig::new(n, f).with_seed(77);
+    let mut adv = ObliviousPlan::from_config(&cfg)
+        .with_crashes(crash_patterns::immediate_suffix(n, f))
+        .build();
+    let report = run_consensus(
+        &cfg,
+        ConsensusProtocol::CrSears { epsilon: 0.4 },
+        &vec![0; n],
+        &mut adv,
+    )
+    .unwrap();
+    assert!(report.check.all_ok(), "{:?}", report.check);
+    assert_eq!(report.check.decided_value, Some(0));
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: every gossip protocol satisfies its
+//! specification across a grid of system sizes, failure budgets, timing
+//! bounds and crash patterns.
+
+use agossip_adversary::oblivious::{crash_patterns, ObliviousPlan};
+use agossip_analysis::experiments::{run_one_gossip, GossipProtocolKind};
+use agossip_core::{run_gossip, Ears, GossipSpec, Sears, SearsParams, Tears, Trivial};
+use agossip_sim::{FairObliviousAdversary, SimConfig};
+
+fn config(n: usize, f: usize, d: u64, delta: u64, seed: u64) -> SimConfig {
+    SimConfig::new(n, f)
+        .with_d(d)
+        .with_delta(delta)
+        .with_seed(seed)
+}
+
+/// Builds an oblivious adversary with a staggered crash pattern that uses the
+/// full failure budget.
+fn adversary_with_crashes(cfg: &SimConfig) -> agossip_sim::FairObliviousAdversary {
+    ObliviousPlan::from_config(cfg)
+        .with_crashes(crash_patterns::staggered(cfg.n, cfg.f, 7, cfg.seed))
+        .build()
+}
+
+#[test]
+fn ears_satisfies_gossip_across_timing_grid() {
+    for &(d, delta) in &[(1u64, 1u64), (3, 1), (1, 3), (4, 4)] {
+        for seed in 0..3u64 {
+            let cfg = config(24, 6, d, delta, seed);
+            let mut adv = adversary_with_crashes(&cfg);
+            let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+            assert!(
+                report.check.all_ok(),
+                "ears failed at d={d} delta={delta} seed={seed}: {:?}",
+                report.check
+            );
+            // The observed delay/scheduling gaps must respect the bounds.
+            assert!(report.metrics.max_delivery_delay <= d);
+            assert!(report.metrics.max_schedule_gap <= delta);
+        }
+    }
+}
+
+#[test]
+fn sears_satisfies_gossip_with_heavy_crashes() {
+    for seed in 0..3u64 {
+        let n = 32;
+        let f = 12;
+        let cfg = config(n, f, 2, 2, seed);
+        let mut adv = adversary_with_crashes(&cfg);
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, |ctx| {
+            Sears::with_params(ctx, SearsParams::with_epsilon(0.5))
+        })
+        .unwrap();
+        assert!(report.check.all_ok(), "seed {seed}: {:?}", report.check);
+        assert_eq!(report.metrics.crashes, f);
+    }
+}
+
+#[test]
+fn trivial_satisfies_gossip_under_any_crash_pattern() {
+    for seed in 0..3u64 {
+        let cfg = config(20, 9, 3, 2, seed);
+        let mut adv = adversary_with_crashes(&cfg);
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Trivial::new).unwrap();
+        assert!(report.check.all_ok(), "{:?}", report.check);
+        assert_eq!(report.messages(), (20 * 19) as u64);
+    }
+}
+
+#[test]
+fn tears_satisfies_majority_gossip_with_minority_crashes() {
+    for seed in 0..3u64 {
+        let n = 64;
+        let f = 24; // < n/2 as the protocol requires
+        let cfg = config(n, f, 2, 1, seed);
+        let mut adv = adversary_with_crashes(&cfg);
+        let report = run_gossip(&cfg, GossipSpec::Majority, &mut adv, Tears::new).unwrap();
+        assert!(report.check.all_ok(), "seed {seed}: {:?}", report.check);
+    }
+}
+
+#[test]
+fn ears_message_complexity_beats_trivial_at_scale() {
+    let n = 192;
+    let cfg = config(n, n / 4, 1, 1, 11);
+    let mut adv = FairObliviousAdversary::new(1, 1, 11);
+    let ears = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+    assert!(ears.check.all_ok());
+    let trivial_messages = (n * (n - 1)) as u64;
+    assert!(
+        ears.messages() < trivial_messages,
+        "ears sent {} messages, trivial would send {}",
+        ears.messages(),
+        trivial_messages
+    );
+}
+
+#[test]
+fn tears_message_complexity_is_subquadratic_at_scale() {
+    let n = 256;
+    let report = run_one_gossip(
+        GossipProtocolKind::Tears,
+        &config(n, n / 4, 1, 1, 5),
+    )
+    .unwrap();
+    assert!(report.check.all_ok());
+    let quadratic = (n * n) as u64;
+    assert!(
+        report.messages() < quadratic,
+        "tears sent {} ≥ n² = {}",
+        report.messages(),
+        quadratic
+    );
+}
+
+#[test]
+fn tears_completes_in_constant_normalized_time() {
+    // Theorem 12: O(d+δ) time, independent of n. Measure at two sizes and
+    // require that the normalized time does not grow with n.
+    let small = run_one_gossip(GossipProtocolKind::Tears, &config(64, 16, 2, 2, 3)).unwrap();
+    let large = run_one_gossip(GossipProtocolKind::Tears, &config(256, 64, 2, 2, 3)).unwrap();
+    let t_small = small.normalized_time.unwrap();
+    let t_large = large.normalized_time.unwrap();
+    assert!(
+        t_large <= 3.0 * t_small + 10.0,
+        "tears time should not grow with n: {t_small} -> {t_large}"
+    );
+}
+
+#[test]
+fn all_protocols_are_deterministic_given_seed() {
+    for kind in [
+        GossipProtocolKind::Ears,
+        GossipProtocolKind::Sears { epsilon: 0.5 },
+        GossipProtocolKind::Tears,
+        GossipProtocolKind::Trivial,
+    ] {
+        let cfg = config(32, 8, 2, 2, 77);
+        let a = run_one_gossip(kind, &cfg).unwrap();
+        let b = run_one_gossip(kind, &cfg).unwrap();
+        assert_eq!(a.messages(), b.messages(), "{}", kind.name());
+        assert_eq!(a.time_steps(), b.time_steps(), "{}", kind.name());
+    }
+}
+
+#[test]
+fn sync_baseline_completes_fast_with_unit_bounds() {
+    let n = 128;
+    let report = run_one_gossip(GossipProtocolKind::SyncEpidemic, &config(n, 0, 1, 1, 2)).unwrap();
+    assert!(report.check.all_ok());
+    // O(log n) rounds.
+    assert!(report.time_steps().unwrap() < 60);
+    // O(n log n) messages.
+    assert!(report.messages() < (n as u64) * 40);
+}

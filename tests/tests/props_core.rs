@@ -1,0 +1,146 @@
+//! Property-based tests (proptest) on the core data structures: rumor sets,
+//! informed-lists, TEARS trigger counts, and the power-law fitter.
+
+use proptest::prelude::*;
+
+use agossip_analysis::fit_power_law;
+use agossip_core::informed_list::InformedList;
+use agossip_core::{GossipCtx, Rumor, RumorSet, Tears, TearsParams};
+use agossip_sim::ProcessId;
+
+fn rumor_strategy(n: usize) -> impl Strategy<Value = Rumor> {
+    (0..n, any::<u64>()).prop_map(|(origin, payload)| Rumor::new(ProcessId(origin), payload))
+}
+
+fn rumor_set_strategy(n: usize) -> impl Strategy<Value = RumorSet> {
+    prop::collection::vec(rumor_strategy(n), 0..20).prop_map(|rs| rs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Union is idempotent, commutative in its effect on membership, and
+    /// monotone: the result is a superset of both operands.
+    #[test]
+    fn rumor_set_union_laws(a in rumor_set_strategy(16), b in rumor_set_strategy(16)) {
+        let mut ab = a.clone();
+        ab.union(&b);
+        prop_assert!(ab.is_superset_of(&a));
+        prop_assert!(ab.is_superset_of(&b));
+        // Idempotence.
+        let mut ab2 = ab.clone();
+        prop_assert_eq!(ab2.union(&b), 0);
+        prop_assert_eq!(&ab2, &ab);
+        // Membership-commutativity: a ∪ b and b ∪ a hold the same origins.
+        let mut ba = b.clone();
+        ba.union(&a);
+        let origins_ab: Vec<_> = ab.origins().collect();
+        let origins_ba: Vec<_> = ba.origins().collect();
+        prop_assert_eq!(origins_ab, origins_ba);
+    }
+
+    /// The number of distinct origins never exceeds the system size and
+    /// insertion is stable (first payload per origin wins).
+    #[test]
+    fn rumor_set_size_bounds(rumors in prop::collection::vec(rumor_strategy(8), 0..64)) {
+        let set: RumorSet = rumors.iter().copied().collect();
+        prop_assert!(set.len() <= 8);
+        for rumor in &rumors {
+            prop_assert!(set.contains_origin(rumor.origin));
+            // The stored payload is the first one inserted for that origin.
+            let first = rumors.iter().find(|r| r.origin == rumor.origin).unwrap();
+            prop_assert_eq!(set.get(rumor.origin).unwrap().payload, first.payload);
+        }
+    }
+
+    /// covers_all is equivalent to uncovered_targets being empty, and both
+    /// are monotone in the informed-list.
+    #[test]
+    fn informed_list_coverage_consistency(
+        pairs in prop::collection::vec((0..8usize, 0..8usize), 0..64),
+        rumors in rumor_set_strategy(8),
+    ) {
+        let n = 8;
+        let mut il = InformedList::new();
+        for (r, q) in pairs {
+            il.insert(ProcessId(r), ProcessId(q));
+        }
+        let uncovered = il.uncovered_targets(&rumors, n);
+        prop_assert_eq!(il.covers_all(&rumors, n), uncovered.is_empty());
+        // Adding full coverage for every rumor closes the list.
+        let mut full = il.clone();
+        for q in ProcessId::all(n) {
+            full.insert_all(&rumors, q);
+        }
+        prop_assert!(full.covers_all(&rumors, n));
+        // Monotonicity: anything covered before is still covered.
+        for q in ProcessId::all(n) {
+            if !uncovered.contains(&q) {
+                prop_assert!(!full.uncovered_targets(&rumors, n).contains(&q));
+            }
+        }
+    }
+
+    /// The informed-list union behaves like set union on pairs.
+    #[test]
+    fn informed_list_union_is_set_union(
+        a in prop::collection::vec((0..6usize, 0..6usize), 0..32),
+        b in prop::collection::vec((0..6usize, 0..6usize), 0..32),
+    ) {
+        let mut ia = InformedList::new();
+        for (r, q) in &a {
+            ia.insert(ProcessId(*r), ProcessId(*q));
+        }
+        let mut ib = InformedList::new();
+        for (r, q) in &b {
+            ib.insert(ProcessId(*r), ProcessId(*q));
+        }
+        let mut union = ia.clone();
+        union.union(&ib);
+        for (r, q) in a.iter().chain(b.iter()) {
+            prop_assert!(union.contains(ProcessId(*r), ProcessId(*q)));
+        }
+        prop_assert!(union.len() <= ia.len() + ib.len());
+    }
+
+    /// TEARS trigger counts: every count in the window [µ−κ, µ+κ) triggers,
+    /// and outside the window only exact multiples µ + iκ trigger.
+    #[test]
+    fn tears_trigger_window(seed in 0u64..32, offset in 0u64..2000) {
+        let ctx = GossipCtx::new(ProcessId(0), 1024, 100, seed);
+        let tears = Tears::new(ctx);
+        let mu = tears.mu();
+        let kappa = tears.kappa();
+        let count = offset + 1;
+        let in_window = count >= mu.saturating_sub(kappa) && count < mu + kappa;
+        let is_multiple = count > mu && (count - mu) % kappa == 0;
+        prop_assert_eq!(tears.is_trigger_count(count), in_window || is_multiple);
+    }
+
+    /// TEARS neighbourhood membership probability honours the cap a ≤ n−1.
+    #[test]
+    fn tears_membership_probability_is_valid(n in 2usize..4096) {
+        let params = TearsParams::default();
+        let p = params.membership_probability(n);
+        prop_assert!(p > 0.0);
+        prop_assert!(p <= 1.0);
+        prop_assert!(params.a(n) <= (n - 1) as f64);
+    }
+
+    /// Fitting y = c·x^k recovers k within tolerance for arbitrary positive
+    /// constants and exponents.
+    #[test]
+    fn power_law_fit_recovers_exponent(
+        c in 0.1f64..100.0,
+        k in -2.0f64..3.0,
+    ) {
+        let points: Vec<(f64, f64)> = [4.0, 8.0, 16.0, 32.0, 64.0]
+            .iter()
+            .map(|&x: &f64| (x, c * x.powf(k)))
+            .collect();
+        let fit = fit_power_law(&points).unwrap();
+        prop_assert!((fit.exponent - k).abs() < 1e-6);
+        prop_assert!((fit.constant - c).abs() / c < 1e-6);
+        prop_assert!(fit.r_squared > 0.999);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests (proptest) on the simulator: message conservation,
+//! timing-bound compliance, and end-to-end protocol correctness across
+//! randomly drawn configurations.
+
+use proptest::prelude::*;
+
+use agossip_core::{run_gossip, Ears, GossipSpec, Trivial};
+use agossip_sim::{FairObliviousAdversary, SimConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Message conservation: every message sent is either delivered or
+    /// dropped (sent to a crashed process); nothing is lost or duplicated.
+    /// Checked at quiescence, when nothing remains in flight.
+    #[test]
+    fn message_conservation_trivial(
+        n in 2usize..24,
+        seed in 0u64..1000,
+        d in 1u64..4,
+        delta in 1u64..4,
+    ) {
+        let cfg = SimConfig::new(n, 0).with_d(d).with_delta(delta).with_seed(seed);
+        let mut adv = FairObliviousAdversary::new(d, delta, seed);
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Trivial::new).unwrap();
+        prop_assert!(report.check.all_ok());
+        let m = &report.metrics;
+        prop_assert_eq!(m.messages_sent, m.messages_delivered + m.messages_dropped);
+        prop_assert_eq!(m.messages_sent, (n * (n - 1)) as u64);
+    }
+
+    /// The oblivious adversary honours its declared (d, δ) bounds: the
+    /// observed maximum delivery delay and scheduling gap never exceed them.
+    #[test]
+    fn observed_bounds_never_exceed_declared_bounds(
+        n in 2usize..20,
+        seed in 0u64..500,
+        d in 1u64..5,
+        delta in 1u64..5,
+    ) {
+        let cfg = SimConfig::new(n, 0).with_d(d).with_delta(delta).with_seed(seed);
+        let mut adv = FairObliviousAdversary::new(d, delta, seed);
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+        prop_assert!(report.check.all_ok());
+        prop_assert!(report.metrics.max_delivery_delay <= d,
+            "observed d = {} > declared {}", report.metrics.max_delivery_delay, d);
+        prop_assert!(report.metrics.max_schedule_gap <= delta,
+            "observed δ = {} > declared {}", report.metrics.max_schedule_gap, delta);
+    }
+
+    /// EARS correctness and quiescence hold for arbitrary small
+    /// configurations with crashes drawn from the failure budget.
+    #[test]
+    fn ears_correct_under_random_crashes(
+        n in 4usize..20,
+        seed in 0u64..500,
+        crash_fraction in 0.0f64..0.45,
+    ) {
+        let f = ((n as f64) * crash_fraction) as usize;
+        let cfg = SimConfig::new(n, f).with_seed(seed);
+        let crashes = agossip_adversary::crash_patterns::random(n, f, 10, seed);
+        let mut adv = agossip_adversary::ObliviousPlan::from_config(&cfg)
+            .with_crashes(crashes)
+            .build();
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+        prop_assert!(report.check.all_ok(), "{:?}", report.check);
+        prop_assert!(report.metrics.crashes <= f);
+        // Quiescence time is defined and the execution stopped there.
+        prop_assert!(report.time_steps().is_some());
+    }
+
+    /// The per-process message accounting sums to the global counter.
+    #[test]
+    fn per_process_counters_sum_to_total(
+        n in 2usize..16,
+        seed in 0u64..200,
+    ) {
+        let cfg = SimConfig::new(n, 0).with_seed(seed);
+        let mut adv = FairObliviousAdversary::new(1, 1, seed);
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+        let m = &report.metrics;
+        prop_assert_eq!(m.sent_by.iter().sum::<u64>(), m.messages_sent);
+        prop_assert_eq!(m.delivered_to.iter().sum::<u64>(), m.messages_delivered);
+        prop_assert!(m.max_sent_by_any() <= m.messages_sent);
+    }
+}

@@ -1,0 +1,63 @@
+//! Integration tests for wire-unit (bit complexity) accounting across the
+//! protocols, exercising the Section 7 open question end to end: the driver
+//! must report per-execution wire volume consistent with each protocol's
+//! message structure.
+
+use agossip_core::{run_gossip, Ears, GossipSpec, Sears, Tears, Trivial};
+use agossip_sim::{FairObliviousAdversary, SimConfig};
+
+fn config(n: usize, f: usize, seed: u64) -> SimConfig {
+    SimConfig::new(n, f).with_d(2).with_delta(2).with_seed(seed)
+}
+
+#[test]
+fn trivial_wire_volume_is_exactly_two_units_per_message() {
+    let cfg = config(24, 0, 1);
+    let mut adv = FairObliviousAdversary::new(2, 2, 1);
+    let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Trivial::new).unwrap();
+    assert!(report.check.all_ok());
+    assert_eq!(report.rumor_units_sent, 2 * report.messages());
+}
+
+#[test]
+fn ears_wire_volume_exceeds_its_message_count() {
+    let cfg = config(24, 6, 2);
+    let mut adv = FairObliviousAdversary::new(2, 2, 2);
+    let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+    assert!(report.check.all_ok());
+    // Every ears message carries at least the header plus one rumor, and most
+    // carry the full rumor set plus informed pairs.
+    assert!(report.rumor_units_sent > 2 * report.messages());
+}
+
+#[test]
+fn sears_and_tears_report_nonzero_wire_volume() {
+    let cfg = config(32, 8, 3);
+    let mut adv = FairObliviousAdversary::new(2, 2, 3);
+    let sears = run_gossip(&cfg, GossipSpec::Full, &mut adv, Sears::new).unwrap();
+    assert!(sears.check.all_ok());
+    assert!(sears.rumor_units_sent >= sears.messages());
+
+    let mut adv = FairObliviousAdversary::new(2, 2, 3);
+    let tears = run_gossip(&cfg, GossipSpec::Majority, &mut adv, Tears::new).unwrap();
+    assert!(tears.check.all_ok());
+    assert!(tears.rumor_units_sent >= tears.messages());
+}
+
+#[test]
+fn ears_per_message_weight_grows_with_system_size() {
+    // Larger systems mean larger rumor sets and informed-lists inside each
+    // ears message, so wire units per message must grow with n.
+    let mut ratios = Vec::new();
+    for (n, seed) in [(16usize, 10u64), (48, 11)] {
+        let cfg = config(n, 0, seed);
+        let mut adv = FairObliviousAdversary::new(2, 2, seed);
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+        assert!(report.check.all_ok());
+        ratios.push(report.rumor_units_sent as f64 / report.messages() as f64);
+    }
+    assert!(
+        ratios[1] > ratios[0],
+        "per-message weight should grow with n: {ratios:?}"
+    );
+}
