@@ -72,9 +72,7 @@ pub mod crash_patterns {
     /// alive from the start.
     pub fn immediate_suffix(n: usize, f: usize) -> CrashPattern {
         let f = f.min(n.saturating_sub(1));
-        let crashes = (n - f..n)
-            .map(|i| (TimeStep::ZERO, ProcessId(i)))
-            .collect();
+        let crashes = (n - f..n).map(|i| (TimeStep::ZERO, ProcessId(i))).collect();
         CrashPattern { crashes }
     }
 
@@ -197,8 +195,7 @@ mod tests {
 
     #[test]
     fn plan_builds_adversary_with_bounds() {
-        let plan = ObliviousPlan::new(4, 2, 9)
-            .with_crashes(crash_patterns::immediate_suffix(8, 2));
+        let plan = ObliviousPlan::new(4, 2, 9).with_crashes(crash_patterns::immediate_suffix(8, 2));
         assert_eq!(plan.crash_pattern().len(), 2);
         let adv = plan.build();
         assert_eq!(adv.d(), 4);

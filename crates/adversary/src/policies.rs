@@ -85,7 +85,13 @@ pub struct PolicyAdversary {
 impl PolicyAdversary {
     /// Creates an adversary honouring bounds `d` and `delta` with the given
     /// policies, deriving randomness from `seed`, with no crashes.
-    pub fn new(d: u64, delta: u64, seed: u64, schedule: SchedulePolicy, delay: DelayPolicy) -> Self {
+    pub fn new(
+        d: u64,
+        delta: u64,
+        seed: u64,
+        schedule: SchedulePolicy,
+        delay: DelayPolicy,
+    ) -> Self {
         PolicyAdversary {
             d: d.max(1),
             delta: delta.max(1),
@@ -295,8 +301,7 @@ mod tests {
             DelayPolicy::CrossPartitionSlow { boundary: 2 },
         ];
         for policy in policies {
-            let mut adv =
-                PolicyAdversary::new(7, 2, 3, SchedulePolicy::FairRandom, policy.clone());
+            let mut adv = PolicyAdversary::new(7, 2, 3, SchedulePolicy::FairRandom, policy.clone());
             for trial in 0..100 {
                 let m = meta(trial % 4, (trial + 1) % 4);
                 let delay = adv.message_delay(&m, &view);
@@ -356,13 +361,7 @@ mod tests {
 
     #[test]
     fn accessors_report_configuration() {
-        let adv = PolicyAdversary::new(
-            4,
-            3,
-            9,
-            SchedulePolicy::FairRandom,
-            DelayPolicy::AlwaysMax,
-        );
+        let adv = PolicyAdversary::new(4, 3, 9, SchedulePolicy::FairRandom, DelayPolicy::AlwaysMax);
         assert_eq!(adv.d(), 4);
         assert_eq!(adv.delta(), 3);
         assert_eq!(adv.schedule_policy(), &SchedulePolicy::FairRandom);

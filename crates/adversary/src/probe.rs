@@ -130,7 +130,8 @@ mod tests {
         let steps = 8;
         let probe = probe_isolated(&engine, &[], steps);
         // sears sends Θ(n^ε log n) per step; over 8 steps that dwarfs f/32.
-        assert!(probe.is_promiscuous(16 / 32 + 1));
+        // f/32 rounds down to zero at f = 16, leaving a threshold of one.
+        assert!(probe.is_promiscuous(1));
         assert!(probe.messages_sent as usize >= engine.fanout());
     }
 

@@ -162,10 +162,7 @@ impl AdversaryTrace {
 
         let crashed = self.crash_victims().len();
         if crashed > self.f {
-            violations.push(TraceViolation::CrashBudgetExceeded {
-                crashed,
-                f: self.f,
-            });
+            violations.push(TraceViolation::CrashBudgetExceeded { crashed, f: self.f });
         }
 
         violations
@@ -318,7 +315,9 @@ mod tests {
     #[test]
     fn crash_budget_is_enforced() {
         let mut trace = AdversaryTrace::new(1, 10, 1);
-        trace.steps.push(step(0, &[0], &[1, 2], &[true, true, true]));
+        trace
+            .steps
+            .push(step(0, &[0], &[1, 2], &[true, true, true]));
         let violations = trace.violations();
         assert!(violations
             .iter()

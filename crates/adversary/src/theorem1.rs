@@ -172,9 +172,7 @@ where
     let phase1_cap = f as u64;
     let mut phase1_steps = 0u64;
     loop {
-        let all_quiet = s1
-            .iter()
-            .all(|&pid| sim.process(pid).is_quiescent());
+        let all_quiet = s1.iter().all(|&pid| sim.process(pid).is_quiescent());
         if all_quiet {
             break;
         }
@@ -402,7 +400,7 @@ mod tests {
             // part of their period. This is enough for phase 1 to terminate:
             // a process that is between sends reports quiescence only if it
             // has nothing new to say.
-            self.rumors.len() >= self.ctx.n || self.steps % PERIOD != 0
+            self.rumors.len() >= self.ctx.n || !self.steps.is_multiple_of(PERIOD)
         }
 
         fn steps_taken(&self) -> u64 {

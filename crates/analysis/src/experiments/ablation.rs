@@ -155,7 +155,10 @@ fn measure_knob(
 }
 
 /// Sweeps one knob at the largest system size of `scale`.
-pub fn run_knob_ablation(knob: AblationKnob, scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
+pub fn run_knob_ablation(
+    knob: AblationKnob,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<AblationRow>> {
     let n = scale.n_values.iter().copied().max().unwrap_or(64);
     knob.sweep()
         .into_iter()
@@ -181,7 +184,16 @@ pub fn run_ablation(scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
 pub fn ablation_to_table(rows: &[AblationRow]) -> Table {
     let mut table = Table::new(
         "Parameter ablation — where the Θ(·) constants start to matter",
-        &["knob", "value", "default", "n", "f", "ok", "messages", "time[steps]"],
+        &[
+            "knob",
+            "value",
+            "default",
+            "n",
+            "f",
+            "ok",
+            "messages",
+            "time[steps]",
+        ],
     );
     for row in rows {
         table.push_row(vec![

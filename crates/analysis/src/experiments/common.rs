@@ -143,10 +143,7 @@ pub struct MeasuredPoint {
 }
 
 /// Runs one gossip trial of `kind` and returns the driver report.
-pub fn run_one_gossip(
-    kind: GossipProtocolKind,
-    config: &SimConfig,
-) -> SimResult<GossipReport> {
+pub fn run_one_gossip(kind: GossipProtocolKind, config: &SimConfig) -> SimResult<GossipReport> {
     // The synchronous baseline is only meaningful with d = δ = 1 known a
     // priori, so it always runs under unit bounds.
     let config = match kind {
@@ -159,12 +156,11 @@ pub fn run_one_gossip(
             run_gossip(&config, kind.spec(), &mut adversary, Trivial::new)
         }
         GossipProtocolKind::Ears => run_gossip(&config, kind.spec(), &mut adversary, Ears::new),
-        GossipProtocolKind::Sears { epsilon } => run_gossip(
-            &config,
-            kind.spec(),
-            &mut adversary,
-            move |ctx| Sears::with_params(ctx, SearsParams::with_epsilon(epsilon)),
-        ),
+        GossipProtocolKind::Sears { epsilon } => {
+            run_gossip(&config, kind.spec(), &mut adversary, move |ctx| {
+                Sears::with_params(ctx, SearsParams::with_epsilon(epsilon))
+            })
+        }
         GossipProtocolKind::Tears => run_gossip(&config, kind.spec(), &mut adversary, Tears::new),
         GossipProtocolKind::SyncEpidemic => {
             run_gossip(&config, kind.spec(), &mut adversary, SyncEpidemic::new)

@@ -95,7 +95,12 @@ pub fn lower_bound_to_table(rows: &[LowerBoundRow]) -> Table {
             fmt_f64(row.message_bound as f64),
             fmt_f64(row.steps as f64),
             fmt_f64(row.time_bound as f64),
-            if row.dichotomy_holds { "holds" } else { "VIOLATED" }.to_string(),
+            if row.dichotomy_holds {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
         ]);
     }
     table
@@ -106,6 +111,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
     fn dichotomy_holds_for_all_protocols_at_small_sizes() {
         let rows = run_lower_bound_experiment(&[32, 64], 13).unwrap();
         assert_eq!(rows.len(), 6);

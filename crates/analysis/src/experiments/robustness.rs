@@ -62,7 +62,9 @@ pub fn default_environments(n: usize) -> Vec<AdversaryEnvironment> {
         },
         AdversaryEnvironment {
             name: "round-robin",
-            schedule: SchedulePolicy::RoundRobin { per_step: (n / 4).max(1) },
+            schedule: SchedulePolicy::RoundRobin {
+                per_step: (n / 4).max(1),
+            },
             delay: DelayPolicy::Uniform,
         },
     ]
@@ -112,12 +114,11 @@ fn run_protocol_under(
             GossipProtocolKind::Ears => {
                 run_gossip(&config, kind.spec(), &mut adversary, Ears::new)?
             }
-            GossipProtocolKind::Sears { epsilon } => run_gossip(
-                &config,
-                kind.spec(),
-                &mut adversary,
-                move |ctx| Sears::with_params(ctx, SearsParams::with_epsilon(epsilon)),
-            )?,
+            GossipProtocolKind::Sears { epsilon } => {
+                run_gossip(&config, kind.spec(), &mut adversary, move |ctx| {
+                    Sears::with_params(ctx, SearsParams::with_epsilon(epsilon))
+                })?
+            }
             GossipProtocolKind::Tears => {
                 run_gossip(&config, kind.spec(), &mut adversary, Tears::new)?
             }
@@ -160,7 +161,15 @@ pub fn run_robustness(scale: &ExperimentScale) -> SimResult<Vec<RobustnessRow>> 
 pub fn robustness_to_table(rows: &[RobustnessRow]) -> Table {
     let mut table = Table::new(
         "Robustness across the oblivious adversary family",
-        &["environment", "protocol", "n", "f", "ok", "time[steps]", "messages"],
+        &[
+            "environment",
+            "protocol",
+            "n",
+            "f",
+            "ok",
+            "time[steps]",
+            "messages",
+        ],
     );
     for row in rows {
         table.push_row(vec![

@@ -94,6 +94,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
     fn sweep_reports_monotone_fanout_in_epsilon() {
         let scale = ExperimentScale {
             n_values: vec![64],
@@ -111,6 +112,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
     fn larger_epsilon_costs_messages() {
         let scale = ExperimentScale {
             n_values: vec![64],

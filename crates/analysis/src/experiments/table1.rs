@@ -6,7 +6,9 @@
 //! of point-to-point messages, and fits the growth exponent of the message
 //! curve so it can be compared with the stated bound.
 
-use crate::experiments::common::{measure_point, ExperimentScale, GossipProtocolKind, MeasuredPoint};
+use crate::experiments::common::{
+    measure_point, ExperimentScale, GossipProtocolKind, MeasuredPoint,
+};
 use crate::fit::{fit_power_law, PowerLawFit};
 use crate::report::{fmt_f64, Table};
 use agossip_sim::SimResult;
@@ -27,7 +29,9 @@ pub fn paper_bounds(kind: GossipProtocolKind) -> (&'static str, &'static str) {
     match kind {
         GossipProtocolKind::Trivial => ("O(d+δ)", "Θ(n²)"),
         GossipProtocolKind::Ears => ("O(n/(n−f)·log²n·(d+δ))", "O(n·log³n·(d+δ))"),
-        GossipProtocolKind::Sears { .. } => ("O(n/(ε(n−f))·(d+δ))", "O(n^{2+ε}/(ε(n−f))·logn·(d+δ))"),
+        GossipProtocolKind::Sears { .. } => {
+            ("O(n/(ε(n−f))·(d+δ))", "O(n^{2+ε}/(ε(n−f))·logn·(d+δ))")
+        }
         GossipProtocolKind::Tears => ("O(d+δ)", "O(n^{7/4}·log²n)"),
         GossipProtocolKind::SyncEpidemic => ("O(log n) rounds", "O(n·log n)"),
     }
@@ -111,7 +115,10 @@ mod tests {
         let scale = ExperimentScale::tiny();
         let rows = run_table1(&scale).unwrap();
         assert_eq!(rows.len(), 4 * scale.n_values.len());
-        assert!(rows.iter().all(|r| r.point.success_rate == 1.0), "all protocols must be correct");
+        assert!(
+            rows.iter().all(|r| r.point.success_rate == 1.0),
+            "all protocols must be correct"
+        );
         let table = table1_to_table(&rows);
         assert_eq!(table.len(), rows.len());
         let rendered = table.render();

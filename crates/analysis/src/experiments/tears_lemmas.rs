@@ -145,13 +145,14 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
     fn structure_holds_at_moderate_size() {
         let n = 128;
         let row = run_tears_structure(n, n / 4, 3).unwrap();
         // Lemma 8: the vast majority of neighbourhoods concentrate around a.
         assert!(row.fanout_within_bounds >= 0.9, "{row:?}");
         // Theorem 12: every process holds a majority of rumors.
-        assert!(row.min_rumors_held >= n / 2 + 1, "{row:?}");
+        assert!(row.min_rumors_held > n / 2, "{row:?}");
         // Lemma 9 proxy: plenty of rumors are widely held.
         assert!(
             (row.widely_held_rumors as f64) >= row.lemma9_threshold,

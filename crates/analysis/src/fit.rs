@@ -46,10 +46,7 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerLawFit> {
     let mean_x = sum_x / n;
     let mean_y = sum_y / n;
     let sxx: f64 = logs.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
-    let sxy: f64 = logs
-        .iter()
-        .map(|(x, y)| (x - mean_x) * (y - mean_y))
-        .sum();
+    let sxy: f64 = logs.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
     if sxx.abs() < f64::EPSILON {
         return None;
     }
@@ -82,7 +79,9 @@ mod tests {
 
     #[test]
     fn exact_quadratic_is_recovered() {
-        let points: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * (i as f64).powi(2))).collect();
+        let points: Vec<(f64, f64)> = (1..=6)
+            .map(|i| (i as f64, 3.0 * (i as f64).powi(2)))
+            .collect();
         let fit = fit_power_law(&points).unwrap();
         assert!((fit.exponent - 2.0).abs() < 1e-9);
         assert!((fit.constant - 3.0).abs() < 1e-9);
@@ -97,7 +96,11 @@ mod tests {
             .map(|&n: &f64| (n, n * n.ln()))
             .collect();
         let fit = fit_power_law(&points).unwrap();
-        assert!(fit.exponent > 1.0 && fit.exponent < 1.5, "got {}", fit.exponent);
+        assert!(
+            fit.exponent > 1.0 && fit.exponent < 1.5,
+            "got {}",
+            fit.exponent
+        );
     }
 
     #[test]

@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn float_formatting_scales_with_magnitude() {
         assert_eq!(fmt_f64(0.0), "0");
-        assert_eq!(fmt_f64(3.14159), "3.142");
+        assert_eq!(fmt_f64(2.34567), "2.346");
         assert_eq!(fmt_f64(42.123), "42.1");
         assert_eq!(fmt_f64(12345.6), "12346");
     }

@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use agossip_analysis::experiments::ablation::{
-    ablation_to_table, run_ablation, AblationKnob,
-};
+use agossip_analysis::experiments::ablation::{ablation_to_table, run_ablation, AblationKnob};
 use agossip_analysis::experiments::ExperimentScale;
 use agossip_core::{run_gossip, Ears, EarsParams, GossipSpec, Sears, SearsParams};
 use agossip_sim::FairObliviousAdversary;

@@ -34,19 +34,23 @@ fn bench_robustness(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     for env in default_environments(n) {
         let config = scale.config_for(n, 0);
-        group.bench_with_input(BenchmarkId::from_parameter(env.name), &config, |b, config| {
-            b.iter(|| {
-                let mut adversary = PolicyAdversary::new(
-                    config.d,
-                    config.delta,
-                    config.seed,
-                    env.schedule.clone(),
-                    env.delay.clone(),
-                );
-                run_gossip(config, GossipSpec::Full, &mut adversary, Ears::new)
-                    .expect("ears run failed")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(env.name),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut adversary = PolicyAdversary::new(
+                        config.d,
+                        config.delta,
+                        config.seed,
+                        env.schedule.clone(),
+                        env.delay.clone(),
+                    );
+                    run_gossip(config, GossipSpec::Full, &mut adversary, Ears::new)
+                        .expect("ears run failed")
+                })
+            },
+        );
     }
     group.finish();
 

@@ -25,13 +25,9 @@ fn bench_table1(c: &mut Criterion) {
                 continue;
             }
             let config = scale.config_for(n, 0);
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &config,
-                |b, config| {
-                    b.iter(|| run_one_gossip(kind, config).expect("gossip run failed"))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &config, |b, config| {
+                b.iter(|| run_one_gossip(kind, config).expect("gossip run failed"))
+            });
         }
     }
     group.finish();

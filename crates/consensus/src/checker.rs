@@ -104,11 +104,7 @@ mod tests {
 
     #[test]
     fn missing_decisions_fail_termination_only_for_correct_processes() {
-        let check = check_consensus(
-            &[Some(0), None, None],
-            &[0, 0, 1],
-            &[true, true, false],
-        );
+        let check = check_consensus(&[Some(0), None, None], &[0, 0, 1], &[true, true, false]);
         assert!(!check.termination_ok);
         assert_eq!(check.undecided, vec![ProcessId(1)]);
         // The crashed process (2) is not required to decide.

@@ -5,7 +5,7 @@
 //! returns the metrics together with the agreement/validity/termination
 //! verdict.
 
-use agossip_core::{Ears, GossipCtx, SearsParams, Sears, Tears, Trivial};
+use agossip_core::{Ears, GossipCtx, Sears, SearsParams, Tears, Trivial};
 use agossip_sim::{
     Adversary, Metrics, ProcessId, SimConfig, SimError, SimResult, Simulation, StopReason,
 };
@@ -78,9 +78,9 @@ impl ConsensusReport {
 
 /// Runs one consensus execution of `protocol` with the given binary inputs.
 ///
-/// `initial_values.len()` must equal `config.n` and every value must be 0 or
-/// 1. Consensus requires a minority of failures, so `config.f < n/2` is
-/// enforced here.
+/// `initial_values.len()` must equal `config.n` and every value must be
+/// binary. Consensus requires a minority of failures, so `config.f < n/2`
+/// is enforced here.
 pub fn run_consensus<A: Adversary>(
     config: &SimConfig,
     protocol: ConsensusProtocol,
@@ -153,13 +153,7 @@ where
                 config.seed,
                 agossip_sim::rng::RngStream::Process(pid),
             );
-            let ctx = ConsensusCtx::new(
-                pid,
-                config.n,
-                config.f,
-                initial_values[pid.index()],
-                seed,
-            );
+            let ctx = ConsensusCtx::new(pid, config.n, config.f, initial_values[pid.index()], seed);
             ConsensusProcess::new(ctx, factory.clone())
         })
         .collect();
@@ -294,9 +288,13 @@ mod tests {
         let cfg = SimConfig::new(n, f).with_seed(6);
         let crashes = (0..f).map(|i| (agossip_sim::TimeStep(2 + i as u64), ProcessId(i)));
         let mut adv = FairObliviousAdversary::new(1, 1, 6).with_crashes(crashes);
-        let report =
-            run_consensus(&cfg, ConsensusProtocol::CanettiRabin, &split_inputs(n), &mut adv)
-                .unwrap();
+        let report = run_consensus(
+            &cfg,
+            ConsensusProtocol::CanettiRabin,
+            &split_inputs(n),
+            &mut adv,
+        )
+        .unwrap();
         assert!(report.check.agreement_ok, "{:?}", report.check);
         assert!(report.check.validity_ok);
         assert!(report.check.termination_ok);
@@ -342,7 +340,10 @@ mod tests {
     fn protocol_names_match_table_2() {
         assert_eq!(ConsensusProtocol::CanettiRabin.name(), "CR");
         assert_eq!(ConsensusProtocol::CrEars.name(), "CR-ears");
-        assert_eq!(ConsensusProtocol::CrSears { epsilon: 0.5 }.name(), "CR-sears");
+        assert_eq!(
+            ConsensusProtocol::CrSears { epsilon: 0.5 }.name(),
+            "CR-sears"
+        );
         assert_eq!(ConsensusProtocol::CrTears.name(), "CR-tears");
     }
 }

@@ -55,7 +55,13 @@ pub struct ConsensusCtx {
 
 impl ConsensusCtx {
     /// Creates a context; panics if the initial value is not binary.
-    pub fn new(pid: ProcessId, n: usize, f: usize, initial_value: ConsensusValue, seed: u64) -> Self {
+    pub fn new(
+        pid: ProcessId,
+        n: usize,
+        f: usize,
+        initial_value: ConsensusValue,
+        seed: u64,
+    ) -> Self {
         assert!(
             is_valid_value(initial_value),
             "consensus inputs must be binary (got {initial_value})"
@@ -192,7 +198,8 @@ where
         if let Some(round) = key.round() {
             self.rounds_started = self.rounds_started.max(round + 1);
         }
-        let payload = Self::vote_payload(key, self.estimate, self.prefer, self.decided, &mut self.rng);
+        let payload =
+            Self::vote_payload(key, self.estimate, self.prefer, self.decided, &mut self.rng);
         self.engine = Self::build_engine_with_payload(&self.ctx, &self.factory, key, payload);
     }
 
@@ -385,7 +392,9 @@ mod tests {
         ConsensusProcess::new(ctx, Trivial::new as fn(GossipCtx) -> Trivial)
     }
 
-    fn step(p: &mut TrivialConsensus) -> Vec<(ProcessId, ConsensusMessage<agossip_core::TrivialMessage>)> {
+    fn step(
+        p: &mut TrivialConsensus,
+    ) -> Vec<(ProcessId, ConsensusMessage<agossip_core::TrivialMessage>)> {
         let mut out = Vec::new();
         p.take_local_step(&mut out);
         out

@@ -69,7 +69,11 @@ pub fn check_gossip(
     quiescent: bool,
 ) -> CheckReport {
     let n = final_rumors.len();
-    assert_eq!(initial_rumors.len(), n, "initial rumor per process required");
+    assert_eq!(
+        initial_rumors.len(),
+        n,
+        "initial rumor per process required"
+    );
     assert_eq!(correct.len(), n, "correctness flag per process required");
 
     // Validity: every rumor held anywhere must equal the initial rumor of its
@@ -163,9 +167,13 @@ mod tests {
         let n = 4;
         let mut sets = full_sets(n);
         // Process 2 is missing the rumor of process 0.
-        sets[2] = [Rumor::new(ProcessId(1), 1), Rumor::new(ProcessId(2), 2), Rumor::new(ProcessId(3), 3)]
-            .into_iter()
-            .collect();
+        sets[2] = [
+            Rumor::new(ProcessId(1), 1),
+            Rumor::new(ProcessId(2), 2),
+            Rumor::new(ProcessId(3), 3),
+        ]
+        .into_iter()
+        .collect();
         let report = check_gossip(GossipSpec::Full, &sets, &initial(n), &vec![true; n], true);
         assert!(!report.gathering_ok);
         assert_eq!(report.gathering_violations, vec![(ProcessId(2), 1)]);
@@ -192,7 +200,10 @@ mod tests {
         let mut correct = vec![true; n];
         correct[0] = false;
         let report = check_gossip(GossipSpec::Full, &sets, &initial(n), &correct, true);
-        assert!(report.gathering_ok, "rumors of crashed processes are optional");
+        assert!(
+            report.gathering_ok,
+            "rumors of crashed processes are optional"
+        );
     }
 
     #[test]
@@ -202,7 +213,13 @@ mod tests {
         let three: RumorSet = (0..3).map(|i| Rumor::new(ProcessId(i), i as u64)).collect();
         let mut sets = vec![four; n];
         sets[6] = three;
-        let report = check_gossip(GossipSpec::Majority, &sets, &initial(n), &vec![true; n], true);
+        let report = check_gossip(
+            GossipSpec::Majority,
+            &sets,
+            &initial(n),
+            &vec![true; n],
+            true,
+        );
         assert!(!report.gathering_ok);
         assert_eq!(report.gathering_violations, vec![(ProcessId(6), 3)]);
     }
@@ -212,7 +229,13 @@ mod tests {
         let n = 6; // majority = 4
         let four: RumorSet = (0..4).map(|i| Rumor::new(ProcessId(i), i as u64)).collect();
         let sets = vec![four; n];
-        let report = check_gossip(GossipSpec::Majority, &sets, &initial(n), &vec![true; n], true);
+        let report = check_gossip(
+            GossipSpec::Majority,
+            &sets,
+            &initial(n),
+            &vec![true; n],
+            true,
+        );
         assert!(report.gathering_ok);
     }
 

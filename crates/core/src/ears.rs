@@ -194,7 +194,11 @@ mod tests {
         let mut p = Ears::new(ctx(0, 8, 2));
         for _ in 0..5 {
             let out = step(&mut p);
-            assert_eq!(out.len(), 1, "ears sends exactly one message per active step");
+            assert_eq!(
+                out.len(),
+                1,
+                "ears sends exactly one message per active step"
+            );
         }
         assert_eq!(p.steps_taken(), 5);
     }

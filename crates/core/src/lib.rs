@@ -28,7 +28,7 @@
 //! | [`ears`] | Section 3, Figure 2 | `O(n/(n−f)·log²n·(d+δ))` | `O(n log³n (d+δ))` |
 //! | [`sears`] | Section 4 | `O(n/(ε(n−f))·(d+δ))` | `O(n^{2+ε}/(ε(n−f))·log n·(d+δ))` |
 //! | [`tears`] | Section 5, Figure 3 | `O(d+δ)` | `O(n^{7/4} log²n)` (majority gossip) |
-//! | [`sync_epidemic`] | synchronous baseline (cf. CK [9]) | `O(log n)` rounds | `O(n log n)` |
+//! | [`sync_epidemic`] | synchronous baseline (cf. CK \[9\]) | `O(log n)` rounds | `O(n log n)` |
 //!
 //! All bounds hold with high probability against an **oblivious** adversary;
 //! Section 2 of the paper (reproduced in `agossip-adversary::theorem1`) shows

@@ -159,7 +159,7 @@ impl Tears {
         if count >= lower && count < self.mu + self.kappa {
             return true;
         }
-        if count > self.mu && (count - self.mu) % self.kappa == 0 {
+        if count > self.mu && (count - self.mu).is_multiple_of(self.kappa) {
             return true;
         }
         false

@@ -81,6 +81,10 @@ pub struct RuntimeReport {
     pub steps: Vec<u64>,
 }
 
+/// Per-node result slot: the final rumor set and local step count, filled in
+/// when the node's thread exits.
+type ResultSlots = Vec<Option<(RumorSet, u64)>>;
+
 struct Wire<M> {
     payload: M,
     from: ProcessId,
@@ -137,7 +141,7 @@ where
     });
     let quiescent_flags: Arc<Vec<AtomicBool>> =
         Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
-    let results: Arc<Mutex<Vec<Option<(RumorSet, u64)>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let results: Arc<Mutex<ResultSlots>> = Arc::new(Mutex::new(vec![None; n]));
 
     let mut handles = Vec::with_capacity(n);
     for (i, rx) in receivers.into_iter().enumerate() {
@@ -232,7 +236,7 @@ fn node_loop<G>(
     senders: Vec<Sender<Wire<G::Msg>>>,
     shared: Arc<Shared>,
     quiescent_flags: Arc<Vec<AtomicBool>>,
-    results: Arc<Mutex<Vec<Option<(RumorSet, u64)>>>>,
+    results: Arc<Mutex<ResultSlots>>,
     crash_after: Option<u64>,
     max_delay: Duration,
     max_pause: Duration,
@@ -283,9 +287,8 @@ fn node_loop<G>(
             shared.touch();
             let now = Instant::now();
             for (to, msg) in out.drain(..) {
-                let delay = Duration::from_micros(
-                    rng.gen_range(0..=max_delay.as_micros().max(1) as u64),
-                );
+                let delay =
+                    Duration::from_micros(rng.gen_range(0..=max_delay.as_micros().max(1) as u64));
                 // A send to a crashed (terminated) node fails; that is
                 // exactly a message that is never delivered.
                 let _ = senders[to.index()].send(Wire {
@@ -296,7 +299,10 @@ fn node_loop<G>(
             }
         }
 
-        quiescent_flags[pid.index()].store(engine.is_quiescent() && pending.is_empty(), Ordering::Relaxed);
+        quiescent_flags[pid.index()].store(
+            engine.is_quiescent() && pending.is_empty(),
+            Ordering::Relaxed,
+        );
 
         // Pace the next step (the role of δ).
         let pause = Duration::from_micros(rng.gen_range(0..=max_pause.as_micros().max(1) as u64));
@@ -316,16 +322,17 @@ mod tests {
     use agossip_core::{check_gossip, Ears, GossipSpec, Rumor, Tears, Trivial};
 
     fn initial_rumors(n: usize) -> Vec<Rumor> {
-        (0..n)
-            .map(|i| Rumor::new(ProcessId(i), i as u64))
-            .collect()
+        (0..n).map(|i| Rumor::new(ProcessId(i), i as u64)).collect()
     }
 
     #[test]
     fn trivial_gossip_gathers_all_rumors_across_threads() {
         let config = RuntimeConfig::quick(8, 0, 1);
         let report = run_threaded(&config, Trivial::new);
-        assert!(report.quiescent, "run should end by quiescence, not timeout");
+        assert!(
+            report.quiescent,
+            "run should end by quiescence, not timeout"
+        );
         assert_eq!(report.messages_sent, 8 * 7);
         let check = check_gossip(
             GossipSpec::Full,

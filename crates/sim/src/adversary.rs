@@ -141,7 +141,10 @@ impl FairObliviousAdversary {
     }
 
     /// Adds a batch of pre-committed crashes.
-    pub fn with_crashes(mut self, crashes: impl IntoIterator<Item = (TimeStep, ProcessId)>) -> Self {
+    pub fn with_crashes(
+        mut self,
+        crashes: impl IntoIterator<Item = (TimeStep, ProcessId)>,
+    ) -> Self {
         self.crash_plan.extend(crashes);
         self.crash_plan.sort_by_key(|(t, _)| *t);
         self
@@ -278,8 +281,7 @@ mod tests {
         let sent = [0; 3];
         let last = [TimeStep::ZERO; 3];
         let quiescent = [false; 3];
-        let mut adv =
-            FairObliviousAdversary::new(1, 1, 7).with_crash(TimeStep(5), ProcessId(2));
+        let mut adv = FairObliviousAdversary::new(1, 1, 7).with_crash(TimeStep(5), ProcessId(2));
         let early = view_fixture(TimeStep(4), &statuses, &sent, &last, &quiescent);
         assert!(adv.plan_step(&early).crash.is_empty());
         let due = view_fixture(TimeStep(5), &statuses, &sent, &last, &quiescent);

@@ -158,7 +158,9 @@ mod tests {
         net.send(env(0, 1, 0, 7), 2);
         assert_eq!(net.in_flight(), 1);
         // Not deliverable before t2.
-        assert!(net.collect_deliverable(ProcessId(1), TimeStep(1)).is_empty());
+        assert!(net
+            .collect_deliverable(ProcessId(1), TimeStep(1))
+            .is_empty());
         assert_eq!(net.in_flight(), 1);
         let got = net.collect_deliverable(ProcessId(1), TimeStep(2));
         assert_eq!(got.len(), 1);
@@ -181,7 +183,9 @@ mod tests {
     fn withheld_messages_stay_in_flight() {
         let mut net: Network<u32> = Network::new(2);
         net.send(env(0, 1, 0, 9), u64::MAX);
-        assert!(net.collect_deliverable(ProcessId(1), TimeStep(1_000_000)).is_empty());
+        assert!(net
+            .collect_deliverable(ProcessId(1), TimeStep(1_000_000))
+            .is_empty());
         assert_eq!(net.in_flight(), 1);
         assert!(net.all_beyond(TimeStep(1_000_000)));
         assert!(!net.is_empty());
@@ -203,7 +207,10 @@ mod tests {
         assert_eq!(net.earliest_deliverable_for(ProcessId(1)), None);
         net.send(env(0, 1, 0, 1), 5);
         net.send(env(0, 1, 2, 2), 1);
-        assert_eq!(net.earliest_deliverable_for(ProcessId(1)), Some(TimeStep(3)));
+        assert_eq!(
+            net.earliest_deliverable_for(ProcessId(1)),
+            Some(TimeStep(3))
+        );
     }
 
     #[test]

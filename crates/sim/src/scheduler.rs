@@ -458,7 +458,10 @@ mod tests {
     }
 
     fn flood_sim(n: usize, f: usize, d: u64, delta: u64) -> Simulation<OneShotFlood> {
-        let cfg = SimConfig::new(n, f).with_d(d).with_delta(delta).with_seed(11);
+        let cfg = SimConfig::new(n, f)
+            .with_d(d)
+            .with_delta(delta)
+            .with_seed(11);
         let procs = ProcessId::all(n).map(|p| OneShotFlood::new(p, n)).collect();
         Simulation::new(cfg, procs).unwrap()
     }
@@ -528,7 +531,7 @@ mod tests {
         assert_eq!(sim.metrics().messages_sent, (n - 1) as u64);
         assert_eq!(sim.in_flight(), n - 1);
         assert!(!sim.system_quiescent());
-        assert!(sim.system_quiescent_ignoring_withheld(TimeStep(1_000_000)) == false);
+        assert!(!sim.system_quiescent_ignoring_withheld(TimeStep(1_000_000)));
         // The other two processes have not stepped yet, so they are not quiescent.
         sim.step_manual(&[ProcessId(1), ProcessId(2)], &[], |_| u64::MAX)
             .unwrap();
@@ -546,12 +549,7 @@ mod tests {
         }
         impl Process for Chatter {
             type Message = ();
-            fn on_step(
-                &mut self,
-                _now: TimeStep,
-                _inbox: Vec<Envelope<()>>,
-                out: &mut Outbox<()>,
-            ) {
+            fn on_step(&mut self, _now: TimeStep, _inbox: Vec<Envelope<()>>, out: &mut Outbox<()>) {
                 out.send(ProcessId(0), ());
                 let _ = self.n;
             }

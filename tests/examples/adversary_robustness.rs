@@ -12,9 +12,7 @@
 //! (2) demonstrates the [`RecordingAdversary`] wrapper by auditing one of the
 //! nastier adversaries against the claimed bounds.
 
-use agossip_adversary::{
-    DelayPolicy, PolicyAdversary, RecordingAdversary, SchedulePolicy,
-};
+use agossip_adversary::{DelayPolicy, PolicyAdversary, RecordingAdversary, SchedulePolicy};
 use agossip_analysis::experiments::robustness::{robustness_to_table, run_robustness};
 use agossip_analysis::experiments::ExperimentScale;
 use agossip_core::{run_gossip, Ears, GossipSpec};

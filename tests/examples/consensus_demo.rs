@@ -13,14 +13,23 @@ use agossip_sim::{FairObliviousAdversary, SimConfig};
 fn main() {
     // One detailed run first: CR-tears on a split input.
     let n = 64;
-    let config = SimConfig::new(n, n / 4).with_d(2).with_delta(2).with_seed(7);
+    let config = SimConfig::new(n, n / 4)
+        .with_d(2)
+        .with_delta(2)
+        .with_seed(7);
     let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
     let mut adversary = FairObliviousAdversary::new(config.d, config.delta, config.seed);
     let report = run_consensus(&config, ConsensusProtocol::CrTears, &inputs, &mut adversary)
         .expect("consensus failed");
     println!("CR-tears, n = {n}, split 0/1 inputs:");
-    println!("  agreement/validity/termination: {}", report.check.all_ok());
-    println!("  decided value:                  {:?}", report.check.decided_value);
+    println!(
+        "  agreement/validity/termination: {}",
+        report.check.all_ok()
+    );
+    println!(
+        "  decided value:                  {:?}",
+        report.check.decided_value
+    );
     println!("  voting rounds:                  {}", report.max_rounds);
     println!("  messages:                       {}", report.messages());
     println!(

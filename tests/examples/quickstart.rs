@@ -40,8 +40,5 @@ fn main() {
         report.metrics.mean_sent_per_process()
     );
     println!("  crashes:          {}", report.metrics.crashes);
-    println!(
-        "  trivial gossip would have sent ~{} messages",
-        n * (n - 1)
-    );
+    println!("  trivial gossip would have sent ~{} messages", n * (n - 1));
 }

@@ -32,5 +32,7 @@ fn main() {
             );
         }
     }
-    println!("\npaper shape: trivial ≈ n², ears ≈ n·polylog, sears ≈ n^(1+ε), tears ≈ n^(7/4)·polylog");
+    println!(
+        "\npaper shape: trivial ≈ n², ears ≈ n·polylog, sears ≈ n^(1+ε), tears ≈ n^(7/4)·polylog"
+    );
 }

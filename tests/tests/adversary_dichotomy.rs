@@ -9,6 +9,7 @@ use agossip_analysis::experiments::lower_bound::{
 use agossip_core::{Ears, Sears, Trivial};
 
 #[test]
+#[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
 fn dichotomy_holds_for_every_protocol_and_size() {
     let rows = run_lower_bound_experiment(&[32, 64, 128], 2024).unwrap();
     assert_eq!(rows.len(), 9);
@@ -50,6 +51,7 @@ fn trivial_always_lands_in_the_message_heavy_case() {
 }
 
 #[test]
+#[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
 fn crash_budget_is_never_exceeded() {
     let rows = run_lower_bound_experiment(&[64, 128], 7).unwrap();
     for row in rows {

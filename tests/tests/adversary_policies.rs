@@ -17,7 +17,10 @@ use agossip_sim::{ProcessId, SimConfig};
 const N: usize = 32;
 
 fn config(f: usize, d: u64, delta: u64, seed: u64) -> SimConfig {
-    SimConfig::new(N, f).with_d(d).with_delta(delta).with_seed(seed)
+    SimConfig::new(N, f)
+        .with_d(d)
+        .with_delta(delta)
+        .with_seed(seed)
 }
 
 /// Runs `ears` under the given policies with recording, asserts correctness,
@@ -45,7 +48,12 @@ fn run_ears_audited(
 #[test]
 fn ears_completes_under_worst_case_delays() {
     let cfg = config(8, 4, 2, 1);
-    let report = run_ears_audited(&cfg, SchedulePolicy::FairRandom, DelayPolicy::AlwaysMax, &[]);
+    let report = run_ears_audited(
+        &cfg,
+        SchedulePolicy::FairRandom,
+        DelayPolicy::AlwaysMax,
+        &[],
+    );
     assert!(report.check.all_ok(), "{:?}", report.check);
 }
 
@@ -117,8 +125,13 @@ fn trivial_message_count_is_adversary_independent() {
     .enumerate()
     {
         let cfg = config(0, 3, 2, 10 + i as u64);
-        let mut adversary =
-            PolicyAdversary::new(cfg.d, cfg.delta, cfg.seed, SchedulePolicy::FairRandom, delay);
+        let mut adversary = PolicyAdversary::new(
+            cfg.d,
+            cfg.delta,
+            cfg.seed,
+            SchedulePolicy::FairRandom,
+            delay,
+        );
         let report = run_gossip(&cfg, GossipSpec::Full, &mut adversary, Trivial::new)
             .expect("simulation failed");
         assert!(report.check.all_ok());

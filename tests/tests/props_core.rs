@@ -113,7 +113,7 @@ proptest! {
         let kappa = tears.kappa();
         let count = offset + 1;
         let in_window = count >= mu.saturating_sub(kappa) && count < mu + kappa;
-        let is_multiple = count > mu && (count - mu) % kappa == 0;
+        let is_multiple = count > mu && (count - mu).is_multiple_of(kappa);
         prop_assert_eq!(tears.is_trigger_count(count), in_window || is_multiple);
     }
 

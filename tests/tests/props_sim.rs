@@ -29,8 +29,11 @@ proptest! {
         prop_assert_eq!(m.messages_sent, (n * (n - 1)) as u64);
     }
 
-    /// The oblivious adversary honours its declared (d, δ) bounds: the
-    /// observed maximum delivery delay and scheduling gap never exceed them.
+    /// The oblivious adversary honours its declared (d, δ) bounds. A message
+    /// becomes deliverable within `d` steps of being sent but is received at
+    /// the recipient's first *scheduled* step past that deadline, so the
+    /// observed send-to-receipt delay is bounded by `d + δ − 1`; the observed
+    /// scheduling gap never exceeds δ.
     #[test]
     fn observed_bounds_never_exceed_declared_bounds(
         n in 2usize..20,
@@ -42,8 +45,8 @@ proptest! {
         let mut adv = FairObliviousAdversary::new(d, delta, seed);
         let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
         prop_assert!(report.check.all_ok());
-        prop_assert!(report.metrics.max_delivery_delay <= d,
-            "observed d = {} > declared {}", report.metrics.max_delivery_delay, d);
+        prop_assert!(report.metrics.max_delivery_delay < d + delta,
+            "observed delay = {} ≥ d + δ = {}", report.metrics.max_delivery_delay, d + delta);
         prop_assert!(report.metrics.max_schedule_gap <= delta,
             "observed δ = {} > declared {}", report.metrics.max_schedule_gap, delta);
     }

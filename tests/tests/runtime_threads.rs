@@ -76,10 +76,8 @@ fn threaded_and_simulated_trivial_gossip_send_the_same_message_count() {
 #[test]
 fn crash_injection_reduces_correct_set_but_not_correctness() {
     let n = 12;
-    let config = RuntimeConfig::quick(n, 4, 15).with_crashes(vec![
-        (ProcessId(10), 0),
-        (ProcessId(11), 2),
-    ]);
+    let config =
+        RuntimeConfig::quick(n, 4, 15).with_crashes(vec![(ProcessId(10), 0), (ProcessId(11), 2)]);
     let report = run_threaded(&config, Ears::new);
     assert_eq!(report.correct.iter().filter(|c| !**c).count(), 2);
     let check = check_gossip(
@@ -107,7 +105,10 @@ fn slow_network_still_completes_within_the_deadline() {
         seed: 16,
     };
     let report = run_threaded(&config, Ears::new);
-    assert!(report.quiescent, "did not finish before the wall-clock limit");
+    assert!(
+        report.quiescent,
+        "did not finish before the wall-clock limit"
+    );
     let check = check_gossip(
         GossipSpec::Full,
         &report.final_rumors,
