@@ -75,6 +75,11 @@ pub struct ExperimentScale {
     pub delta: u64,
     /// Base seed; trial `t` of size `n` uses `seed + 1000·n + t`.
     pub seed: u64,
+    /// Whether trials run with the simulator's idle fast-forward (see
+    /// [`SimConfig::idle_fast_forward`]). Off by default so measured
+    /// executions stay tick-for-tick comparable with historical runs; flip it
+    /// for large sweeps whose protocols are idle-quiescent.
+    pub idle_fast_forward: bool,
 }
 
 impl Default for ExperimentScale {
@@ -86,6 +91,7 @@ impl Default for ExperimentScale {
             d: 2,
             delta: 2,
             seed: 2008,
+            idle_fast_forward: false,
         }
     }
 }
@@ -100,6 +106,7 @@ impl ExperimentScale {
             d: 1,
             delta: 1,
             seed: 7,
+            idle_fast_forward: false,
         }
     }
 
@@ -120,6 +127,7 @@ impl ExperimentScale {
             .with_d(self.d)
             .with_delta(self.delta)
             .with_seed(self.seed_for(n, trial))
+            .with_idle_fast_forward(self.idle_fast_forward)
     }
 }
 

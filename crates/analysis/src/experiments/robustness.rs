@@ -197,6 +197,7 @@ mod tests {
             d: 2,
             delta: 2,
             seed: 11,
+            idle_fast_forward: false,
         }
     }
 

@@ -163,6 +163,7 @@ mod tests {
             d: 1,
             delta: 1,
             seed: 5,
+            idle_fast_forward: false,
         }
     }
 

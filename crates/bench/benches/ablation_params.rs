@@ -20,6 +20,7 @@ fn ablation_scale() -> ExperimentScale {
         d: 2,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
     }
 }
 

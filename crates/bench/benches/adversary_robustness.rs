@@ -22,6 +22,7 @@ fn robustness_scale() -> ExperimentScale {
         d: 3,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
     }
 }
 

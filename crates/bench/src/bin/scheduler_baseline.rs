@@ -1,0 +1,30 @@
+//! Steps-per-second runner for the simulator hot loop.
+//!
+//! Measures how fast [`agossip_sim::Simulation`] executes global time steps
+//! under the two `agossip_bench::hotloop` workloads and prints one JSON
+//! object per line, suitable for appending to `BENCH_scheduler.json` at the
+//! repository root (the perf trajectory later PRs compare against):
+//!
+//! * `oblivious` — a never-quiescent chatter protocol driven by the reference
+//!   oblivious adversary (`d = 4`, `δ = 2`): the common experiment hot loop.
+//! * `withheld` — manual stepping with every message withheld forever, so the
+//!   per-destination queues grow without bound: the worst case for the
+//!   delivery scan (this is what the Theorem 1 Case 1 loop does).
+//!
+//! Usage: `cargo run --release -p agossip-bench --bin scheduler_baseline [label]`
+
+use agossip_bench::hotloop::{run_oblivious, run_withheld};
+
+fn main() {
+    let label = std::env::args().nth(1).unwrap_or_else(|| "current".into());
+    let steps = 512u64;
+    for &n in &[64usize, 256, 1024] {
+        let oblivious = run_oblivious(n, steps);
+        let withheld = run_withheld(n, steps);
+        println!(
+            "{{\"label\": \"{label}\", \"n\": {n}, \"steps\": {steps}, \
+             \"oblivious_steps_per_sec\": {oblivious:.1}, \
+             \"withheld_steps_per_sec\": {withheld:.1}}}"
+        );
+    }
+}

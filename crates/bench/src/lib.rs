@@ -32,6 +32,7 @@ pub fn bench_scale() -> ExperimentScale {
         d: 2,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
     }
 }
 
@@ -44,6 +45,97 @@ pub fn small_scale() -> ExperimentScale {
         d: 2,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
+    }
+}
+
+pub mod hotloop {
+    //! The scheduler hot-loop workloads shared by the `scheduler_hot_loop`
+    //! criterion bench and the `scheduler_baseline` runner (which emits the
+    //! `BENCH_scheduler.json` perf trajectory at the repository root).
+
+    use std::time::Instant;
+
+    use agossip_sim::{
+        Envelope, FairObliviousAdversary, Outbox, Process, ProcessId, SimConfig, Simulation,
+        TimeStep,
+    };
+
+    /// A never-quiescent protocol: every local step forwards one message to a
+    /// rotating neighbour. Deterministic and allocation-light so the
+    /// measurement is dominated by the engine, not the workload.
+    #[derive(Debug, Clone)]
+    pub struct Chatter {
+        id: ProcessId,
+        n: usize,
+        round: u64,
+        received: u64,
+    }
+
+    impl Process for Chatter {
+        type Message = u64;
+
+        fn on_step(
+            &mut self,
+            _now: TimeStep,
+            inbox: &mut Vec<Envelope<Self::Message>>,
+            out: &mut Outbox<Self::Message>,
+        ) {
+            self.received += inbox.len() as u64;
+            inbox.clear();
+            self.round += 1;
+            let target = ProcessId((self.id.index() + self.round as usize) % self.n);
+            out.send(target, self.round);
+        }
+
+        fn is_quiescent(&self) -> bool {
+            false
+        }
+    }
+
+    /// A chatter simulation with no crash budget and an effectively unbounded
+    /// step limit.
+    pub fn chatter_sim(n: usize, d: u64, delta: u64) -> Simulation<Chatter> {
+        let config = SimConfig::new(n, 0)
+            .with_d(d)
+            .with_delta(delta)
+            .with_seed(2008)
+            .with_max_steps(u64::MAX);
+        let processes = ProcessId::all(n)
+            .map(|id| Chatter {
+                id,
+                n,
+                round: 0,
+                received: 0,
+            })
+            .collect();
+        Simulation::new(config, processes).unwrap()
+    }
+
+    /// Oblivious hot loop: `steps` global steps under the reference adversary
+    /// (`d = 4`, `δ = 2`). Returns steps per second.
+    pub fn run_oblivious(n: usize, steps: u64) -> f64 {
+        let mut sim = chatter_sim(n, 4, 2);
+        let mut adversary = FairObliviousAdversary::new(4, 2, 2008);
+        let start = Instant::now();
+        for _ in 0..steps {
+            sim.step_with(&mut adversary).unwrap();
+        }
+        steps as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// Withheld hot loop: `steps` manual global steps, every process
+    /// scheduled, every message withheld — the per-destination queues only
+    /// ever grow, which is the worst case for the delivery scan (and exactly
+    /// what the Theorem 1 Case 1 loop does). Returns steps per second.
+    pub fn run_withheld(n: usize, steps: u64) -> f64 {
+        let mut sim = chatter_sim(n, 4, 1);
+        let schedule: Vec<ProcessId> = ProcessId::all(n).collect();
+        let start = Instant::now();
+        for _ in 0..steps {
+            sim.step_manual(&schedule, &[], |_| u64::MAX).unwrap();
+        }
+        steps as f64 / start.elapsed().as_secs_f64()
     }
 }
 
@@ -58,5 +150,11 @@ mod tests {
         assert!(s.trials >= 1);
         assert!(s.f_for(64) < 32);
         assert!(small_scale().n_values.len() <= s.n_values.len());
+    }
+
+    #[test]
+    fn hot_loop_workloads_run() {
+        assert!(hotloop::run_oblivious(8, 16) > 0.0);
+        assert!(hotloop::run_withheld(8, 16) > 0.0);
     }
 }

@@ -301,6 +301,20 @@ mod tests {
     }
 
     #[test]
+    fn idle_fast_forward_preserves_agreement() {
+        let n = 12;
+        let cfg = SimConfig::new(n, 0)
+            .with_d(3)
+            .with_delta(2)
+            .with_seed(8)
+            .with_idle_fast_forward(true);
+        let mut adv = FairObliviousAdversary::new(3, 2, 8);
+        let report =
+            run_consensus(&cfg, ConsensusProtocol::CrEars, &split_inputs(n), &mut adv).unwrap();
+        assert!(report.check.all_ok(), "{:?}", report.check);
+    }
+
+    #[test]
     fn rejects_majority_failure_budget() {
         let cfg = SimConfig::new(8, 4);
         let mut adv = FairObliviousAdversary::new(1, 1, 0);

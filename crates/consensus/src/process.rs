@@ -84,7 +84,7 @@ impl ConsensusCtx {
 /// One consensus participant, generic over the gossip engine used for every
 /// voting exchange.
 #[derive(Debug, Clone)]
-pub struct ConsensusProcess<G, F> {
+pub struct ConsensusProcess<G: GossipEngine, F> {
     ctx: ConsensusCtx,
     factory: F,
     key: InstanceKey,
@@ -95,6 +95,9 @@ pub struct ConsensusProcess<G, F> {
     rounds_started: u32,
     rng: StdRng,
     steps: u64,
+    /// Reusable buffer for the per-step sends, so steady-state stepping does
+    /// not allocate.
+    send_buf: Vec<(ProcessId, ConsensusMessage<G::Msg>)>,
 }
 
 impl<G, F> ConsensusProcess<G, F>
@@ -120,6 +123,7 @@ where
             rounds_started: 1,
             rng,
             steps: 0,
+            send_buf: Vec::new(),
         }
     }
 
@@ -355,17 +359,19 @@ where
     fn on_step(
         &mut self,
         _now: TimeStep,
-        inbox: Vec<Envelope<Self::Message>>,
+        inbox: &mut Vec<Envelope<Self::Message>>,
         out: &mut Outbox<Self::Message>,
     ) {
-        for env in inbox {
+        for env in inbox.drain(..) {
             self.handle_message(env.from, env.payload);
         }
-        let mut sends = Vec::new();
+        self.send_buf.clear();
+        let mut sends = std::mem::take(&mut self.send_buf);
         self.take_local_step(&mut sends);
-        for (to, msg) in sends {
+        for (to, msg) in sends.drain(..) {
             out.send(to, msg);
         }
+        self.send_buf = sends;
     }
 
     fn is_quiescent(&self) -> bool {

@@ -11,10 +11,13 @@ use crate::engine::GossipEngine;
 /// message delivered at this step is handed to [`GossipEngine::deliver`],
 /// then [`GossipEngine::local_step`] computes and emits the step's sends.
 #[derive(Debug, Clone)]
-pub struct SimGossip<G> {
+pub struct SimGossip<G: GossipEngine> {
     engine: G,
     units_sent: u64,
     units_received: u64,
+    /// Reusable buffer for the engine's per-step sends, so steady-state
+    /// stepping does not allocate.
+    sends: Vec<(agossip_sim::ProcessId, G::Msg)>,
 }
 
 impl<G: GossipEngine> SimGossip<G> {
@@ -24,6 +27,7 @@ impl<G: GossipEngine> SimGossip<G> {
             engine,
             units_sent: 0,
             units_received: 0,
+            sends: Vec::new(),
         }
     }
 
@@ -59,16 +63,16 @@ impl<G: GossipEngine> Process for SimGossip<G> {
     fn on_step(
         &mut self,
         _now: TimeStep,
-        inbox: Vec<Envelope<Self::Message>>,
+        inbox: &mut Vec<Envelope<Self::Message>>,
         out: &mut Outbox<Self::Message>,
     ) {
-        for env in inbox {
+        for env in inbox.drain(..) {
             self.units_received += G::msg_units(&env.payload);
             self.engine.deliver(env.from, env.payload);
         }
-        let mut sends = Vec::new();
-        self.engine.local_step(&mut sends);
-        for (to, msg) in sends {
+        self.sends.clear();
+        self.engine.local_step(&mut self.sends);
+        for (to, msg) in self.sends.drain(..) {
             self.units_sent += G::msg_units(&msg);
             out.send(to, msg);
         }
@@ -92,7 +96,7 @@ mod tests {
         let mut wrapped = SimGossip::new(Trivial::new(ctx));
         assert!(!Process::is_quiescent(&wrapped));
         let mut out = Outbox::new();
-        wrapped.on_step(TimeStep(0), Vec::new(), &mut out);
+        wrapped.on_step(TimeStep(0), &mut Vec::new(), &mut out);
         assert_eq!(out.len(), 2);
         assert!(Process::is_quiescent(&wrapped));
         assert_eq!(wrapped.engine().steps_taken(), 1);
@@ -111,7 +115,7 @@ mod tests {
             },
         };
         let mut out = Outbox::new();
-        wrapped.on_step(TimeStep(1), vec![incoming], &mut out);
+        wrapped.on_step(TimeStep(1), &mut vec![incoming], &mut out);
         assert!(wrapped.engine().rumors().contains_origin(ProcessId(2)));
     }
 
@@ -121,7 +125,7 @@ mod tests {
         let mut wrapped = SimGossip::new(Trivial::new(ctx));
         assert_eq!(wrapped.units_sent(), 0);
         let mut out = Outbox::new();
-        wrapped.on_step(TimeStep(0), Vec::new(), &mut out);
+        wrapped.on_step(TimeStep(0), &mut Vec::new(), &mut out);
         // Trivial sends one 2-unit message to each of the other 2 processes.
         assert_eq!(wrapped.units_sent(), 4);
         let incoming = Envelope {
@@ -132,7 +136,7 @@ mod tests {
                 rumor: crate::rumor::Rumor::new(ProcessId(1), 1),
             },
         };
-        wrapped.on_step(TimeStep(1), vec![incoming], &mut out);
+        wrapped.on_step(TimeStep(1), &mut vec![incoming], &mut out);
         assert_eq!(wrapped.units_received(), 2);
     }
 

@@ -209,6 +209,28 @@ mod tests {
     }
 
     #[test]
+    fn idle_fast_forward_skips_quiet_windows_and_stays_correct() {
+        // Trivial floods once and goes quiescent; with a large delivery bound
+        // and few messages the run is mostly idle waiting, which fast-forward
+        // jumps over without changing the outcome's correctness.
+        let n = 4;
+        let d = 40;
+        let cfg = config(n, 0, d, 2, 9).with_idle_fast_forward(true);
+        let mut adv = FairObliviousAdversary::new(d, 2, 9);
+        let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Trivial::new).unwrap();
+        assert!(report.check.all_ok(), "{:?}", report.check);
+        assert_eq!(report.messages(), (n * (n - 1)) as u64);
+        assert!(
+            report.metrics.idle_steps_skipped > 0,
+            "a d = 40 trivial flood must contain skippable idle windows"
+        );
+        // The clock still adds up: executed steps + skipped steps cover the
+        // whole run up to quiescence.
+        let q = report.time_steps().unwrap();
+        assert!(report.metrics.elapsed_steps + report.metrics.idle_steps_skipped > q);
+    }
+
+    #[test]
     fn reports_are_deterministic_for_a_seed() {
         let cfg = config(24, 6, 2, 2, 77);
         let mut adv1 = FairObliviousAdversary::new(2, 2, 77);

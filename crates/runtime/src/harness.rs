@@ -91,6 +91,40 @@ struct Wire<M> {
     deliver_after: Instant,
 }
 
+/// A received message waiting out its injected delay, ordered for a min-heap
+/// on `(deliver_after, seq)` so the delay buffer is deadline-indexed like the
+/// simulator's network (no per-step linear scan), with FIFO tie-breaking.
+struct Pending<M> {
+    deliver_after: Instant,
+    /// Receiver-side arrival counter; unique per node.
+    seq: u64,
+    from: ProcessId,
+    payload: M,
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Pending<M> {}
+
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .deliver_after
+            .cmp(&self.deliver_after)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 struct Shared {
     stop: AtomicBool,
     sent: AtomicU64,
@@ -245,7 +279,9 @@ fn node_loop<G>(
     G: GossipEngine,
 {
     let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0xA51C, RngStream::Process(pid)));
-    let mut pending: Vec<Wire<G::Msg>> = Vec::new();
+    let mut pending: std::collections::BinaryHeap<Pending<G::Msg>> =
+        std::collections::BinaryHeap::new();
+    let mut pending_seq = 0u64;
     let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
     let mut steps = 0u64;
 
@@ -259,23 +295,25 @@ fn node_loop<G>(
             }
         }
 
-        // Drain the channel into the delay buffer.
+        // Drain the channel into the deadline-indexed delay buffer.
         while let Ok(wire) = rx.try_recv() {
-            pending.push(wire);
+            pending.push(Pending {
+                deliver_after: wire.deliver_after,
+                seq: pending_seq,
+                from: wire.from,
+                payload: wire.payload,
+            });
+            pending_seq += 1;
         }
 
-        // Deliver everything whose injected delay has expired.
+        // Deliver everything whose injected delay has expired; the heap top
+        // is the earliest deadline, so this touches only due messages.
         let now = Instant::now();
-        let mut i = 0;
-        while i < pending.len() {
-            if pending[i].deliver_after <= now {
-                let wire = pending.swap_remove(i);
-                engine.deliver(wire.from, wire.payload);
-                shared.delivered.fetch_add(1, Ordering::Relaxed);
-                shared.touch();
-            } else {
-                i += 1;
-            }
+        while pending.peek().is_some_and(|p| p.deliver_after <= now) {
+            let p = pending.pop().expect("peeked element");
+            engine.deliver(p.from, p.payload);
+            shared.delivered.fetch_add(1, Ordering::Relaxed);
+            shared.touch();
         }
 
         // One local step.

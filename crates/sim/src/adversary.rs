@@ -47,7 +47,10 @@ pub struct SystemView<'a> {
     pub last_scheduled: &'a [TimeStep],
     /// Per-process quiescence flags (as reported by the protocol).
     pub quiescent: &'a [bool],
-    /// Number of messages currently in flight.
+    /// Number of messages currently in flight. During delay assignment this
+    /// is the count *before* the current step's outgoing batch is handed to
+    /// the network: the view is snapshotted once per batch, not rebuilt
+    /// between sends.
     pub in_flight: usize,
     /// Number of crashes so far.
     pub crashes: usize,

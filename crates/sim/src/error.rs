@@ -41,6 +41,20 @@ pub enum SimError {
         /// The configured maximum number of time steps.
         max_steps: u64,
     },
+    /// An adversary assigned a delivery delay outside `1..=d` (and different
+    /// from `u64::MAX`, which is the explicit "withheld forever" marker) to a
+    /// message. Such a delay would silently leave the `(d, δ)`-bounded
+    /// execution model the paper's theorems are stated for.
+    DelayOutOfBounds {
+        /// The sender of the offending message.
+        from: ProcessId,
+        /// The recipient of the offending message.
+        to: ProcessId,
+        /// The delay the adversary assigned.
+        delay: u64,
+        /// The configured delivery bound `d`.
+        d: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +75,11 @@ impl fmt::Display for SimError {
             SimError::StepLimitExceeded { max_steps } => {
                 write!(f, "simulation exceeded the step limit of {max_steps}")
             }
+            SimError::DelayOutOfBounds { from, to, delay, d } => write!(
+                f,
+                "adversary assigned delay {delay} to a message {from} -> {to}, \
+                 outside 1..={d} (use u64::MAX to withhold a message forever)"
+            ),
         }
     }
 }
@@ -100,6 +119,17 @@ mod tests {
 
         let e = SimError::StepLimitExceeded { max_steps: 100 };
         assert!(e.to_string().contains("100"));
+
+        let e = SimError::DelayOutOfBounds {
+            from: ProcessId(1),
+            to: ProcessId(2),
+            delay: 9,
+            d: 4,
+        };
+        assert!(e.to_string().contains("p1"));
+        assert!(e.to_string().contains("p2"));
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //!   in-flight message buffer, and the metrics, and advances time one step at
 //!   a time under the control of an [`Adversary`] (or under manual control,
 //!   which is what the adaptive lower-bound adversary in `agossip-adversary`
-//!   uses).
+//!   uses). Both stepping modes share one zero-allocation step core, and
+//!   [`Simulation::run_until`] can optionally fast-forward over idle windows
+//!   (see [`SimConfig::idle_fast_forward`]).
+//! * [`Network`] — the in-flight buffer, deadline-indexed per destination so
+//!   delivery collection touches only due messages instead of scanning whole
+//!   queues.
 //! * [`adversary`] — the adversary trait plus a family of oblivious
 //!   schedule/delay/crash policies.
 //! * [`metrics`] — message, step, delay and quiescence accounting; these are

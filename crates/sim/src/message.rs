@@ -47,7 +47,11 @@ pub struct EnvelopeMeta {
 }
 
 /// Collects the messages a process sends during one local step.
-#[derive(Debug)]
+///
+/// The simulator keeps one `Outbox` alive across steps and drains it after
+/// each local step (see [`Outbox::drain`]), so steady-state stepping performs
+/// no outbox allocation.
+#[derive(Debug, Clone)]
 pub struct Outbox<M> {
     sends: Vec<(ProcessId, M)>,
 }
@@ -94,6 +98,12 @@ impl<M> Outbox<M> {
         self.sends
     }
 
+    /// Drains the queued `(target, payload)` pairs in send order, leaving the
+    /// outbox empty but with its capacity intact for reuse.
+    pub fn drain(&mut self) -> impl Iterator<Item = (ProcessId, M)> + '_ {
+        self.sends.drain(..)
+    }
+
     /// Read-only view of the queued sends.
     pub fn sends(&self) -> &[(ProcessId, M)] {
         &self.sends
@@ -114,6 +124,17 @@ mod tests {
         assert!(!out.is_empty());
         let sends = out.into_sends();
         assert_eq!(sends, vec![(ProcessId(1), 42), (ProcessId(2), 43)]);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_capacity() {
+        let mut out: Outbox<u32> = Outbox::new();
+        out.send(ProcessId(0), 1);
+        out.send(ProcessId(1), 2);
+        let drained: Vec<_> = out.drain().collect();
+        assert_eq!(drained, vec![(ProcessId(0), 1), (ProcessId(1), 2)]);
+        assert!(out.is_empty());
+        assert!(out.sends.capacity() >= 2, "capacity is retained for reuse");
     }
 
     #[test]

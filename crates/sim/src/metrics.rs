@@ -37,6 +37,11 @@ pub struct Metrics {
     pub quiescence_time: Option<TimeStep>,
     /// Total number of global time steps executed.
     pub elapsed_steps: u64,
+    /// Idle time steps the run loop skipped by jumping straight to the next
+    /// delivery deadline (see [`crate::SimConfig::idle_fast_forward`]);
+    /// always zero when fast-forward is disabled. Skipped steps advance the
+    /// clock but are not counted in [`Self::elapsed_steps`].
+    pub idle_steps_skipped: u64,
 }
 
 impl Metrics {
@@ -54,6 +59,7 @@ impl Metrics {
             max_schedule_gap: 0,
             quiescence_time: None,
             elapsed_steps: 0,
+            idle_steps_skipped: 0,
         }
     }
 

@@ -5,36 +5,91 @@
 //! the message's delivery deadline, at which point it is handed to the
 //! recipient's local step. Messages addressed to crashed processes are
 //! discarded when the crash is observed.
+//!
+//! # Representation
+//!
+//! Each destination owns a [`BinaryHeap`] of in-flight messages keyed by
+//! `(deliverable_at, seq)`, where `seq` is a network-wide send sequence
+//! number. The heap top is therefore always the earliest-deadline message, so
+//!
+//! * [`Network::earliest_deliverable_for`] is O(1) (a peek), and
+//! * [`Network::collect_deliverable`] is O(delivered · log k) and returns
+//!   *immediately* — moving nothing — when the earliest deadline is still in
+//!   the future.
+//!
+//! Delivered batches are handed out in **send order** (ascending `seq`), which
+//! is exactly the order the historical `VecDeque`-scan implementation
+//! produced, so executions are bit-for-bit reproducible across the two
+//! representations (see `tests/network_differential.rs`).
 
-use std::collections::VecDeque;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use crate::message::Envelope;
 use crate::process::ProcessId;
 use crate::time::TimeStep;
 
 /// A message waiting in the network together with the earliest time at which
-/// it may be delivered.
+/// it may be delivered and its network-wide send sequence number.
 #[derive(Debug, Clone)]
 struct InFlight<M> {
     envelope: Envelope<M>,
     /// The message becomes deliverable at any scheduled step of the recipient
     /// occurring at time `>= deliverable_at`.
     deliverable_at: TimeStep,
+    /// Position in the global send order; unique per network, used to break
+    /// deadline ties FIFO and to restore send order within a delivered batch.
+    seq: u64,
 }
 
-/// The network: a per-destination queue of in-flight messages.
+// The heap must order solely by (deliverable_at, seq) — payloads have no
+// ordering — and `BinaryHeap` is a max-heap, so the comparison is reversed to
+// put the earliest deadline on top. `seq` is unique, which makes the order
+// total and the `PartialEq` below consistent with it.
+impl<M> PartialEq for InFlight<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<M> Eq for InFlight<M> {}
+
+impl<M> PartialOrd for InFlight<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for InFlight<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .deliverable_at
+            .cmp(&self.deliverable_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The network: a per-destination deadline-indexed queue of in-flight
+/// messages.
 #[derive(Debug, Clone)]
 pub struct Network<M> {
-    queues: Vec<VecDeque<InFlight<M>>>,
+    queues: Vec<BinaryHeap<InFlight<M>>>,
     in_flight: usize,
+    next_seq: u64,
+    /// Scratch space for popped messages while a delivered batch is being
+    /// restored to send order; kept here so steady-state collection does not
+    /// allocate.
+    scratch: Vec<InFlight<M>>,
 }
 
 impl<M> Network<M> {
     /// Creates an empty network for a system of `n` processes.
     pub fn new(n: usize) -> Self {
         Network {
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            queues: (0..n).map(|_| BinaryHeap::new()).collect(),
             in_flight: 0,
+            next_seq: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -54,29 +109,55 @@ impl<M> Network<M> {
         let deliverable_at = envelope.sent_at.after(delay);
         let to = envelope.to.index();
         debug_assert!(to < self.queues.len(), "destination out of range");
-        self.queues[to].push_back(InFlight {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queues[to].push(InFlight {
             envelope,
             deliverable_at,
+            seq,
         });
         self.in_flight += 1;
     }
 
     /// Removes and returns every message addressed to `to` whose delivery
-    /// deadline has been reached at time `now`.
+    /// deadline has been reached at time `now`, in send order.
+    ///
+    /// Convenience wrapper around [`Self::collect_deliverable_into`] for
+    /// callers that do not reuse a buffer.
     pub fn collect_deliverable(&mut self, to: ProcessId, now: TimeStep) -> Vec<Envelope<M>> {
-        let queue = &mut self.queues[to.index()];
         let mut delivered = Vec::new();
-        let mut remaining = VecDeque::with_capacity(queue.len());
-        while let Some(m) = queue.pop_front() {
-            if m.deliverable_at <= now {
-                delivered.push(m.envelope);
-            } else {
-                remaining.push_back(m);
-            }
-        }
-        *queue = remaining;
-        self.in_flight -= delivered.len();
+        self.collect_deliverable_into(to, now, &mut delivered);
         delivered
+    }
+
+    /// Appends every message addressed to `to` whose delivery deadline has
+    /// been reached at time `now` onto `out`, in send order.
+    ///
+    /// When the earliest deadline for `to` is still in the future this
+    /// returns without moving (or allocating) anything.
+    pub fn collect_deliverable_into(
+        &mut self,
+        to: ProcessId,
+        now: TimeStep,
+        out: &mut Vec<Envelope<M>>,
+    ) {
+        let queue = &mut self.queues[to.index()];
+        match queue.peek() {
+            Some(m) if m.deliverable_at <= now => {}
+            _ => return,
+        }
+        debug_assert!(self.scratch.is_empty());
+        while let Some(m) = queue.peek() {
+            if m.deliverable_at > now {
+                break;
+            }
+            self.scratch.push(queue.pop().expect("peeked element"));
+        }
+        self.in_flight -= self.scratch.len();
+        // Heap order is (deadline, seq); the historical contract is send
+        // order across the whole batch, i.e. ascending seq.
+        self.scratch.sort_unstable_by_key(|m| m.seq);
+        out.extend(self.scratch.drain(..).map(|m| m.envelope));
     }
 
     /// Discards every message addressed to `to` (used when `to` crashes).
@@ -100,11 +181,19 @@ impl<M> Network<M> {
     }
 
     /// Earliest time at which any message queued for `to` becomes
-    /// deliverable, or `None` if the queue is empty.
+    /// deliverable, or `None` if the queue is empty. O(1).
     pub fn earliest_deliverable_for(&self, to: ProcessId) -> Option<TimeStep> {
-        self.queues[to.index()]
+        self.queues[to.index()].peek().map(|m| m.deliverable_at)
+    }
+
+    /// Earliest time at which any in-flight message (to any destination)
+    /// becomes deliverable, or `None` if the network is empty. O(n) peeks.
+    ///
+    /// This is what the scheduler's idle fast-forward jumps to.
+    pub fn earliest_deliverable(&self) -> Option<TimeStep> {
+        self.queues
             .iter()
-            .map(|m| m.deliverable_at)
+            .filter_map(|q| q.peek().map(|m| m.deliverable_at))
             .min()
     }
 
@@ -114,28 +203,34 @@ impl<M> Network<M> {
     }
 
     /// Iterates over the messages currently queued for `to` (regardless of
-    /// delivery deadline), without removing them.
+    /// delivery deadline), without removing them. Iteration order is
+    /// unspecified; use [`Self::clone_pending_for`] for send order.
     pub fn iter_for(&self, to: ProcessId) -> impl Iterator<Item = &Envelope<M>> {
         self.queues[to.index()].iter().map(|m| &m.envelope)
     }
 
-    /// Clones every message currently queued for `to`.
+    /// Clones every message currently queued for `to`, in send order.
     pub fn clone_pending_for(&self, to: ProcessId) -> Vec<Envelope<M>>
     where
         M: Clone,
     {
-        self.iter_for(to).cloned().collect()
+        let mut pending: Vec<(u64, &Envelope<M>)> = self.queues[to.index()]
+            .iter()
+            .map(|m| (m.seq, &m.envelope))
+            .collect();
+        pending.sort_unstable_by_key(|(seq, _)| *seq);
+        pending.into_iter().map(|(_, env)| env.clone()).collect()
     }
 
     /// True if every in-flight message has a delivery deadline of
     /// `u64::MAX`-like magnitude, i.e. has been withheld "forever" relative
     /// to `horizon`. Used by drivers that want to treat permanently withheld
-    /// messages as drained.
+    /// messages as drained. O(n): only each destination's earliest deadline
+    /// needs inspecting.
     pub fn all_beyond(&self, horizon: TimeStep) -> bool {
         self.queues
             .iter()
-            .flatten()
-            .all(|m| m.deliverable_at > horizon)
+            .all(|q| q.peek().is_none_or(|m| m.deliverable_at > horizon))
     }
 }
 
@@ -205,12 +300,15 @@ mod tests {
     fn earliest_deliverable_reports_minimum() {
         let mut net: Network<u32> = Network::new(2);
         assert_eq!(net.earliest_deliverable_for(ProcessId(1)), None);
+        assert_eq!(net.earliest_deliverable(), None);
         net.send(env(0, 1, 0, 1), 5);
         net.send(env(0, 1, 2, 2), 1);
         assert_eq!(
             net.earliest_deliverable_for(ProcessId(1)),
             Some(TimeStep(3))
         );
+        net.send(env(1, 0, 0, 3), 2);
+        assert_eq!(net.earliest_deliverable(), Some(TimeStep(2)));
     }
 
     #[test]
@@ -225,5 +323,69 @@ mod tests {
         let got = net.collect_deliverable(ProcessId(1), TimeStep(10));
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].payload, 2);
+    }
+
+    #[test]
+    fn batches_are_delivered_in_send_order() {
+        // Send order 10, 20, 30 with deadlines 5, 3, 4: the whole batch is
+        // due at t5 and must come out in send order, not deadline order.
+        let mut net: Network<u32> = Network::new(2);
+        net.send(env(0, 1, 0, 10), 5);
+        net.send(env(0, 1, 0, 20), 3);
+        net.send(env(0, 1, 0, 30), 4);
+        let got = net.collect_deliverable(ProcessId(1), TimeStep(5));
+        let payloads: Vec<u32> = got.iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn clone_pending_preserves_send_order() {
+        let mut net: Network<u32> = Network::new(2);
+        net.send(env(0, 1, 0, 10), 9);
+        net.send(env(0, 1, 0, 20), 2);
+        net.send(env(0, 1, 0, 30), 5);
+        let cloned = net.clone_pending_for(ProcessId(1));
+        let payloads: Vec<u32> = cloned.iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![10, 20, 30]);
+        // Cloning does not disturb the queue.
+        assert_eq!(net.pending_for(ProcessId(1)), 3);
+    }
+
+    #[test]
+    fn future_deadline_collection_moves_nothing() {
+        // Regression for the historical implementation, which popped and
+        // rebuilt the whole queue even when nothing was deliverable: with the
+        // earliest deadline in the future, collection must move no envelopes
+        // and leave every observable unchanged.
+        let mut net: Network<u32> = Network::new(2);
+        net.send(env(0, 1, 0, 1), 7);
+        net.send(env(0, 1, 0, 2), 7);
+        net.send(env(0, 1, 0, 3), 7);
+        let mut out = Vec::new();
+        for now in 0..7 {
+            net.collect_deliverable_into(ProcessId(1), TimeStep(now), &mut out);
+            assert!(out.is_empty(), "nothing deliverable before t7");
+            assert_eq!(net.in_flight(), 3);
+            assert_eq!(net.pending_for(ProcessId(1)), 3);
+            assert_eq!(
+                net.earliest_deliverable_for(ProcessId(1)),
+                Some(TimeStep(7))
+            );
+        }
+        // The untouched queue still delivers the full batch in send order.
+        net.collect_deliverable_into(ProcessId(1), TimeStep(8), &mut out);
+        let payloads: Vec<u32> = out.iter().map(|e| e.payload).collect();
+        assert_eq!(payloads, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn collect_into_appends_without_clearing() {
+        let mut net: Network<u32> = Network::new(2);
+        net.send(env(0, 1, 0, 5), 1);
+        let mut out = vec![env(1, 0, 0, 99)];
+        net.collect_deliverable_into(ProcessId(1), TimeStep(1), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload, 99);
+        assert_eq!(out[1].payload, 5);
     }
 }

@@ -78,12 +78,16 @@ pub trait Process {
     /// Executes one local step at time `now`.
     ///
     /// `inbox` contains every message delivered at this step (possibly
-    /// empty). Outgoing messages are pushed into `out`; the simulator stamps
-    /// them with the current time and hands them to the network.
+    /// empty), in send order; implementations typically `drain(..)` it. The
+    /// buffer is owned by the simulator and reused across steps, so
+    /// steady-state stepping performs no inbox allocation; anything left in
+    /// it after the step is discarded. Outgoing messages are pushed into
+    /// `out`; the simulator stamps them with the current time and hands them
+    /// to the network.
     fn on_step(
         &mut self,
         now: TimeStep,
-        inbox: Vec<Envelope<Self::Message>>,
+        inbox: &mut Vec<Envelope<Self::Message>>,
         out: &mut Outbox<Self::Message>,
     );
 

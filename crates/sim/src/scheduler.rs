@@ -52,6 +52,14 @@ pub struct Simulation<P: Process> {
     network: Network<P::Message>,
     metrics: Metrics,
     now: TimeStep,
+    /// Reusable delivery buffer handed to each local step; cleared between
+    /// processes so steady-state stepping allocates nothing.
+    inbox: Vec<Envelope<P::Message>>,
+    /// Reusable outbox handed to each local step.
+    outbox: Outbox<P::Message>,
+    /// Reusable buffer of `(envelope, delay)` pairs produced by one global
+    /// step, filled before the batch is handed to the network.
+    outgoing: Vec<(Envelope<P::Message>, u64)>,
 }
 
 impl<P: Process> Simulation<P> {
@@ -78,6 +86,9 @@ impl<P: Process> Simulation<P> {
             network: Network::new(n),
             metrics: Metrics::new(n),
             now: TimeStep::ZERO,
+            inbox: Vec::new(),
+            outbox: Outbox::new(),
+            outgoing: Vec::new(),
         })
     }
 
@@ -216,18 +227,59 @@ impl<P: Process> Simulation<P> {
     /// whose delivery deadline has passed, computes, and sends. Each sent
     /// message is assigned the delay returned by `delay_for`; a returned
     /// value of `u64::MAX` withholds the message for the rest of the
-    /// execution.
+    /// execution, and any other value outside `1..=config.d` is rejected
+    /// with [`SimError::DelayOutOfBounds`].
     pub fn step_manual(
         &mut self,
         schedule: &[ProcessId],
         crashes: &[ProcessId],
         mut delay_for: impl FnMut(&EnvelopeMeta) -> u64,
     ) -> SimResult<()> {
+        self.step_core(schedule, crashes, |meta, _view| delay_for(meta))
+    }
+
+    /// Executes one global time step under the control of `adversary`.
+    ///
+    /// The adversary's `message_delay` is called once per outgoing message
+    /// against a single [`SystemView`] snapshot taken after the batch of
+    /// local steps (the view does not change between the batch's delay
+    /// decisions). Delays are validated like in [`Self::step_manual`].
+    pub fn step_with<A: Adversary>(&mut self, adversary: &mut A) -> SimResult<()> {
+        let StepPlan { schedule, crash } = adversary.plan_step(&self.view());
+        self.step_core(&schedule, &crash, |meta, view| {
+            adversary.message_delay(meta, view)
+        })
+    }
+
+    /// The step body shared by [`Self::step_manual`] and [`Self::step_with`].
+    ///
+    /// One global time step: apply `crashes`, let every alive process in
+    /// `schedule` take a local step (receive due messages, compute, send),
+    /// then assign each outgoing message the delay chosen by `delay_for` and
+    /// hand it to the network. Uses the simulation's reusable
+    /// inbox/outbox/outgoing buffers, so steady-state stepping performs no
+    /// allocation.
+    fn step_core<F>(
+        &mut self,
+        schedule: &[ProcessId],
+        crashes: &[ProcessId],
+        mut delay_for: F,
+    ) -> SimResult<()>
+    where
+        F: FnMut(&EnvelopeMeta, &SystemView<'_>) -> u64,
+    {
         for &victim in crashes {
             self.crash(victim)?;
         }
 
-        let mut outgoing: Vec<Envelope<P::Message>> = Vec::new();
+        // The buffers are moved out for the duration of the step so the
+        // borrow checker can see they are disjoint from `self`; they are
+        // moved back (with their capacity) on the success path. Error paths
+        // drop them — every `SimError` here is terminal for the run.
+        let mut inbox = std::mem::take(&mut self.inbox);
+        let mut outbox = std::mem::take(&mut self.outbox);
+        let mut outgoing = std::mem::take(&mut self.outgoing);
+
         for &pid in schedule {
             if pid.index() >= self.config.n {
                 return Err(SimError::UnknownProcess {
@@ -238,7 +290,9 @@ impl<P: Process> Simulation<P> {
             if self.statuses[pid.index()].is_crashed() {
                 continue;
             }
-            let inbox = self.network.collect_deliverable(pid, self.now);
+            inbox.clear();
+            self.network
+                .collect_deliverable_into(pid, self.now, &mut inbox);
             for env in &inbox {
                 self.metrics.record_delivery(pid, env.sent_at, self.now);
             }
@@ -246,36 +300,59 @@ impl<P: Process> Simulation<P> {
                 .record_step(pid, self.last_scheduled[pid.index()], self.now);
             self.last_scheduled[pid.index()] = self.now;
 
-            let mut outbox = Outbox::new();
-            self.processes[pid.index()].on_step(self.now, inbox, &mut outbox);
+            self.processes[pid.index()].on_step(self.now, &mut inbox, &mut outbox);
             self.quiescent[pid.index()] = self.processes[pid.index()].is_quiescent();
 
-            let sends = outbox.into_sends();
-            self.metrics.record_sent(pid, sends.len() as u64);
-            for (to, payload) in sends {
+            self.metrics.record_sent(pid, outbox.len() as u64);
+            for (to, payload) in outbox.drain() {
                 if to.index() >= self.config.n {
                     return Err(SimError::UnknownProcess {
                         pid: to,
                         n: self.config.n,
                     });
                 }
-                outgoing.push(Envelope {
-                    from: pid,
-                    to,
-                    sent_at: self.now,
-                    payload,
-                });
+                outgoing.push((
+                    Envelope {
+                        from: pid,
+                        to,
+                        sent_at: self.now,
+                        payload,
+                    },
+                    0,
+                ));
             }
         }
 
-        for env in outgoing {
+        // Assign delays against one view snapshot taken after all local
+        // steps of this tick: only `in_flight` could still change during the
+        // sends below, and the batch's delay decisions deliberately all see
+        // the pre-send count (documented on `SystemView::in_flight`).
+        {
+            let view = self.view();
+            for (env, delay) in outgoing.iter_mut() {
+                if self.statuses[env.to.index()].is_crashed() {
+                    continue;
+                }
+                let chosen = delay_for(&env.meta(), &view);
+                if chosen == 0 || (chosen > self.config.d && chosen != u64::MAX) {
+                    return Err(SimError::DelayOutOfBounds {
+                        from: env.from,
+                        to: env.to,
+                        delay: chosen,
+                        d: self.config.d,
+                    });
+                }
+                *delay = chosen;
+            }
+        }
+
+        for (env, delay) in outgoing.drain(..) {
             // Messages to crashed destinations are dropped (they can never be
             // received) but they were already counted as sent above.
             if self.statuses[env.to.index()].is_crashed() {
                 self.metrics.record_dropped(1);
                 continue;
             }
-            let delay = delay_for(&env.meta()).max(1);
             self.network.send(env, delay);
         }
 
@@ -284,81 +361,13 @@ impl<P: Process> Simulation<P> {
         }
         self.metrics.elapsed_steps += 1;
         self.now.tick();
-        Ok(())
-    }
 
-    /// Executes one global time step under the control of `adversary`.
-    pub fn step_with<A: Adversary>(&mut self, adversary: &mut A) -> SimResult<()> {
-        let plan: StepPlan = adversary.plan_step(&self.view());
-        // Delays must be chosen by the adversary; capture them through a
-        // small closure that re-creates a view on demand. Since the view
-        // borrows `self`, we instead snapshot the fields the delay decision
-        // may depend on (time and traffic counts) before mutating.
-        let StepPlan { schedule, crash } = plan;
-
-        // Apply crashes first.
-        for &victim in &crash {
-            self.crash(victim)?;
-        }
-
-        let mut outgoing: Vec<Envelope<P::Message>> = Vec::new();
-        for &pid in &schedule {
-            if pid.index() >= self.config.n {
-                return Err(SimError::UnknownProcess {
-                    pid,
-                    n: self.config.n,
-                });
-            }
-            if self.statuses[pid.index()].is_crashed() {
-                continue;
-            }
-            let inbox = self.network.collect_deliverable(pid, self.now);
-            for env in &inbox {
-                self.metrics.record_delivery(pid, env.sent_at, self.now);
-            }
-            self.metrics
-                .record_step(pid, self.last_scheduled[pid.index()], self.now);
-            self.last_scheduled[pid.index()] = self.now;
-
-            let mut outbox = Outbox::new();
-            self.processes[pid.index()].on_step(self.now, inbox, &mut outbox);
-            self.quiescent[pid.index()] = self.processes[pid.index()].is_quiescent();
-
-            let sends = outbox.into_sends();
-            self.metrics.record_sent(pid, sends.len() as u64);
-            for (to, payload) in sends {
-                if to.index() >= self.config.n {
-                    return Err(SimError::UnknownProcess {
-                        pid: to,
-                        n: self.config.n,
-                    });
-                }
-                outgoing.push(Envelope {
-                    from: pid,
-                    to,
-                    sent_at: self.now,
-                    payload,
-                });
-            }
-        }
-
-        for env in outgoing {
-            if self.statuses[env.to.index()].is_crashed() {
-                self.metrics.record_dropped(1);
-                continue;
-            }
-            let delay = {
-                let view = self.view();
-                adversary.message_delay(&env.meta(), &view).max(1)
-            };
-            self.network.send(env, delay);
-        }
-
-        if self.system_quiescent() {
-            self.metrics.record_quiescence(self.now);
-        }
-        self.metrics.elapsed_steps += 1;
-        self.now.tick();
+        // Drop any envelopes a process left unread so they don't outlive the
+        // step inside the reused buffer.
+        inbox.clear();
+        self.inbox = inbox;
+        self.outbox = outbox;
+        self.outgoing = outgoing;
         Ok(())
     }
 
@@ -369,6 +378,13 @@ impl<P: Process> Simulation<P> {
 
     /// Runs until the system is quiescent, `stop` returns true, or the step
     /// limit is reached. The predicate is evaluated after every step.
+    ///
+    /// With [`SimConfig::idle_fast_forward`] enabled, whenever every alive
+    /// process is quiescent and messages are still in flight the loop jumps
+    /// the clock straight to the network's earliest delivery deadline instead
+    /// of ticking through the idle window (during which every local step
+    /// would be a receive-nothing/send-nothing no-op); the skipped steps are
+    /// counted in [`Metrics::idle_steps_skipped`].
     pub fn run_until<A: Adversary>(
         &mut self,
         adversary: &mut A,
@@ -388,6 +404,9 @@ impl<P: Process> Simulation<P> {
                     stopped_at: self.now,
                 });
             }
+            if self.config.idle_fast_forward {
+                self.idle_fast_forward();
+            }
             if self.now.as_u64() >= self.config.max_steps {
                 return Err(SimError::StepLimitExceeded {
                     max_steps: self.config.max_steps,
@@ -395,6 +414,38 @@ impl<P: Process> Simulation<P> {
             }
             self.step_with(adversary)?;
         }
+    }
+
+    /// Jumps `now` to the network's earliest delivery deadline if every alive
+    /// process is quiescent, at least one message is in flight, and that
+    /// deadline is in the future. No-op otherwise.
+    ///
+    /// The jump is capped at [`SimConfig::max_steps`] so that a system whose
+    /// only traffic is withheld forever (deadline `u64::MAX`) still
+    /// terminates with [`SimError::StepLimitExceeded`] instead of warping the
+    /// clock past the limit.
+    fn idle_fast_forward(&mut self) {
+        if self.network.is_empty() {
+            return;
+        }
+        let all_quiet = self
+            .statuses
+            .iter()
+            .zip(&self.quiescent)
+            .all(|(s, q)| s.is_crashed() || *q);
+        if !all_quiet {
+            return;
+        }
+        let Some(deadline) = self.network.earliest_deliverable() else {
+            return;
+        };
+        let target = deadline.as_u64().min(self.config.max_steps);
+        let skipped = target.saturating_sub(self.now.as_u64());
+        if skipped == 0 {
+            return;
+        }
+        self.now = TimeStep(target);
+        self.metrics.idle_steps_skipped += skipped;
     }
 
     /// Consumes the simulation and returns its parts: the process state
@@ -436,10 +487,10 @@ mod tests {
         fn on_step(
             &mut self,
             _now: TimeStep,
-            inbox: Vec<Envelope<Self::Message>>,
+            inbox: &mut Vec<Envelope<Self::Message>>,
             out: &mut Outbox<Self::Message>,
         ) {
-            for env in inbox {
+            for env in inbox.drain(..) {
                 self.received.push(env.payload);
             }
             if !self.sent {
@@ -549,7 +600,12 @@ mod tests {
         }
         impl Process for Chatter {
             type Message = ();
-            fn on_step(&mut self, _now: TimeStep, _inbox: Vec<Envelope<()>>, out: &mut Outbox<()>) {
+            fn on_step(
+                &mut self,
+                _now: TimeStep,
+                _inbox: &mut Vec<Envelope<()>>,
+                out: &mut Outbox<()>,
+            ) {
                 out.send(ProcessId(0), ());
                 let _ = self.n;
             }
@@ -584,6 +640,139 @@ mod tests {
         sim.run_with(&mut adv).unwrap();
         assert!(sim.metrics().max_delivery_delay <= 3);
         assert!(sim.metrics().max_schedule_gap <= 2);
+    }
+
+    #[test]
+    fn zero_delay_is_rejected() {
+        let mut sim = flood_sim(3, 0, 2, 1);
+        let err = sim.step_manual(&[ProcessId(0)], &[], |_| 0).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::DelayOutOfBounds { delay: 0, d: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn delay_above_d_is_rejected() {
+        let mut sim = flood_sim(3, 0, 2, 1);
+        let err = sim.step_manual(&[ProcessId(0)], &[], |_| 5).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::DelayOutOfBounds { delay: 5, d: 2, .. }
+        ));
+        // Nothing entered the network: the step failed before sending.
+        assert_eq!(sim.in_flight(), 0);
+    }
+
+    #[test]
+    fn adversary_delays_are_validated_too() {
+        struct RogueAdversary;
+        impl Adversary for RogueAdversary {
+            fn plan_step(&mut self, view: &SystemView<'_>) -> StepPlan {
+                StepPlan::schedule_only(view.alive().collect())
+            }
+            fn message_delay(&mut self, _meta: &EnvelopeMeta, _view: &SystemView<'_>) -> u64 {
+                7 // exceeds every flood_sim d below
+            }
+        }
+        let mut sim = flood_sim(3, 0, 2, 1);
+        assert!(matches!(
+            sim.step_with(&mut RogueAdversary),
+            Err(SimError::DelayOutOfBounds { delay: 7, d: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn withheld_marker_passes_validation() {
+        let mut sim = flood_sim(3, 0, 1, 1);
+        sim.step_manual(&[ProcessId(0)], &[], |_| u64::MAX).unwrap();
+        assert_eq!(sim.in_flight(), 2);
+    }
+
+    #[test]
+    fn idle_fast_forward_jumps_to_next_deadline() {
+        // One-shot flood with a large delivery bound: after the first step
+        // everyone is quiescent and all traffic is in flight, so the idle
+        // window until the earliest deadline can be skipped wholesale.
+        let n = 8;
+        let d = 64;
+        let cfg = SimConfig::new(n, 0)
+            .with_d(d)
+            .with_delta(1)
+            .with_seed(11)
+            .with_idle_fast_forward(true);
+        let procs = ProcessId::all(n).map(|p| OneShotFlood::new(p, n)).collect();
+        let mut sim: Simulation<OneShotFlood> = Simulation::new(cfg, procs).unwrap();
+        let mut adv = FairObliviousAdversary::new(d, 1, 11);
+        let outcome = sim.run_with(&mut adv).unwrap();
+        assert_eq!(outcome.reason, StopReason::Quiescent);
+        assert_eq!(sim.metrics().messages_sent, (n * (n - 1)) as u64);
+        for pid in ProcessId::all(n) {
+            assert_eq!(sim.process(pid).received.len(), n - 1);
+        }
+        assert!(
+            sim.metrics().idle_steps_skipped > 0,
+            "a d = 64 flood must contain skippable idle windows"
+        );
+        // Wall-clock time (executed + skipped) adds up to the stop time.
+        assert_eq!(
+            sim.metrics().elapsed_steps + sim.metrics().idle_steps_skipped,
+            outcome.stopped_at.as_u64()
+        );
+    }
+
+    #[test]
+    fn idle_fast_forward_preserves_quiescence_time_when_delta_is_one() {
+        // With δ = 1 every process is scheduled every step, so deliveries
+        // happen exactly at their deadlines whether or not the idle windows
+        // in between are fast-forwarded: the quiescence time must agree.
+        let n = 6;
+        let d = 32;
+        let run = |fast_forward: bool| {
+            let cfg = SimConfig::new(n, 0)
+                .with_d(d)
+                .with_delta(1)
+                .with_seed(23)
+                .with_idle_fast_forward(fast_forward);
+            let procs = ProcessId::all(n).map(|p| OneShotFlood::new(p, n)).collect();
+            let mut sim: Simulation<OneShotFlood> = Simulation::new(cfg, procs).unwrap();
+            let mut adv = FairObliviousAdversary::new(d, 1, 23);
+            let outcome = sim.run_with(&mut adv).unwrap();
+            (outcome, sim.metrics().clone())
+        };
+        let (slow_outcome, slow) = run(false);
+        let (fast_outcome, fast) = run(true);
+        assert_eq!(slow_outcome.stopped_at, fast_outcome.stopped_at);
+        assert_eq!(slow.quiescence_time, fast.quiescence_time);
+        assert_eq!(slow.messages_sent, fast.messages_sent);
+        assert_eq!(slow.messages_delivered, fast.messages_delivered);
+        assert_eq!(slow.idle_steps_skipped, 0);
+        assert!(fast.idle_steps_skipped > 0);
+        assert!(fast.elapsed_steps < slow.elapsed_steps);
+    }
+
+    #[test]
+    fn idle_fast_forward_still_hits_step_limit_on_withheld_traffic() {
+        // Every message withheld forever: the earliest deadline saturates, so
+        // fast-forward must cap the jump at max_steps and report the limit.
+        struct WithholdingAdversary;
+        impl Adversary for WithholdingAdversary {
+            fn plan_step(&mut self, view: &SystemView<'_>) -> StepPlan {
+                StepPlan::schedule_only(view.alive().collect())
+            }
+            fn message_delay(&mut self, _meta: &EnvelopeMeta, _view: &SystemView<'_>) -> u64 {
+                u64::MAX
+            }
+        }
+        let cfg = SimConfig::new(3, 0)
+            .with_max_steps(100)
+            .with_idle_fast_forward(true);
+        let procs = ProcessId::all(3).map(|p| OneShotFlood::new(p, 3)).collect();
+        let mut sim: Simulation<OneShotFlood> = Simulation::new(cfg, procs).unwrap();
+        assert!(matches!(
+            sim.run_with(&mut WithholdingAdversary),
+            Err(SimError::StepLimitExceeded { max_steps: 100 })
+        ));
     }
 
     #[test]

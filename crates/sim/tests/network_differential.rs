@@ -1,0 +1,486 @@
+//! Differential tests against the historical `VecDeque`-scan network.
+//!
+//! The deadline-indexed [`Network`] replaced a per-destination `VecDeque`
+//! that was popped and rebuilt on every collection. These tests keep that
+//! seed implementation alive as an executable model and check, across random
+//! schedules, delays, crashes, and withheld messages, that the new engine
+//! produces **identical** behaviour:
+//!
+//! * `network_matches_reference_model` drives the network and the model
+//!   through the same operation sequence and compares every delivered batch
+//!   (content *and* order), plus every observable query.
+//! * `simulation_matches_reference_stepper` replays the seed's whole step
+//!   body (crash → deliver → compute → send, `VecDeque` network and all) for
+//!   a deterministic request/reply protocol and compares the envelope
+//!   sequence every process received, the quiescence time, and the metric
+//!   counters against a real [`Simulation`] driven through `step_manual`
+//!   with the same schedules, crashes, and delay choices.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use agossip_sim::{Envelope, Network, Outbox, Process, ProcessId, SimConfig, Simulation, TimeStep};
+
+/// A tiny deterministic PRNG (splitmix64) used to expand one proptest-drawn
+/// seed into a full scenario; keeps the strategies simple while still
+/// exploring a large space.
+struct Prng(u64);
+
+impl Prng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: the network against the seed VecDeque model.
+// ---------------------------------------------------------------------------
+
+/// The seed implementation, verbatim in behaviour: a per-destination
+/// `VecDeque` scanned (popped and rebuilt) on every collection.
+struct ReferenceNetwork<M> {
+    queues: Vec<VecDeque<(Envelope<M>, TimeStep)>>,
+    in_flight: usize,
+}
+
+impl<M> ReferenceNetwork<M> {
+    fn new(n: usize) -> Self {
+        ReferenceNetwork {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            in_flight: 0,
+        }
+    }
+
+    fn send(&mut self, envelope: Envelope<M>, delay: u64) {
+        let deliverable_at = envelope.sent_at.after(delay);
+        let to = envelope.to.index();
+        self.queues[to].push_back((envelope, deliverable_at));
+        self.in_flight += 1;
+    }
+
+    fn collect_deliverable(&mut self, to: ProcessId, now: TimeStep) -> Vec<Envelope<M>> {
+        let queue = &mut self.queues[to.index()];
+        let mut delivered = Vec::new();
+        let mut remaining = VecDeque::with_capacity(queue.len());
+        while let Some((env, at)) = queue.pop_front() {
+            if at <= now {
+                delivered.push(env);
+            } else {
+                remaining.push_back((env, at));
+            }
+        }
+        *queue = remaining;
+        self.in_flight -= delivered.len();
+        delivered
+    }
+
+    fn drop_for(&mut self, to: ProcessId) -> usize {
+        let queue = &mut self.queues[to.index()];
+        let dropped = queue.len();
+        queue.clear();
+        self.in_flight -= dropped;
+        dropped
+    }
+
+    fn earliest_deliverable_for(&self, to: ProcessId) -> Option<TimeStep> {
+        self.queues[to.index()].iter().map(|(_, at)| *at).min()
+    }
+
+    fn all_beyond(&self, horizon: TimeStep) -> bool {
+        self.queues.iter().flatten().all(|(_, at)| *at > horizon)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same operation sequence in, same observations out — including the
+    /// order of every delivered batch.
+    #[test]
+    fn network_matches_reference_model(
+        n in 2usize..8,
+        d in 1u64..6,
+        ops in 20usize..160,
+        scenario in 0u64..1_000_000,
+    ) {
+        let mut prng = Prng(scenario);
+        let mut network: Network<u64> = Network::new(n);
+        let mut model: ReferenceNetwork<u64> = ReferenceNetwork::new(n);
+        let mut now = TimeStep::ZERO;
+        let mut next_payload = 0u64;
+
+        for _ in 0..ops {
+            match prng.below(10) {
+                // Send (most common): random pair, delay in [1, d] or withheld.
+                0..=5 => {
+                    let from = ProcessId(prng.below(n as u64) as usize);
+                    let to = ProcessId(prng.below(n as u64) as usize);
+                    let delay = if prng.chance(10) {
+                        u64::MAX
+                    } else {
+                        1 + prng.below(d)
+                    };
+                    let env = Envelope { from, to, sent_at: now, payload: next_payload };
+                    next_payload += 1;
+                    network.send(env.clone(), delay);
+                    model.send(env, delay);
+                }
+                // Collect for a random destination.
+                6..=7 => {
+                    let to = ProcessId(prng.below(n as u64) as usize);
+                    let got = network.collect_deliverable(to, now);
+                    let expected = model.collect_deliverable(to, now);
+                    prop_assert_eq!(got, expected, "delivered batch diverged");
+                }
+                // Crash: drop a random destination's queue.
+                8 => {
+                    let to = ProcessId(prng.below(n as u64) as usize);
+                    prop_assert_eq!(network.drop_for(to), model.drop_for(to));
+                }
+                // Advance time.
+                _ => {
+                    now = now.after(1 + prng.below(d));
+                }
+            }
+
+            // Observables agree after every operation.
+            prop_assert_eq!(network.in_flight(), model.in_flight);
+            for pid in ProcessId::all(n) {
+                prop_assert_eq!(
+                    network.earliest_deliverable_for(pid),
+                    model.earliest_deliverable_for(pid)
+                );
+                prop_assert_eq!(
+                    network.pending_for(pid),
+                    model.queues[pid.index()].len()
+                );
+                prop_assert_eq!(
+                    network.clone_pending_for(pid),
+                    model.queues[pid.index()]
+                        .iter()
+                        .map(|(env, _)| env.clone())
+                        .collect::<Vec<_>>(),
+                    "pending order diverged"
+                );
+            }
+            prop_assert_eq!(network.all_beyond(now), model.all_beyond(now));
+        }
+
+        // Drain everything still deliverable and compare the final batches.
+        now = now.after(d);
+        for pid in ProcessId::all(n) {
+            prop_assert_eq!(
+                network.collect_deliverable(pid, now),
+                model.collect_deliverable(pid, now)
+            );
+        }
+        prop_assert_eq!(network.in_flight(), model.in_flight);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: the whole stepping core against the seed step body.
+// ---------------------------------------------------------------------------
+
+/// A deterministic request/reply protocol: on its first step a process sends
+/// a REQUEST to every other process; every REQUEST is answered with one
+/// REPLY. Receipt order is fully observable through `received`.
+const REQUEST: u64 = 0;
+const REPLY: u64 = 1;
+
+#[derive(Debug, Clone)]
+struct EchoFlood {
+    id: ProcessId,
+    n: usize,
+    sent_initial: bool,
+    pending_replies: Vec<ProcessId>,
+    /// Every `(from, payload)` pair ever delivered, in delivery order.
+    received: Vec<(ProcessId, u64)>,
+}
+
+impl EchoFlood {
+    fn new(id: ProcessId, n: usize) -> Self {
+        EchoFlood {
+            id,
+            n,
+            sent_initial: false,
+            pending_replies: Vec::new(),
+            received: Vec::new(),
+        }
+    }
+
+    /// The protocol logic shared by the real `Process` impl and the
+    /// reference stepper.
+    fn step_logic(
+        &mut self,
+        inbox: impl Iterator<Item = (ProcessId, u64)>,
+        sends: &mut Vec<(ProcessId, u64)>,
+    ) {
+        for (from, payload) in inbox {
+            self.received.push((from, payload));
+            if payload == REQUEST {
+                self.pending_replies.push(from);
+            }
+        }
+        if !self.sent_initial {
+            self.sent_initial = true;
+            for q in ProcessId::all(self.n) {
+                if q != self.id {
+                    sends.push((q, REQUEST));
+                }
+            }
+        }
+        for to in std::mem::take(&mut self.pending_replies) {
+            sends.push((to, REPLY));
+        }
+    }
+
+    fn quiet(&self) -> bool {
+        self.sent_initial && self.pending_replies.is_empty()
+    }
+}
+
+impl Process for EchoFlood {
+    type Message = u64;
+
+    fn on_step(
+        &mut self,
+        _now: TimeStep,
+        inbox: &mut Vec<Envelope<Self::Message>>,
+        out: &mut Outbox<Self::Message>,
+    ) {
+        let mut sends = Vec::new();
+        let drained: Vec<(ProcessId, u64)> =
+            inbox.drain(..).map(|env| (env.from, env.payload)).collect();
+        self.step_logic(drained.into_iter(), &mut sends);
+        for (to, payload) in sends {
+            out.send(to, payload);
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.quiet()
+    }
+}
+
+/// Everything one comparison scenario needs: per-step schedules, crashes,
+/// and the delay assigned to the i-th non-dropped send of the execution.
+struct Scenario {
+    n: usize,
+    d: u64,
+    schedules: Vec<Vec<ProcessId>>,
+    crashes: Vec<Vec<ProcessId>>,
+    delays: Vec<u64>,
+}
+
+fn build_scenario(n: usize, d: u64, steps: usize, f: usize, seed: u64) -> Scenario {
+    let mut prng = Prng(seed);
+    let mut schedules = Vec::with_capacity(steps);
+    let mut crashes = Vec::with_capacity(steps);
+    let mut crash_budget = f;
+    let mut crashed = vec![false; n];
+    for _ in 0..steps {
+        // Random non-empty-ish subset; processes may legitimately be starved.
+        let mut schedule = Vec::new();
+        for pid in ProcessId::all(n) {
+            if prng.chance(70) {
+                schedule.push(pid);
+            }
+        }
+        let mut step_crashes = Vec::new();
+        if crash_budget > 0 && prng.chance(8) {
+            let victim = prng.below(n as u64) as usize;
+            if !crashed[victim] {
+                crashed[victim] = true;
+                crash_budget -= 1;
+                step_crashes.push(ProcessId(victim));
+            }
+        }
+        schedules.push(schedule);
+        crashes.push(step_crashes);
+    }
+    // More delay draws than any execution can consume (one per sent message,
+    // at most n-1 requests + n-1 replies per process).
+    let delays = (0..2 * n * n)
+        .map(|_| {
+            if prng.chance(10) {
+                u64::MAX
+            } else {
+                1 + prng.below(d)
+            }
+        })
+        .collect();
+    Scenario {
+        n,
+        d,
+        schedules,
+        crashes,
+        delays,
+    }
+}
+
+/// Observable outcome of one execution, used for the comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    received: Vec<Vec<(ProcessId, u64)>>,
+    messages_sent: u64,
+    messages_delivered: u64,
+    messages_dropped: u64,
+    in_flight: usize,
+    max_delivery_delay: u64,
+    max_schedule_gap: u64,
+    quiescence_time: Option<TimeStep>,
+    crashes: usize,
+}
+
+/// Replays the scenario through the real engine (`step_manual`).
+fn run_real(scenario: &Scenario) -> Observed {
+    let config = SimConfig::new(scenario.n, scenario.n - 1)
+        .with_d(scenario.d)
+        .with_delta(scenario.schedules.len() as u64 + 1);
+    let processes = ProcessId::all(scenario.n)
+        .map(|id| EchoFlood::new(id, scenario.n))
+        .collect();
+    let mut sim: Simulation<EchoFlood> = Simulation::new(config, processes).unwrap();
+    let mut next_delay = 0usize;
+    for (schedule, crashes) in scenario.schedules.iter().zip(&scenario.crashes) {
+        let delays = &scenario.delays;
+        sim.step_manual(schedule, crashes, |_| {
+            let d = delays[next_delay];
+            next_delay += 1;
+            d
+        })
+        .unwrap();
+    }
+    let metrics = sim.metrics();
+    Observed {
+        received: ProcessId::all(scenario.n)
+            .map(|pid| sim.process(pid).received.clone())
+            .collect(),
+        messages_sent: metrics.messages_sent,
+        messages_delivered: metrics.messages_delivered,
+        messages_dropped: metrics.messages_dropped,
+        in_flight: sim.in_flight(),
+        max_delivery_delay: metrics.max_delivery_delay,
+        max_schedule_gap: metrics.max_schedule_gap,
+        quiescence_time: metrics.quiescence_time,
+        crashes: metrics.crashes,
+    }
+}
+
+/// Replays the scenario through a reimplementation of the seed's step body:
+/// `VecDeque` network, same crash/deliver/compute/send order, same metric
+/// updates.
+fn run_reference(scenario: &Scenario) -> Observed {
+    let n = scenario.n;
+    let mut procs: Vec<EchoFlood> = ProcessId::all(n).map(|id| EchoFlood::new(id, n)).collect();
+    let mut network: ReferenceNetwork<u64> = ReferenceNetwork::new(n);
+    let mut alive = vec![true; n];
+    let mut quiescent: Vec<bool> = procs.iter().map(|p| p.quiet()).collect();
+    let mut last_scheduled = vec![TimeStep::ZERO; n];
+    let mut now = TimeStep::ZERO;
+    let mut next_delay = 0usize;
+    let mut obs = Observed {
+        received: Vec::new(),
+        messages_sent: 0,
+        messages_delivered: 0,
+        messages_dropped: 0,
+        in_flight: 0,
+        max_delivery_delay: 0,
+        max_schedule_gap: 0,
+        quiescence_time: None,
+        crashes: 0,
+    };
+
+    for (schedule, crashes) in scenario.schedules.iter().zip(&scenario.crashes) {
+        for &victim in crashes {
+            if alive[victim.index()] {
+                alive[victim.index()] = false;
+                obs.crashes += 1;
+                obs.messages_dropped += network.drop_for(victim) as u64;
+            }
+        }
+        let mut outgoing: Vec<Envelope<u64>> = Vec::new();
+        for &pid in schedule {
+            if !alive[pid.index()] {
+                continue;
+            }
+            let inbox = network.collect_deliverable(pid, now);
+            for env in &inbox {
+                obs.messages_delivered += 1;
+                obs.max_delivery_delay = obs.max_delivery_delay.max(now.since(env.sent_at));
+            }
+            let gap = now.since(last_scheduled[pid.index()]);
+            obs.max_schedule_gap = obs.max_schedule_gap.max(gap);
+            last_scheduled[pid.index()] = now;
+
+            let mut sends = Vec::new();
+            procs[pid.index()].step_logic(
+                inbox.into_iter().map(|env| (env.from, env.payload)),
+                &mut sends,
+            );
+            quiescent[pid.index()] = procs[pid.index()].quiet();
+            obs.messages_sent += sends.len() as u64;
+            for (to, payload) in sends {
+                outgoing.push(Envelope {
+                    from: pid,
+                    to,
+                    sent_at: now,
+                    payload,
+                });
+            }
+        }
+        for env in outgoing {
+            if !alive[env.to.index()] {
+                obs.messages_dropped += 1;
+                continue;
+            }
+            let delay = scenario.delays[next_delay];
+            next_delay += 1;
+            network.send(env, delay);
+        }
+        let system_quiescent =
+            alive.iter().zip(&quiescent).all(|(a, q)| !*a || *q) && network.in_flight == 0;
+        if system_quiescent && obs.quiescence_time.is_none() {
+            obs.quiescence_time = Some(now);
+        }
+        now.tick();
+    }
+
+    obs.in_flight = network.in_flight;
+    obs.received = procs.into_iter().map(|p| p.received).collect();
+    obs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The rebuilt stepping core is observationally identical to the seed
+    /// step body: same envelope sequence at every process, same quiescence
+    /// time, same metric counters.
+    #[test]
+    fn simulation_matches_reference_stepper(
+        n in 2usize..10,
+        d in 1u64..5,
+        steps in 10usize..60,
+        scenario_seed in 0u64..1_000_000,
+    ) {
+        let scenario = build_scenario(n, d, steps, n / 2, scenario_seed);
+        let real = run_real(&scenario);
+        let reference = run_reference(&scenario);
+        prop_assert_eq!(real, reference);
+    }
+}

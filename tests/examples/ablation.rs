@@ -22,6 +22,7 @@ fn main() {
         d: 2,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
     };
     println!("running the parameter ablation (this takes a minute)...\n");
     let rows = run_ablation(&scale).expect("ablation failed");

@@ -26,6 +26,7 @@ fn main() {
         d: 3,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
     };
     println!("running the robustness grid (protocols × adversary environments)...\n");
     let rows = run_robustness(&scale).expect("robustness sweep failed");

@@ -24,6 +24,7 @@ fn main() {
         d: 2,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
     };
     println!("running the bit-complexity sweep (this takes a minute)...\n");
     let rows = run_bit_complexity(&scale).expect("sweep failed");

@@ -45,6 +45,7 @@ fn main() {
         d: 2,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
     };
     println!("running the Table 2 sweep (this takes a minute)...\n");
     let rows = run_table2(&scale).expect("sweep failed");

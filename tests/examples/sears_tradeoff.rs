@@ -19,6 +19,7 @@ fn main() {
         d: 2,
         delta: 2,
         seed: 2008,
+        idle_fast_forward: false,
     };
     println!("sweeping ε at n = 256 (this takes a minute)...\n");
     let rows = run_sears_sweep(&scale, &default_epsilons()).expect("sweep failed");

@@ -1,0 +1,145 @@
+//! Golden-value pins proving the event-indexed network and the unified step
+//! core reproduce the seed (`VecDeque`-scan) engine bit for bit.
+//!
+//! Every constant below was captured by running the *seed* implementation
+//! (commit `d0df141`) on the exact configuration in the test; the rebuilt
+//! engine must reproduce each metric exactly. Together with the model-based
+//! differential tests in `crates/sim/tests/network_differential.rs`, this
+//! pins end-to-end executions — protocol RNG streams, adversary RNG streams,
+//! delivery order, crash handling, wire accounting — across the
+//! representation change.
+
+use agossip_adversary::{
+    crash_patterns, DelayPolicy, ObliviousPlan, PolicyAdversary, SchedulePolicy,
+};
+use agossip_consensus::{run_consensus, ConsensusProtocol, ConsensusValue};
+use agossip_core::{run_gossip, Ears, GossipSpec, Tears};
+use agossip_sim::{Metrics, SimConfig, TimeStep};
+
+#[derive(Debug, PartialEq, Eq)]
+struct Pin {
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    quiescence: Option<TimeStep>,
+    max_delivery_delay: u64,
+    max_schedule_gap: u64,
+    crashes: usize,
+    elapsed_steps: u64,
+}
+
+impl Pin {
+    fn of(m: &Metrics) -> Self {
+        Pin {
+            sent: m.messages_sent,
+            delivered: m.messages_delivered,
+            dropped: m.messages_dropped,
+            quiescence: m.quiescence_time,
+            max_delivery_delay: m.max_delivery_delay,
+            max_schedule_gap: m.max_schedule_gap,
+            crashes: m.crashes,
+            elapsed_steps: m.elapsed_steps,
+        }
+    }
+}
+
+#[test]
+fn ears_under_oblivious_adversary_with_crashes_matches_seed() {
+    let cfg = SimConfig::new(32, 8)
+        .with_d(3)
+        .with_delta(2)
+        .with_seed(2024);
+    let mut adv = ObliviousPlan::from_config(&cfg)
+        .with_crashes(crash_patterns::random(32, 8, 10, 2024))
+        .build();
+    let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+    assert!(report.check.all_ok(), "{:?}", report.check);
+    assert_eq!(
+        Pin::of(&report.metrics),
+        Pin {
+            sent: 859,
+            delivered: 663,
+            dropped: 196,
+            quiescence: Some(TimeStep(41)),
+            max_delivery_delay: 3,
+            max_schedule_gap: 1,
+            crashes: 8,
+            elapsed_steps: 42,
+        }
+    );
+    assert_eq!(report.rumor_units_sent, 472_722);
+}
+
+#[test]
+fn tears_majority_gossip_matches_seed() {
+    let cfg = SimConfig::new(48, 0).with_d(2).with_delta(2).with_seed(7);
+    let mut adv = ObliviousPlan::from_config(&cfg).build();
+    let report = run_gossip(&cfg, GossipSpec::Majority, &mut adv, Tears::new).unwrap();
+    assert!(report.check.all_ok(), "{:?}", report.check);
+    assert_eq!(
+        Pin::of(&report.metrics),
+        Pin {
+            sent: 103_866,
+            delivered: 103_866,
+            dropped: 0,
+            quiescence: Some(TimeStep(5)),
+            max_delivery_delay: 2,
+            max_schedule_gap: 1,
+            crashes: 0,
+            elapsed_steps: 6,
+        }
+    );
+    assert_eq!(report.rumor_units_sent, 4_117_331);
+}
+
+#[test]
+fn ears_under_policy_adversary_matches_seed() {
+    let cfg = SimConfig::new(24, 6).with_d(4).with_delta(3).with_seed(31);
+    let mut adv = PolicyAdversary::new(
+        4,
+        3,
+        31,
+        SchedulePolicy::RoundRobin { per_step: 8 },
+        DelayPolicy::CrossPartitionSlow { boundary: 12 },
+    )
+    .with_crashes(crash_patterns::staggered(24, 6, 4, 31).crashes);
+    let report = run_gossip(&cfg, GossipSpec::Full, &mut adv, Ears::new).unwrap();
+    assert!(report.check.all_ok(), "{:?}", report.check);
+    assert_eq!(
+        Pin::of(&report.metrics),
+        Pin {
+            sent: 523,
+            delivered: 425,
+            dropped: 98,
+            quiescence: Some(TimeStep(48)),
+            max_delivery_delay: 5,
+            max_schedule_gap: 2,
+            crashes: 6,
+            elapsed_steps: 49,
+        }
+    );
+    assert_eq!(report.rumor_units_sent, 167_000);
+}
+
+#[test]
+fn cr_ears_consensus_matches_seed() {
+    let cfg = SimConfig::new(12, 2).with_d(2).with_delta(2).with_seed(5);
+    let mut adv = ObliviousPlan::from_config(&cfg).build();
+    let inputs: Vec<ConsensusValue> = (0..12).map(|i| (i % 2) as u64).collect();
+    let report = run_consensus(&cfg, ConsensusProtocol::CrEars, &inputs, &mut adv).unwrap();
+    assert!(report.check.all_ok(), "{:?}", report.check);
+    assert_eq!(
+        Pin::of(&report.metrics),
+        Pin {
+            sent: 666,
+            delivered: 666,
+            dropped: 0,
+            quiescence: Some(TimeStep(59)),
+            max_delivery_delay: 2,
+            max_schedule_gap: 1,
+            crashes: 0,
+            elapsed_steps: 60,
+        }
+    );
+    assert_eq!(report.max_rounds, 3);
+}
