@@ -9,14 +9,13 @@
 //! what the extra constant costs in messages. These are the "ablation"
 //! experiments DESIGN.md calls out.
 
-use agossip_core::{
-    run_gossip, Ears, EarsParams, GossipSpec, Sears, SearsParams, Tears, TearsParams,
-};
-use agossip_sim::{FairObliviousAdversary, SimResult};
+use agossip_core::{EarsParams, SearsParams, TearsParams};
+use agossip_sim::SimResult;
 
 use crate::experiments::common::ExperimentScale;
 use crate::report::{fmt_f64, Table};
 use crate::stats::Summary;
+use crate::sweep::{run_grid as run_spec_grid, ScenarioSpec, TrialPool, TrialProtocol};
 
 /// Which protocol parameter an ablation point varies.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -86,98 +85,90 @@ pub struct AblationRow {
     pub time_steps: Summary,
 }
 
-fn measure_knob(
-    knob: AblationKnob,
-    value: f64,
-    scale: &ExperimentScale,
-    n: usize,
-) -> SimResult<AblationRow> {
-    let mut messages = Vec::new();
-    let mut steps = Vec::new();
-    let mut successes = 0usize;
-    for trial in 0..scale.trials.max(1) {
-        let config = scale.config_for(n, trial);
-        let mut adversary = FairObliviousAdversary::new(config.d, config.delta, config.seed);
-        let report = match knob {
-            AblationKnob::EarsShutdownFactor => {
-                let params = EarsParams {
-                    shutdown_factor: value,
-                };
-                run_gossip(&config, GossipSpec::Full, &mut adversary, move |ctx| {
-                    Ears::with_params(ctx, params)
-                })?
-            }
-            AblationKnob::SearsFanoutFactor => {
-                let params = SearsParams {
-                    fanout_factor: value,
-                    ..SearsParams::default()
-                };
-                run_gossip(&config, GossipSpec::Full, &mut adversary, move |ctx| {
-                    Sears::with_params(ctx, params)
-                })?
-            }
-            AblationKnob::TearsAFactor => {
-                let params = TearsParams {
-                    a_factor: value,
-                    ..TearsParams::default()
-                };
-                run_gossip(&config, GossipSpec::Majority, &mut adversary, move |ctx| {
-                    Tears::with_params(ctx, params)
-                })?
-            }
-            AblationKnob::TearsKappaFactor => {
-                let params = TearsParams {
-                    kappa_factor: value,
-                    ..TearsParams::default()
-                };
-                run_gossip(&config, GossipSpec::Majority, &mut adversary, move |ctx| {
-                    Tears::with_params(ctx, params)
-                })?
-            }
-        };
-        if report.check.all_ok() {
-            successes += 1;
-        }
-        messages.push(report.messages() as f64);
-        if let Some(t) = report.time_steps() {
-            steps.push(t as f64);
+impl AblationKnob {
+    /// The protocol (with the knob set to `value`) an ablation point runs.
+    pub fn protocol_with(&self, value: f64) -> TrialProtocol {
+        match self {
+            AblationKnob::EarsShutdownFactor => TrialProtocol::EarsWith(EarsParams {
+                shutdown_factor: value,
+            }),
+            AblationKnob::SearsFanoutFactor => TrialProtocol::SearsWith(SearsParams {
+                fanout_factor: value,
+                ..SearsParams::default()
+            }),
+            AblationKnob::TearsAFactor => TrialProtocol::TearsWith(TearsParams {
+                a_factor: value,
+                ..TearsParams::default()
+            }),
+            AblationKnob::TearsKappaFactor => TrialProtocol::TearsWith(TearsParams {
+                kappa_factor: value,
+                ..TearsParams::default()
+            }),
         }
     }
-    Ok(AblationRow {
-        knob,
-        value,
-        n,
-        f: scale.f_for(n),
-        success_rate: successes as f64 / scale.trials.max(1) as f64,
-        messages: Summary::of(&messages),
-        time_steps: Summary::of(&steps),
-    })
 }
 
-/// Sweeps one knob at the largest system size of `scale`.
-pub fn run_knob_ablation(
+/// Builds ablation rows for a `(knob, value)` grid on `pool`.
+fn run_knob_grid(
+    pool: &TrialPool,
+    grid: &[(AblationKnob, f64)],
+    scale: &ExperimentScale,
+    n: usize,
+) -> SimResult<Vec<AblationRow>> {
+    run_spec_grid(
+        pool,
+        grid,
+        |&(knob, value)| ScenarioSpec::from_scale(knob.protocol_with(value), scale, n),
+        |&(knob, value), spec, aggregate| AblationRow {
+            knob,
+            value,
+            n,
+            f: spec.f,
+            success_rate: aggregate.success_rate,
+            messages: aggregate.messages.clone(),
+            time_steps: aggregate.time_steps.clone(),
+        },
+    )
+}
+
+/// Sweeps one knob at the largest system size of `scale` on `pool`.
+pub fn run_knob_ablation_with(
+    pool: &TrialPool,
     knob: AblationKnob,
     scale: &ExperimentScale,
 ) -> SimResult<Vec<AblationRow>> {
     let n = scale.n_values.iter().copied().max().unwrap_or(64);
-    knob.sweep()
-        .into_iter()
-        .map(|value| measure_knob(knob, value, scale, n))
-        .collect()
+    let grid: Vec<(AblationKnob, f64)> = knob.sweep().into_iter().map(|v| (knob, v)).collect();
+    run_knob_grid(pool, &grid, scale, n)
 }
 
-/// Runs the full ablation: every knob, every sweep value.
-pub fn run_ablation(scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
-    let mut rows = Vec::new();
+/// Serial convenience wrapper around [`run_knob_ablation_with`].
+pub fn run_knob_ablation(
+    knob: AblationKnob,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<AblationRow>> {
+    run_knob_ablation_with(&TrialPool::serial(), knob, scale)
+}
+
+/// Runs the full ablation on `pool`: every knob, every sweep value, as one
+/// flattened batch of trials.
+pub fn run_ablation_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
+    let n = scale.n_values.iter().copied().max().unwrap_or(64);
+    let mut grid = Vec::new();
     for knob in [
         AblationKnob::EarsShutdownFactor,
         AblationKnob::SearsFanoutFactor,
         AblationKnob::TearsAFactor,
         AblationKnob::TearsKappaFactor,
     ] {
-        rows.extend(run_knob_ablation(knob, scale)?);
+        grid.extend(knob.sweep().into_iter().map(|v| (knob, v)));
     }
-    Ok(rows)
+    run_knob_grid(pool, &grid, scale, n)
+}
+
+/// Serial convenience wrapper around [`run_ablation_with`].
+pub fn run_ablation(scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
+    run_ablation_with(&TrialPool::serial(), scale)
 }
 
 /// Renders ablation rows as a text table.

@@ -11,10 +11,11 @@
 
 use agossip_sim::SimResult;
 
-use crate::experiments::common::{run_one_gossip, ExperimentScale, GossipProtocolKind};
+use crate::experiments::common::{ExperimentScale, GossipProtocolKind};
 use crate::fit::{fit_power_law, PowerLawFit};
 use crate::report::{fmt_f64, Table};
 use crate::stats::Summary;
+use crate::sweep::{run_grid, ScenarioSpec, TrialPool, TrialProtocol};
 
 /// One `(protocol, n)` measurement of message and wire-unit volume.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,42 +36,41 @@ pub struct BitComplexityRow {
     pub success_rate: f64,
 }
 
-/// Runs the bit-complexity sweep over the Table 1 protocols.
-pub fn run_bit_complexity(scale: &ExperimentScale) -> SimResult<Vec<BitComplexityRow>> {
-    let mut rows = Vec::new();
-    for kind in GossipProtocolKind::table1_rows() {
-        for &n in &scale.n_values {
-            let mut messages = Vec::new();
-            let mut units = Vec::new();
-            let mut successes = 0usize;
-            for trial in 0..scale.trials.max(1) {
-                let config = scale.config_for(n, trial);
-                let report = run_one_gossip(kind, &config)?;
-                if report.check.all_ok() {
-                    successes += 1;
-                }
-                messages.push(report.messages() as f64);
-                units.push(report.rumor_units_sent as f64);
-            }
-            let messages = Summary::of(&messages);
-            let wire_units = Summary::of(&units);
-            let units_per_message = if messages.mean > 0.0 {
-                wire_units.mean / messages.mean
+/// Runs the bit-complexity sweep over the Table 1 protocols on `pool`.
+pub fn run_bit_complexity_with(
+    pool: &TrialPool,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<BitComplexityRow>> {
+    let grid: Vec<(GossipProtocolKind, usize)> = GossipProtocolKind::table1_rows()
+        .into_iter()
+        .flat_map(|kind| scale.n_values.iter().map(move |&n| (kind, n)))
+        .collect();
+    run_grid(
+        pool,
+        &grid,
+        |&(kind, n)| ScenarioSpec::from_scale(TrialProtocol::Gossip(kind), scale, n),
+        |&(kind, n), spec, aggregate| {
+            let units_per_message = if aggregate.messages.mean > 0.0 {
+                aggregate.wire_units.mean / aggregate.messages.mean
             } else {
                 0.0
             };
-            rows.push(BitComplexityRow {
+            BitComplexityRow {
                 protocol: kind.name(),
                 n,
-                f: scale.f_for(n),
-                messages,
-                wire_units,
+                f: spec.f,
+                messages: aggregate.messages.clone(),
+                wire_units: aggregate.wire_units.clone(),
                 units_per_message,
-                success_rate: successes as f64 / scale.trials.max(1) as f64,
-            });
-        }
-    }
-    Ok(rows)
+                success_rate: aggregate.success_rate,
+            }
+        },
+    )
+}
+
+/// Serial convenience wrapper around [`run_bit_complexity_with`].
+pub fn run_bit_complexity(scale: &ExperimentScale) -> SimResult<Vec<BitComplexityRow>> {
+    run_bit_complexity_with(&TrialPool::serial(), scale)
 }
 
 /// Fits the wire-unit growth exponent of one protocol's rows.

@@ -12,8 +12,11 @@
 
 use agossip_sim::SimResult;
 
-use crate::experiments::common::{measure_point, ExperimentScale, GossipProtocolKind};
+use crate::experiments::common::{
+    point_from_aggregate, ExperimentScale, GossipProtocolKind, MeasuredPoint,
+};
 use crate::report::{fmt_f64, Table};
+use crate::sweep::{run_grid, ScenarioSpec, TrialPool, TrialProtocol};
 
 /// One `(protocol, n)` comparison against the synchronous baseline.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,28 +41,50 @@ pub struct CoaRow {
     pub message_ratio: f64,
 }
 
+/// The asynchronous protocols compared against the synchronous baseline.
+fn async_kinds() -> [GossipProtocolKind; 3] {
+    [
+        GossipProtocolKind::Trivial,
+        GossipProtocolKind::Ears,
+        GossipProtocolKind::Sears { epsilon: 0.5 },
+    ]
+}
+
 /// Runs the cost-of-asynchrony comparison for the asynchronous Table 1
-/// protocols against the synchronous baseline.
-pub fn run_coa(scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
+/// protocols against the synchronous baseline, on `pool`.
+pub fn run_coa_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
     // The corollary's comparison is at d = δ = 1 for both sides.
     let unit_scale = ExperimentScale {
         d: 1,
         delta: 1,
         ..scale.clone()
     };
-    let mut rows = Vec::new();
+    // One flattened batch: the sync baseline plus the three async protocols,
+    // per system size, in a fixed (size-major) order.
+    let mut grid: Vec<(GossipProtocolKind, usize)> = Vec::new();
     for &n in &unit_scale.n_values {
-        let sync = measure_point(GossipProtocolKind::SyncEpidemic, &unit_scale, n)?;
-        for kind in [
-            GossipProtocolKind::Trivial,
-            GossipProtocolKind::Ears,
-            GossipProtocolKind::Sears { epsilon: 0.5 },
-        ] {
-            let async_point = measure_point(kind, &unit_scale, n)?;
+        grid.push((GossipProtocolKind::SyncEpidemic, n));
+        for kind in async_kinds() {
+            grid.push((kind, n));
+        }
+    }
+    let points: Vec<MeasuredPoint> = run_grid(
+        pool,
+        &grid,
+        |&(kind, n)| ScenarioSpec::from_scale(TrialProtocol::Gossip(kind), &unit_scale, n),
+        |&(kind, n), spec, aggregate| point_from_aggregate(kind.name(), n, spec.f, aggregate),
+    )?;
+
+    let mut rows = Vec::new();
+    let stride = 1 + async_kinds().len();
+    for (size_idx, &n) in unit_scale.n_values.iter().enumerate() {
+        let base = size_idx * stride;
+        let sync = &points[base];
+        for async_point in &points[base + 1..base + stride] {
             let sync_time = sync.time_steps.mean.max(1.0);
             let sync_messages = sync.messages.mean.max(1.0);
             rows.push(CoaRow {
-                protocol: kind.name(),
+                protocol: async_point.protocol,
                 n,
                 f: unit_scale.f_for(n),
                 async_time: async_point.time_steps.mean,
@@ -72,6 +97,11 @@ pub fn run_coa(scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
         }
     }
     Ok(rows)
+}
+
+/// Serial convenience wrapper around [`run_coa_with`].
+pub fn run_coa(scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
+    run_coa_with(&TrialPool::serial(), scale)
 }
 
 /// Renders the comparison as a table.

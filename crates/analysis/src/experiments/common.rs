@@ -1,13 +1,31 @@
 //! Shared plumbing for the experiment drivers.
 
-use agossip_core::{
-    run_gossip, Ears, GossipReport, GossipSpec, Sears, SearsParams, SyncEpidemic, Tears, Trivial,
-};
-use agossip_sim::{FairObliviousAdversary, SimConfig, SimResult};
+use agossip_core::{GossipReport, GossipSpec};
+use agossip_sim::rng::{splitmix64, trial_seed};
+use agossip_sim::{SimConfig, SimResult};
 
 use crate::stats::Summary;
+use crate::sweep::{AdversarySpec, ScenarioSpec, TrialPool, TrialProtocol};
 
 /// Which gossip protocol an experiment point runs.
+///
+/// ```
+/// use agossip_analysis::experiments::GossipProtocolKind;
+/// use agossip_core::GossipSpec;
+///
+/// // `tears` solves majority gossip; every other protocol solves full
+/// // gossip — that is the spec each one is checked against.
+/// assert_eq!(GossipProtocolKind::Tears.spec(), GossipSpec::Majority);
+/// assert_eq!(
+///     GossipProtocolKind::Sears { epsilon: 0.5 }.spec(),
+///     GossipSpec::Full,
+/// );
+///
+/// // The four rows of the paper's Table 1.
+/// let rows = GossipProtocolKind::table1_rows();
+/// let names: Vec<&str> = rows.iter().map(|k| k.name()).collect();
+/// assert_eq!(names, ["trivial", "ears", "sears", "tears"]);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum GossipProtocolKind {
     /// All-to-all single-shot baseline (the "Trivial" row of Table 1).
@@ -73,7 +91,11 @@ pub struct ExperimentScale {
     pub d: u64,
     /// Scheduling bound `δ`.
     pub delta: u64,
-    /// Base seed; trial `t` of size `n` uses `seed + 1000·n + t`.
+    /// Base seed. Trial `t` at size `n` uses the splitmix-derived seed
+    /// `trial_seed(base_seed_for(n), t)` (see [`Self::seed_for`]), so a
+    /// trial's execution is a pure function of `(seed, n, t)` — independent
+    /// of trial order and of how the sweep engine shards trials over
+    /// threads.
     pub seed: u64,
     /// Whether trials run with the simulator's idle fast-forward (see
     /// [`SimConfig::idle_fast_forward`]). Off by default so measured
@@ -116,9 +138,15 @@ impl ExperimentScale {
         f.min(n.div_ceil(2).saturating_sub(1))
     }
 
+    /// The base seed shared by all trials at size `n` (each trial then
+    /// derives its own seed via [`agossip_sim::rng::trial_seed`]).
+    pub fn base_seed_for(&self, n: usize) -> u64 {
+        splitmix64(self.seed ^ (n as u64).rotate_left(24))
+    }
+
     /// The seed for trial `trial` at size `n`.
     pub fn seed_for(&self, n: usize, trial: usize) -> u64 {
-        self.seed + 1000 * n as u64 + trial as u64
+        trial_seed(self.base_seed_for(n), trial as u64)
     }
 
     /// The simulation configuration for one trial.
@@ -150,65 +178,55 @@ pub struct MeasuredPoint {
     pub success_rate: f64,
 }
 
-/// Runs one gossip trial of `kind` and returns the driver report.
+/// Runs one gossip trial of `kind` under the reference oblivious adversary
+/// and returns the driver report.
+///
+/// The synchronous baseline always runs under unit bounds (`d = δ = 1` known
+/// a priori is its defining assumption), and out-of-range protocol
+/// parameters (e.g. a `sears` ε outside `(0, 1)`) are rejected up front.
 pub fn run_one_gossip(kind: GossipProtocolKind, config: &SimConfig) -> SimResult<GossipReport> {
-    // The synchronous baseline is only meaningful with d = δ = 1 known a
-    // priori, so it always runs under unit bounds.
-    let config = match kind {
-        GossipProtocolKind::SyncEpidemic => config.clone().with_d(1).with_delta(1),
-        _ => config.clone(),
-    };
-    let mut adversary = FairObliviousAdversary::new(config.d, config.delta, config.seed);
-    match kind {
-        GossipProtocolKind::Trivial => {
-            run_gossip(&config, kind.spec(), &mut adversary, Trivial::new)
-        }
-        GossipProtocolKind::Ears => run_gossip(&config, kind.spec(), &mut adversary, Ears::new),
-        GossipProtocolKind::Sears { epsilon } => {
-            run_gossip(&config, kind.spec(), &mut adversary, move |ctx| {
-                Sears::with_params(ctx, SearsParams::with_epsilon(epsilon))
-            })
-        }
-        GossipProtocolKind::Tears => run_gossip(&config, kind.spec(), &mut adversary, Tears::new),
-        GossipProtocolKind::SyncEpidemic => {
-            run_gossip(&config, kind.spec(), &mut adversary, SyncEpidemic::new)
-        }
+    let protocol = TrialProtocol::Gossip(kind);
+    protocol.validate()?;
+    crate::sweep::run_gossip_protocol(&protocol, &AdversarySpec::FairOblivious, config)
+}
+
+/// Builds a [`MeasuredPoint`] from one spec's aggregated trials.
+pub(crate) fn point_from_aggregate(
+    protocol: &'static str,
+    n: usize,
+    f: usize,
+    aggregate: &crate::sweep::TrialAggregate,
+) -> MeasuredPoint {
+    MeasuredPoint {
+        protocol,
+        n,
+        f,
+        time_steps: aggregate.time_steps.clone(),
+        normalized_time: aggregate.normalized_time.clone(),
+        messages: aggregate.messages.clone(),
+        success_rate: aggregate.success_rate,
     }
 }
 
-/// Runs `trials` trials of `kind` at size `n` and aggregates them.
+/// Runs `trials` trials of `kind` at size `n` on `pool` and aggregates them.
+pub fn measure_point_with(
+    pool: &TrialPool,
+    kind: GossipProtocolKind,
+    scale: &ExperimentScale,
+    n: usize,
+) -> SimResult<MeasuredPoint> {
+    let spec = ScenarioSpec::from_scale(TrialProtocol::Gossip(kind), scale, n);
+    let aggregate = spec.run(pool)?;
+    Ok(point_from_aggregate(kind.name(), n, spec.f, &aggregate))
+}
+
+/// Serial convenience wrapper around [`measure_point_with`].
 pub fn measure_point(
     kind: GossipProtocolKind,
     scale: &ExperimentScale,
     n: usize,
 ) -> SimResult<MeasuredPoint> {
-    let mut steps = Vec::new();
-    let mut normalized = Vec::new();
-    let mut messages = Vec::new();
-    let mut successes = 0usize;
-    for trial in 0..scale.trials.max(1) {
-        let config = scale.config_for(n, trial);
-        let report = run_one_gossip(kind, &config)?;
-        if report.check.all_ok() {
-            successes += 1;
-        }
-        if let Some(t) = report.time_steps() {
-            steps.push(t as f64);
-        }
-        if let Some(t) = report.normalized_time {
-            normalized.push(t);
-        }
-        messages.push(report.messages() as f64);
-    }
-    Ok(MeasuredPoint {
-        protocol: kind.name(),
-        n,
-        f: scale.f_for(n),
-        time_steps: Summary::of(&steps),
-        normalized_time: Summary::of(&normalized),
-        messages: Summary::of(&messages),
-        success_rate: successes as f64 / scale.trials.max(1) as f64,
-    })
+    measure_point_with(&TrialPool::serial(), kind, scale, n)
 }
 
 #[cfg(test)]

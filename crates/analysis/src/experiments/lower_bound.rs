@@ -11,6 +11,7 @@ use agossip_core::{Ears, Sears, Trivial};
 use agossip_sim::SimResult;
 
 use crate::report::{fmt_f64, Table};
+use crate::sweep::TrialPool;
 
 /// Constants used when checking the dichotomy numerically. They are far below
 /// the hidden constants of the proof, so a genuine violation would be obvious.
@@ -41,32 +42,54 @@ pub struct LowerBoundRow {
     pub dichotomy_holds: bool,
 }
 
-/// Runs the lower-bound experiment for the three full-gossip protocols at the
-/// given sizes. `f` is taken as `n/4`, the value used in the proof.
-pub fn run_lower_bound_experiment(n_values: &[usize], seed: u64) -> SimResult<Vec<LowerBoundRow>> {
-    let mut rows = Vec::new();
-    for &n in n_values {
+/// Runs the lower-bound experiment for the three full-gossip protocols at
+/// the given sizes, sharding the `(n, protocol)` grid across `pool`'s
+/// workers. `f` is taken as `n/4`, the value used in the proof.
+///
+/// Each cell of the grid is one fully deterministic adaptive-adversary
+/// construction (the Theorem 1 adversary derives all of its choices from
+/// `seed`), so the grid parallelizes exactly like the oblivious trial
+/// sweeps: identical output for any worker count.
+pub fn run_lower_bound_experiment_with(
+    pool: &TrialPool,
+    n_values: &[usize],
+    seed: u64,
+) -> SimResult<Vec<LowerBoundRow>> {
+    // Name and runner live in one tuple so they cannot fall out of sync.
+    type Runner = fn(LowerBoundParams) -> SimResult<agossip_adversary::LowerBoundOutcome>;
+    const PROTOCOLS: [(&str, Runner); 3] = [
+        ("trivial", |params| run_lower_bound(params, Trivial::new)),
+        ("ears", |params| run_lower_bound(params, Ears::new)),
+        ("sears", |params| run_lower_bound(params, Sears::new)),
+    ];
+    let grid: Vec<(usize, usize)> = n_values
+        .iter()
+        .flat_map(|&n| (0..PROTOCOLS.len()).map(move |p| (n, p)))
+        .collect();
+    pool.run(grid.len(), |i| {
+        let (n, protocol_idx) = grid[i];
         let params = LowerBoundParams::new(n, n / 4, seed);
-        let outcomes = [
-            ("trivial", run_lower_bound(params, Trivial::new)?),
-            ("ears", run_lower_bound(params, Ears::new)?),
-            ("sears", run_lower_bound(params, Sears::new)?),
-        ];
-        for (protocol, outcome) in outcomes {
-            rows.push(LowerBoundRow {
-                protocol,
-                n,
-                f: outcome.f,
-                case: outcome.case,
-                messages: outcome.messages_sent,
-                steps: outcome.elapsed_steps,
-                message_bound: outcome.message_bound(),
-                time_bound: outcome.time_bound(),
-                dichotomy_holds: outcome.dichotomy_holds(DICHOTOMY_C_MSG, DICHOTOMY_C_TIME),
-            });
-        }
-    }
-    Ok(rows)
+        let (protocol, runner) = PROTOCOLS[protocol_idx];
+        let outcome = runner(params)?;
+        Ok(LowerBoundRow {
+            protocol,
+            n,
+            f: outcome.f,
+            case: outcome.case,
+            messages: outcome.messages_sent,
+            steps: outcome.elapsed_steps,
+            message_bound: outcome.message_bound(),
+            time_bound: outcome.time_bound(),
+            dichotomy_holds: outcome.dichotomy_holds(DICHOTOMY_C_MSG, DICHOTOMY_C_TIME),
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Serial convenience wrapper around [`run_lower_bound_experiment_with`].
+pub fn run_lower_bound_experiment(n_values: &[usize], seed: u64) -> SimResult<Vec<LowerBoundRow>> {
+    run_lower_bound_experiment_with(&TrialPool::serial(), n_values, seed)
 }
 
 /// Renders the rows as a table.

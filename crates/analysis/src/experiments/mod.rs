@@ -1,5 +1,13 @@
 //! Experiment drivers, one per evaluation artifact of the paper.
 //!
+//! Every driver runs its independent trials through the sweep engine in
+//! [`crate::sweep`]: `run_X(scale)` is the serial form, `run_X_with(pool,
+//! scale)` shards the whole trial grid across a
+//! [`crate::sweep::TrialPool`]'s workers, producing bit-identical rows for
+//! any worker count. The drivers are also registered by name in
+//! [`crate::sweep::registry`], so every artifact can be produced from one
+//! place (the `scenarios` example, the `sweep_baseline` binary).
+//!
 //! | Module | Paper artifact |
 //! |---|---|
 //! | [`table1`] | Table 1 — gossip protocols: time and message complexity vs `n` |
@@ -23,13 +31,23 @@ pub mod table1;
 pub mod table2;
 pub mod tears_lemmas;
 
-pub use ablation::{run_ablation, run_knob_ablation, AblationKnob, AblationRow};
-pub use bit_complexity::{run_bit_complexity, BitComplexityRow};
-pub use coa::{run_coa, CoaRow};
-pub use common::{run_one_gossip, ExperimentScale, GossipProtocolKind, MeasuredPoint};
-pub use lower_bound::{run_lower_bound_experiment, LowerBoundRow};
-pub use robustness::{default_environments, run_robustness, AdversaryEnvironment, RobustnessRow};
-pub use sears_sweep::{run_sears_sweep, SearsSweepRow};
-pub use table1::{run_table1, table1_to_table, Table1Row};
-pub use table2::{run_table2, table2_to_table, Table2Row};
-pub use tears_lemmas::{run_tears_structure, TearsStructureRow};
+pub use ablation::{
+    run_ablation, run_ablation_with, run_knob_ablation, run_knob_ablation_with, AblationKnob,
+    AblationRow,
+};
+pub use bit_complexity::{run_bit_complexity, run_bit_complexity_with, BitComplexityRow};
+pub use coa::{run_coa, run_coa_with, CoaRow};
+pub use common::{
+    measure_point, measure_point_with, run_one_gossip, ExperimentScale, GossipProtocolKind,
+    MeasuredPoint,
+};
+pub use lower_bound::{run_lower_bound_experiment, run_lower_bound_experiment_with, LowerBoundRow};
+pub use robustness::{
+    default_environments, run_robustness, run_robustness_with, AdversaryEnvironment, RobustnessRow,
+};
+pub use sears_sweep::{run_sears_sweep, run_sears_sweep_with, SearsSweepRow};
+pub use table1::{run_table1, run_table1_with, table1_to_table, Table1Row};
+pub use table2::{run_table2, run_table2_with, table2_to_table, Table2Row};
+pub use tears_lemmas::{
+    run_tears_structure, run_tears_structure_at, run_tears_structure_sweep, TearsStructureRow,
+};

@@ -8,13 +8,15 @@
 //! and verifies that correctness is preserved and that the measured costs
 //! stay within the same regime.
 
-use agossip_adversary::{DelayPolicy, PolicyAdversary, SchedulePolicy};
-use agossip_core::{run_gossip, Ears, Sears, SearsParams, Tears, Trivial};
+use agossip_adversary::{DelayPolicy, SchedulePolicy};
 use agossip_sim::{ProcessId, SimResult};
 
 use crate::experiments::common::{ExperimentScale, GossipProtocolKind};
 use crate::report::{fmt_f64, Table};
 use crate::stats::Summary;
+use crate::sweep::{
+    run_grid as run_spec_grid, AdversarySpec, ScenarioSpec, TrialPool, TrialProtocol,
+};
 
 /// A named adversary environment used in the robustness grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,72 +91,74 @@ pub struct RobustnessRow {
     pub messages: Summary,
 }
 
-fn run_protocol_under(
+/// The scenario spec for one `(protocol, environment)` cell of the grid.
+fn grid_spec(
+    kind: GossipProtocolKind,
+    env: &AdversaryEnvironment,
+    scale: &ExperimentScale,
+    n: usize,
+) -> ScenarioSpec {
+    ScenarioSpec::from_scale(TrialProtocol::Gossip(kind), scale, n).with_adversary(
+        AdversarySpec::Policy {
+            schedule: env.schedule.clone(),
+            delay: env.delay.clone(),
+        },
+    )
+}
+
+/// Runs one `(protocol, environment)` cell of the grid serially.
+pub fn run_protocol_under(
     kind: GossipProtocolKind,
     env: &AdversaryEnvironment,
     scale: &ExperimentScale,
     n: usize,
 ) -> SimResult<RobustnessRow> {
-    let mut steps = Vec::new();
-    let mut messages = Vec::new();
-    let mut successes = 0usize;
-    for trial in 0..scale.trials.max(1) {
-        let config = scale.config_for(n, trial);
-        let mut adversary = PolicyAdversary::new(
-            config.d,
-            config.delta,
-            config.seed,
-            env.schedule.clone(),
-            env.delay.clone(),
-        );
-        let report = match kind {
-            GossipProtocolKind::Trivial => {
-                run_gossip(&config, kind.spec(), &mut adversary, Trivial::new)?
-            }
-            GossipProtocolKind::Ears => {
-                run_gossip(&config, kind.spec(), &mut adversary, Ears::new)?
-            }
-            GossipProtocolKind::Sears { epsilon } => {
-                run_gossip(&config, kind.spec(), &mut adversary, move |ctx| {
-                    Sears::with_params(ctx, SearsParams::with_epsilon(epsilon))
-                })?
-            }
-            GossipProtocolKind::Tears => {
-                run_gossip(&config, kind.spec(), &mut adversary, Tears::new)?
-            }
-            GossipProtocolKind::SyncEpidemic => {
-                unreachable!("the synchronous baseline is not part of the robustness grid")
-            }
-        };
-        if report.check.all_ok() {
-            successes += 1;
-        }
-        if let Some(t) = report.time_steps() {
-            steps.push(t as f64);
-        }
-        messages.push(report.messages() as f64);
-    }
+    let spec = grid_spec(kind, env, scale, n);
+    let aggregate = spec.run(&TrialPool::serial())?;
     Ok(RobustnessRow {
         protocol: kind.name(),
         environment: env.name,
         n,
-        f: scale.f_for(n),
-        success_rate: successes as f64 / scale.trials.max(1) as f64,
-        time_steps: Summary::of(&steps),
-        messages: Summary::of(&messages),
+        f: spec.f,
+        success_rate: aggregate.success_rate,
+        time_steps: aggregate.time_steps,
+        messages: aggregate.messages,
     })
 }
 
-/// Runs the robustness grid at the largest system size of `scale`.
-pub fn run_robustness(scale: &ExperimentScale) -> SimResult<Vec<RobustnessRow>> {
+/// Runs the robustness grid at the largest system size of `scale` on `pool`.
+pub fn run_robustness_with(
+    pool: &TrialPool,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<RobustnessRow>> {
     let n = scale.n_values.iter().copied().max().unwrap_or(64);
-    let mut rows = Vec::new();
-    for env in default_environments(n) {
-        for kind in GossipProtocolKind::table1_rows() {
-            rows.push(run_protocol_under(kind, &env, scale, n)?);
-        }
-    }
-    Ok(rows)
+    let grid: Vec<(AdversaryEnvironment, GossipProtocolKind)> = default_environments(n)
+        .into_iter()
+        .flat_map(|env| {
+            GossipProtocolKind::table1_rows()
+                .into_iter()
+                .map(move |kind| (env.clone(), kind))
+        })
+        .collect();
+    run_spec_grid(
+        pool,
+        &grid,
+        |(env, kind)| grid_spec(*kind, env, scale, n),
+        |(env, kind), spec, aggregate| RobustnessRow {
+            protocol: kind.name(),
+            environment: env.name,
+            n,
+            f: spec.f,
+            success_rate: aggregate.success_rate,
+            time_steps: aggregate.time_steps.clone(),
+            messages: aggregate.messages.clone(),
+        },
+    )
+}
+
+/// Serial convenience wrapper around [`run_robustness_with`].
+pub fn run_robustness(scale: &ExperimentScale) -> SimResult<Vec<RobustnessRow>> {
+    run_robustness_with(&TrialPool::serial(), scale)
 }
 
 /// Renders robustness rows as a text table.

@@ -6,12 +6,13 @@
 //! messages). This driver sweeps `ε` at a fixed system size and reports both
 //! sides of the trade-off.
 
-use agossip_core::{run_gossip, GossipSpec, Sears, SearsParams};
-use agossip_sim::{FairObliviousAdversary, SimResult};
+use agossip_core::SearsParams;
+use agossip_sim::SimResult;
 
 use crate::experiments::common::ExperimentScale;
 use crate::report::{fmt_f64, Table};
 use crate::stats::Summary;
+use crate::sweep::{run_grid, ScenarioSpec, TrialPool, TrialProtocol};
 
 /// Measurements for one value of `ε`.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,39 +36,41 @@ pub fn default_epsilons() -> Vec<f64> {
     vec![0.25, 0.4, 0.5, 0.65, 0.8]
 }
 
-/// Runs the sweep at the largest size in `scale.n_values`.
-pub fn run_sears_sweep(scale: &ExperimentScale, epsilons: &[f64]) -> SimResult<Vec<SearsSweepRow>> {
+/// Runs the sweep at the largest size in `scale.n_values` on `pool`.
+///
+/// Every `ε` is validated before any trial runs (`0 < ε < 1`, Theorem 7's
+/// range, enforced by the sweep engine): an out-of-range exponent fails the
+/// sweep with a typed error instead of producing a nonsense fan-out.
+pub fn run_sears_sweep_with(
+    pool: &TrialPool,
+    scale: &ExperimentScale,
+    epsilons: &[f64],
+) -> SimResult<Vec<SearsSweepRow>> {
     let n = *scale.n_values.iter().max().expect("at least one size");
-    let mut rows = Vec::new();
-    for &epsilon in epsilons {
-        let params = SearsParams::with_epsilon(epsilon);
-        let mut steps = Vec::new();
-        let mut messages = Vec::new();
-        let mut successes = 0usize;
-        for trial in 0..scale.trials.max(1) {
-            let config = scale.config_for(n, trial);
-            let mut adversary = FairObliviousAdversary::new(config.d, config.delta, config.seed);
-            let report = run_gossip(&config, GossipSpec::Full, &mut adversary, move |ctx| {
-                Sears::with_params(ctx, params)
-            })?;
-            if report.check.all_ok() {
-                successes += 1;
-            }
-            if let Some(t) = report.time_steps() {
-                steps.push(t as f64);
-            }
-            messages.push(report.messages() as f64);
-        }
-        rows.push(SearsSweepRow {
+    run_grid(
+        pool,
+        epsilons,
+        |&epsilon| {
+            ScenarioSpec::from_scale(
+                TrialProtocol::SearsWith(SearsParams::with_epsilon(epsilon)),
+                scale,
+                n,
+            )
+        },
+        |&epsilon, _spec, aggregate| SearsSweepRow {
             epsilon,
             n,
-            fanout: params.fanout(n),
-            time_steps: Summary::of(&steps),
-            messages: Summary::of(&messages),
-            success_rate: successes as f64 / scale.trials.max(1) as f64,
-        });
-    }
-    Ok(rows)
+            fanout: SearsParams::with_epsilon(epsilon).fanout(n),
+            time_steps: aggregate.time_steps.clone(),
+            messages: aggregate.messages.clone(),
+            success_rate: aggregate.success_rate,
+        },
+    )
+}
+
+/// Serial convenience wrapper around [`run_sears_sweep_with`].
+pub fn run_sears_sweep(scale: &ExperimentScale, epsilons: &[f64]) -> SimResult<Vec<SearsSweepRow>> {
+    run_sears_sweep_with(&TrialPool::serial(), scale, epsilons)
 }
 
 /// Renders the sweep as a table.

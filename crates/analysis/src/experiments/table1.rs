@@ -7,10 +7,11 @@
 //! curve so it can be compared with the stated bound.
 
 use crate::experiments::common::{
-    measure_point, ExperimentScale, GossipProtocolKind, MeasuredPoint,
+    point_from_aggregate, ExperimentScale, GossipProtocolKind, MeasuredPoint,
 };
 use crate::fit::{fit_power_law, PowerLawFit};
 use crate::report::{fmt_f64, Table};
+use crate::sweep::{run_grid, ScenarioSpec, TrialPool, TrialProtocol};
 use agossip_sim::SimResult;
 
 /// One row of the reproduced Table 1: a `(protocol, n)` measurement.
@@ -37,21 +38,31 @@ pub fn paper_bounds(kind: GossipProtocolKind) -> (&'static str, &'static str) {
     }
 }
 
-/// Runs the Table 1 sweep.
-pub fn run_table1(scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
-    let mut rows = Vec::new();
-    for kind in GossipProtocolKind::table1_rows() {
-        let (paper_time, paper_messages) = paper_bounds(kind);
-        for &n in &scale.n_values {
-            let point = measure_point(kind, scale, n)?;
-            rows.push(Table1Row {
-                point,
+/// Runs the Table 1 sweep on `pool`: the whole `(protocol, n)` grid is
+/// flattened into one batch of trials so every worker stays busy.
+pub fn run_table1_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
+    let grid: Vec<(GossipProtocolKind, usize)> = GossipProtocolKind::table1_rows()
+        .into_iter()
+        .flat_map(|kind| scale.n_values.iter().map(move |&n| (kind, n)))
+        .collect();
+    run_grid(
+        pool,
+        &grid,
+        |&(kind, n)| ScenarioSpec::from_scale(TrialProtocol::Gossip(kind), scale, n),
+        |&(kind, n), spec, aggregate| {
+            let (paper_time, paper_messages) = paper_bounds(kind);
+            Table1Row {
+                point: point_from_aggregate(kind.name(), n, spec.f, aggregate),
                 paper_messages,
                 paper_time,
-            });
-        }
-    }
-    Ok(rows)
+            }
+        },
+    )
+}
+
+/// Serial convenience wrapper around [`run_table1_with`].
+pub fn run_table1(scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
+    run_table1_with(&TrialPool::serial(), scale)
 }
 
 /// Fits the message-complexity growth exponent of one protocol's rows.
@@ -124,6 +135,14 @@ mod tests {
         let rendered = table.render();
         assert!(rendered.contains("ears"));
         assert!(rendered.contains("tears"));
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_are_bit_identical() {
+        let scale = ExperimentScale::tiny();
+        let serial = run_table1(&scale).unwrap();
+        let sharded = run_table1_with(&TrialPool::new(4), &scale).unwrap();
+        assert_eq!(serial, sharded);
     }
 
     #[test]

@@ -6,13 +6,14 @@
 //! messages, and the number of voting rounds, while checking agreement,
 //! validity and termination.
 
-use agossip_consensus::{run_consensus, ConsensusProtocol};
-use agossip_sim::{FairObliviousAdversary, SimResult};
+use agossip_consensus::ConsensusProtocol;
+use agossip_sim::SimResult;
 
 use crate::experiments::common::ExperimentScale;
 use crate::fit::{fit_power_law, PowerLawFit};
 use crate::report::{fmt_f64, Table};
 use crate::stats::Summary;
+use crate::sweep::{run_grid, ScenarioSpec, TrialPool, TrialProtocol};
 
 /// One row of the reproduced Table 2: a `(protocol, n)` measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,51 +61,38 @@ pub fn paper_bounds(protocol: ConsensusProtocol) -> (&'static str, &'static str)
     }
 }
 
-/// Runs the Table 2 sweep. Inputs are split 50/50 between 0 and 1 so the
-/// protocols actually have to resolve a conflict.
-pub fn run_table2(scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
-    let mut rows = Vec::new();
-    for protocol in table2_protocols() {
-        let (paper_time, paper_messages) = paper_bounds(protocol);
-        for &n in &scale.n_values {
-            let mut steps = Vec::new();
-            let mut normalized = Vec::new();
-            let mut messages = Vec::new();
-            let mut rounds = Vec::new();
-            let mut successes = 0usize;
-            for trial in 0..scale.trials.max(1) {
-                let config = scale.config_for(n, trial);
-                let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
-                let mut adversary =
-                    FairObliviousAdversary::new(config.d, config.delta, config.seed);
-                let report = run_consensus(&config, protocol, &inputs, &mut adversary)?;
-                if report.check.all_ok() {
-                    successes += 1;
-                }
-                if let Some(t) = report.time_steps() {
-                    steps.push(t as f64);
-                }
-                if let Some(t) = report.normalized_time {
-                    normalized.push(t);
-                }
-                messages.push(report.messages() as f64);
-                rounds.push(report.max_rounds as f64);
-            }
-            rows.push(Table2Row {
+/// Runs the Table 2 sweep on `pool`. Inputs are split 50/50 between 0 and 1
+/// so the protocols actually have to resolve a conflict.
+pub fn run_table2_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
+    let grid: Vec<(ConsensusProtocol, usize)> = table2_protocols()
+        .into_iter()
+        .flat_map(|protocol| scale.n_values.iter().map(move |&n| (protocol, n)))
+        .collect();
+    run_grid(
+        pool,
+        &grid,
+        |&(protocol, n)| ScenarioSpec::from_scale(TrialProtocol::Consensus(protocol), scale, n),
+        |&(protocol, n), spec, aggregate| {
+            let (paper_time, paper_messages) = paper_bounds(protocol);
+            Table2Row {
                 protocol: protocol.name(),
                 n,
-                f: scale.f_for(n),
-                time_steps: Summary::of(&steps),
-                normalized_time: Summary::of(&normalized),
-                messages: Summary::of(&messages),
-                rounds: Summary::of(&rounds),
-                success_rate: successes as f64 / scale.trials.max(1) as f64,
+                f: spec.f,
+                time_steps: aggregate.time_steps.clone(),
+                normalized_time: aggregate.normalized_time.clone(),
+                messages: aggregate.messages.clone(),
+                rounds: aggregate.rounds.clone(),
+                success_rate: aggregate.success_rate,
                 paper_messages,
                 paper_time,
-            });
-        }
-    }
-    Ok(rows)
+            }
+        },
+    )
+}
+
+/// Serial convenience wrapper around [`run_table2_with`].
+pub fn run_table2(scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
+    run_table2_with(&TrialPool::serial(), scale)
 }
 
 /// Fits the message-complexity growth exponent of one protocol's rows.
@@ -179,6 +167,14 @@ mod tests {
         let rendered = table2_to_table(&rows).render();
         assert!(rendered.contains("CR-tears"));
         assert!(rendered.contains("CR-ears"));
+    }
+
+    #[test]
+    fn parallel_and_serial_sweeps_are_bit_identical() {
+        let scale = tiny();
+        let serial = run_table2(&scale).unwrap();
+        let sharded = run_table2_with(&TrialPool::new(3), &scale).unwrap();
+        assert_eq!(serial, sharded);
     }
 
     #[test]

@@ -19,7 +19,9 @@
 use agossip_core::{run_gossip, GossipSpec, Tears, TearsParams};
 use agossip_sim::{FairObliviousAdversary, ProcessId, SimConfig, SimResult};
 
+use crate::experiments::common::ExperimentScale;
 use crate::report::{fmt_f64, Table};
+use crate::sweep::TrialPool;
 
 /// Structural measurements from one `tears` execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,9 +51,26 @@ pub struct TearsStructureRow {
     pub message_reference: f64,
 }
 
-/// Runs the structural experiment at one system size.
+/// Runs the structural experiment at one system size with unit timing
+/// bounds (`d = δ = 1`), the paper's baseline setting for these lemmas.
 pub fn run_tears_structure(n: usize, f: usize, seed: u64) -> SimResult<TearsStructureRow> {
-    let config = SimConfig::new(n, f).with_d(1).with_delta(1).with_seed(seed);
+    run_tears_structure_at(n, f, seed, 1, 1)
+}
+
+/// Runs the structural experiment at one system size under explicit
+/// `(d, δ)` bounds (the structural claims hold for any bounds; timing only
+/// stretches the execution).
+pub fn run_tears_structure_at(
+    n: usize,
+    f: usize,
+    seed: u64,
+    d: u64,
+    delta: u64,
+) -> SimResult<TearsStructureRow> {
+    let config = SimConfig::new(n, f)
+        .with_d(d)
+        .with_delta(delta)
+        .with_seed(seed);
     let params = TearsParams::default();
 
     // Build one instance per process just to inspect the neighbourhood sizes
@@ -102,6 +121,34 @@ pub fn run_tears_structure(n: usize, f: usize, seed: u64) -> SimResult<TearsStru
         messages: report.messages(),
         message_reference: (n as f64).powf(1.75) * ln_n * ln_n,
     })
+}
+
+/// Runs the structural experiment at every system size of `scale`, with
+/// `scale.trials` independently seeded runs per size (one output row each —
+/// the structural quantities are per-execution, not averages), sharding the
+/// mutually independent runs across `pool`'s workers.
+pub fn run_tears_structure_sweep(
+    pool: &TrialPool,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<TearsStructureRow>> {
+    let trials = scale.trials.max(1);
+    let grid: Vec<(usize, usize)> = scale
+        .n_values
+        .iter()
+        .flat_map(|&n| (0..trials).map(move |trial| (n, trial)))
+        .collect();
+    pool.run(grid.len(), |i| {
+        let (n, trial) = grid[i];
+        run_tears_structure_at(
+            n,
+            scale.f_for(n),
+            scale.seed_for(n, trial),
+            scale.d,
+            scale.delta,
+        )
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Renders one or more structural rows as a table.

@@ -11,6 +11,14 @@
 //! simulations and returns structured rows; [`report`] renders them as text
 //! tables, and [`fit`] estimates growth exponents from measured series so the
 //! *shape* of each bound can be compared against the measurement.
+//!
+//! All drivers execute their independent trials through the parallel sweep
+//! engine in [`sweep`]: a [`sweep::ScenarioSpec`] describes one experiment
+//! point as plain data, a [`sweep::TrialPool`] shards its trials across
+//! worker threads with deterministic per-trial seeding (results are
+//! bit-identical for any worker count), and [`sweep::registry`] names every
+//! runnable scenario so the whole evaluation is drivable from one place (see
+//! the `scenarios` example and the `sweep_baseline` binary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,7 +27,12 @@ pub mod experiments;
 pub mod fit;
 pub mod report;
 pub mod stats;
+pub mod sweep;
 
 pub use fit::{fit_power_law, PowerLawFit};
 pub use report::{render_table, Table};
 pub use stats::Summary;
+pub use sweep::{
+    find_scenario, registry, run_grid, AdversarySpec, Scenario, ScenarioSpec, SweepArgs,
+    SweepArgsError, TrialAggregate, TrialPool, TrialProtocol, TrialReport,
+};

@@ -1,0 +1,1217 @@
+//! Parallel trial-sweep engine and the unified scenario registry.
+//!
+//! Every evaluation artifact of the paper is statistical: a point of Table 1
+//! or Table 2 is the average of many independent trials of one
+//! `(protocol, n, adversary)` configuration. Historically each driver in
+//! [`crate::experiments`] owned its own serial trial loop; this module
+//! collapses all of them onto three pieces:
+//!
+//! * [`ScenarioSpec`] — the value describing one experiment point: which
+//!   protocol runs ([`TrialProtocol`]), at which system size and failure
+//!   budget, under which adversary ([`AdversarySpec`]), with which timing
+//!   bounds, base seed and trial count. A spec is plain data: it can be
+//!   stored, compared, and shipped to a worker thread.
+//! * [`TrialPool`] — a crossbeam-channel worker pool that shards trials
+//!   across OS threads. Trial `t` of a spec always runs with seed
+//!   [`trial_seed`]`(base_seed, t)`, so the executions — and therefore the
+//!   aggregated [`TrialAggregate`]s — are **bit-identical regardless of the
+//!   number of workers or their interleaving**. This is the determinism
+//!   contract the doc-test below pins down.
+//! * [`registry`] — the catalogue of every named scenario the repository can
+//!   run (one per experiment driver), so tooling like the `scenarios`
+//!   example and the `sweep_baseline` bench binary can run any artifact from
+//!   one place.
+//!
+//! ## Determinism contract
+//!
+//! ```
+//! use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
+//! use agossip_analysis::sweep::{ScenarioSpec, TrialPool, TrialProtocol};
+//!
+//! let scale = ExperimentScale::tiny();
+//! let spec = ScenarioSpec::from_scale(
+//!     TrialProtocol::Gossip(GossipProtocolKind::Ears),
+//!     &scale,
+//!     16,
+//! );
+//!
+//! // One worker and four workers produce byte-identical aggregates.
+//! let serial = spec.run(&TrialPool::new(1)).unwrap();
+//! let sharded = spec.run(&TrialPool::new(4)).unwrap();
+//! assert_eq!(format!("{serial:?}"), format!("{sharded:?}"));
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::thread;
+
+use agossip_adversary::{DelayPolicy, PolicyAdversary, SchedulePolicy};
+use agossip_consensus::{run_consensus, ConsensusProtocol};
+use agossip_core::{
+    run_gossip, Ears, EarsParams, GossipReport, GossipSpec, Sears, SearsParams, SyncEpidemic,
+    Tears, TearsParams, Trivial,
+};
+use agossip_sim::rng::trial_seed;
+use agossip_sim::{
+    Adversary, EnvelopeMeta, FairObliviousAdversary, SimConfig, SimError, SimResult, StepPlan,
+    SystemView,
+};
+use crossbeam::channel;
+
+use crate::experiments::common::{ExperimentScale, GossipProtocolKind};
+use crate::report::Table;
+use crate::stats::Summary;
+
+/// Which protocol one trial runs.
+///
+/// The plain Table 1 / Table 2 rows use [`TrialProtocol::Gossip`] and
+/// [`TrialProtocol::Consensus`]; the `*With` variants carry explicit
+/// parameter structs so the ablation driver can sweep the hidden `Θ(·)`
+/// constants through the same engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialProtocol {
+    /// One of the Table 1 gossip protocols with default parameters.
+    Gossip(GossipProtocolKind),
+    /// `ears` with explicit parameters (ablation).
+    EarsWith(EarsParams),
+    /// `sears` with explicit parameters (ablation, ε sweep).
+    SearsWith(SearsParams),
+    /// `tears` with explicit parameters (ablation).
+    TearsWith(TearsParams),
+    /// One of the Table 2 consensus protocols; inputs are split 50/50
+    /// between 0 and 1 so the protocol has a real conflict to resolve.
+    Consensus(ConsensusProtocol),
+}
+
+impl TrialProtocol {
+    /// A short, table-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrialProtocol::Gossip(kind) => kind.name(),
+            TrialProtocol::EarsWith(_) => "ears",
+            TrialProtocol::SearsWith(_) => "sears",
+            TrialProtocol::TearsWith(_) => "tears",
+            TrialProtocol::Consensus(protocol) => protocol.name(),
+        }
+    }
+
+    /// The gossip variant this protocol is checked against; `None` for the
+    /// consensus protocols, which have their own agreement/validity/
+    /// termination check.
+    pub fn gossip_spec(&self) -> Option<GossipSpec> {
+        match self {
+            TrialProtocol::Gossip(kind) => Some(kind.spec()),
+            TrialProtocol::EarsWith(_) | TrialProtocol::SearsWith(_) => Some(GossipSpec::Full),
+            TrialProtocol::TearsWith(_) => Some(GossipSpec::Majority),
+            TrialProtocol::Consensus(_) => None,
+        }
+    }
+
+    /// Validates the protocol parameters before any trial runs.
+    ///
+    /// A `sears` exponent outside `0 < ε < 1`, or a non-positive/non-finite
+    /// `Θ(·)` multiplier on any of the parameterised variants, is rejected
+    /// with a typed error (see [`agossip_core::ParamError`]) instead of
+    /// silently producing a nonsensical execution.
+    pub fn validate(&self) -> SimResult<()> {
+        let checked = match self {
+            TrialProtocol::Gossip(GossipProtocolKind::Sears { epsilon })
+            | TrialProtocol::Consensus(ConsensusProtocol::CrSears { epsilon }) => {
+                SearsParams::with_epsilon(*epsilon).validate()
+            }
+            TrialProtocol::EarsWith(params) => params.validate(),
+            TrialProtocol::SearsWith(params) => params.validate(),
+            TrialProtocol::TearsWith(params) => params.validate(),
+            _ => Ok(()),
+        };
+        checked.map_err(|e| SimError::InvalidConfig {
+            reason: e.to_string(),
+        })
+    }
+}
+
+/// Which adversary family drives a trial.
+///
+/// All variants build an *oblivious* `(d, δ)`-adversary seeded from the
+/// trial's config, so the determinism contract of the pool holds for every
+/// scenario in the registry. (The adaptive Theorem 1 adversary drives the
+/// simulation manually and has its own driver; see
+/// [`crate::experiments::lower_bound`].)
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdversarySpec {
+    /// The reference fair oblivious adversary: `1/δ` scheduling, uniform
+    /// delays in `[1, d]`.
+    FairOblivious,
+    /// A policy-composed oblivious adversary from the robustness grid.
+    Policy {
+        /// The scheduling policy.
+        schedule: SchedulePolicy,
+        /// The delay policy.
+        delay: DelayPolicy,
+    },
+}
+
+impl AdversarySpec {
+    fn build(&self, config: &SimConfig) -> SweepAdversary {
+        match self {
+            AdversarySpec::FairOblivious => SweepAdversary::Fair(FairObliviousAdversary::new(
+                config.d,
+                config.delta,
+                config.seed,
+            )),
+            AdversarySpec::Policy { schedule, delay } => {
+                SweepAdversary::Policy(PolicyAdversary::new(
+                    config.d,
+                    config.delta,
+                    config.seed,
+                    schedule.clone(),
+                    delay.clone(),
+                ))
+            }
+        }
+    }
+}
+
+/// Runtime dispatch over the adversary families of [`AdversarySpec`].
+enum SweepAdversary {
+    Fair(FairObliviousAdversary),
+    Policy(PolicyAdversary),
+}
+
+impl Adversary for SweepAdversary {
+    fn plan_step(&mut self, view: &SystemView<'_>) -> StepPlan {
+        match self {
+            SweepAdversary::Fair(a) => a.plan_step(view),
+            SweepAdversary::Policy(a) => a.plan_step(view),
+        }
+    }
+
+    fn message_delay(&mut self, meta: &EnvelopeMeta, view: &SystemView<'_>) -> u64 {
+        match self {
+            SweepAdversary::Fair(a) => a.message_delay(meta, view),
+            SweepAdversary::Policy(a) => a.message_delay(meta, view),
+        }
+    }
+}
+
+/// One experiment point: everything needed to run its trials, as plain data.
+///
+/// ```
+/// use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
+/// use agossip_analysis::sweep::{ScenarioSpec, TrialProtocol};
+///
+/// let spec = ScenarioSpec::from_scale(
+///     TrialProtocol::Gossip(GossipProtocolKind::Trivial),
+///     &ExperimentScale::tiny(),
+///     16,
+/// );
+/// // Trial seeds are a pure function of (base_seed, trial): the configs are
+/// // reproducible and distinct across trials.
+/// assert_ne!(spec.config_for(0).seed, spec.config_for(1).seed);
+/// let report = spec.run_trial(0).unwrap();
+/// assert!(report.ok);
+/// assert_eq!(report.messages, 16 * 15); // trivial gossip: n(n−1) messages
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Which protocol runs.
+    pub protocol: TrialProtocol,
+    /// System size.
+    pub n: usize,
+    /// Failure budget.
+    pub f: usize,
+    /// Delivery bound `d`.
+    pub d: u64,
+    /// Scheduling bound `δ`.
+    pub delta: u64,
+    /// The adversary family driving every trial.
+    pub adversary: AdversarySpec,
+    /// Base seed; trial `t` runs with [`trial_seed`]`(base_seed, t)`.
+    pub base_seed: u64,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Whether the simulator may fast-forward idle windows (see
+    /// [`SimConfig::idle_fast_forward`]).
+    pub idle_fast_forward: bool,
+}
+
+impl ScenarioSpec {
+    /// Builds the spec for one `(protocol, n)` point of an
+    /// [`ExperimentScale`] sweep, under the reference oblivious adversary.
+    pub fn from_scale(protocol: TrialProtocol, scale: &ExperimentScale, n: usize) -> Self {
+        ScenarioSpec {
+            protocol,
+            n,
+            f: scale.f_for(n),
+            d: scale.d,
+            delta: scale.delta,
+            adversary: AdversarySpec::FairOblivious,
+            base_seed: scale.base_seed_for(n),
+            trials: scale.trials.max(1),
+            idle_fast_forward: scale.idle_fast_forward,
+        }
+    }
+
+    /// Replaces the adversary family.
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// The simulation configuration of trial `trial`.
+    pub fn config_for(&self, trial: usize) -> SimConfig {
+        SimConfig::new(self.n, self.f)
+            .with_d(self.d)
+            .with_delta(self.delta)
+            .with_seed(trial_seed(self.base_seed, trial as u64))
+            .with_idle_fast_forward(self.idle_fast_forward)
+    }
+
+    /// Runs one trial. Pure in `(self, trial)`: any thread, any time, same
+    /// result.
+    pub fn run_trial(&self, trial: usize) -> SimResult<TrialReport> {
+        self.protocol.validate()?;
+        let config = self.config_for(trial);
+        match &self.protocol {
+            TrialProtocol::Consensus(protocol) => {
+                let inputs: Vec<u64> = (0..self.n).map(|i| (i % 2) as u64).collect();
+                let mut adversary = self.adversary.build(&config);
+                let report = run_consensus(&config, *protocol, &inputs, &mut adversary)?;
+                Ok(TrialReport {
+                    ok: report.check.all_ok(),
+                    time_steps: report.time_steps(),
+                    normalized_time: report.normalized_time,
+                    messages: report.messages(),
+                    wire_units: 0,
+                    rounds: report.max_rounds,
+                })
+            }
+            gossip => {
+                let report = run_gossip_protocol(gossip, &self.adversary, &config)?;
+                Ok(TrialReport {
+                    ok: report.check.all_ok(),
+                    time_steps: report.time_steps(),
+                    normalized_time: report.normalized_time,
+                    messages: report.messages(),
+                    wire_units: report.rumor_units_sent,
+                    rounds: 0,
+                })
+            }
+        }
+    }
+
+    /// Runs all trials on `pool` and aggregates them.
+    pub fn run(&self, pool: &TrialPool) -> SimResult<TrialAggregate> {
+        let mut aggregates = pool.run_specs(std::slice::from_ref(self))?;
+        Ok(aggregates.pop().expect("one aggregate per spec"))
+    }
+}
+
+/// Runs one gossip execution of a (non-consensus) [`TrialProtocol`] under an
+/// [`AdversarySpec`], returning the full driver report.
+///
+/// The synchronous baseline always runs under unit bounds (`d = δ = 1` known
+/// a priori is its defining assumption). Panics if called with
+/// [`TrialProtocol::Consensus`].
+pub fn run_gossip_protocol(
+    protocol: &TrialProtocol,
+    adversary: &AdversarySpec,
+    config: &SimConfig,
+) -> SimResult<GossipReport> {
+    let config = match protocol {
+        TrialProtocol::Gossip(GossipProtocolKind::SyncEpidemic) => {
+            config.clone().with_d(1).with_delta(1)
+        }
+        _ => config.clone(),
+    };
+    let spec = protocol
+        .gossip_spec()
+        .expect("run_gossip_protocol requires a gossip protocol");
+    let mut adversary = adversary.build(&config);
+    match protocol {
+        TrialProtocol::Gossip(kind) => match *kind {
+            GossipProtocolKind::Trivial => run_gossip(&config, spec, &mut adversary, Trivial::new),
+            GossipProtocolKind::Ears => run_gossip(&config, spec, &mut adversary, Ears::new),
+            GossipProtocolKind::Sears { epsilon } => {
+                run_gossip(&config, spec, &mut adversary, move |ctx| {
+                    Sears::with_params(ctx, SearsParams::with_epsilon(epsilon))
+                })
+            }
+            GossipProtocolKind::Tears => run_gossip(&config, spec, &mut adversary, Tears::new),
+            GossipProtocolKind::SyncEpidemic => {
+                run_gossip(&config, spec, &mut adversary, SyncEpidemic::new)
+            }
+        },
+        TrialProtocol::EarsWith(params) => {
+            let params = *params;
+            run_gossip(&config, spec, &mut adversary, move |ctx| {
+                Ears::with_params(ctx, params)
+            })
+        }
+        TrialProtocol::SearsWith(params) => {
+            let params = *params;
+            run_gossip(&config, spec, &mut adversary, move |ctx| {
+                Sears::with_params(ctx, params)
+            })
+        }
+        TrialProtocol::TearsWith(params) => {
+            let params = *params;
+            run_gossip(&config, spec, &mut adversary, move |ctx| {
+                Tears::with_params(ctx, params)
+            })
+        }
+        TrialProtocol::Consensus(_) => unreachable!("guarded by gossip_spec() above"),
+    }
+}
+
+/// Runs a grid of experiment points on `pool` and maps each aggregated
+/// point to a driver row: the one shape every sweep driver shares.
+///
+/// `to_spec` builds the [`ScenarioSpec`] of one grid item; `to_row` turns
+/// the item, its spec, and its [`TrialAggregate`] into the driver's row
+/// type. All trials of all items run as one flattened batch, so a grid of
+/// many points with few trials each still saturates the workers.
+pub fn run_grid<K, R>(
+    pool: &TrialPool,
+    items: &[K],
+    to_spec: impl Fn(&K) -> ScenarioSpec,
+    to_row: impl Fn(&K, &ScenarioSpec, &TrialAggregate) -> R,
+) -> SimResult<Vec<R>> {
+    let specs: Vec<ScenarioSpec> = items.iter().map(&to_spec).collect();
+    let aggregates = pool.run_specs(&specs)?;
+    Ok(items
+        .iter()
+        .zip(&specs)
+        .zip(&aggregates)
+        .map(|((item, spec), aggregate)| to_row(item, spec, aggregate))
+        .collect())
+}
+
+/// The measurements of one trial, uniform across every scenario kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialReport {
+    /// Whether the protocol's correctness check passed.
+    pub ok: bool,
+    /// Completion time in steps (`None` if the run never became quiescent).
+    pub time_steps: Option<u64>,
+    /// Completion time in multiples of `d + δ`.
+    pub normalized_time: Option<f64>,
+    /// Total point-to-point messages.
+    pub messages: u64,
+    /// Total wire units sent (gossip trials; 0 for consensus trials).
+    pub wire_units: u64,
+    /// Maximum voting rounds any process started (consensus trials; 0 for
+    /// gossip trials).
+    pub rounds: u32,
+}
+
+/// The aggregation of a spec's trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialAggregate {
+    /// Number of trials aggregated.
+    pub trials: usize,
+    /// Fraction of trials whose correctness check passed.
+    pub success_rate: f64,
+    /// Completion time in steps, over the trials that became quiescent.
+    pub time_steps: Summary,
+    /// Completion time in `d + δ` units, over the same trials.
+    pub normalized_time: Summary,
+    /// Total point-to-point messages, over all trials.
+    pub messages: Summary,
+    /// Total wire units, over all trials.
+    pub wire_units: Summary,
+    /// Maximum voting rounds, over all trials.
+    pub rounds: Summary,
+}
+
+impl TrialAggregate {
+    /// Aggregates the reports of one spec's trials (in trial order).
+    pub fn of(reports: &[TrialReport]) -> TrialAggregate {
+        let mut steps = Vec::new();
+        let mut normalized = Vec::new();
+        let mut messages = Vec::new();
+        let mut wire_units = Vec::new();
+        let mut rounds = Vec::new();
+        let mut successes = 0usize;
+        for report in reports {
+            if report.ok {
+                successes += 1;
+            }
+            if let Some(t) = report.time_steps {
+                steps.push(t as f64);
+            }
+            if let Some(t) = report.normalized_time {
+                normalized.push(t);
+            }
+            messages.push(report.messages as f64);
+            wire_units.push(report.wire_units as f64);
+            rounds.push(report.rounds as f64);
+        }
+        TrialAggregate {
+            trials: reports.len(),
+            success_rate: successes as f64 / reports.len().max(1) as f64,
+            time_steps: Summary::of(&steps),
+            normalized_time: Summary::of(&normalized),
+            messages: Summary::of(&messages),
+            wire_units: Summary::of(&wire_units),
+            rounds: Summary::of(&rounds),
+        }
+    }
+}
+
+/// A worker pool that shards independent jobs across OS threads.
+///
+/// Jobs are pulled from a shared crossbeam channel and results are returned
+/// tagged with their index, so the output vector is always in job order: the
+/// caller observes the exact result a serial loop would have produced, only
+/// faster.
+///
+/// ```
+/// use agossip_analysis::sweep::TrialPool;
+///
+/// // The job is a pure function of its index, so the pool's output is
+/// // identical for any worker count — here 1 worker vs 4 workers.
+/// let serial: Vec<u64> = TrialPool::new(1).run(32, |i| (i as u64) * 3);
+/// let sharded: Vec<u64> = TrialPool::new(4).run(32, |i| (i as u64) * 3);
+/// assert_eq!(serial, sharded);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialPool {
+    threads: NonZeroUsize,
+}
+
+impl TrialPool {
+    /// A pool with the given number of worker threads; `0` selects
+    /// [`std::thread::available_parallelism`].
+    pub fn new(threads: usize) -> TrialPool {
+        let threads = match NonZeroUsize::new(threads) {
+            Some(t) => t,
+            None => thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        };
+        TrialPool { threads }
+    }
+
+    /// A single-threaded pool: runs every job inline, in order.
+    pub fn serial() -> TrialPool {
+        TrialPool {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`).
+    pub fn auto() -> TrialPool {
+        TrialPool::new(0)
+    }
+
+    /// The number of worker threads this pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Runs `jobs` jobs — `job(0), …, job(jobs − 1)` — and returns their
+    /// results in index order.
+    ///
+    /// `job` must be a pure function of its index for the output to be
+    /// independent of the worker count; every job built from a
+    /// [`ScenarioSpec`] is (its seed is derived from the trial index, not
+    /// from execution order).
+    pub fn run<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.get().min(jobs.max(1));
+        if workers <= 1 {
+            return (0..jobs).map(job).collect();
+        }
+
+        let (job_tx, job_rx) = channel::unbounded::<usize>();
+        let (result_tx, result_rx) = channel::unbounded::<(usize, T)>();
+        for idx in 0..jobs {
+            job_tx.send(idx).expect("job queue receiver alive");
+        }
+        drop(job_tx);
+
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+        slots.resize_with(jobs, || None);
+        let job = &job;
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(idx) = job_rx.recv() {
+                        if result_tx.send((idx, job(idx))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(result_tx);
+            drop(job_rx);
+            // Collect until every worker has dropped its sender. If a worker
+            // panicked its jobs are simply missing here; the scope re-raises
+            // the panic when it joins, so the expect below is unreachable in
+            // that case.
+            while let Ok((idx, value)) = result_rx.recv() {
+                slots[idx] = Some(value);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every job produced a result"))
+            .collect()
+    }
+
+    /// Runs every trial of every spec (flattened, so a grid of many specs
+    /// with few trials each still saturates the workers) and returns one
+    /// [`TrialAggregate`] per spec, in spec order.
+    ///
+    /// Every spec's parameters are validated up front — a sweep with one
+    /// invalid spec fails immediately instead of after burning the whole
+    /// grid's wall-clock. A trial that fails at runtime cancels the trials
+    /// that have not started yet (in-flight ones finish), and the error
+    /// reported is the earliest one in (spec-major, trial-minor) order among
+    /// the trials that ran — so the wasted work is bounded by the worker
+    /// count, not the grid size. Successful sweeps are unaffected and remain
+    /// bit-identical for any worker count.
+    pub fn run_specs(&self, specs: &[ScenarioSpec]) -> SimResult<Vec<TrialAggregate>> {
+        for spec in specs {
+            spec.protocol.validate()?;
+        }
+        let mut index: Vec<(usize, usize)> = Vec::new();
+        for (spec_idx, spec) in specs.iter().enumerate() {
+            for trial in 0..spec.trials.max(1) {
+                index.push((spec_idx, trial));
+            }
+        }
+        let cancelled = AtomicBool::new(false);
+        // None = skipped because an earlier (in wall-clock) trial failed.
+        let results: Vec<Option<SimResult<TrialReport>>> = self.run(index.len(), |i| {
+            if cancelled.load(AtomicOrdering::Relaxed) {
+                return None;
+            }
+            let (spec_idx, trial) = index[i];
+            let result = specs[spec_idx].run_trial(trial);
+            if result.is_err() {
+                cancelled.store(true, AtomicOrdering::Relaxed);
+            }
+            Some(result)
+        });
+        let mut per_spec: Vec<Vec<TrialReport>> = specs.iter().map(|_| Vec::new()).collect();
+        for (&(spec_idx, _), outcome) in index.iter().zip(results) {
+            match outcome {
+                Some(Ok(report)) => per_spec[spec_idx].push(report),
+                Some(Err(e)) => return Err(e),
+                // A skipped trial implies a failed one exists in `results`,
+                // so the aggregates below are never reached incomplete.
+                None => {}
+            }
+        }
+        Ok(per_spec
+            .iter()
+            .map(|reports| TrialAggregate::of(reports))
+            .collect())
+    }
+}
+
+impl Default for TrialPool {
+    fn default() -> TrialPool {
+        TrialPool::auto()
+    }
+}
+
+/// One entry of the scenario registry: a named, runnable evaluation
+/// artifact.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Registry name (what `--scenario` matches).
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Which paper table/figure/theorem the scenario reproduces.
+    pub artifact: &'static str,
+    /// The example or binary that runs it standalone.
+    pub example: &'static str,
+    /// Whether `ExperimentScale::trials` affects this scenario. `false` only
+    /// for the Theorem 1 lower bound, whose adversary construction is fully
+    /// deterministic per `(n, protocol)` — runners should tell the user a
+    /// `--trials` override is a no-op there instead of silently ignoring it.
+    pub trials_apply: bool,
+    /// The curated scale this scenario is meant to run at by default — the
+    /// same sizes/trials/bounds its standalone example uses, so the registry
+    /// path and the example produce the same rows. (One global default would
+    /// be wrong: the grids differ in size, failure fraction and `(d, δ)`,
+    /// and a tears grid at `n = 256` has a multi-GB working set per trial.)
+    default_scale: fn() -> ExperimentScale,
+    runner: fn(&ExperimentScale, &TrialPool) -> SimResult<Table>,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("artifact", &self.artifact)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// The curated default scale (the one the scenario's standalone example
+    /// uses).
+    pub fn default_scale(&self) -> ExperimentScale {
+        (self.default_scale)()
+    }
+
+    /// Runs the scenario at `scale` on `pool` and renders its table.
+    pub fn run(&self, scale: &ExperimentScale, pool: &TrialPool) -> SimResult<Table> {
+        (self.runner)(scale, pool)
+    }
+
+    /// Runs the scenario at its curated default scale on `pool`.
+    pub fn run_default(&self, pool: &TrialPool) -> SimResult<Table> {
+        self.run(&self.default_scale(), pool)
+    }
+}
+
+/// The catalogue of every registered scenario, one per experiment driver.
+pub fn registry() -> Vec<Scenario> {
+    use crate::experiments::{
+        ablation, bit_complexity, coa, lower_bound, robustness, sears_sweep, table1, table2,
+        tears_lemmas,
+    };
+    vec![
+        Scenario {
+            name: "table1",
+            summary: "gossip protocols: time and message complexity vs n",
+            artifact: "Table 1",
+            example: "cargo run --release --example table1",
+            trials_apply: true,
+            // Stops at n = 128: the tears row at n = 256 holds a working
+            // set of tens of GB and runs tens of minutes on one core.
+            // Override with --n 32,64,128,256 for the full paper grid.
+            default_scale: || ExperimentScale {
+                n_values: vec![32, 64, 128],
+                trials: 3,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                table1::run_table1_with(pool, scale).map(|rows| table1::table1_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "table2",
+            summary: "consensus protocols built on the gossip protocols",
+            artifact: "Table 2",
+            example: "cargo run --release --example consensus_demo",
+            trials_apply: true,
+            default_scale: || ExperimentScale {
+                n_values: vec![16, 32, 64, 128],
+                trials: 2,
+                failure_fraction: 0.2,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                table2::run_table2_with(pool, scale).map(|rows| table2::table2_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "lower_bound",
+            summary: "adaptive adversary forces Ω(n+f²) messages or Ω(f(d+δ)) time",
+            artifact: "Theorem 1 / Figure 1",
+            example: "cargo run --release --example lower_bound_demo",
+            trials_apply: false,
+            default_scale: || ExperimentScale {
+                n_values: vec![64, 128, 256, 512],
+                trials: 1,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                lower_bound::run_lower_bound_experiment_with(pool, &scale.n_values, scale.seed)
+                    .map(|rows| lower_bound::lower_bound_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "coa",
+            summary: "cost of asynchrony: async protocols vs the synchronous baseline",
+            artifact: "Corollary 2",
+            example: "cargo run --release --example scenarios -- --scenario coa",
+            trials_apply: true,
+            default_scale: || ExperimentScale {
+                n_values: vec![32, 64, 128],
+                trials: 3,
+                d: 1,
+                delta: 1,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                coa::run_coa_with(pool, scale).map(|rows| coa::coa_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "sears_sweep",
+            summary: "the ε time/message trade-off of sears at fixed n",
+            artifact: "Theorem 7",
+            example: "cargo run --release --example sears_tradeoff",
+            trials_apply: true,
+            default_scale: || ExperimentScale {
+                n_values: vec![256],
+                trials: 3,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                sears_sweep::run_sears_sweep_with(pool, scale, &sears_sweep::default_epsilons())
+                    .map(|rows| sears_sweep::sears_sweep_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "tears_lemmas",
+            summary: "structural properties of tears: fan-out concentration, majority coverage",
+            artifact: "Lemmas 8–11 / Theorem 12",
+            example: "cargo bench -p agossip-bench --bench tears_structure",
+            trials_apply: true,
+            default_scale: || ExperimentScale {
+                n_values: vec![64, 128],
+                trials: 1,
+                d: 1,
+                delta: 1,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                tears_lemmas::run_tears_structure_sweep(pool, scale)
+                    .map(|rows| tears_lemmas::tears_structure_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "bit_complexity",
+            summary: "wire-unit (bit) complexity per protocol — the Section 7 open question",
+            artifact: "Section 7",
+            example: "cargo run --release --example bit_complexity",
+            trials_apply: true,
+            // Same n = 128 cap as table1 (tears memory).
+            default_scale: || ExperimentScale {
+                n_values: vec![32, 64, 128],
+                trials: 3,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                bit_complexity::run_bit_complexity_with(pool, scale)
+                    .map(|rows| bit_complexity::bit_complexity_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "ablation",
+            summary: "sweeping the hidden Θ(·) constants of every protocol",
+            artifact: "DESIGN.md ablations",
+            example: "cargo run --release --example ablation",
+            trials_apply: true,
+            default_scale: || ExperimentScale {
+                n_values: vec![128],
+                trials: 3,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                ablation::run_ablation_with(pool, scale)
+                    .map(|rows| ablation::ablation_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "robustness",
+            summary: "correctness across the oblivious adversary family",
+            artifact: "Theorems 6/7/12",
+            example: "cargo run --release --example adversary_robustness",
+            trials_apply: true,
+            default_scale: || ExperimentScale {
+                n_values: vec![96],
+                trials: 2,
+                d: 3,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                robustness::run_robustness_with(pool, scale)
+                    .map(|rows| robustness::robustness_to_table(&rows))
+            },
+        },
+    ]
+}
+
+/// Looks up a registered scenario by name.
+pub fn find_scenario(name: &str) -> Option<Scenario> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The shared `--threads` / `--trials` / `--scenario` / `--n` command-line
+/// surface of the example binaries. (`sweep_baseline` keeps its own tiny
+/// parser: its `--threads 0` intentionally means "all cores, floored at 4"
+/// so the 1-vs-many comparison always exercises a sharded pool, and it adds
+/// benchmark-only `--toy`/`--label` flags.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Worker threads; `0` means all available cores. Defaults to `1`
+    /// (serial): peak memory scales with the number of concurrently resident
+    /// trials (a single `tears` trial at large `n` holds a rumor-set working
+    /// set of many GB), so going wide is an explicit opt-in.
+    pub threads: usize,
+    /// Overrides the scale's trials-per-point when set.
+    pub trials: Option<usize>,
+    /// Restricts a multi-scenario runner to one registered scenario.
+    pub scenario: Option<String>,
+    /// Overrides the scale's system sizes when set.
+    pub n_values: Option<Vec<usize>>,
+    /// When set, the runner should list the registry and exit.
+    pub list: bool,
+}
+
+impl Default for SweepArgs {
+    fn default() -> SweepArgs {
+        SweepArgs {
+            threads: 1,
+            trials: None,
+            scenario: None,
+            n_values: None,
+            list: false,
+        }
+    }
+}
+
+/// Why [`SweepArgs::parse`] did not return a usable argument set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepArgsError {
+    /// `--help`/`-h` was passed: print the usage and exit successfully.
+    HelpRequested,
+    /// The arguments were malformed.
+    Invalid(String),
+}
+
+impl SweepArgs {
+    /// Parses the process's command-line arguments. Prints the usage and
+    /// exits 0 on `--help`, or exits 2 on a parse error.
+    pub fn from_env() -> SweepArgs {
+        match SweepArgs::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(SweepArgsError::HelpRequested) => {
+                println!("{}", SweepArgs::usage());
+                std::process::exit(0);
+            }
+            Err(SweepArgsError::Invalid(message)) => {
+                eprintln!("{message}\n\n{}", SweepArgs::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (without the program name).
+    pub fn parse<I>(args: I) -> Result<SweepArgs, SweepArgsError>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let invalid = SweepArgsError::Invalid;
+        let mut parsed = SweepArgs::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value_for = |flag: &str| {
+                args.next()
+                    .ok_or_else(|| invalid(format!("{flag} requires a value")))
+            };
+            match arg.as_str() {
+                "--threads" => {
+                    parsed.threads = value_for("--threads")?
+                        .parse()
+                        .map_err(|e| invalid(format!("--threads: {e}")))?;
+                }
+                "--trials" => {
+                    parsed.trials = Some(
+                        value_for("--trials")?
+                            .parse()
+                            .map_err(|e| invalid(format!("--trials: {e}")))?,
+                    );
+                }
+                "--scenario" => parsed.scenario = Some(value_for("--scenario")?),
+                "--n" => {
+                    let list = value_for("--n")?;
+                    let values: Result<Vec<usize>, _> =
+                        list.split(',').map(|v| v.trim().parse()).collect();
+                    parsed.n_values = Some(values.map_err(|e| invalid(format!("--n: {e}")))?);
+                }
+                "--list" => parsed.list = true,
+                "--help" | "-h" => return Err(SweepArgsError::HelpRequested),
+                other => return Err(invalid(format!("unknown argument: {other}"))),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The usage string shared by every sweep-aware binary.
+    pub fn usage() -> &'static str {
+        "options:\n  \
+         --threads N      worker threads (0 = all cores; default 1 — memory\n                   \
+         scales with concurrently resident trials)\n  \
+         --trials N       independent trials per experiment point\n  \
+         --scenario NAME  run one registered scenario (see --list)\n  \
+         --n A,B,C        system sizes to sweep\n  \
+         --list           list the scenario registry and exit"
+    }
+
+    /// The worker pool these arguments select.
+    pub fn pool(&self) -> TrialPool {
+        TrialPool::new(self.threads)
+    }
+
+    /// Exits with an error if `--scenario`/`--list` were passed to a binary
+    /// that runs exactly one scenario (those flags belong to the `scenarios`
+    /// example).
+    pub fn reject_registry_flags(&self, binary: &str) {
+        if self.scenario.is_some() || self.list {
+            eprintln!(
+                "{binary} runs a single scenario; --scenario/--list are only \
+                 understood by the `scenarios` example"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    /// Applies the trial/size overrides to a scale.
+    pub fn apply(&self, scale: &mut ExperimentScale) {
+        if let Some(trials) = self.trials {
+            scale.trials = trials.max(1);
+        }
+        if let Some(n_values) = &self.n_values {
+            scale.n_values = n_values.clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(trials: usize) -> ScenarioSpec {
+        ScenarioSpec::from_scale(
+            TrialProtocol::Gossip(GossipProtocolKind::Ears),
+            &ExperimentScale {
+                trials,
+                ..ExperimentScale::tiny()
+            },
+            16,
+        )
+    }
+
+    #[test]
+    fn pool_output_is_in_job_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8] {
+            let pool = TrialPool::new(workers);
+            let out = pool.run(37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_single_job_sets() {
+        let pool = TrialPool::new(4);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_aggregates() {
+        let spec = tiny_spec(4);
+        let serial = spec.run(&TrialPool::serial()).unwrap();
+        for workers in [2, 4, 8] {
+            let sharded = spec.run(&TrialPool::new(workers)).unwrap();
+            assert_eq!(serial, sharded, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn consensus_trials_run_through_the_same_engine() {
+        let scale = ExperimentScale {
+            n_values: vec![8],
+            failure_fraction: 0.2,
+            d: 1,
+            delta: 1,
+            ..ExperimentScale::tiny()
+        };
+        let spec = ScenarioSpec::from_scale(
+            TrialProtocol::Consensus(ConsensusProtocol::CanettiRabin),
+            &scale,
+            8,
+        );
+        let aggregate = spec.run(&TrialPool::serial()).unwrap();
+        assert_eq!(aggregate.success_rate, 1.0);
+        assert!(aggregate.rounds.mean >= 1.0);
+    }
+
+    #[test]
+    fn invalid_sears_epsilon_is_rejected_with_a_typed_error() {
+        for &epsilon in &[0.0, -0.2, 1.0, 1.7] {
+            let spec = ScenarioSpec::from_scale(
+                TrialProtocol::Gossip(GossipProtocolKind::Sears { epsilon }),
+                &ExperimentScale::tiny(),
+                16,
+            );
+            let err = spec.run_trial(0).unwrap_err();
+            match err {
+                SimError::InvalidConfig { reason } => {
+                    assert!(reason.contains('ε'), "reason should name ε: {reason}")
+                }
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+            let err = spec.run(&TrialPool::new(2)).unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig { .. }));
+        }
+    }
+
+    #[test]
+    fn invalid_theta_multipliers_are_rejected_before_any_trial_runs() {
+        for protocol in [
+            TrialProtocol::EarsWith(EarsParams {
+                shutdown_factor: -1.0,
+            }),
+            TrialProtocol::TearsWith(TearsParams {
+                a_factor: f64::NAN,
+                ..TearsParams::default()
+            }),
+            TrialProtocol::SearsWith(SearsParams {
+                fanout_factor: 0.0,
+                ..SearsParams::default()
+            }),
+        ] {
+            let spec = ScenarioSpec::from_scale(protocol, &ExperimentScale::tiny(), 16);
+            // run_specs validates the whole grid up front, so a poisoned
+            // spec fails immediately — even when it is not the first one.
+            let err = TrialPool::new(2)
+                .run_specs(&[tiny_spec(1), spec])
+                .unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig { .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn runtime_trial_errors_propagate_and_cancel_the_rest_of_the_grid() {
+        // Consensus demands a failure minority; f = n/2 passes protocol
+        // validation but errors at run time, exercising the cancellation
+        // path (later trials are skipped once the failure is observed).
+        let poisoned = ScenarioSpec {
+            f: 8,
+            ..ScenarioSpec::from_scale(
+                TrialProtocol::Consensus(ConsensusProtocol::CanettiRabin),
+                &ExperimentScale::tiny(),
+                16,
+            )
+        };
+        for workers in [1, 4] {
+            let err = TrialPool::new(workers)
+                .run_specs(&[poisoned.clone(), tiny_spec(3)])
+                .unwrap_err();
+            assert!(matches!(err, SimError::InvalidConfig { .. }), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn trials_apply_everywhere_but_the_deterministic_lower_bound() {
+        for scenario in registry() {
+            assert_eq!(
+                scenario.trials_apply,
+                scenario.name != "lower_bound",
+                "{}",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn run_specs_flattens_grids_and_keeps_spec_order() {
+        let fast = tiny_spec(2);
+        let slow = ScenarioSpec {
+            n: 24,
+            ..tiny_spec(3)
+        };
+        let aggregates = TrialPool::new(4)
+            .run_specs(&[fast.clone(), slow.clone()])
+            .unwrap();
+        assert_eq!(aggregates.len(), 2);
+        assert_eq!(aggregates[0].trials, 2);
+        assert_eq!(aggregates[1].trials, 3);
+        // Same result as running each spec alone.
+        assert_eq!(aggregates[0], fast.run(&TrialPool::serial()).unwrap());
+        assert_eq!(aggregates[1], slow.run(&TrialPool::serial()).unwrap());
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let registry = registry();
+        assert_eq!(registry.len(), 9);
+        let mut names: Vec<&str> = registry.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9, "duplicate scenario names");
+        for name in names {
+            assert!(find_scenario(name).is_some());
+        }
+        assert!(find_scenario("nonexistent").is_none());
+        for scenario in registry {
+            let scale = scenario.default_scale();
+            assert!(!scale.n_values.is_empty(), "{}", scenario.name);
+            assert!(scale.trials >= 1, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn every_registered_scenario_runs_at_tiny_scale() {
+        let scale = ExperimentScale {
+            n_values: vec![12],
+            trials: 1,
+            failure_fraction: 0.2,
+            d: 1,
+            delta: 1,
+            seed: 3,
+            idle_fast_forward: false,
+        };
+        let pool = TrialPool::new(2);
+        for scenario in registry() {
+            let table = scenario
+                .run(&scale, &pool)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", scenario.name));
+            assert!(!table.is_empty(), "{} produced no rows", scenario.name);
+        }
+    }
+
+    #[test]
+    fn sweep_args_parse_and_apply() {
+        let args = SweepArgs::parse(
+            [
+                "--threads",
+                "3",
+                "--trials",
+                "7",
+                "--n",
+                "16,32",
+                "--scenario",
+                "table1",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.threads, 3);
+        assert_eq!(args.pool().threads(), 3);
+        assert_eq!(args.scenario.as_deref(), Some("table1"));
+        let mut scale = ExperimentScale::tiny();
+        args.apply(&mut scale);
+        assert_eq!(scale.trials, 7);
+        assert_eq!(scale.n_values, vec![16, 32]);
+
+        assert!(matches!(
+            SweepArgs::parse(["--threads".into()]),
+            Err(SweepArgsError::Invalid(_))
+        ));
+        assert!(matches!(
+            SweepArgs::parse(["--bogus".into()]),
+            Err(SweepArgsError::Invalid(_))
+        ));
+        assert_eq!(
+            SweepArgs::parse(["--help".into()]),
+            Err(SweepArgsError::HelpRequested)
+        );
+        assert!(SweepArgs::parse(["--list".into()]).unwrap().list);
+    }
+}

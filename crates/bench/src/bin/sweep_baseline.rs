@@ -1,0 +1,151 @@
+//! Trials-per-second runner for the parallel sweep engine.
+//!
+//! Runs the canonical Table 1 grid through
+//! [`agossip_analysis::sweep::TrialPool`] twice — once on 1 worker, once on
+//! `--threads` workers (default: all cores, floored at 4 so the scaling
+//! claim is always exercised) — verifies that the two row sets are
+//! bit-identical (the engine's determinism contract), and prints one JSON
+//! object suitable for appending to `BENCH_sweep.json` at the repository
+//! root.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p agossip-bench --bin sweep_baseline -- \
+//!     [--threads N] [--trials N] [--toy] [--label NAME]
+//! ```
+//!
+//! `--toy` shrinks the grid to a seconds-scale smoke test (this is what the
+//! CI `sweep_smoke` job runs on 2 threads).
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use agossip_analysis::experiments::table1::run_table1_with;
+use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
+use agossip_analysis::sweep::TrialPool;
+
+struct Args {
+    threads: usize,
+    trials: Option<usize>,
+    toy: bool,
+    label: String,
+}
+
+const USAGE: &str = "usage: sweep_baseline [--threads N] [--trials N] [--toy] [--label NAME]";
+
+fn bail(message: &str) -> ! {
+    eprintln!("{message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        threads: 0,
+        trials: None,
+        toy: false,
+        label: "current".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| bail(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                parsed.threads = value_for("--threads")
+                    .parse()
+                    .unwrap_or_else(|e| bail(&format!("--threads: {e}")));
+            }
+            "--trials" => {
+                parsed.trials = Some(
+                    value_for("--trials")
+                        .parse()
+                        .unwrap_or_else(|e| bail(&format!("--trials: {e}"))),
+                );
+            }
+            "--toy" => parsed.toy = true,
+            "--label" => parsed.label = value_for("--label"),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => bail(&format!("unknown argument: {other}")),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scale = ExperimentScale {
+        n_values: if args.toy {
+            vec![16, 24]
+        } else {
+            vec![32, 64, 128]
+        },
+        trials: if args.toy { 4 } else { 8 },
+        failure_fraction: 0.25,
+        d: 2,
+        delta: 2,
+        seed: 2008,
+        idle_fast_forward: false,
+    };
+    if let Some(trials) = args.trials {
+        scale.trials = trials.max(1);
+    }
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    // Floor at 4 so the 1-vs-many comparison always exercises a genuinely
+    // sharded pool; on a box with fewer cores the extra workers interleave
+    // on the available ones (results are identical either way — only the
+    // speedup depends on the hardware).
+    let workers = if args.threads > 0 {
+        args.threads
+    } else {
+        cores.max(4)
+    };
+
+    let total_trials =
+        GossipProtocolKind::table1_rows().len() * scale.n_values.len() * scale.trials;
+    eprintln!(
+        "table1 grid: n = {:?}, {} trials/point, {total_trials} trials total; \
+         measuring 1 worker vs {workers} workers ({cores} core(s) available)",
+        scale.n_values, scale.trials
+    );
+
+    let start = Instant::now();
+    let serial_rows = run_table1_with(&TrialPool::new(1), &scale).expect("serial sweep failed");
+    let serial_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let sharded_rows =
+        run_table1_with(&TrialPool::new(workers), &scale).expect("sharded sweep failed");
+    let sharded_secs = start.elapsed().as_secs_f64();
+
+    let bit_identical =
+        serial_rows == sharded_rows && format!("{serial_rows:?}") == format!("{sharded_rows:?}");
+    assert!(
+        bit_identical,
+        "worker count changed the sweep output — determinism contract violated"
+    );
+
+    let n_values: Vec<String> = scale.n_values.iter().map(|n| n.to_string()).collect();
+    println!(
+        "{{\"label\": \"{label}\", \"scenario\": \"table1\", \"n_values\": [{n_values}], \
+         \"trials_per_point\": {trials}, \"total_trials\": {total_trials}, \
+         \"available_cores\": {cores}, \
+         \"workers_1_secs\": {serial_secs:.2}, \"workers_1_trials_per_sec\": {serial_tps:.2}, \
+         \"workers_n\": {workers}, \"workers_n_secs\": {sharded_secs:.2}, \
+         \"workers_n_trials_per_sec\": {sharded_tps:.2}, \
+         \"speedup\": {speedup:.2}, \"bit_identical\": {bit_identical}}}",
+        label = args.label.replace('\\', "\\\\").replace('"', "\\\""),
+        n_values = n_values.join(", "),
+        trials = scale.trials,
+        serial_tps = total_trials as f64 / serial_secs,
+        sharded_tps = total_trials as f64 / sharded_secs,
+        speedup = serial_secs / sharded_secs,
+    );
+}

@@ -16,6 +16,12 @@
 //! Besides wall-clock timings, every bench prints the measured table (message
 //! counts and normalized completion times) so that the paper's rows can be
 //! compared directly; `EXPERIMENTS.md` records one such run.
+//!
+//! Two plain binaries record the engine perf trajectories at the repository
+//! root: `scheduler_baseline` (steps/sec of the simulator hot loop →
+//! `BENCH_scheduler.json`) and `sweep_baseline` (trials/sec of the parallel
+//! sweep engine on the Table 1 grid, 1 worker vs N workers, with a
+//! bit-identity assertion → `BENCH_sweep.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -57,7 +57,7 @@ pub use checker::{check_engines, check_gossip, CheckReport, GossipSpec};
 pub use driver::{run_gossip, GossipReport};
 pub use ears::{Ears, EarsMessage};
 pub use engine::{GossipCtx, GossipEngine};
-pub use params::{EarsParams, SearsParams, SyncParams, TearsParams};
+pub use params::{EarsParams, ParamError, SearsParams, SyncParams, TearsParams};
 pub use rumor::{Rumor, RumorSet};
 pub use sears::{Sears, SearsMessage};
 pub use sync_epidemic::{SyncEpidemic, SyncMessage};

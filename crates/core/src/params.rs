@@ -6,11 +6,54 @@
 //! and the benchmarks (`n` up to a few thousand). The ablation benches vary
 //! these constants to show where the analysis starts to fail.
 
+use std::fmt;
+
 /// Natural logarithm of `n`, clamped below by 1 so that tiny systems do not
 /// degenerate to zero-length phases.
 pub fn ln_n(n: usize) -> f64 {
     (n.max(2) as f64).ln().max(1.0)
 }
+
+/// A protocol parameter outside the range the paper's analysis is stated
+/// for.
+///
+/// Returned by the `validate` methods on the parameter structs; the
+/// experiment path refuses to run a trial with invalid parameters instead of
+/// silently producing a nonsensical execution (e.g. a `sears` fan-out of `n`
+/// for `ε ≥ 1`, which degenerates to the trivial protocol while still being
+/// labelled `sears`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamError {
+    /// `sears` requires `0 < ε < 1` (Theorem 7): `ε ≥ 1` collapses the
+    /// fan-out cap to `n` (trivial flooding) and `ε ≤ 0` yields a sub-unit
+    /// fan-out and a divergent `1/ε` phase count.
+    EpsilonOutOfRange {
+        /// The offending exponent.
+        epsilon: f64,
+    },
+    /// A multiplier of a `Θ(·)` constant must be a positive finite number.
+    NonPositiveFactor {
+        /// Which factor was out of range.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::EpsilonOutOfRange { epsilon } => {
+                write!(f, "sears requires 0 < ε < 1 (Theorem 7), got ε = {epsilon}")
+            }
+            ParamError::NonPositiveFactor { name, value } => {
+                write!(f, "{name} must be positive and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
 
 /// Parameters of the `ears` protocol (Section 3, Figure 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,7 +71,22 @@ impl Default for EarsParams {
     }
 }
 
+/// Checks that a `Θ(·)` multiplier is positive and finite.
+fn validate_factor(name: &'static str, value: f64) -> Result<(), ParamError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(ParamError::NonPositiveFactor { name, value });
+    }
+    Ok(())
+}
+
 impl EarsParams {
+    /// Checks that the parameters lie in the range the Section 3 analysis is
+    /// stated for (a positive, finite shut-down multiplier). The experiment
+    /// drivers call this before running a trial.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        validate_factor("ears.shutdown_factor", self.shutdown_factor)
+    }
+
     /// The shut-down phase length in local steps for a system of size `n`
     /// with failure budget `f`: `⌈shutdown_factor · n/(n−f) · ln n⌉`.
     pub fn shutdown_steps(&self, n: usize, f: usize) -> u64 {
@@ -63,6 +121,21 @@ impl SearsParams {
             epsilon,
             ..Default::default()
         }
+    }
+
+    /// Checks that the parameters lie in the range Theorem 7's analysis is
+    /// stated for: `0 < ε < 1` and a positive, finite fan-out factor.
+    ///
+    /// The experiment drivers call this before running a trial, so an
+    /// out-of-range `ε` is a typed [`ParamError`] instead of a silently
+    /// nonsensical fan-out.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 || self.epsilon >= 1.0 {
+            return Err(ParamError::EpsilonOutOfRange {
+                epsilon: self.epsilon,
+            });
+        }
+        validate_factor("sears.fanout_factor", self.fanout_factor)
     }
 
     /// The per-step fan-out `⌈fanout_factor · n^ε · ln n⌉`, capped at `n`.
@@ -100,6 +173,14 @@ impl Default for TearsParams {
 }
 
 impl TearsParams {
+    /// Checks that the parameters lie in the range the Section 5 analysis is
+    /// stated for (positive, finite multipliers of `a` and `κ`). The
+    /// experiment drivers call this before running a trial.
+    pub fn validate(&self) -> Result<(), ParamError> {
+        validate_factor("tears.a_factor", self.a_factor)?;
+        validate_factor("tears.kappa_factor", self.kappa_factor)
+    }
+
     /// `a = a_factor · √n · ln n`, the expected size of `Π1(p)` and `Π2(p)`,
     /// capped at `n − 1` (a process never sends to itself).
     pub fn a(&self, n: usize) -> f64 {
@@ -191,6 +272,55 @@ mod tests {
             fanout_factor: 100.0,
         };
         assert_eq!(p.fanout(16), 16);
+    }
+
+    #[test]
+    fn sears_validate_accepts_the_open_unit_interval_only() {
+        assert!(SearsParams::with_epsilon(0.5).validate().is_ok());
+        assert!(SearsParams::with_epsilon(0.01).validate().is_ok());
+        for bad in [0.0, -0.5, 1.0, 1.5, f64::NAN, f64::INFINITY] {
+            let err = SearsParams::with_epsilon(bad).validate().unwrap_err();
+            assert!(
+                matches!(err, ParamError::EpsilonOutOfRange { .. }),
+                "ε = {bad} should be rejected as out of range, got {err:?}"
+            );
+        }
+        let err = SearsParams {
+            fanout_factor: 0.0,
+            ..SearsParams::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, ParamError::NonPositiveFactor { .. }));
+        assert!(err.to_string().contains("fanout_factor"));
+    }
+
+    #[test]
+    fn ears_and_tears_factors_are_validated() {
+        assert!(EarsParams::default().validate().is_ok());
+        assert!(TearsParams::default().validate().is_ok());
+        for bad in [0.0, -2.0, f64::NAN, f64::INFINITY] {
+            let err = EarsParams {
+                shutdown_factor: bad,
+            }
+            .validate()
+            .unwrap_err();
+            assert!(err.to_string().contains("shutdown_factor"), "{err}");
+            let err = TearsParams {
+                a_factor: bad,
+                ..TearsParams::default()
+            }
+            .validate()
+            .unwrap_err();
+            assert!(err.to_string().contains("a_factor"), "{err}");
+            let err = TearsParams {
+                kappa_factor: bad,
+                ..TearsParams::default()
+            }
+            .validate()
+            .unwrap_err();
+            assert!(err.to_string().contains("kappa_factor"), "{err}");
+        }
     }
 
     #[test]

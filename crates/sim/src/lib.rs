@@ -44,6 +44,18 @@
 //! The simulator is fully deterministic given a [`SimConfig::seed`]: all
 //! randomness (both the adversary's and the protocols') flows from seeded
 //! [`rand::rngs::StdRng`] instances.
+//!
+//! ## Thread-safety contract
+//!
+//! Independent trials of an experiment are routinely sharded across OS
+//! threads (the parallel sweep engine in `agossip-analysis::sweep` does
+//! exactly that), so the run entry points are `Send`able: a [`Simulation`]
+//! over `Send` processes, every bundled adversary, and all reports and
+//! metrics can be moved to a worker thread. This is asserted at compile time
+//! below — introducing an `Rc`/`RefCell` into the engine is a build error,
+//! not a latent sweep-engine bug. Combined with [`rng::trial_seed`], a trial
+//! is a pure function of its spec: running it on any thread, in any order,
+//! produces bit-identical results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,3 +80,22 @@ pub use network::Network;
 pub use process::{Process, ProcessId, ProcessStatus};
 pub use scheduler::{RunOutcome, Simulation, StopReason};
 pub use time::TimeStep;
+
+// Compile-time proof of the thread-safety contract documented above: a
+// simulation over `Send` processes, the reference adversary, and everything
+// a finished trial hands back can be moved across threads.
+#[allow(dead_code)]
+fn assert_entry_points_are_send() {
+    fn assert_send<T: Send>() {}
+    fn simulation_is_send<P>()
+    where
+        P: Process + Send,
+        P::Message: Send,
+    {
+        assert_send::<Simulation<P>>();
+    }
+    assert_send::<SimConfig>();
+    assert_send::<FairObliviousAdversary>();
+    assert_send::<Metrics>();
+    assert_send::<SimError>();
+}

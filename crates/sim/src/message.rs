@@ -1,4 +1,9 @@
 //! Message envelopes and the per-step outbox.
+//!
+//! Models the "sends zero or more messages" half of a local step (paper,
+//! Section 1): the [`Outbox`] collects the messages one process emits during
+//! one step, and each becomes an [`Envelope`] — one unit of the message
+//! complexity every theorem of the paper bounds.
 
 use crate::process::ProcessId;
 use crate::time::TimeStep;

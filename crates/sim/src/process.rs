@@ -1,4 +1,11 @@
 //! Process identities, liveness status, and the local-step interface.
+//!
+//! A [`Process`] is the paper's notion of an algorithm at one node (Section
+//! 1): in each *local step* it receives a batch of delivered messages,
+//! computes, and sends zero or more messages; it may also declare itself
+//! quiescent, the property the gossip specification's termination condition
+//! is stated in terms of. Crashes ([`ProcessStatus::Crashed`]) are permanent
+//! and controlled by the adversary within the budget `f`.
 
 use std::fmt;
 

@@ -44,8 +44,39 @@ pub fn rng_for(master: u64, stream: RngStream) -> StdRng {
     StdRng::seed_from_u64(derive_seed(master, stream))
 }
 
+/// Derives the master seed for trial `trial` of a multi-trial experiment
+/// from the experiment's base seed.
+///
+/// This is the seeding contract of the parallel sweep engine
+/// (`agossip_analysis::sweep`): every trial's seed is a pure function of
+/// `(base_seed, trial)`, so trials can be executed in any order, on any
+/// number of worker threads, and still reproduce the exact executions a
+/// serial loop would have produced.
+///
+/// ```
+/// use agossip_sim::rng::trial_seed;
+///
+/// // Deterministic, and distinct across trials and base seeds.
+/// assert_eq!(trial_seed(2008, 3), trial_seed(2008, 3));
+/// assert_ne!(trial_seed(2008, 3), trial_seed(2008, 4));
+/// assert_ne!(trial_seed(2008, 3), trial_seed(2009, 3));
+/// ```
+pub fn trial_seed(base_seed: u64, trial: u64) -> u64 {
+    // Spread consecutive trial indices across the word with a golden-ratio
+    // stride before XOR-ing, so trials 0, 1, 2, … flip high bits of the
+    // finalizer input rather than only the low ones. Trial 0 reduces to
+    // `splitmix64(base_seed)`, which is fine: callers' base seeds are
+    // themselves already splitmix-mixed (see
+    // `agossip_analysis`'s `ExperimentScale::base_seed_for`).
+    splitmix64(base_seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31))
+}
+
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit permutation.
-fn splitmix64(mut z: u64) -> u64 {
+///
+/// Used for all seed derivation in the workspace (sub-stream seeds here,
+/// per-trial seeds in [`trial_seed`]): nearby inputs yield statistically
+/// unrelated outputs, and the map is a bijection on `u64`.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -100,6 +131,16 @@ mod tests {
         let s1: Vec<u32> = (0..8).map(|_| r1.gen()).collect();
         let s2: Vec<u32> = (0..8).map(|_| r2.gen()).collect();
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_across_trials_and_bases() {
+        let mut seeds: Vec<u64> = (0..64u64).map(|t| trial_seed(2008, t)).collect();
+        seeds.extend((0..64u64).map(|b| trial_seed(b, 0)));
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "trial seed collision");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Ablation of the hidden `Θ(·)` constants behind the protocols.
 //!
 //! ```text
-//! cargo run --release --example ablation
+//! cargo run --release --example ablation -- [--threads N] [--trials N] [--n A,B,C]
 //! ```
 //!
 //! Every phase length and fan-out in the paper hides a constant: the `ears`
@@ -11,11 +11,14 @@
 //! reports where the high-probability guarantees start to fail and what the
 //! larger constants cost.
 
-use agossip_analysis::experiments::ablation::{ablation_to_table, run_ablation};
+use agossip_analysis::experiments::ablation::{ablation_to_table, run_ablation_with};
 use agossip_analysis::experiments::ExperimentScale;
+use agossip_analysis::sweep::SweepArgs;
 
 fn main() {
-    let scale = ExperimentScale {
+    let args = SweepArgs::from_env();
+    args.reject_registry_flags("ablation");
+    let mut scale = ExperimentScale {
         n_values: vec![128],
         trials: 3,
         failure_fraction: 0.25,
@@ -24,8 +27,13 @@ fn main() {
         seed: 2008,
         idle_fast_forward: false,
     };
-    println!("running the parameter ablation (this takes a minute)...\n");
-    let rows = run_ablation(&scale).expect("ablation failed");
+    args.apply(&mut scale);
+    let pool = args.pool();
+    println!(
+        "running the parameter ablation on {} worker thread(s)...\n",
+        pool.threads()
+    );
+    let rows = run_ablation_with(&pool, &scale).expect("ablation failed");
     println!("{}", ablation_to_table(&rows).render());
     println!(
         "reading guide: success below 100% marks the point where a constant is\n\

@@ -2,7 +2,7 @@
 //! with `(d, δ)`-compliance auditing of the adversary itself.
 //!
 //! ```text
-//! cargo run --release --example adversary_robustness
+//! cargo run --release --example adversary_robustness -- [--threads N] [--trials N] [--n A,B,C]
 //! ```
 //!
 //! The paper's upper bounds hold w.h.p. against *every* oblivious
@@ -13,13 +13,16 @@
 //! nastier adversaries against the claimed bounds.
 
 use agossip_adversary::{DelayPolicy, PolicyAdversary, RecordingAdversary, SchedulePolicy};
-use agossip_analysis::experiments::robustness::{robustness_to_table, run_robustness};
+use agossip_analysis::experiments::robustness::{robustness_to_table, run_robustness_with};
 use agossip_analysis::experiments::ExperimentScale;
+use agossip_analysis::sweep::SweepArgs;
 use agossip_core::{run_gossip, Ears, GossipSpec};
 use agossip_sim::SimConfig;
 
 fn main() {
-    let scale = ExperimentScale {
+    let args = SweepArgs::from_env();
+    args.reject_registry_flags("adversary_robustness");
+    let mut scale = ExperimentScale {
         n_values: vec![96],
         trials: 2,
         failure_fraction: 0.25,
@@ -28,8 +31,13 @@ fn main() {
         seed: 2008,
         idle_fast_forward: false,
     };
-    println!("running the robustness grid (protocols × adversary environments)...\n");
-    let rows = run_robustness(&scale).expect("robustness sweep failed");
+    args.apply(&mut scale);
+    let pool = args.pool();
+    println!(
+        "running the robustness grid (protocols × adversary environments) on {} worker thread(s)...\n",
+        pool.threads()
+    );
+    let rows = run_robustness_with(&pool, &scale).expect("robustness sweep failed");
     println!("{}", robustness_to_table(&rows).render());
 
     // Audit one adversary: the skewed scheduler with worst-case delays.

@@ -3,7 +3,7 @@
 //! protocol puts on the wire.
 //!
 //! ```text
-//! cargo run --release --example bit_complexity
+//! cargo run --release --example bit_complexity -- [--threads N] [--trials N] [--n A,B,C]
 //! ```
 //!
 //! Message counts alone (Table 1) hide the fact that `ears`/`sears` messages
@@ -12,13 +12,19 @@
 //! message. This example measures both axes for every protocol.
 
 use agossip_analysis::experiments::bit_complexity::{
-    bit_complexity_to_table, run_bit_complexity, wire_unit_exponent,
+    bit_complexity_to_table, run_bit_complexity_with, wire_unit_exponent,
 };
 use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
+use agossip_analysis::sweep::SweepArgs;
 
 fn main() {
-    let scale = ExperimentScale {
-        n_values: vec![32, 64, 128, 256],
+    let args = SweepArgs::from_env();
+    args.reject_registry_flags("bit_complexity");
+    // Stops at n = 128 by default for the same reason as the table1
+    // example: the tears row at n = 256 needs tens of GB and tens of
+    // minutes. Pass --n 32,64,128,256 for the full grid.
+    let mut scale = ExperimentScale {
+        n_values: vec![32, 64, 128],
         trials: 3,
         failure_fraction: 0.25,
         d: 2,
@@ -26,8 +32,14 @@ fn main() {
         seed: 2008,
         idle_fast_forward: false,
     };
-    println!("running the bit-complexity sweep (this takes a minute)...\n");
-    let rows = run_bit_complexity(&scale).expect("sweep failed");
+    args.apply(&mut scale);
+    let pool = args.pool();
+    println!(
+        "running the bit-complexity sweep at n = {:?} on {} worker thread(s)...\n",
+        scale.n_values,
+        pool.threads()
+    );
+    let rows = run_bit_complexity_with(&pool, &scale).expect("sweep failed");
     println!("{}", bit_complexity_to_table(&rows).render());
 
     println!("fitted wire-unit growth exponents (units ≈ c·n^k):");

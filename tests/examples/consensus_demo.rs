@@ -2,15 +2,19 @@
 //! gossip-based `get-core`.
 //!
 //! ```text
-//! cargo run --release --example consensus_demo
+//! cargo run --release --example consensus_demo -- [--threads N] [--trials N] [--n A,B,C]
 //! ```
 
-use agossip_analysis::experiments::table2::{run_table2, table2_to_table};
+use agossip_analysis::experiments::table2::{run_table2_with, table2_to_table};
 use agossip_analysis::experiments::ExperimentScale;
+use agossip_analysis::sweep::SweepArgs;
 use agossip_consensus::{run_consensus, ConsensusProtocol};
 use agossip_sim::{FairObliviousAdversary, SimConfig};
 
 fn main() {
+    let args = SweepArgs::from_env();
+    args.reject_registry_flags("consensus_demo");
+
     // One detailed run first: CR-tears on a split input.
     let n = 64;
     let config = SimConfig::new(n, n / 4)
@@ -38,7 +42,7 @@ fn main() {
     );
 
     // Then the full Table 2 sweep.
-    let scale = ExperimentScale {
+    let mut scale = ExperimentScale {
         n_values: vec![16, 32, 64, 128],
         trials: 2,
         failure_fraction: 0.2,
@@ -47,7 +51,12 @@ fn main() {
         seed: 2008,
         idle_fast_forward: false,
     };
-    println!("running the Table 2 sweep (this takes a minute)...\n");
-    let rows = run_table2(&scale).expect("sweep failed");
+    args.apply(&mut scale);
+    let pool = args.pool();
+    println!(
+        "running the Table 2 sweep on {} worker thread(s)...\n",
+        pool.threads()
+    );
+    let rows = run_table2_with(&pool, &scale).expect("sweep failed");
     println!("{}", table2_to_table(&rows).render());
 }

@@ -3,17 +3,35 @@
 //! Ω(f·(d+δ)) time.
 //!
 //! ```text
-//! cargo run --release --example lower_bound_demo
+//! cargo run --release --example lower_bound_demo -- [--threads N] [--n A,B,C]
 //! ```
 
 use agossip_analysis::experiments::lower_bound::{
-    lower_bound_to_table, run_lower_bound_experiment,
+    lower_bound_to_table, run_lower_bound_experiment_with,
 };
+use agossip_analysis::sweep::SweepArgs;
 
 fn main() {
-    let sizes = [64usize, 128, 256, 512];
-    println!("running the Theorem 1 adversary against trivial / ears / sears...\n");
-    let rows = run_lower_bound_experiment(&sizes, 2008).expect("lower bound experiment failed");
+    let args = SweepArgs::from_env();
+    args.reject_registry_flags("lower_bound_demo");
+    if args.trials.is_some() {
+        eprintln!(
+            "lower_bound_demo: the Theorem 1 construction is deterministic per (n, protocol); \
+             --trials does not apply"
+        );
+        std::process::exit(2);
+    }
+    let sizes = args
+        .n_values
+        .clone()
+        .unwrap_or_else(|| vec![64, 128, 256, 512]);
+    let pool = args.pool();
+    println!(
+        "running the Theorem 1 adversary against trivial / ears / sears on {} worker thread(s)...\n",
+        pool.threads()
+    );
+    let rows = run_lower_bound_experiment_with(&pool, &sizes, 2008)
+        .expect("lower bound experiment failed");
     println!("{}", lower_bound_to_table(&rows).render());
     println!("every row must report 'holds': the adversary forces the dichotomy of Theorem 1.");
 }

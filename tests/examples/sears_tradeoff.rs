@@ -3,16 +3,19 @@
 //! messages).
 //!
 //! ```text
-//! cargo run --release --example sears_tradeoff
+//! cargo run --release --example sears_tradeoff -- [--threads N] [--trials N] [--n A,B,C]
 //! ```
 
 use agossip_analysis::experiments::sears_sweep::{
-    default_epsilons, run_sears_sweep, sears_sweep_to_table,
+    default_epsilons, run_sears_sweep_with, sears_sweep_to_table,
 };
 use agossip_analysis::experiments::ExperimentScale;
+use agossip_analysis::sweep::SweepArgs;
 
 fn main() {
-    let scale = ExperimentScale {
+    let args = SweepArgs::from_env();
+    args.reject_registry_flags("sears_tradeoff");
+    let mut scale = ExperimentScale {
         n_values: vec![256],
         trials: 3,
         failure_fraction: 0.25,
@@ -21,7 +24,13 @@ fn main() {
         seed: 2008,
         idle_fast_forward: false,
     };
-    println!("sweeping ε at n = 256 (this takes a minute)...\n");
-    let rows = run_sears_sweep(&scale, &default_epsilons()).expect("sweep failed");
+    args.apply(&mut scale);
+    let pool = args.pool();
+    let n = *scale.n_values.iter().max().expect("at least one size");
+    println!(
+        "sweeping ε at n = {n} on {} worker thread(s)...\n",
+        pool.threads()
+    );
+    let rows = run_sears_sweep_with(&pool, &scale, &default_epsilons()).expect("sweep failed");
     println!("{}", sears_sweep_to_table(&rows).render());
 }

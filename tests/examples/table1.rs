@@ -2,15 +2,23 @@
 //! adversary, compared on completion time and message complexity.
 //!
 //! ```text
-//! cargo run --release --example table1
+//! cargo run --release --example table1 -- [--threads N] [--trials N] [--n A,B,C]
 //! ```
+//!
+//! The default grid stops at `n = 128`: the `tears` row at `n = 256` holds a
+//! rumor-set working set of tens of GB and runs for tens of minutes on one
+//! core. Pass `--n 32,64,128,256` to reproduce the full-size grid on a
+//! machine with the memory for it.
 
-use agossip_analysis::experiments::table1::{message_exponent, run_table1, table1_to_table};
+use agossip_analysis::experiments::table1::{message_exponent, run_table1_with, table1_to_table};
 use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
+use agossip_analysis::sweep::SweepArgs;
 
 fn main() {
-    let scale = ExperimentScale {
-        n_values: vec![32, 64, 128, 256],
+    let args = SweepArgs::from_env();
+    args.reject_registry_flags("table1");
+    let mut scale = ExperimentScale {
+        n_values: vec![32, 64, 128],
         trials: 3,
         failure_fraction: 0.25,
         d: 2,
@@ -18,8 +26,14 @@ fn main() {
         seed: 2008,
         idle_fast_forward: false,
     };
-    println!("running the Table 1 sweep (this takes a minute)...\n");
-    let rows = run_table1(&scale).expect("sweep failed");
+    args.apply(&mut scale);
+    let pool = args.pool();
+    println!(
+        "running the Table 1 sweep at n = {:?} on {} worker thread(s)...\n",
+        scale.n_values,
+        pool.threads()
+    );
+    let rows = run_table1_with(&pool, &scale).expect("sweep failed");
     println!("{}", table1_to_table(&rows).render());
 
     println!("fitted message-complexity growth exponents (messages ≈ c·n^k):");

@@ -1,0 +1,108 @@
+//! Property-based tests for the parallel sweep engine: an arbitrary
+//! scenario run on an arbitrary number of workers must serialize to exactly
+//! the bytes the serial run produces.
+//!
+//! This is the engine's load-bearing contract — experiment results must
+//! depend only on `(spec, base_seed)`, never on how trials were sharded
+//! across threads or in which order workers finished.
+
+use proptest::prelude::*;
+
+use agossip_adversary::{DelayPolicy, SchedulePolicy};
+use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
+use agossip_analysis::sweep::{AdversarySpec, ScenarioSpec, TrialPool, TrialProtocol};
+use agossip_consensus::ConsensusProtocol;
+
+/// Maps a drawn index to a protocol covering every engine dispatch path
+/// (gossip kinds, the parameterised sears variant, and consensus).
+fn protocol_for(idx: usize) -> TrialProtocol {
+    match idx % 6 {
+        0 => TrialProtocol::Gossip(GossipProtocolKind::Trivial),
+        1 => TrialProtocol::Gossip(GossipProtocolKind::Ears),
+        2 => TrialProtocol::Gossip(GossipProtocolKind::Sears { epsilon: 0.5 }),
+        3 => TrialProtocol::Gossip(GossipProtocolKind::Tears),
+        4 => TrialProtocol::Gossip(GossipProtocolKind::SyncEpidemic),
+        _ => TrialProtocol::Consensus(ConsensusProtocol::CanettiRabin),
+    }
+}
+
+/// Maps a drawn index to an adversary family.
+fn adversary_for(idx: usize) -> AdversarySpec {
+    match idx % 3 {
+        0 => AdversarySpec::FairOblivious,
+        1 => AdversarySpec::Policy {
+            schedule: SchedulePolicy::FairRandom,
+            delay: DelayPolicy::AlwaysMax,
+        },
+        _ => AdversarySpec::Policy {
+            schedule: SchedulePolicy::EveryStep,
+            delay: DelayPolicy::Uniform,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Arbitrary scenario × worker count in 1..=8: the aggregated summaries
+    /// (and therefore every derived experiment row) serialize byte-identically
+    /// no matter how many workers ran the trials.
+    #[test]
+    fn sharded_sweep_serializes_identically_to_serial(
+        protocol_idx in 0usize..6,
+        adversary_idx in 0usize..3,
+        n in 8usize..17,
+        trials in 1usize..4,
+        d in 1u64..3,
+        delta in 1u64..3,
+        seed in 0u64..1000,
+        workers in 1usize..9,
+    ) {
+        let scale = ExperimentScale {
+            n_values: vec![n],
+            trials,
+            failure_fraction: 0.2,
+            d,
+            delta,
+            seed,
+            idle_fast_forward: false,
+        };
+        let spec = ScenarioSpec::from_scale(protocol_for(protocol_idx), &scale, n)
+            .with_adversary(adversary_for(adversary_idx));
+
+        let serial = spec.run(&TrialPool::serial()).unwrap();
+        let sharded = spec.run(&TrialPool::new(workers)).unwrap();
+
+        let serial_bytes = format!("{serial:?}");
+        let sharded_bytes = format!("{sharded:?}");
+        prop_assert_eq!(
+            serial_bytes,
+            sharded_bytes,
+            "worker count {} changed the aggregate of {:?}",
+            workers,
+            spec
+        );
+        prop_assert_eq!(serial, sharded);
+    }
+
+    /// The per-trial seeds themselves are order-independent: trial `t`'s
+    /// config is the same whether derived first, last, or alone.
+    #[test]
+    fn trial_configs_are_pure_functions_of_the_index(
+        n in 8usize..33,
+        seed in 0u64..1000,
+        trial in 0usize..32,
+    ) {
+        let scale = ExperimentScale { n_values: vec![n], seed, ..ExperimentScale::tiny() };
+        let spec = ScenarioSpec::from_scale(
+            TrialProtocol::Gossip(GossipProtocolKind::Ears),
+            &scale,
+            n,
+        );
+        prop_assert_eq!(spec.config_for(trial), spec.config_for(trial));
+        prop_assert_eq!(spec.config_for(trial).seed, scale.seed_for(n, trial));
+        if trial > 0 {
+            prop_assert_ne!(spec.config_for(trial).seed, spec.config_for(trial - 1).seed);
+        }
+    }
+}

@@ -108,6 +108,15 @@ pub mod channel {
         fn drop(&mut self) {
             if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Wake blocked receivers so they can observe the disconnect.
+                // The queue mutex must be held while notifying: a receiver
+                // that has just observed `senders > 0` under the lock is not
+                // registered on the condvar until its `wait` releases that
+                // lock, so an unlocked notify could fire in between and be
+                // lost — with no sender left to ever notify again, the
+                // receiver would sleep forever. (`send` gets this for free:
+                // its push acquires the mutex, which forces it to happen
+                // after the racing receiver's atomic check-and-wait.)
+                let _queue = self.shared.lock();
                 self.shared.ready.notify_all();
             }
         }
@@ -198,6 +207,24 @@ pub mod channel {
             let (tx, rx) = unbounded();
             drop(rx);
             assert_eq!(tx.send(1u8), Err(SendError(1u8)));
+        }
+
+        #[test]
+        fn drop_of_last_sender_wakes_blocked_receivers() {
+            // Stress the disconnect path that the sweep engine's worker pool
+            // relies on: a receiver blocked in `recv` must observe the last
+            // sender's drop (the notify must not be lost between the
+            // receiver's senders-alive check and its condvar wait).
+            for _ in 0..200 {
+                let (tx, rx) = unbounded::<u8>();
+                let sender = std::thread::spawn(move || {
+                    tx.send(1).unwrap();
+                    // tx dropped here, while the receiver may be mid-recv.
+                });
+                assert_eq!(rx.recv(), Ok(1));
+                assert_eq!(rx.recv(), Err(RecvError));
+                sender.join().unwrap();
+            }
         }
 
         #[test]
