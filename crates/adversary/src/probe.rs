@@ -144,8 +144,8 @@ mod tests {
             to: ProcessId(0),
             sent_at: TimeStep(0),
             payload: agossip_core::EarsMessage {
-                rumors: other.rumors().clone(),
-                informed: other.informed().clone(),
+                rumors: std::sync::Arc::new(other.rumors().clone()),
+                informed: std::sync::Arc::new(other.informed().clone()),
             },
         }];
         let probe = probe_isolated(&engine, &pending, 4);

@@ -687,11 +687,12 @@ pub fn registry() -> Vec<Scenario> {
             artifact: "Table 1",
             example: "cargo run --release --example table1",
             trials_apply: true,
-            // Stops at n = 128: the tears row at n = 256 holds a working
-            // set of tens of GB and runs tens of minutes on one core.
-            // Override with --n 32,64,128,256 for the full paper grid.
+            // The full paper grid, n = 256 included: since the dense
+            // RumorSet + Arc snapshot rework a tears n = 256 trial measures
+            // 5.5 s / 1.3 GiB peak RSS (it was >35 min / ~60 GB with
+            // per-destination BTreeMap clones; see BENCH_rumorset.json).
             default_scale: || ExperimentScale {
-                n_values: vec![32, 64, 128],
+                n_values: vec![32, 64, 128, 256],
                 trials: 3,
                 ..ExperimentScale::default()
             },
@@ -788,9 +789,10 @@ pub fn registry() -> Vec<Scenario> {
             artifact: "Section 7",
             example: "cargo run --release --example bit_complexity",
             trials_apply: true,
-            // Same n = 128 cap as table1 (tears memory).
+            // Same full grid as table1: the n = 256 tears row is affordable
+            // again since the dense-set rework (see BENCH_rumorset.json).
             default_scale: || ExperimentScale {
-                n_values: vec![32, 64, 128],
+                n_values: vec![32, 64, 128, 256],
                 trials: 3,
                 ..ExperimentScale::default()
             },

@@ -1,0 +1,154 @@
+//! RumorSet micro-benchmarks — the dense word-packed representation against
+//! the historical `BTreeMap` baseline, at n ∈ {256, 1024, 4096}.
+//!
+//! Five groups, each measuring one hot operation of the gossip inner loop:
+//!
+//! * `union` — pure merge into an already-superset accumulator (the
+//!   steady-state `deliver` path, no allocation on either side);
+//! * `clone_union` — clone + merge, what one pre-rework broadcast
+//!   destination cost;
+//! * `insert` — build a set one rumor at a time;
+//! * `contains` — origin membership probes across the whole universe;
+//! * `iter` — a full origin-ordered walk (what the checkers and the
+//!   consensus vote counting do).
+//!
+//! `rumor_baseline` (a `--bin` in this crate) runs the same workloads
+//! outside criterion and emits the `BENCH_rumorset.json` numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use agossip_bench::rumorset::{btree_evens, btree_odds, dense_evens, dense_odds};
+use agossip_core::{Rumor, RumorSet};
+use agossip_sim::ProcessId;
+
+const SIZES: [usize; 3] = [256, 1024, 4096];
+
+fn bench_union(c: &mut Criterion) {
+    // Pure merge into an already-superset accumulator (the steady-state
+    // deliver path) — no allocation on either side.
+    let mut group = c.benchmark_group("rumor_set_union");
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+            let mut acc = dense_evens(n);
+            let odds = dense_odds(n);
+            acc.union(&odds);
+            b.iter(|| {
+                black_box(acc.union(&odds));
+                black_box(acc.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap_baseline", n), &n, |b, &n| {
+            let mut acc = btree_evens(n);
+            let odds = btree_odds(n);
+            acc.union(&odds);
+            b.iter(|| {
+                black_box(acc.union(&odds));
+                black_box(acc.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_clone_union(c: &mut Criterion) {
+    // Clone + merge: what one pre-rework broadcast destination cost.
+    let mut group = c.benchmark_group("rumor_set_clone_union");
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+            let evens = dense_evens(n);
+            let odds = dense_odds(n);
+            b.iter(|| {
+                let mut acc = evens.clone();
+                black_box(acc.union(&odds));
+                black_box(acc.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap_baseline", n), &n, |b, &n| {
+            let evens = btree_evens(n);
+            let odds = btree_odds(n);
+            b.iter(|| {
+                let mut acc = evens.clone();
+                black_box(acc.union(&odds));
+                black_box(acc.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rumor_set_insert");
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = RumorSet::new();
+                for i in 0..n {
+                    s.insert(Rumor::new(ProcessId(i), i as u64));
+                }
+                black_box(s.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap_baseline", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = agossip_bench::rumorset::BTreeRumorSet::default();
+                for i in 0..n {
+                    s.insert(Rumor::new(ProcessId(i), i as u64));
+                }
+                black_box(s.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_contains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rumor_set_contains");
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+            let s = dense_evens(n);
+            b.iter(|| {
+                let mut hits = 0usize;
+                for i in 0..n {
+                    hits += s.contains_origin(ProcessId(i)) as usize;
+                }
+                black_box(hits)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap_baseline", n), &n, |b, &n| {
+            let s = btree_evens(n);
+            b.iter(|| {
+                let mut hits = 0usize;
+                for i in 0..n {
+                    hits += s.contains_origin(ProcessId(i)) as usize;
+                }
+                black_box(hits)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_iter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rumor_set_iter");
+    for n in SIZES {
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+            let s = dense_evens(n);
+            b.iter(|| black_box(s.iter().map(|r| r.payload).sum::<u64>()));
+        });
+        group.bench_with_input(BenchmarkId::new("btreemap_baseline", n), &n, |b, &n| {
+            let s = btree_evens(n);
+            b.iter(|| black_box(s.iter().map(|r| r.payload).sum::<u64>()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_union,
+    bench_clone_union,
+    bench_insert,
+    bench_contains,
+    bench_iter
+);
+criterion_main!(benches);

@@ -55,6 +55,121 @@ pub fn small_scale() -> ExperimentScale {
     }
 }
 
+pub mod rumorset {
+    //! Workloads shared by the `rumor_set` criterion bench and the
+    //! `rumor_baseline` runner (which emits the `BENCH_rumorset.json` perf
+    //! trajectory at the repository root): the dense word-packed
+    //! [`RumorSet`] against the historical `BTreeMap` representation, kept
+    //! here as a baseline oracle.
+
+    use std::collections::BTreeMap;
+
+    use agossip_core::{Rumor, RumorSet};
+    use agossip_sim::ProcessId;
+
+    /// The seed (pre-dense) `RumorSet`: a `BTreeMap` from origin to payload.
+    #[derive(Debug, Clone, Default)]
+    pub struct BTreeRumorSet {
+        by_origin: BTreeMap<ProcessId, u64>,
+    }
+
+    impl BTreeRumorSet {
+        /// Inserts a rumor, first payload per origin wins.
+        pub fn insert(&mut self, rumor: Rumor) -> bool {
+            match self.by_origin.entry(rumor.origin) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(rumor.payload);
+                    true
+                }
+                std::collections::btree_map::Entry::Occupied(_) => false,
+            }
+        }
+
+        /// Merges `other` into `self`, returning the number of new origins.
+        pub fn union(&mut self, other: &BTreeRumorSet) -> usize {
+            let mut added = 0;
+            for (&origin, &payload) in &other.by_origin {
+                if self.insert(Rumor { origin, payload }) {
+                    added += 1;
+                }
+            }
+            added
+        }
+
+        /// True if a rumor from `origin` is present.
+        pub fn contains_origin(&self, origin: ProcessId) -> bool {
+            self.by_origin.contains_key(&origin)
+        }
+
+        /// Returns the rumor originating at `origin`, if present.
+        pub fn get(&self, origin: ProcessId) -> Option<Rumor> {
+            self.by_origin
+                .get(&origin)
+                .map(|&payload| Rumor { origin, payload })
+        }
+
+        /// True if `self` contains every rumor of `other`.
+        pub fn is_superset_of(&self, other: &BTreeRumorSet) -> bool {
+            other
+                .by_origin
+                .keys()
+                .all(|origin| self.by_origin.contains_key(origin))
+        }
+
+        /// Number of rumors held.
+        pub fn len(&self) -> usize {
+            self.by_origin.len()
+        }
+
+        /// True if empty.
+        pub fn is_empty(&self) -> bool {
+            self.by_origin.is_empty()
+        }
+
+        /// Iterates rumors in origin order.
+        pub fn iter(&self) -> impl Iterator<Item = Rumor> + '_ {
+            self.by_origin
+                .iter()
+                .map(|(&origin, &payload)| Rumor { origin, payload })
+        }
+    }
+
+    /// Every even origin of `0..n` (half-full set), dense representation.
+    pub fn dense_evens(n: usize) -> RumorSet {
+        (0..n)
+            .step_by(2)
+            .map(|i| Rumor::new(ProcessId(i), i as u64))
+            .collect()
+    }
+
+    /// Every odd origin of `0..n` (the disjoint other half), dense.
+    pub fn dense_odds(n: usize) -> RumorSet {
+        (0..n)
+            .skip(1)
+            .step_by(2)
+            .map(|i| Rumor::new(ProcessId(i), i as u64))
+            .collect()
+    }
+
+    /// Every even origin of `0..n`, baseline representation.
+    pub fn btree_evens(n: usize) -> BTreeRumorSet {
+        let mut s = BTreeRumorSet::default();
+        for i in (0..n).step_by(2) {
+            s.insert(Rumor::new(ProcessId(i), i as u64));
+        }
+        s
+    }
+
+    /// Every odd origin of `0..n`, baseline representation.
+    pub fn btree_odds(n: usize) -> BTreeRumorSet {
+        let mut s = BTreeRumorSet::default();
+        for i in (0..n).skip(1).step_by(2) {
+            s.insert(Rumor::new(ProcessId(i), i as u64));
+        }
+        s
+    }
+}
+
 pub mod hotloop {
     //! The scheduler hot-loop workloads shared by the `scheduler_hot_loop`
     //! criterion bench and the `scheduler_baseline` runner (which emits the

@@ -1,0 +1,186 @@
+//! A growable word-packed bitset: the shared representation machinery behind
+//! [`crate::rumor::RumorSet`] and [`crate::informed_list::InformedList`].
+//!
+//! Both collections live over the fixed universe `0..n` of process indices,
+//! so membership packs into `⌈n/64⌉` machine words: `contains` is a bit test,
+//! `union` is a word-wise OR, and iteration walks set bits in ascending index
+//! order (which is exactly the origin order the old tree-based
+//! representations produced). The capacity grows on demand because the
+//! collections are constructed before `n` is known to them; two sets that
+//! hold the same indices compare equal regardless of how much capacity each
+//! happens to have allocated.
+
+/// A set of `usize` indices packed 64 per word.
+#[derive(Clone, Default)]
+pub(crate) struct WordSet {
+    words: Vec<u64>,
+}
+
+impl WordSet {
+    /// Creates an empty set.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The backing words (low word first).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Grows the backing storage to at least `len` words.
+    pub(crate) fn ensure_words(&mut self, len: usize) {
+        if self.words.len() < len {
+            self.words.resize(len, 0);
+        }
+    }
+
+    /// True if `index` is in the set.
+    pub(crate) fn contains(&self, index: usize) -> bool {
+        self.words
+            .get(index / 64)
+            .is_some_and(|w| w & (1 << (index % 64)) != 0)
+    }
+
+    /// Inserts `index`. Returns `true` if it was not present before.
+    pub(crate) fn insert(&mut self, index: usize) -> bool {
+        self.ensure_words(index / 64 + 1);
+        let word = &mut self.words[index / 64];
+        let bit = 1u64 << (index % 64);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// ORs `word` into the `w`-th backing word, growing as needed. Returns
+    /// the mask of bits that were newly set.
+    pub(crate) fn or_word(&mut self, w: usize, word: u64) -> u64 {
+        if word == 0 {
+            return 0;
+        }
+        self.ensure_words(w + 1);
+        let fresh = word & !self.words[w];
+        self.words[w] |= word;
+        fresh
+    }
+
+    /// Merges `other` into `self`. Returns the number of indices added.
+    pub(crate) fn union(&mut self, other: &WordSet) -> usize {
+        let mut added = 0usize;
+        for (w, &word) in other.words.iter().enumerate() {
+            added += self.or_word(w, word).count_ones() as usize;
+        }
+        added
+    }
+
+    /// True if every index of `other` is in `self`.
+    pub(crate) fn is_superset_of(&self, other: &WordSet) -> bool {
+        other.words.iter().enumerate().all(|(w, &word)| {
+            let own = self.words.get(w).copied().unwrap_or(0);
+            word & !own == 0
+        })
+    }
+
+    /// Iterates over the set indices in ascending order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| BitIter { word }.map(move |b| w * 64 + b))
+    }
+
+    /// Capacity-insensitive equality: same indices, regardless of how many
+    /// trailing zero words either side has allocated.
+    pub(crate) fn eq_bits(&self, other: &WordSet) -> bool {
+        let common = self.words.len().min(other.words.len());
+        self.words[..common] == other.words[..common]
+            && self.words[common..].iter().all(|&w| w == 0)
+            && other.words[common..].iter().all(|&w| w == 0)
+    }
+}
+
+/// Iterates the set bit positions of one word, low bit first.
+struct BitIter {
+    word: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let bit = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_and_growth() {
+        let mut s = WordSet::new();
+        assert!(!s.contains(0));
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(200), "insertion grows the word vector");
+        assert!(s.contains(3));
+        assert!(s.contains(200));
+        assert!(!s.contains(199));
+        assert_eq!(s.words().len(), 4);
+    }
+
+    #[test]
+    fn union_counts_fresh_bits_only() {
+        let mut a = WordSet::new();
+        a.insert(1);
+        a.insert(65);
+        let mut b = WordSet::new();
+        b.insert(1);
+        b.insert(2);
+        b.insert(130);
+        assert_eq!(a.union(&b), 2);
+        assert_eq!(a.union(&b), 0);
+        assert!(a.is_superset_of(&b));
+        assert!(!b.is_superset_of(&a));
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let mut s = WordSet::new();
+        for i in [130, 0, 63, 64, 5] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 130]);
+    }
+
+    #[test]
+    fn equality_ignores_capacity() {
+        let mut a = WordSet::new();
+        a.insert(1);
+        let mut b = WordSet::new();
+        b.insert(1);
+        b.insert(500);
+        let mut c = WordSet::new();
+        c.insert(1);
+        assert!(a.eq_bits(&c));
+        assert!(!a.eq_bits(&b));
+        // Give `c` extra capacity holding only zeros.
+        c.ensure_words(16);
+        assert!(a.eq_bits(&c));
+        assert!(c.eq_bits(&a));
+    }
+
+    #[test]
+    fn or_word_reports_fresh_mask() {
+        let mut s = WordSet::new();
+        assert_eq!(s.or_word(2, 0b1010), 0b1010);
+        assert_eq!(s.or_word(2, 0b1110), 0b0100);
+        assert_eq!(s.or_word(5, 0), 0, "zero word neither grows nor sets");
+        assert_eq!(s.words().len(), 3);
+    }
+}

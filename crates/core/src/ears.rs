@@ -21,6 +21,8 @@
 //! `O(n/(n−f)·log²n·(d+δ))` time using `O(n·log³n·(d+δ))` messages, w.h.p.
 //! (Theorem 6).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -33,12 +35,16 @@ use crate::rumor::RumorSet;
 
 /// Wire message of `ears`: the sender's rumor set and informed-list
 /// (Figure 2, line 18 sends `⟨V(p), I(p)⟩`).
+///
+/// Both components are copy-on-write [`Arc`] snapshots of the sender's state
+/// at send time; receivers only union them into their own state, so the
+/// shared payloads stay immutable forever.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EarsMessage {
-    /// The sender's rumor collection `V`.
-    pub rumors: RumorSet,
-    /// The sender's informed-list `I`.
-    pub informed: InformedList,
+    /// The sender's rumor collection `V` at send time (shared snapshot).
+    pub rumors: Arc<RumorSet>,
+    /// The sender's informed-list `I` at send time (shared snapshot).
+    pub informed: Arc<InformedList>,
 }
 
 /// The `ears` protocol state machine for one process.
@@ -46,8 +52,8 @@ pub struct EarsMessage {
 pub struct Ears {
     ctx: GossipCtx,
     params: EarsParams,
-    rumors: RumorSet,
-    informed: InformedList,
+    rumors: Arc<RumorSet>,
+    informed: Arc<InformedList>,
     sleep_cnt: u64,
     shutdown_steps: u64,
     steps: u64,
@@ -64,8 +70,8 @@ impl Ears {
     pub fn with_params(ctx: GossipCtx, params: EarsParams) -> Self {
         let shutdown_steps = params.shutdown_steps(ctx.n, ctx.f);
         Ears {
-            rumors: RumorSet::singleton(ctx.rumor),
-            informed: InformedList::new(),
+            rumors: Arc::new(RumorSet::singleton(ctx.rumor)),
+            informed: Arc::new(InformedList::new()),
             sleep_cnt: 0,
             shutdown_steps,
             steps: 0,
@@ -117,8 +123,14 @@ impl GossipEngine for Ears {
 
     fn deliver(&mut self, _from: ProcessId, msg: EarsMessage) {
         // Figure 2, lines 8–11: merge V and I; L is recomputed on demand.
-        self.rumors.union(&msg.rumors);
-        self.informed.union(&msg.informed);
+        // Superset pre-checks avoid `make_mut` copying a still-shared
+        // snapshot when the message brings nothing new.
+        if !self.rumors.is_superset_of(&msg.rumors) {
+            Arc::make_mut(&mut self.rumors).union(&msg.rumors);
+        }
+        if !self.informed.is_superset_of(&msg.informed) {
+            Arc::make_mut(&mut self.informed).union(&msg.informed);
+        }
     }
 
     fn local_step(&mut self, out: &mut Vec<(ProcessId, EarsMessage)>) {
@@ -146,11 +158,14 @@ impl GossipEngine for Ears {
         out.push((
             target,
             EarsMessage {
-                rumors: self.rumors.clone(),
-                informed: self.informed.clone(),
+                rumors: Arc::clone(&self.rumors),
+                informed: Arc::clone(&self.informed),
             },
         ));
-        self.informed.insert_all(&self.rumors, target);
+        // The snapshot must carry I(p) *before* this send is recorded;
+        // `make_mut` gives the state its own copy, leaving the snapshot
+        // untouched.
+        Arc::make_mut(&mut self.informed).insert_all(&self.rumors, target);
     }
 
     fn pid(&self) -> ProcessId {
@@ -242,8 +257,8 @@ mod tests {
         p.deliver(
             ProcessId(1),
             EarsMessage {
-                rumors: RumorSet::singleton(Rumor::new(ProcessId(1), 1)),
-                informed: InformedList::new(),
+                rumors: Arc::new(RumorSet::singleton(Rumor::new(ProcessId(1), 1))),
+                informed: Arc::new(InformedList::new()),
             },
         );
         let out = step(&mut p);
@@ -259,8 +274,8 @@ mod tests {
         p.deliver(
             ProcessId(2),
             EarsMessage {
-                rumors: RumorSet::singleton(Rumor::new(ProcessId(2), 2)),
-                informed,
+                rumors: Arc::new(RumorSet::singleton(Rumor::new(ProcessId(2), 2))),
+                informed: Arc::new(informed),
             },
         );
         assert!(p.rumors().contains_origin(ProcessId(2)));
@@ -293,8 +308,8 @@ mod tests {
         p.deliver(
             ProcessId(1),
             EarsMessage {
-                rumors: RumorSet::new(),
-                informed,
+                rumors: Arc::new(RumorSet::new()),
+                informed: Arc::new(informed),
             },
         );
         assert!(p.uncovered().is_empty());
@@ -310,8 +325,8 @@ mod tests {
         p.deliver(
             ProcessId(1),
             EarsMessage {
-                rumors: RumorSet::new(),
-                informed,
+                rumors: Arc::new(RumorSet::new()),
+                informed: Arc::new(informed),
             },
         );
         step(&mut p);
@@ -320,8 +335,8 @@ mod tests {
         p.deliver(
             ProcessId(1),
             EarsMessage {
-                rumors: RumorSet::singleton(Rumor::new(ProcessId(1), 1)),
-                informed: InformedList::new(),
+                rumors: Arc::new(RumorSet::singleton(Rumor::new(ProcessId(1), 1))),
+                informed: Arc::new(InformedList::new()),
             },
         );
         step(&mut p);

@@ -63,6 +63,23 @@ impl GossipCtx {
     }
 }
 
+/// Pushes one message to every target, cloning for all but the last target,
+/// which receives the message by move.
+///
+/// Every broadcast loop in the protocols goes through this helper so no send
+/// ever pays a trailing clone. Since the set-carrying messages hold
+/// [`std::sync::Arc`] snapshots, the per-target clone is a reference-count
+/// bump, not a copy of the rumor state.
+pub fn broadcast<M: Clone>(out: &mut Vec<(ProcessId, M)>, targets: &[ProcessId], msg: M) {
+    if let Some((&last, rest)) = targets.split_last() {
+        out.reserve(targets.len());
+        for &q in rest {
+            out.push((q, msg.clone()));
+        }
+        out.push((last, msg));
+    }
+}
+
 /// A gossip protocol instance for one process.
 pub trait GossipEngine {
     /// The wire message exchanged by this protocol.
@@ -131,5 +148,17 @@ mod tests {
     fn with_payload_overrides_rumor_payload() {
         let ctx = GossipCtx::new(ProcessId(3), 8, 2, 1).with_payload(99);
         assert_eq!(ctx.rumor, Rumor::new(ProcessId(3), 99));
+    }
+
+    #[test]
+    fn broadcast_preserves_target_order_and_handles_empty() {
+        let mut out: Vec<(ProcessId, u64)> = Vec::new();
+        broadcast(&mut out, &[], 7);
+        assert!(out.is_empty());
+        let targets = [ProcessId(3), ProcessId(1), ProcessId(2)];
+        broadcast(&mut out, &targets, 7);
+        let got: Vec<ProcessId> = out.iter().map(|(q, _)| *q).collect();
+        assert_eq!(got, targets);
+        assert!(out.iter().all(|(_, m)| *m == 7));
     }
 }

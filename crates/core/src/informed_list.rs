@@ -6,19 +6,29 @@
 //! cannot ascertain have been sent every rumor in `V(p)`; the protocol keeps
 //! gossiping while `L(p)` is non-empty.
 
-use std::collections::BTreeSet;
+use std::fmt;
 
 use agossip_sim::ProcessId;
 
+use crate::bits::WordSet;
 use crate::rumor::RumorSet;
 
 /// The set of `⟨rumor origin, target⟩` pairs a process knows about.
 ///
 /// Rumors are identified by their origin (each origin has exactly one rumor),
-/// so a pair `(r, q)` is stored as `(r.origin, q)`.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// so a pair `(r, q)` is stored as `(r.origin, q)` — a point in the fixed
+/// `n × n` universe. The storage is dense: one word-packed target bitset per
+/// origin row, so `contains` is a bit test, [`InformedList::union`] is a
+/// row-by-row word-wise OR (instead of the historical per-pair
+/// `BTreeSet<(ProcessId, ProcessId)>` merge), and the coverage queries that
+/// `ears`/`sears` evaluate every local step reduce to AND-ing the rows of the
+/// known rumors. Iteration yields pairs in ascending `(origin, target)`
+/// order, exactly as the tree representation did.
+#[derive(Clone, Default)]
 pub struct InformedList {
-    pairs: BTreeSet<(ProcessId, ProcessId)>,
+    /// `rows[origin]` is the set of targets covered for that origin's rumor.
+    rows: Vec<WordSet>,
+    len: usize,
 }
 
 impl InformedList {
@@ -27,60 +37,146 @@ impl InformedList {
         Self::default()
     }
 
+    fn row_mut(&mut self, origin: usize) -> &mut WordSet {
+        if self.rows.len() <= origin {
+            self.rows.resize_with(origin + 1, WordSet::new);
+        }
+        &mut self.rows[origin]
+    }
+
     /// Records that the rumor originating at `rumor_origin` has been sent to
     /// `target`. Returns true if the pair is new.
     pub fn insert(&mut self, rumor_origin: ProcessId, target: ProcessId) -> bool {
-        self.pairs.insert((rumor_origin, target))
+        let fresh = self.row_mut(rumor_origin.index()).insert(target.index());
+        self.len += fresh as usize;
+        fresh
     }
 
     /// Records that every rumor in `rumors` has been sent to `target`.
     pub fn insert_all(&mut self, rumors: &RumorSet, target: ProcessId) {
         for origin in rumors.origins() {
-            self.pairs.insert((origin, target));
+            self.insert(origin, target);
         }
     }
 
     /// True if the list records that `rumor_origin`'s rumor was sent to
     /// `target`.
     pub fn contains(&self, rumor_origin: ProcessId, target: ProcessId) -> bool {
-        self.pairs.contains(&(rumor_origin, target))
+        self.rows
+            .get(rumor_origin.index())
+            .is_some_and(|row| row.contains(target.index()))
     }
 
     /// Merges another informed-list into this one. Returns the number of new
     /// pairs.
     pub fn union(&mut self, other: &InformedList) -> usize {
-        let before = self.pairs.len();
-        self.pairs.extend(other.pairs.iter().copied());
-        self.pairs.len() - before
+        let mut added = 0usize;
+        for (origin, row) in other.rows.iter().enumerate() {
+            if row.words().iter().all(|&w| w == 0) {
+                continue;
+            }
+            added += self.row_mut(origin).union(row);
+        }
+        self.len += added;
+        added
+    }
+
+    /// True if every pair of `other` is already recorded in `self`.
+    pub fn is_superset_of(&self, other: &InformedList) -> bool {
+        other
+            .rows
+            .iter()
+            .enumerate()
+            .all(|(origin, row)| match self.rows.get(origin) {
+                Some(own) => own.is_superset_of(row),
+                None => row.words().iter().all(|&w| w == 0),
+            })
     }
 
     /// Number of pairs.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.len
     }
 
     /// True if no pair is recorded.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.len == 0
+    }
+
+    /// AND-accumulates, over every rumor in `rumors`, the target rows into a
+    /// "covered" bitmask of `⌈n/64⌉` words: bit `q` survives iff every rumor
+    /// has been sent to `q`. An empty rumor set covers everything vacuously.
+    fn covered_mask(&self, rumors: &RumorSet, n: usize) -> Vec<u64> {
+        let word_count = n.div_ceil(64);
+        let mut covered = vec![u64::MAX; word_count];
+        if !n.is_multiple_of(64) {
+            // Mask off the bits beyond the universe in the last word.
+            covered[word_count - 1] = (1u64 << (n % 64)) - 1;
+        }
+        for origin in rumors.origins() {
+            match self.rows.get(origin.index()) {
+                Some(row) => {
+                    let words = row.words();
+                    for (w, c) in covered.iter_mut().enumerate() {
+                        *c &= words.get(w).copied().unwrap_or(0);
+                    }
+                }
+                None => {
+                    covered.fill(0);
+                    break;
+                }
+            }
+            if covered.iter().all(|&w| w == 0) {
+                break;
+            }
+        }
+        covered
     }
 
     /// Computes `L(p)` — the processes `q ∈ [n]` for which there exists a
     /// rumor `r ∈ rumors` with `(r, q)` not in the list (paper, Section 3.1).
     pub fn uncovered_targets(&self, rumors: &RumorSet, n: usize) -> Vec<ProcessId> {
+        if rumors.is_empty() {
+            return Vec::new();
+        }
+        let covered = self.covered_mask(rumors, n);
         ProcessId::all(n)
-            .filter(|&q| rumors.origins().any(|r| !self.contains(r, q)))
+            .filter(|q| covered[q.index() / 64] & (1 << (q.index() % 64)) == 0)
             .collect()
     }
 
     /// True if every process in `[n]` is covered for every rumor in `rumors`
     /// (i.e. `L(p) = ∅`).
     pub fn covers_all(&self, rumors: &RumorSet, n: usize) -> bool {
-        ProcessId::all(n).all(|q| rumors.origins().all(|r| self.contains(r, q)))
+        if rumors.is_empty() || n == 0 {
+            return true;
+        }
+        let covered = self.covered_mask(rumors, n);
+        let full = n / 64;
+        covered[..full].iter().all(|&w| w == u64::MAX)
+            && (n.is_multiple_of(64) || covered[full] == (1u64 << (n % 64)) - 1)
     }
 
     /// Iterates over the pairs `(rumor origin, target)` in order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
-        self.pairs.iter().copied()
+        self.rows.iter().enumerate().flat_map(|(origin, row)| {
+            row.iter()
+                .map(move |target| (ProcessId(origin), ProcessId(target)))
+        })
+    }
+}
+
+impl PartialEq for InformedList {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.is_superset_of(other)
+    }
+}
+
+impl Eq for InformedList {}
+
+impl fmt::Debug for InformedList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
     }
 }
 
@@ -131,6 +227,22 @@ mod tests {
     }
 
     #[test]
+    fn superset_and_equality_ignore_capacity() {
+        let mut a = InformedList::new();
+        a.insert(ProcessId(5), ProcessId(70));
+        a.insert(ProcessId(0), ProcessId(0));
+        let mut b = InformedList::new();
+        b.insert(ProcessId(0), ProcessId(0));
+        b.insert(ProcessId(5), ProcessId(70));
+        assert_eq!(a, b);
+        assert!(a.is_superset_of(&b));
+        b.insert(ProcessId(9), ProcessId(1));
+        assert_ne!(a, b);
+        assert!(b.is_superset_of(&a));
+        assert!(!a.is_superset_of(&b));
+    }
+
+    #[test]
     fn uncovered_targets_matches_definition() {
         let n = 3;
         let v = rumors(&[0, 1]);
@@ -152,6 +264,41 @@ mod tests {
         let il = InformedList::new();
         assert!(il.covers_all(&RumorSet::new(), 5));
         assert!(il.uncovered_targets(&RumorSet::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn unknown_rumor_row_uncovers_everything() {
+        let n = 4;
+        let mut il = InformedList::new();
+        let v = rumors(&[0]);
+        for q in ProcessId::all(n) {
+            il.insert(ProcessId(0), q);
+        }
+        assert!(il.covers_all(&v, n));
+        // A rumor with no row at all leaves every target uncovered.
+        let v2 = rumors(&[0, 7]);
+        assert!(!il.covers_all(&v2, n));
+        assert_eq!(il.uncovered_targets(&v2, n).len(), n);
+    }
+
+    #[test]
+    fn coverage_works_past_one_word_of_targets() {
+        let n = 130;
+        let v = rumors(&[1]);
+        let mut il = InformedList::new();
+        for q in ProcessId::all(n) {
+            il.insert(ProcessId(1), q);
+        }
+        assert!(il.covers_all(&v, n));
+        assert!(il.uncovered_targets(&v, n).is_empty());
+        let mut partial = InformedList::new();
+        for q in ProcessId::all(n) {
+            if q.index() != 129 {
+                partial.insert(ProcessId(1), q);
+            }
+        }
+        assert!(!partial.covers_all(&v, n));
+        assert_eq!(partial.uncovered_targets(&v, n), vec![ProcessId(129)]);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+mod bits;
 pub mod checker;
 pub mod driver;
 pub mod ears;
@@ -56,7 +57,7 @@ pub use adapter::SimGossip;
 pub use checker::{check_engines, check_gossip, CheckReport, GossipSpec};
 pub use driver::{run_gossip, GossipReport};
 pub use ears::{Ears, EarsMessage};
-pub use engine::{GossipCtx, GossipEngine};
+pub use engine::{broadcast, GossipCtx, GossipEngine};
 pub use params::{EarsParams, ParamError, SearsParams, SyncParams, TearsParams};
 pub use rumor::{Rumor, RumorSet};
 pub use sears::{Sears, SearsMessage};

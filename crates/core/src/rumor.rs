@@ -1,9 +1,10 @@
 //! Rumors and rumor collections.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use agossip_sim::ProcessId;
+
+use crate::bits::WordSet;
 
 /// A rumor: the unit of information spread by gossip.
 ///
@@ -38,11 +39,25 @@ impl fmt::Display for Rumor {
 ///
 /// The paper's sets `V(p)` never contain two distinct rumors from the same
 /// origin (each process has exactly one initial rumor), so the collection is
-/// keyed by origin. Insertion keeps the first payload seen for an origin; in
-/// a correct execution there is only ever one.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// keyed by origin over the fixed universe `0..n` and stored *densely*: a
+/// word-packed presence bitset plus a payload array indexed by origin.
+/// [`RumorSet::contains_origin`] is a bit test, [`RumorSet::union`] is a
+/// word-wise OR over `⌈n/64⌉` words (plus a payload copy for each newly set
+/// bit), and iteration walks set bits in ascending order — the same origin
+/// order the historical `BTreeMap<ProcessId, u64>` representation produced,
+/// so every metric downstream is bit-identical (pinned by
+/// `tests/tests/seed_equivalence.rs` and the representation-differential
+/// proptests in `tests/tests/rumor_differential.rs`).
+///
+/// Insertion keeps the first payload seen for an origin; in a correct
+/// execution there is only ever one.
+#[derive(Clone, Default)]
 pub struct RumorSet {
-    by_origin: BTreeMap<ProcessId, u64>,
+    present: WordSet,
+    /// `payloads[origin]` is meaningful iff the presence bit for `origin` is
+    /// set; kept at exactly `64 ×` the presence word count.
+    payloads: Vec<u64>,
+    len: usize,
 }
 
 impl RumorSet {
@@ -58,69 +73,108 @@ impl RumorSet {
         set
     }
 
+    /// Keeps the payload array sized to the presence bitset.
+    fn sync_payloads(&mut self) {
+        let need = self.present.words().len() * 64;
+        if self.payloads.len() < need {
+            self.payloads.resize(need, 0);
+        }
+    }
+
     /// Inserts a rumor. Returns `true` if the origin was not present before.
     pub fn insert(&mut self, rumor: Rumor) -> bool {
-        match self.by_origin.entry(rumor.origin) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(rumor.payload);
-                true
-            }
-            std::collections::btree_map::Entry::Occupied(_) => false,
+        let index = rumor.origin.index();
+        if !self.present.insert(index) {
+            return false;
         }
+        self.sync_payloads();
+        self.payloads[index] = rumor.payload;
+        self.len += 1;
+        true
     }
 
     /// Merges every rumor of `other` into `self`. Returns the number of new
     /// origins added.
     pub fn union(&mut self, other: &RumorSet) -> usize {
-        let mut added = 0;
-        for (&origin, &payload) in &other.by_origin {
-            if self.insert(Rumor { origin, payload }) {
-                added += 1;
+        let mut added = 0usize;
+        for (w, &word) in other.present.words().iter().enumerate() {
+            let mut fresh = self.present.or_word(w, word);
+            if fresh == 0 {
+                continue;
+            }
+            self.sync_payloads();
+            added += fresh.count_ones() as usize;
+            while fresh != 0 {
+                let index = w * 64 + fresh.trailing_zeros() as usize;
+                self.payloads[index] = other.payloads[index];
+                fresh &= fresh - 1;
             }
         }
+        self.len += added;
         added
     }
 
     /// True if a rumor originating at `origin` is present.
     pub fn contains_origin(&self, origin: ProcessId) -> bool {
-        self.by_origin.contains_key(&origin)
+        self.present.contains(origin.index())
     }
 
     /// Returns the rumor originating at `origin`, if present.
     pub fn get(&self, origin: ProcessId) -> Option<Rumor> {
-        self.by_origin
-            .get(&origin)
-            .map(|&payload| Rumor { origin, payload })
+        self.contains_origin(origin).then(|| Rumor {
+            origin,
+            payload: self.payloads[origin.index()],
+        })
     }
 
     /// Number of distinct rumors held.
     pub fn len(&self) -> usize {
-        self.by_origin.len()
+        self.len
     }
 
     /// True if no rumor is held.
     pub fn is_empty(&self) -> bool {
-        self.by_origin.is_empty()
+        self.len == 0
     }
 
     /// Iterates over the rumors in origin order.
     pub fn iter(&self) -> impl Iterator<Item = Rumor> + '_ {
-        self.by_origin
-            .iter()
-            .map(|(&origin, &payload)| Rumor { origin, payload })
+        self.present.iter().map(|index| Rumor {
+            origin: ProcessId(index),
+            payload: self.payloads[index],
+        })
     }
 
     /// Iterates over the origins in order.
     pub fn origins(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.by_origin.keys().copied()
+        self.present.iter().map(ProcessId)
     }
 
     /// True if `self` contains every rumor of `other`.
     pub fn is_superset_of(&self, other: &RumorSet) -> bool {
-        other
-            .by_origin
-            .keys()
-            .all(|origin| self.by_origin.contains_key(origin))
+        self.present.is_superset_of(&other.present)
+    }
+}
+
+impl PartialEq for RumorSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Capacity-insensitive: two sets holding the same rumors are equal
+        // no matter how much backing storage each has grown.
+        self.len == other.len
+            && self.present.eq_bits(&other.present)
+            && self
+                .origins()
+                .all(|o| self.payloads[o.index()] == other.payloads[o.index()])
+    }
+}
+
+impl Eq for RumorSet {}
+
+impl fmt::Debug for RumorSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.iter().map(|r| (r.origin, r.payload)))
+            .finish()
     }
 }
 
@@ -175,12 +229,32 @@ mod tests {
     }
 
     #[test]
+    fn union_keeps_first_payload_per_origin() {
+        let mut a: RumorSet = [r(0, 7)].into_iter().collect();
+        let b: RumorSet = [r(0, 99), r(1, 1)].into_iter().collect();
+        assert_eq!(a.union(&b), 1);
+        assert_eq!(a.get(ProcessId(0)), Some(r(0, 7)));
+        assert_eq!(a.get(ProcessId(1)), Some(r(1, 1)));
+    }
+
+    #[test]
     fn iteration_is_origin_ordered() {
         let set: RumorSet = [r(3, 3), r(1, 1), r(2, 2)].into_iter().collect();
         let origins: Vec<_> = set.origins().collect();
         assert_eq!(origins, vec![ProcessId(1), ProcessId(2), ProcessId(3)]);
         let rumors: Vec<_> = set.iter().collect();
         assert_eq!(rumors, vec![r(1, 1), r(2, 2), r(3, 3)]);
+    }
+
+    #[test]
+    fn iteration_crosses_word_boundaries_in_order() {
+        let set: RumorSet = [r(200, 200), r(63, 63), r(64, 64), r(0, 0)]
+            .into_iter()
+            .collect();
+        let origins: Vec<_> = set.origins().map(|p| p.index()).collect();
+        assert_eq!(origins, vec![0, 63, 64, 200]);
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.get(ProcessId(200)), Some(r(200, 200)));
     }
 
     #[test]
@@ -201,7 +275,32 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_backing_capacity() {
+        // Same content built in different insertion orders, so the two sets
+        // went through different growth sequences.
+        let high_first: RumorSet = [r(300, 300), r(1, 1)].into_iter().collect();
+        let low_first: RumorSet = [r(1, 1), r(300, 300)].into_iter().collect();
+        assert_eq!(high_first, low_first);
+        // Extra zeroed capacity on one side must not break equality.
+        let mut grown = RumorSet::singleton(r(1, 1));
+        grown.present.ensure_words(8);
+        grown.payloads.resize(8 * 64, 0);
+        assert_eq!(grown, RumorSet::singleton(r(1, 1)));
+        assert_eq!(RumorSet::singleton(r(1, 1)), grown);
+        // Different payload for the same origin is a real difference.
+        assert_ne!(RumorSet::singleton(r(1, 1)), RumorSet::singleton(r(1, 2)));
+    }
+
+    #[test]
     fn display_is_compact() {
         assert_eq!(r(2, 7).to_string(), "r(p2, 7)");
+    }
+
+    #[test]
+    fn debug_lists_rumors_in_origin_order() {
+        let set: RumorSet = [r(2, 20), r(0, 5)].into_iter().collect();
+        let dbg = format!("{set:?}");
+        assert!(dbg.contains("ProcessId(0)"), "{dbg}");
+        assert!(dbg.find("ProcessId(0)") < dbg.find("ProcessId(2)"), "{dbg}");
     }
 }

@@ -11,23 +11,29 @@
 //! for every constant `ε < 1` and `f < n/2`, time `O(n/(ε(n−f))·(d+δ))` and
 //! messages `O(n^{2+ε}/(ε(n−f))·log n·(d+δ))`, w.h.p.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use agossip_sim::ProcessId;
 
-use crate::engine::{GossipCtx, GossipEngine};
+use crate::engine::{broadcast, GossipCtx, GossipEngine};
 use crate::informed_list::InformedList;
 use crate::params::SearsParams;
 use crate::rumor::RumorSet;
 
 /// Wire message of `sears`; identical in structure to the `ears` message.
+///
+/// As for `ears`, both components are copy-on-write [`Arc`] snapshots: one
+/// spamming step to `Θ(n^ε·log n)` targets shares a single payload
+/// allocation across every destination.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearsMessage {
-    /// The sender's rumor collection `V`.
-    pub rumors: RumorSet,
-    /// The sender's informed-list `I`.
-    pub informed: InformedList,
+    /// The sender's rumor collection `V` at send time (shared snapshot).
+    pub rumors: Arc<RumorSet>,
+    /// The sender's informed-list `I` at send time (shared snapshot).
+    pub informed: Arc<InformedList>,
 }
 
 /// The `sears` protocol state machine for one process.
@@ -36,11 +42,13 @@ pub struct Sears {
     ctx: GossipCtx,
     params: SearsParams,
     fanout: usize,
-    rumors: RumorSet,
-    informed: InformedList,
+    rumors: Arc<RumorSet>,
+    informed: Arc<InformedList>,
     sleep_cnt: u64,
     steps: u64,
     rng: StdRng,
+    /// Reusable buffer for the targets drawn in one spamming step.
+    target_buf: Vec<ProcessId>,
 }
 
 impl Sears {
@@ -53,14 +61,15 @@ impl Sears {
     pub fn with_params(ctx: GossipCtx, params: SearsParams) -> Self {
         let fanout = params.fanout(ctx.n);
         Sears {
-            rumors: RumorSet::singleton(ctx.rumor),
-            informed: InformedList::new(),
+            rumors: Arc::new(RumorSet::singleton(ctx.rumor)),
+            informed: Arc::new(InformedList::new()),
             sleep_cnt: 0,
             steps: 0,
             fanout,
             rng: StdRng::seed_from_u64(ctx.seed),
             ctx,
             params,
+            target_buf: Vec::new(),
         }
     }
 
@@ -89,8 +98,12 @@ impl GossipEngine for Sears {
     type Msg = SearsMessage;
 
     fn deliver(&mut self, _from: ProcessId, msg: SearsMessage) {
-        self.rumors.union(&msg.rumors);
-        self.informed.union(&msg.informed);
+        if !self.rumors.is_superset_of(&msg.rumors) {
+            Arc::make_mut(&mut self.rumors).union(&msg.rumors);
+        }
+        if !self.informed.is_superset_of(&msg.informed) {
+            Arc::make_mut(&mut self.informed).union(&msg.informed);
+        }
     }
 
     fn local_step(&mut self, out: &mut Vec<(ProcessId, SearsMessage)>) {
@@ -107,15 +120,22 @@ impl GossipEngine for Sears {
             return;
         }
 
+        // Every target of this step receives the same pre-step snapshot of
+        // ⟨V, I⟩ (one shared allocation), exactly as when the message was
+        // built once before the loop and deep-cloned per target.
         let msg = SearsMessage {
-            rumors: self.rumors.clone(),
-            informed: self.informed.clone(),
+            rumors: Arc::clone(&self.rumors),
+            informed: Arc::clone(&self.informed),
         };
-        for _ in 0..self.fanout {
-            let target = ProcessId(self.rng.gen_range(0..self.ctx.n));
-            out.push((target, msg.clone()));
-            self.informed.insert_all(&self.rumors, target);
+        let mut targets = std::mem::take(&mut self.target_buf);
+        targets.clear();
+        targets.extend((0..self.fanout).map(|_| ProcessId(self.rng.gen_range(0..self.ctx.n))));
+        let informed = Arc::make_mut(&mut self.informed);
+        for &target in &targets {
+            informed.insert_all(&self.rumors, target);
         }
+        broadcast(out, &targets, msg);
+        self.target_buf = targets;
     }
 
     fn pid(&self) -> ProcessId {
@@ -183,8 +203,8 @@ mod tests {
         p.deliver(
             ProcessId(1),
             SearsMessage {
-                rumors: RumorSet::new(),
-                informed,
+                rumors: Arc::new(RumorSet::new()),
+                informed: Arc::new(informed),
             },
         );
         // First step after coverage: this is the single shut-down step — the
@@ -213,8 +233,8 @@ mod tests {
         p.deliver(
             ProcessId(1),
             SearsMessage {
-                rumors: RumorSet::singleton(Rumor::new(ProcessId(1), 1)),
-                informed: InformedList::new(),
+                rumors: Arc::new(RumorSet::singleton(Rumor::new(ProcessId(1), 1))),
+                informed: Arc::new(InformedList::new()),
             },
         );
         let out = step(&mut p);
@@ -230,8 +250,8 @@ mod tests {
         p.deliver(
             ProcessId(3),
             SearsMessage {
-                rumors: RumorSet::singleton(Rumor::new(ProcessId(3), 3)),
-                informed,
+                rumors: Arc::new(RumorSet::singleton(Rumor::new(ProcessId(3), 3))),
+                informed: Arc::new(informed),
             },
         );
         assert!(p.rumors().contains_origin(ProcessId(3)));

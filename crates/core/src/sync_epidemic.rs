@@ -19,6 +19,8 @@
 //! randomized epidemic form because only the asymptotic *shape* of the
 //! denominator matters for Corollary 2, as documented in `DESIGN.md`.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -28,11 +30,12 @@ use crate::engine::{GossipCtx, GossipEngine};
 use crate::params::SyncParams;
 use crate::rumor::RumorSet;
 
-/// Wire message of the synchronous baseline: the sender's full rumor set.
+/// Wire message of the synchronous baseline: the sender's full rumor set,
+/// carried as a copy-on-write [`Arc`] snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyncMessage {
-    /// The sender's rumor collection.
-    pub rumors: RumorSet,
+    /// The sender's rumor collection at send time (shared snapshot).
+    pub rumors: Arc<RumorSet>,
 }
 
 /// The synchronous push-epidemic baseline.
@@ -40,7 +43,7 @@ pub struct SyncMessage {
 pub struct SyncEpidemic {
     ctx: GossipCtx,
     params: SyncParams,
-    rumors: RumorSet,
+    rumors: Arc<RumorSet>,
     rounds_left: u64,
     total_rounds: u64,
     steps: u64,
@@ -57,7 +60,7 @@ impl SyncEpidemic {
     pub fn with_params(ctx: GossipCtx, params: SyncParams) -> Self {
         let rounds = params.rounds(ctx.n);
         SyncEpidemic {
-            rumors: RumorSet::singleton(ctx.rumor),
+            rumors: Arc::new(RumorSet::singleton(ctx.rumor)),
             rounds_left: rounds,
             total_rounds: rounds,
             steps: 0,
@@ -87,7 +90,9 @@ impl GossipEngine for SyncEpidemic {
     type Msg = SyncMessage;
 
     fn deliver(&mut self, _from: ProcessId, msg: SyncMessage) {
-        self.rumors.union(&msg.rumors);
+        if !self.rumors.is_superset_of(&msg.rumors) {
+            Arc::make_mut(&mut self.rumors).union(&msg.rumors);
+        }
     }
 
     fn local_step(&mut self, out: &mut Vec<(ProcessId, SyncMessage)>) {
@@ -107,7 +112,7 @@ impl GossipEngine for SyncEpidemic {
         out.push((
             target,
             SyncMessage {
-                rumors: self.rumors.clone(),
+                rumors: Arc::clone(&self.rumors),
             },
         ));
     }
@@ -186,7 +191,12 @@ mod tests {
         let incoming: RumorSet = [Rumor::new(ProcessId(1), 1), Rumor::new(ProcessId(2), 2)]
             .into_iter()
             .collect();
-        p.deliver(ProcessId(1), SyncMessage { rumors: incoming });
+        p.deliver(
+            ProcessId(1),
+            SyncMessage {
+                rumors: Arc::new(incoming),
+            },
+        );
         assert_eq!(p.rumors().len(), 3);
     }
 

@@ -24,12 +24,14 @@
 //! Unlike `ears`, a process does not send in every step; whether it sends at
 //! all is governed entirely by how many first-level messages have arrived.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use agossip_sim::ProcessId;
 
-use crate::engine::{GossipCtx, GossipEngine};
+use crate::engine::{broadcast, GossipCtx, GossipEngine};
 use crate::params::TearsParams;
 use crate::rumor::RumorSet;
 
@@ -44,10 +46,16 @@ pub enum TearsFlag {
 }
 
 /// Wire message of `tears`: the gathered rumors plus the level flag.
+///
+/// The rumor collection is a copy-on-write snapshot: a broadcast to the
+/// `Θ(√n·log n)`-sized `Π1`/`Π2` neighbourhood clones one [`Arc`] pointer per
+/// destination instead of one rumor map per destination. Receivers only ever
+/// *union* a message into their own state, so the shared payload stays
+/// immutable for its whole lifetime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TearsMessage {
-    /// The sender's rumor collection `V`.
-    pub rumors: RumorSet,
+    /// The sender's rumor collection `V` at send time (shared snapshot).
+    pub rumors: Arc<RumorSet>,
     /// Message level.
     pub flag: TearsFlag,
 }
@@ -57,7 +65,7 @@ pub struct TearsMessage {
 pub struct Tears {
     ctx: GossipCtx,
     params: TearsParams,
-    rumors: RumorSet,
+    rumors: Arc<RumorSet>,
     pi1: Vec<ProcessId>,
     pi2: Vec<ProcessId>,
     mu: u64,
@@ -97,7 +105,7 @@ impl Tears {
         let mu = params.mu(ctx.n).round().max(1.0) as u64;
         let kappa = params.kappa(ctx.n).round().max(1.0) as u64;
         Tears {
-            rumors: RumorSet::singleton(ctx.rumor),
+            rumors: Arc::new(RumorSet::singleton(ctx.rumor)),
             pi1,
             pi2,
             mu,
@@ -170,8 +178,13 @@ impl GossipEngine for Tears {
     type Msg = TearsMessage;
 
     fn deliver(&mut self, _from: ProcessId, msg: TearsMessage) {
-        // Figure 3, lines 16–19.
-        self.rumors.union(&msg.rumors);
+        // Figure 3, lines 16–19. The superset pre-check keeps the state
+        // untouched (and unshared snapshots un-copied) when the message
+        // brings nothing new; `make_mut` copies the set only when it is still
+        // shared with in-flight snapshots.
+        if !self.rumors.is_superset_of(&msg.rumors) {
+            Arc::make_mut(&mut self.rumors).union(&msg.rumors);
+        }
         if msg.flag == TearsFlag::Up {
             self.up_msg_cnt += 1;
             if self.is_trigger_count(self.up_msg_cnt) {
@@ -184,16 +197,15 @@ impl GossipEngine for Tears {
         self.steps += 1;
 
         // Figure 3, lines 12–15: the first-level transmission happens once,
-        // in the process's first local step, with the flag raised.
+        // in the process's first local step, with the flag raised. The
+        // snapshot is an `Arc` clone — every destination shares one payload.
         if !self.first_level_sent {
             self.first_level_sent = true;
             let msg = TearsMessage {
-                rumors: self.rumors.clone(),
+                rumors: Arc::clone(&self.rumors),
                 flag: TearsFlag::Up,
             };
-            for &q in &self.pi1 {
-                out.push((q, msg.clone()));
-            }
+            broadcast(out, &self.pi1, msg);
         }
 
         // Figure 3, lines 20–27: one second-level broadcast per trigger count
@@ -202,12 +214,10 @@ impl GossipEngine for Tears {
             self.pending_bcasts -= 1;
             self.second_level_sends += 1;
             let msg = TearsMessage {
-                rumors: self.rumors.clone(),
+                rumors: Arc::clone(&self.rumors),
                 flag: TearsFlag::Down,
             };
-            for &q in &self.pi2 {
-                out.push((q, msg.clone()));
-            }
+            broadcast(out, &self.pi2, msg);
         }
     }
 
@@ -249,7 +259,10 @@ mod tests {
 
     fn up_msg(origin: usize) -> TearsMessage {
         TearsMessage {
-            rumors: RumorSet::singleton(Rumor::new(ProcessId(origin), origin as u64)),
+            rumors: Arc::new(RumorSet::singleton(Rumor::new(
+                ProcessId(origin),
+                origin as u64,
+            ))),
             flag: TearsFlag::Up,
         }
     }
@@ -330,7 +343,7 @@ mod tests {
         p.deliver(
             ProcessId(1),
             TearsMessage {
-                rumors: RumorSet::singleton(Rumor::new(ProcessId(1), 1)),
+                rumors: Arc::new(RumorSet::singleton(Rumor::new(ProcessId(1), 1))),
                 flag: TearsFlag::Down,
             },
         );
@@ -350,7 +363,7 @@ mod tests {
         p.deliver(
             ProcessId(2),
             TearsMessage {
-                rumors: many,
+                rumors: Arc::new(many),
                 flag: TearsFlag::Down,
             },
         );
@@ -370,6 +383,29 @@ mod tests {
         assert!(!p.is_quiescent(), "a pending broadcast means not quiescent");
         step(&mut p);
         assert!(p.is_quiescent());
+    }
+
+    #[test]
+    fn broadcast_payloads_are_shared_not_copied() {
+        let mut p = Tears::new(ctx(0, 256, 3));
+        let out = step(&mut p);
+        assert!(out.len() > 1);
+        let first = &out[0].1.rumors;
+        assert!(
+            out.iter().all(|(_, m)| Arc::ptr_eq(&m.rumors, first)),
+            "all destinations of one broadcast share one snapshot allocation"
+        );
+    }
+
+    #[test]
+    fn delivery_after_broadcast_does_not_mutate_snapshots() {
+        let mut p = Tears::new(ctx(0, 64, 23));
+        let out = step(&mut p);
+        let snapshot = Arc::clone(&out[0].1.rumors);
+        let before = snapshot.len();
+        p.deliver(ProcessId(1), up_msg(1));
+        assert_eq!(snapshot.len(), before, "in-flight snapshots are immutable");
+        assert_eq!(p.rumors().len(), before + 1);
     }
 
     #[test]

@@ -13,7 +13,10 @@ use crate::engine::{GossipCtx, GossipEngine};
 use crate::rumor::{Rumor, RumorSet};
 
 /// Wire message of the trivial protocol: just the sender's rumor.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Two words on the wire — `Copy`, so broadcasting it costs no allocation at
+/// all (no `Arc` indirection needed, unlike the set-carrying protocols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrivialMessage {
     /// The sender's initial rumor.
     pub rumor: Rumor,
@@ -58,7 +61,7 @@ impl GossipEngine for Trivial {
         };
         for q in ProcessId::all(self.ctx.n) {
             if q != self.ctx.pid {
-                out.push((q, msg.clone()));
+                out.push((q, msg));
             }
         }
     }

@@ -17,8 +17,11 @@
 pub trait WireSize {
     /// The size of this value in rumor units (see the module documentation).
     ///
-    /// Implementations must return at least 1: even an empty message occupies
-    /// a packet.
+    /// Bare collections ([`crate::rumor::RumorSet`],
+    /// [`crate::informed_list::InformedList`]) report their exact cardinality
+    /// — `0` for an empty collection. Only *message* implementations add the
+    /// one unit of fixed header, so a full wire message is always ≥ 1 even
+    /// when the collections it carries are empty.
     fn wire_units(&self) -> u64;
 }
 
@@ -76,6 +79,8 @@ impl WireSize for crate::sync_epidemic::SyncMessage {
 
 #[cfg(test)]
 mod tests {
+    use std::sync::Arc;
+
     use super::*;
     use crate::ears::EarsMessage;
     use crate::informed_list::InformedList;
@@ -120,10 +125,22 @@ mod tests {
         informed.insert(ProcessId(0), ProcessId(1));
         informed.insert(ProcessId(0), ProcessId(2));
         let msg = EarsMessage {
-            rumors: rumors(3),
-            informed,
+            rumors: Arc::new(rumors(3)),
+            informed: Arc::new(informed),
         };
         assert_eq!(msg.wire_units(), 1 + 3 + 2);
+    }
+
+    #[test]
+    fn empty_collections_cost_zero_but_messages_pay_the_header() {
+        // The trait contract: bare collections report exact cardinality
+        // (zero when empty); messages add one header unit on top.
+        assert_eq!(RumorSet::new().wire_units(), 0);
+        assert_eq!(InformedList::new().wire_units(), 0);
+        let msg = SyncMessage {
+            rumors: Arc::new(RumorSet::new()),
+        };
+        assert_eq!(msg.wire_units(), 1);
     }
 
     #[test]
@@ -137,11 +154,13 @@ mod tests {
     #[test]
     fn tears_and_sync_messages_scale_with_rumor_count() {
         let tears = TearsMessage {
-            rumors: rumors(4),
+            rumors: Arc::new(rumors(4)),
             flag: TearsFlag::Up,
         };
         assert_eq!(tears.wire_units(), 5);
-        let sync = SyncMessage { rumors: rumors(7) };
+        let sync = SyncMessage {
+            rumors: Arc::new(rumors(7)),
+        };
         assert_eq!(sync.wire_units(), 8);
     }
 }

@@ -1,0 +1,88 @@
+//! Allocation-counting regression test for the copy-on-write broadcast
+//! payloads.
+//!
+//! Before the `Arc` snapshot rework, every `tears` broadcast deep-cloned a
+//! full rumor map *per destination*, so a trial allocated
+//! O(messages × rumor-set size) — with at least one heap allocation per
+//! point-to-point message. With shared snapshots a broadcast allocates one
+//! payload regardless of the neighbourhood size, so whole-trial allocations
+//! are a small fraction of the message count. This test pins that property
+//! with a counting global allocator: a regression back to per-destination
+//! deep clones trips the assertion by an order of magnitude.
+//!
+//! The file contains exactly one `#[test]` so no concurrent test pollutes
+//! the allocation counter.
+
+// The counting allocator is the one place in the workspace that needs
+// `unsafe`: `GlobalAlloc` is an unsafe trait. The workspace-level
+// `unsafe_code = "deny"` lint is relaxed for this test crate only.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use agossip_adversary::ObliviousPlan;
+use agossip_core::{run_gossip, GossipSpec, Tears};
+use agossip_sim::SimConfig;
+
+/// Forwards to the system allocator, counting every allocation call.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`, which upholds the `GlobalAlloc`
+// contract; the added atomic counter has no effect on the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's layout, passed through unchanged.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was allocated by `System::alloc` above with `layout`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: forwarded unchanged; `ptr`/`layout` come from this
+        // allocator and `new_size` is the caller's request.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn tears_trial_allocates_per_broadcast_not_per_destination() {
+    // The canonical allocation workload: one tears n = 64 majority-gossip
+    // trial under the reference oblivious adversary.
+    let cfg = SimConfig::new(64, 0).with_d(2).with_delta(2).with_seed(9);
+    let mut adv = ObliviousPlan::from_config(&cfg).build();
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let report = run_gossip(&cfg, GossipSpec::Majority, &mut adv, Tears::new).unwrap();
+    let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    assert!(report.check.all_ok(), "{:?}", report.check);
+    let messages = report.metrics.messages_sent;
+    assert!(
+        messages > 10_000,
+        "the workload must be broadcast-heavy to be meaningful, got {messages} messages"
+    );
+
+    eprintln!("allocations: {during}, messages: {messages}");
+
+    // With per-destination deep clones every message costs at least one
+    // allocation (a ~64-rumor tree costs several), so `during` would exceed
+    // `messages`. With shared snapshots, allocations track broadcasts plus
+    // engine bookkeeping — well under one per message. The factor 4 leaves
+    // headroom for allocator noise while still failing hard on a regression.
+    assert!(
+        during < messages / 4,
+        "a tears n=64 trial should allocate O(broadcasts), not O(messages): \
+         {during} allocations for {messages} messages"
+    );
+}

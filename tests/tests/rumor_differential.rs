@@ -1,0 +1,217 @@
+//! Representation-differential proptests: the dense word-packed `RumorSet`
+//! and `InformedList` against the historical tree-based implementations,
+//! kept as test-only oracles.
+//!
+//! The seed representations are `BTreeMap<ProcessId, u64>` keyed by origin
+//! ([`agossip_bench::rumorset::BTreeRumorSet`], shared with the
+//! `rumor_baseline` perf runner) and `BTreeSet<(ProcessId, ProcessId)>` of
+//! pairs (re-implemented verbatim below). Arbitrary operation sequences
+//! must drive the dense and tree representations to observably identical
+//! states — same membership, same lengths, same union deltas, same
+//! iteration order, same coverage queries. Together with the golden pins in
+//! `seed_equivalence.rs` this proves the bitset rewrite is bit-for-bit
+//! equivalent to the pre-change behaviour.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use agossip_bench::rumorset::BTreeRumorSet;
+use agossip_core::informed_list::InformedList;
+use agossip_core::{Rumor, RumorSet};
+use agossip_sim::ProcessId;
+
+/// The seed `InformedList`: a sorted set of `(origin, target)` pairs.
+#[derive(Default, Clone)]
+struct OracleInformedList {
+    pairs: BTreeSet<(ProcessId, ProcessId)>,
+}
+
+impl OracleInformedList {
+    fn insert(&mut self, origin: ProcessId, target: ProcessId) -> bool {
+        self.pairs.insert((origin, target))
+    }
+
+    fn insert_all(&mut self, rumors: &BTreeRumorSet, target: ProcessId) {
+        for r in rumors.iter() {
+            self.pairs.insert((r.origin, target));
+        }
+    }
+
+    fn contains(&self, origin: ProcessId, target: ProcessId) -> bool {
+        self.pairs.contains(&(origin, target))
+    }
+
+    fn union(&mut self, other: &OracleInformedList) -> usize {
+        let before = self.pairs.len();
+        self.pairs.extend(other.pairs.iter().copied());
+        self.pairs.len() - before
+    }
+
+    fn uncovered_targets(&self, rumors: &BTreeRumorSet, n: usize) -> Vec<ProcessId> {
+        ProcessId::all(n)
+            .filter(|&q| rumors.iter().any(|r| !self.contains(r.origin, q)))
+            .collect()
+    }
+
+    fn covers_all(&self, rumors: &BTreeRumorSet, n: usize) -> bool {
+        ProcessId::all(n).all(|q| rumors.iter().all(|r| self.contains(r.origin, q)))
+    }
+}
+
+/// One operation of the `RumorSet` differential driver.
+#[derive(Debug, Clone)]
+enum SetOp {
+    Insert(usize, u64),
+    /// Union with a set built from these rumors.
+    Union(Vec<(usize, u64)>),
+}
+
+fn set_op_strategy(universe: usize) -> impl Strategy<Value = SetOp> {
+    (
+        0..2usize,
+        (0..universe, any::<u64>()),
+        prop::collection::vec((0..universe, any::<u64>()), 0..12),
+    )
+        .prop_map(|(tag, (o, p), rumors)| match tag {
+            0 => SetOp::Insert(o, p),
+            _ => SetOp::Union(rumors),
+        })
+}
+
+/// One operation of the `InformedList` differential driver.
+#[derive(Debug, Clone)]
+enum ListOp {
+    Insert(usize, usize),
+    /// `insert_all` of a rumor set built from these origins.
+    InsertAll(Vec<usize>, usize),
+    /// Union with a list built from these pairs.
+    Union(Vec<(usize, usize)>),
+}
+
+fn list_op_strategy(universe: usize) -> impl Strategy<Value = ListOp> {
+    (
+        0..3usize,
+        (0..universe, 0..universe),
+        prop::collection::vec(0..universe, 0..6),
+        prop::collection::vec((0..universe, 0..universe), 0..16),
+    )
+        .prop_map(|(tag, (o, t), origins, pairs)| match tag {
+            0 => ListOp::Insert(o, t),
+            1 => ListOp::InsertAll(origins, t),
+            _ => ListOp::Union(pairs),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary insert/union sequences drive the dense and tree-based rumor
+    /// sets to identical observable states.
+    #[test]
+    fn rumor_set_matches_btreemap_oracle(
+        ops in prop::collection::vec(set_op_strategy(200), 0..24),
+    ) {
+        let mut dense = RumorSet::new();
+        let mut oracle = BTreeRumorSet::default();
+        for op in ops {
+            match op {
+                SetOp::Insert(origin, payload) => {
+                    let r = Rumor::new(ProcessId(origin), payload);
+                    prop_assert_eq!(dense.insert(r), oracle.insert(r));
+                }
+                SetOp::Union(rumors) => {
+                    let mut dense_arg = RumorSet::new();
+                    let mut oracle_arg = BTreeRumorSet::default();
+                    for (o, p) in rumors {
+                        let r = Rumor::new(ProcessId(o), p);
+                        dense_arg.insert(r);
+                        oracle_arg.insert(r);
+                    }
+                    prop_assert_eq!(dense.union(&dense_arg), oracle.union(&oracle_arg));
+                    // Superset relations agree in both directions.
+                    prop_assert_eq!(
+                        dense.is_superset_of(&dense_arg),
+                        oracle.is_superset_of(&oracle_arg)
+                    );
+                    prop_assert_eq!(
+                        dense_arg.is_superset_of(&dense),
+                        oracle_arg.is_superset_of(&oracle)
+                    );
+                }
+            }
+            // Observable state is identical after every operation.
+            prop_assert_eq!(dense.len(), oracle.len());
+            prop_assert_eq!(dense.is_empty(), oracle.is_empty());
+            let dense_rumors: Vec<Rumor> = dense.iter().collect();
+            let oracle_rumors: Vec<Rumor> = oracle.iter().collect();
+            prop_assert_eq!(dense_rumors, oracle_rumors, "iteration order must match");
+            for q in ProcessId::all(200) {
+                prop_assert_eq!(dense.get(q), oracle.get(q));
+            }
+        }
+    }
+
+    /// Arbitrary insert/insert_all/union sequences drive the dense and
+    /// tree-based informed-lists to identical observable states, including
+    /// the `L(p)` coverage queries `ears`/`sears` evaluate every step.
+    #[test]
+    fn informed_list_matches_btreeset_oracle(
+        ops in prop::collection::vec(list_op_strategy(48), 0..24),
+        probe_origins in prop::collection::vec(0..48usize, 0..6),
+    ) {
+        let n = 48;
+        let mut dense = InformedList::new();
+        let mut oracle = OracleInformedList::default();
+        // A probe rumor set for the coverage queries.
+        let mut dense_probe = RumorSet::new();
+        let mut oracle_probe = BTreeRumorSet::default();
+        for o in probe_origins {
+            let r = Rumor::new(ProcessId(o), o as u64);
+            dense_probe.insert(r);
+            oracle_probe.insert(r);
+        }
+        for op in ops {
+            match op {
+                ListOp::Insert(o, t) => {
+                    prop_assert_eq!(
+                        dense.insert(ProcessId(o), ProcessId(t)),
+                        oracle.insert(ProcessId(o), ProcessId(t))
+                    );
+                }
+                ListOp::InsertAll(origins, t) => {
+                    let mut dense_arg = RumorSet::new();
+                    let mut oracle_arg = BTreeRumorSet::default();
+                    for o in origins {
+                        let r = Rumor::new(ProcessId(o), 0);
+                        dense_arg.insert(r);
+                        oracle_arg.insert(r);
+                    }
+                    dense.insert_all(&dense_arg, ProcessId(t));
+                    oracle.insert_all(&oracle_arg, ProcessId(t));
+                }
+                ListOp::Union(pairs) => {
+                    let mut dense_arg = InformedList::new();
+                    let mut oracle_arg = OracleInformedList::default();
+                    for (o, t) in pairs {
+                        dense_arg.insert(ProcessId(o), ProcessId(t));
+                        oracle_arg.insert(ProcessId(o), ProcessId(t));
+                    }
+                    prop_assert_eq!(dense.union(&dense_arg), oracle.union(&oracle_arg));
+                }
+            }
+            prop_assert_eq!(dense.len(), oracle.pairs.len());
+            let dense_pairs: Vec<_> = dense.iter().collect();
+            let oracle_pairs: Vec<_> = oracle.pairs.iter().copied().collect();
+            prop_assert_eq!(dense_pairs, oracle_pairs, "pair iteration order must match");
+            prop_assert_eq!(
+                dense.uncovered_targets(&dense_probe, n),
+                oracle.uncovered_targets(&oracle_probe, n)
+            );
+            prop_assert_eq!(
+                dense.covers_all(&dense_probe, n),
+                oracle.covers_all(&oracle_probe, n)
+            );
+        }
+    }
+}
