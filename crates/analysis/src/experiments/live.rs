@@ -1,0 +1,261 @@
+//! The live scenario: the gossip protocols running as a real system.
+//!
+//! Every other driver in this module measures the protocols inside the
+//! discrete-event simulator. This one runs them through
+//! [`agossip_runtime::run_live`]: `n` concurrent OS threads per trial,
+//! every message byte-encoded through [`agossip_core::codec`] and carried
+//! by a real transport, crash injection killing live processes mid-run.
+//!
+//! Trials use the deterministic lockstep pacing over the in-process channel
+//! transport — outcomes are bit-identical per seed, so the scenario slots
+//! into the sweep engine's determinism contract like any simulator-backed
+//! scenario (worker count never changes a row). The loopback TCP / UDS
+//! transports exercise the same event loop and are covered by the runtime's
+//! own tests and the `live_gossip` example; they are kept out of the sweep
+//! default because binding hundreds of listeners per grid is kernel-state
+//! heavy, not because anything about the measurement differs.
+
+use agossip_core::{check_gossip, Ears, GossipCtx, GossipEngine, Rumor, Tears, Trivial, WireCodec};
+use agossip_runtime::{run_live, ChannelTransport, LiveConfig, LiveReport, Pacing};
+use agossip_sim::{ProcessId, SimError, SimResult};
+
+use crate::experiments::common::{ExperimentScale, GossipProtocolKind};
+use crate::report::{fmt_f64, Table};
+use crate::stats::Summary;
+use crate::sweep::TrialPool;
+
+/// One `(protocol, n)` row of the live sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveRow {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// System size.
+    pub n: usize,
+    /// Failure budget (also the number of injected crashes).
+    pub f: usize,
+    /// Trials aggregated.
+    pub trials: usize,
+    /// Fraction of trials whose post-run correctness check passed.
+    pub success_rate: f64,
+    /// Lockstep ticks to completion.
+    pub ticks: Summary,
+    /// Point-to-point messages (encoded frames) sent.
+    pub messages: Summary,
+    /// Encoded payload bytes sent.
+    pub bytes: Summary,
+}
+
+/// The protocols the live sweep runs. `sears`/`sync` are deliberately not
+/// default rows: they add nothing transport-wise over `ears`, and live
+/// trials are much more expensive than simulated ones.
+pub fn live_protocols() -> Vec<GossipProtocolKind> {
+    vec![
+        GossipProtocolKind::Trivial,
+        GossipProtocolKind::Ears,
+        GossipProtocolKind::Tears,
+    ]
+}
+
+/// The deterministic crash schedule of a live trial: the `f` highest
+/// process ids crash, staggered one local step apart (victim `n−1−i` after
+/// `i` steps) — mirroring the staggered-crash schedules of the simulator's
+/// policy adversaries.
+pub fn live_crashes(n: usize, f: usize) -> Vec<(ProcessId, u64)> {
+    (0..f).map(|i| (ProcessId(n - 1 - i), i as u64)).collect()
+}
+
+/// The live-run configuration of one trial.
+pub fn live_config(scale: &ExperimentScale, n: usize, trial: usize) -> LiveConfig {
+    let f = scale.f_for(n);
+    LiveConfig {
+        n,
+        f,
+        seed: scale.seed_for(n, trial),
+        crashes: live_crashes(n, f),
+        // `d` is passed through unclamped: a zero delay bound is a
+        // misconfiguration, and `LiveConfig::validate` reports it as a typed
+        // error — the same stance the simulator takes (PR 2 removed its
+        // silent `.max(1)` delay clamp for exactly this reason).
+        pacing: Pacing::Lockstep {
+            d: scale.d,
+            max_ticks: 1 << 20,
+        },
+    }
+}
+
+fn initial_rumors(n: usize, f: usize, seed: u64) -> Vec<Rumor> {
+    ProcessId::all(n)
+        .map(|pid| GossipCtx::new(pid, n, f, seed).rumor)
+        .collect()
+}
+
+/// Runs one live trial of `kind` and returns the report plus its checker
+/// verdict.
+pub fn run_live_trial(
+    kind: GossipProtocolKind,
+    config: &LiveConfig,
+) -> SimResult<(LiveReport, bool)> {
+    fn go<G>(
+        config: &LiveConfig,
+        make: impl Fn(GossipCtx) -> G,
+        spec: agossip_core::GossipSpec,
+    ) -> SimResult<(LiveReport, bool)>
+    where
+        G: GossipEngine + Send,
+        G::Msg: WireCodec + PartialEq,
+    {
+        let report =
+            run_live(config, &ChannelTransport, make).map_err(|e| SimError::InvalidConfig {
+                reason: format!("live run failed: {e}"),
+            })?;
+        let check = check_gossip(
+            spec,
+            &report.final_rumors,
+            &initial_rumors(config.n, config.f, config.seed),
+            &report.correct,
+            report.quiescent,
+        );
+        let ok = check.all_ok() && report.decode_errors == 0;
+        Ok((report, ok))
+    }
+    match kind {
+        GossipProtocolKind::Trivial => go(config, Trivial::new, kind.spec()),
+        GossipProtocolKind::Ears => go(config, Ears::new, kind.spec()),
+        GossipProtocolKind::Tears => go(config, Tears::new, kind.spec()),
+        other => Err(SimError::InvalidConfig {
+            reason: format!("protocol {} is not part of the live sweep", other.name()),
+        }),
+    }
+}
+
+/// Runs the live sweep on `pool`: the whole `(protocol, n, trial)` grid is
+/// flattened so every worker stays busy. Each trial spawns `n` OS threads
+/// of its own, so wide pools multiply thread counts — the scenario's
+/// default scale keeps the grid small.
+pub fn run_live_sweep_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<LiveRow>> {
+    let grid: Vec<(GossipProtocolKind, usize)> = live_protocols()
+        .into_iter()
+        .flat_map(|kind| scale.n_values.iter().map(move |&n| (kind, n)))
+        .collect();
+    let trials = scale.trials.max(1);
+    let jobs = grid.len() * trials;
+    let results: Vec<SimResult<(LiveReport, bool)>> = pool.run(jobs, |job| {
+        let (kind, n) = grid[job / trials];
+        let trial = job % trials;
+        run_live_trial(kind, &live_config(scale, n, trial))
+    });
+
+    let mut rows = Vec::with_capacity(grid.len());
+    let mut results = results.into_iter();
+    for (kind, n) in grid {
+        let mut ticks = Vec::with_capacity(trials);
+        let mut messages = Vec::with_capacity(trials);
+        let mut bytes = Vec::with_capacity(trials);
+        let mut successes = 0usize;
+        for _ in 0..trials {
+            let (report, ok) = results.next().expect("one result per job")?;
+            ticks.push(report.ticks as f64);
+            messages.push(report.messages_sent as f64);
+            bytes.push(report.bytes_sent as f64);
+            successes += ok as usize;
+        }
+        rows.push(LiveRow {
+            protocol: kind.name(),
+            n,
+            f: scale.f_for(n),
+            trials,
+            success_rate: successes as f64 / trials as f64,
+            ticks: Summary::of(&ticks),
+            messages: Summary::of(&messages),
+            bytes: Summary::of(&bytes),
+        });
+    }
+    Ok(rows)
+}
+
+/// Serial convenience wrapper around [`run_live_sweep_with`].
+pub fn run_live_sweep(scale: &ExperimentScale) -> SimResult<Vec<LiveRow>> {
+    run_live_sweep_with(&TrialPool::serial(), scale)
+}
+
+/// Renders the live rows.
+pub fn live_to_table(rows: &[LiveRow]) -> Table {
+    let mut table = Table::new(
+        "Live runtime — lockstep gossip over the byte codec (measured)",
+        &[
+            "protocol",
+            "n",
+            "f",
+            "ticks",
+            "messages",
+            "bytes",
+            "bytes/msg",
+            "ok",
+        ],
+    );
+    for row in rows {
+        let bytes_per_msg = if row.messages.mean > 0.0 {
+            row.bytes.mean / row.messages.mean
+        } else {
+            0.0
+        };
+        table.push_row(vec![
+            row.protocol.to_string(),
+            row.n.to_string(),
+            row.f.to_string(),
+            fmt_f64(row.ticks.mean),
+            fmt_f64(row.messages.mean),
+            fmt_f64(row.bytes.mean),
+            fmt_f64(bytes_per_msg),
+            format!("{:.0}%", row.success_rate * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentScale {
+        ExperimentScale {
+            n_values: vec![8],
+            trials: 2,
+            failure_fraction: 0.2,
+            d: 2,
+            delta: 1,
+            seed: 42,
+            idle_fast_forward: false,
+        }
+    }
+
+    #[test]
+    fn live_sweep_rows_are_worker_count_independent() {
+        let scale = tiny();
+        let serial = run_live_sweep_with(&TrialPool::serial(), &scale).unwrap();
+        let sharded = run_live_sweep_with(&TrialPool::new(2), &scale).unwrap();
+        assert_eq!(serial, sharded);
+        assert_eq!(serial.len(), live_protocols().len());
+        for row in &serial {
+            assert_eq!(row.success_rate, 1.0, "{row:?}");
+            assert!(row.bytes.mean > 0.0);
+            assert!(row.ticks.mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn crash_schedule_respects_the_budget() {
+        let crashes = live_crashes(16, 3);
+        assert_eq!(
+            crashes,
+            vec![(ProcessId(15), 0), (ProcessId(14), 1), (ProcessId(13), 2),]
+        );
+        assert!(live_crashes(16, 0).is_empty());
+    }
+
+    #[test]
+    fn non_live_protocols_are_rejected() {
+        let config = live_config(&tiny(), 8, 0);
+        assert!(run_live_trial(GossipProtocolKind::SyncEpidemic, &config).is_err());
+    }
+}

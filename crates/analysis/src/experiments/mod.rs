@@ -19,11 +19,13 @@
 //! | [`bit_complexity`] | Section 7 open question — wire-unit (bit) complexity per protocol |
 //! | [`ablation`] | DESIGN.md ablations — sweeping the hidden `Θ(·)` constants |
 //! | [`robustness`] | Theorems 6/7/12 — correctness across the oblivious adversary family |
+//! | [`live`] | the live runtime: protocols over the byte codec on OS threads |
 
 pub mod ablation;
 pub mod bit_complexity;
 pub mod coa;
 pub mod common;
+pub mod live;
 pub mod lower_bound;
 pub mod robustness;
 pub mod sears_sweep;
@@ -41,6 +43,7 @@ pub use common::{
     measure_point, measure_point_with, run_one_gossip, ExperimentScale, GossipProtocolKind,
     MeasuredPoint,
 };
+pub use live::{run_live_sweep, run_live_sweep_with, LiveRow};
 pub use lower_bound::{run_lower_bound_experiment, run_lower_bound_experiment_with, LowerBoundRow};
 pub use robustness::{
     default_environments, run_robustness, run_robustness_with, AdversaryEnvironment, RobustnessRow,

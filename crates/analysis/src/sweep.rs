@@ -677,7 +677,7 @@ impl Scenario {
 /// The catalogue of every registered scenario, one per experiment driver.
 pub fn registry() -> Vec<Scenario> {
     use crate::experiments::{
-        ablation, bit_complexity, coa, lower_bound, robustness, sears_sweep, table1, table2,
+        ablation, bit_complexity, coa, live, lower_bound, robustness, sears_sweep, table1, table2,
         tears_lemmas,
     };
     vec![
@@ -832,6 +832,25 @@ pub fn registry() -> Vec<Scenario> {
             runner: |scale, pool| {
                 robustness::run_robustness_with(pool, scale)
                     .map(|rows| robustness::robustness_to_table(&rows))
+            },
+        },
+        Scenario {
+            name: "live",
+            summary: "the live runtime: OS threads exchanging byte frames over the wire codec",
+            artifact: "Section 7 (bit complexity), deployable-system north star",
+            example: "cargo run --release --example live_gossip",
+            trials_apply: true,
+            // Each live trial spawns n OS threads of its own, so the grid
+            // stays deliberately small; the rows are still bit-identical
+            // for any worker count (lockstep pacing, channel transport).
+            default_scale: || ExperimentScale {
+                n_values: vec![16, 32],
+                trials: 2,
+                failure_fraction: 0.2,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, pool| {
+                live::run_live_sweep_with(pool, scale).map(|rows| live::live_to_table(&rows))
             },
         },
     ]
@@ -1142,11 +1161,11 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let registry = registry();
-        assert_eq!(registry.len(), 9);
+        assert_eq!(registry.len(), 10);
         let mut names: Vec<&str> = registry.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 9, "duplicate scenario names");
+        assert_eq!(names.len(), 10, "duplicate scenario names");
         for name in names {
             assert!(find_scenario(name).is_some());
         }

@@ -1,0 +1,387 @@
+//! The CI bench-regression gate.
+//!
+//! Re-runs the scheduler, rumor-set and sweep baselines at reduced (but
+//! release-mode) scale and compares every pinned metric against the
+//! committed `BENCH_*.json` trajectories at the repository root. The
+//! tolerance is deliberately generous — the gate fails only when a pinned
+//! row is more than `--factor` (default 2.5×) slower than its committed
+//! value — so hardware jitter passes and only real regressions (an
+//! accidental `O(n)` scan in the delivery path, a lost copy-on-write) trip
+//! it.
+//!
+//! Fresh measurements are also written to `--out-dir` (default
+//! `bench-artifacts/`) in the same shape as the baseline runners emit, so
+//! the CI job can upload them as workflow artifacts and a slow drift stays
+//! inspectable across runs.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p agossip-bench --bin bench_check -- \
+//!     [--factor F] [--baseline-dir DIR] [--out-dir DIR]
+//! ```
+//!
+//! Exit status: 0 = every pinned metric within tolerance, 1 = regression,
+//! 2 = missing/unparseable baselines or bad arguments.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use agossip_analysis::experiments::table1::run_table1_with;
+use agossip_analysis::experiments::ExperimentScale;
+use agossip_analysis::sweep::TrialPool;
+use agossip_bench::hotloop::{run_oblivious, run_withheld};
+use agossip_bench::json::Json;
+use agossip_bench::rumorset::{dense_evens, dense_odds};
+use agossip_core::{Rumor, RumorSet};
+use agossip_sim::ProcessId;
+
+struct Args {
+    factor: f64,
+    baseline_dir: PathBuf,
+    out_dir: PathBuf,
+}
+
+const USAGE: &str = "usage: bench_check [--factor F] [--baseline-dir DIR] [--out-dir DIR]";
+
+fn bail(message: &str) -> ! {
+    eprintln!("{message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        factor: 2.5,
+        // The committed baselines live at the repository root.
+        baseline_dir: PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        out_dir: PathBuf::from("bench-artifacts"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| bail(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--factor" => {
+                parsed.factor = value_for("--factor")
+                    .parse()
+                    .unwrap_or_else(|e| bail(&format!("--factor: {e}")));
+                if parsed.factor < 1.0 || parsed.factor.is_nan() {
+                    bail("--factor must be ≥ 1");
+                }
+            }
+            "--baseline-dir" => parsed.baseline_dir = value_for("--baseline-dir").into(),
+            "--out-dir" => parsed.out_dir = value_for("--out-dir").into(),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => bail(&format!("unknown argument: {other}")),
+        }
+    }
+    parsed
+}
+
+/// One pinned comparison: a committed throughput figure vs its fresh re-run.
+struct Check {
+    bench: &'static str,
+    metric: String,
+    committed: f64,
+    fresh: f64,
+}
+
+impl Check {
+    /// `fresh / committed`: below `1 / factor` is a regression.
+    fn ratio(&self) -> f64 {
+        self.fresh / self.committed
+    }
+
+    fn ok(&self, factor: f64) -> bool {
+        self.ratio() >= 1.0 / factor
+    }
+}
+
+fn load(dir: &std::path::Path, name: &str) -> Json {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| bail(&format!("reading {}: {e}", path.display())));
+    Json::parse(&text).unwrap_or_else(|e| bail(&format!("parsing {name}: {e}")))
+}
+
+/// The last run row matching `keep` — the latest committed measurement of
+/// that configuration, which is what the gate compares against.
+fn last_row(doc: &Json, keep: impl Fn(&Json) -> bool) -> Option<&Json> {
+    doc.get("runs")?.as_array()?.iter().rfind(|r| keep(r))
+}
+
+fn committed_number(doc: &Json, keep: impl Fn(&Json) -> bool, metric: &str) -> Option<f64> {
+    last_row(doc, keep)?.number(metric)
+}
+
+/// Times `op` over `iters` runs, best of three passes, and returns ops/sec.
+///
+/// A gate must not trip on scheduler jitter: one pass on a busy single-core
+/// box can read an order of magnitude slow. The best pass is the closest
+/// observable to the hardware's actual throughput.
+fn ops_per_sec<F: FnMut()>(iters: u64, mut op: F) -> f64 {
+    op(); // warm-up
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        best = best.max(iters as f64 / start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler baseline
+// ---------------------------------------------------------------------------
+
+fn check_scheduler(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
+    // Must match the committed rows' step count: the withheld workload's
+    // per-step cost grows with the step index (queues only grow), so a
+    // shorter run would measure a cheaper prefix and loosen the gate.
+    let steps = 512u64;
+    for n in [64usize, 256, 1024] {
+        // Best of three passes, like the micro measurements: the gate
+        // compares against numbers measured on an idle box.
+        let fresh_oblivious = (0..3).map(|_| run_oblivious(n, steps)).fold(0.0, f64::max);
+        let fresh_withheld = (0..3).map(|_| run_withheld(n, steps)).fold(0.0, f64::max);
+        writeln!(
+            fresh_lines,
+            "{{\"label\": \"bench_check\", \"n\": {n}, \"steps\": {steps}, \
+             \"oblivious_steps_per_sec\": {fresh_oblivious:.1}, \
+             \"withheld_steps_per_sec\": {fresh_withheld:.1}}}"
+        )
+        .expect("write to string");
+        for (metric, fresh) in [
+            ("oblivious_steps_per_sec", fresh_oblivious),
+            ("withheld_steps_per_sec", fresh_withheld),
+        ] {
+            let row = |r: &Json| {
+                r.number("n") == Some(n as f64)
+                    && r.number("steps") == Some(steps as f64)
+                    && r.number(metric).is_some()
+            };
+            match committed_number(doc, row, metric) {
+                Some(committed) => checks.push(Check {
+                    bench: "scheduler",
+                    metric: format!("{metric} @ n={n}"),
+                    committed,
+                    fresh,
+                }),
+                None => bail(&format!(
+                    "BENCH_scheduler.json has no {metric} row at n={n}"
+                )),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RumorSet baseline (dense-representation micro rows)
+// ---------------------------------------------------------------------------
+
+fn check_rumorset(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
+    for n in [256usize, 1024] {
+        let iters = (1_000_000 / n).max(64) as u64;
+        let dense_a = dense_evens(n);
+        let dense_b = dense_odds(n);
+        let mut acc = dense_a.clone();
+        acc.union(&dense_b);
+        let union = ops_per_sec(iters, || {
+            std::hint::black_box(acc.union(&dense_b));
+        });
+        let clone_union = ops_per_sec(iters, || {
+            let mut fresh_acc = dense_a.clone();
+            std::hint::black_box(fresh_acc.union(&dense_b));
+        });
+        let insert = ops_per_sec(iters, || {
+            let mut s = RumorSet::new();
+            for i in 0..n {
+                s.insert(Rumor::new(ProcessId(i), i as u64));
+            }
+            std::hint::black_box(s.len());
+        });
+        let contains = ops_per_sec(iters, || {
+            let mut hits = 0usize;
+            for i in 0..n {
+                hits += dense_a.contains_origin(ProcessId(i)) as usize;
+            }
+            std::hint::black_box(hits);
+        });
+        let iter = ops_per_sec(iters, || {
+            std::hint::black_box(dense_a.iter().map(|r| r.payload).sum::<u64>());
+        });
+        writeln!(
+            fresh_lines,
+            "{{\"label\": \"bench_check\", \"kind\": \"micro\", \"n\": {n}, \
+             \"union_dense_per_sec\": {union:.0}, \
+             \"clone_union_dense_per_sec\": {clone_union:.0}, \
+             \"insert_dense_per_sec\": {insert:.0}, \
+             \"contains_dense_per_sec\": {contains:.0}, \
+             \"iter_dense_per_sec\": {iter:.0}}}"
+        )
+        .expect("write to string");
+        for (metric, fresh) in [
+            ("union_dense_per_sec", union),
+            ("clone_union_dense_per_sec", clone_union),
+            ("insert_dense_per_sec", insert),
+            ("contains_dense_per_sec", contains),
+            ("iter_dense_per_sec", iter),
+        ] {
+            let row = |r: &Json| {
+                r.get("kind").and_then(Json::as_str) == Some("micro")
+                    && r.number("n") == Some(n as f64)
+            };
+            match committed_number(doc, row, metric) {
+                Some(committed) => checks.push(Check {
+                    bench: "rumorset",
+                    metric: format!("{metric} @ n={n}"),
+                    committed,
+                    fresh,
+                }),
+                None => bail(&format!(
+                    "BENCH_rumorset.json has no micro {metric} at n={n}"
+                )),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep baseline (toy grid, serial worker)
+// ---------------------------------------------------------------------------
+
+fn check_sweep(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
+    // The toy grid of `sweep_baseline --toy`: n ∈ {16, 24}, 4 trials/point.
+    let scale = ExperimentScale {
+        n_values: vec![16, 24],
+        trials: 4,
+        failure_fraction: 0.25,
+        d: 2,
+        delta: 2,
+        seed: 2008,
+        idle_fast_forward: false,
+    };
+    let total_trials = 4 * scale.n_values.len() * scale.trials; // 4 table1 protocols
+    let start = Instant::now();
+    let rows = run_table1_with(&TrialPool::new(1), &scale)
+        .unwrap_or_else(|e| bail(&format!("toy sweep failed: {e}")));
+    let secs = start.elapsed().as_secs_f64();
+    assert!(!rows.is_empty());
+    let fresh = total_trials as f64 / secs;
+    writeln!(
+        fresh_lines,
+        "{{\"label\": \"bench_check\", \"n_values\": [16, 24], \"trials_per_point\": 4, \
+         \"total_trials\": {total_trials}, \"workers_1_secs\": {secs:.2}, \
+         \"workers_1_trials_per_sec\": {fresh:.2}}}"
+    )
+    .expect("write to string");
+    let toy_row = |r: &Json| {
+        r.get("n_values")
+            .and_then(Json::as_array)
+            .is_some_and(|ns| {
+                ns.iter().filter_map(Json::as_f64).collect::<Vec<_>>() == [16.0, 24.0]
+            })
+            && r.number("trials_per_point") == Some(4.0)
+    };
+    match committed_number(doc, toy_row, "workers_1_trials_per_sec") {
+        Some(committed) => checks.push(Check {
+            bench: "sweep",
+            metric: "workers_1_trials_per_sec (toy grid)".into(),
+            committed,
+            fresh,
+        }),
+        None => bail("BENCH_sweep.json has no toy-grid row (n_values = [16, 24], 4 trials)"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let scheduler = load(&args.baseline_dir, "BENCH_scheduler.json");
+    let rumorset = load(&args.baseline_dir, "BENCH_rumorset.json");
+    let sweep = load(&args.baseline_dir, "BENCH_sweep.json");
+
+    let mut checks = Vec::new();
+    let mut fresh_scheduler = String::new();
+    let mut fresh_rumorset = String::new();
+    let mut fresh_sweep = String::new();
+    eprintln!("re-running the scheduler hot-loop baseline…");
+    check_scheduler(&scheduler, &mut checks, &mut fresh_scheduler);
+    eprintln!("re-running the rumor-set micro baseline…");
+    check_rumorset(&rumorset, &mut checks, &mut fresh_rumorset);
+    eprintln!("re-running the sweep toy baseline…");
+    check_sweep(&sweep, &mut checks, &mut fresh_sweep);
+
+    // Persist the fresh measurements for the CI artifact upload.
+    std::fs::create_dir_all(&args.out_dir)
+        .unwrap_or_else(|e| bail(&format!("creating {}: {e}", args.out_dir.display())));
+    let mut report = String::from("{\n  \"bench\": \"bench_check\",\n  \"rows\": [\n");
+    for (file, lines) in [
+        ("BENCH_scheduler.fresh.jsonl", &fresh_scheduler),
+        ("BENCH_rumorset.fresh.jsonl", &fresh_rumorset),
+        ("BENCH_sweep.fresh.jsonl", &fresh_sweep),
+    ] {
+        std::fs::write(args.out_dir.join(file), lines)
+            .unwrap_or_else(|e| bail(&format!("writing {file}: {e}")));
+    }
+
+    println!(
+        "\n{:<11} {:<42} {:>14} {:>14} {:>7}  verdict",
+        "bench", "metric", "committed", "fresh", "ratio"
+    );
+    let mut failed = 0usize;
+    for (i, check) in checks.iter().enumerate() {
+        let ok = check.ok(args.factor);
+        failed += !ok as usize;
+        println!(
+            "{:<11} {:<42} {:>14.1} {:>14.1} {:>6.2}x  {}",
+            check.bench,
+            check.metric,
+            check.committed,
+            check.fresh,
+            check.ratio(),
+            if ok { "ok" } else { "REGRESSION" }
+        );
+        writeln!(
+            report,
+            "    {{\"bench\": \"{}\", \"metric\": \"{}\", \"committed\": {:.1}, \
+             \"fresh\": {:.1}, \"ratio\": {:.3}, \"ok\": {}}}{}",
+            check.bench,
+            check.metric,
+            check.committed,
+            check.fresh,
+            check.ratio(),
+            ok,
+            if i + 1 == checks.len() { "" } else { "," }
+        )
+        .expect("write to string");
+    }
+    let _ = writeln!(
+        report,
+        "  ],\n  \"tolerance_factor\": {},\n  \"failed\": {failed}\n}}",
+        args.factor
+    );
+    std::fs::write(args.out_dir.join("BENCH_check_report.json"), report)
+        .unwrap_or_else(|e| bail(&format!("writing report: {e}")));
+
+    if failed > 0 {
+        eprintln!(
+            "\n{failed} pinned metric(s) regressed beyond {}x; see {} for the fresh rows",
+            args.factor,
+            args.out_dir.display()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} pinned metrics within the {}x tolerance",
+        checks.len(),
+        args.factor
+    );
+}

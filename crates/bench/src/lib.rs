@@ -26,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use agossip_analysis::experiments::ExperimentScale;
 
 /// The scale used by the bench targets: large enough that asymptotic shape is

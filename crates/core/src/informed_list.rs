@@ -157,6 +157,13 @@ impl InformedList {
             && (n.is_multiple_of(64) || covered[full] == (1u64 << (n % 64)) - 1)
     }
 
+    /// The target-bitset rows (indexed by origin), for the wire codec's
+    /// dense section: the encoder ships each non-empty row's words
+    /// byte-for-byte.
+    pub(crate) fn target_rows(&self) -> &[WordSet] {
+        &self.rows
+    }
+
     /// Iterates over the pairs `(rumor origin, target)` in order.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, ProcessId)> + '_ {
         self.rows.iter().enumerate().flat_map(|(origin, row)| {

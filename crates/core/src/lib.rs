@@ -41,6 +41,7 @@
 pub mod adapter;
 mod bits;
 pub mod checker;
+pub mod codec;
 pub mod driver;
 pub mod ears;
 pub mod engine;
@@ -55,6 +56,7 @@ pub mod wire;
 
 pub use adapter::SimGossip;
 pub use checker::{check_engines, check_gossip, CheckReport, GossipSpec};
+pub use codec::{CodecError, WireCodec, CODEC_VERSION};
 pub use driver::{run_gossip, GossipReport};
 pub use ears::{Ears, EarsMessage};
 pub use engine::{broadcast, GossipCtx, GossipEngine};

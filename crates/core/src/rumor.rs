@@ -154,6 +154,12 @@ impl RumorSet {
     pub fn is_superset_of(&self, other: &RumorSet) -> bool {
         self.present.is_superset_of(&other.present)
     }
+
+    /// The raw presence words (low word first), for the wire codec's dense
+    /// section: the encoder ships these words byte-for-byte.
+    pub(crate) fn present_words(&self) -> &[u64] {
+        self.present.words()
+    }
 }
 
 impl PartialEq for RumorSet {

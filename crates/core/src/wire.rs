@@ -12,6 +12,15 @@
 //! payload word). An informed-list pair `⟨r, q⟩` also costs one unit (two
 //! identifiers). Every message additionally pays one unit of fixed header.
 //! The absolute scale is arbitrary; only ratios between protocols matter.
+//!
+//! The unit count is not merely abstract: since the byte-level codec landed
+//! ([`crate::codec`]), every message's encoded size is provably proportional
+//! to its unit count — `encoded_len ≤ 24 · wire_units` and
+//! `wire_units ≤ 8 · encoded_len` (see
+//! [`crate::codec::MAX_BYTES_PER_UNIT`] / [`crate::codec::MAX_UNITS_PER_BYTE`]
+//! and the pinning tests there and in `tests/tests/props_codec.rs`). Unit
+//! counts measured by the simulator therefore estimate real wire bytes up to
+//! a bounded constant.
 
 /// Types with a measurable size on the wire, in rumor units.
 pub trait WireSize {

@@ -1,0 +1,485 @@
+//! The live driver: n concurrent OS-threaded processes gossiping to
+//! completion over a byte transport.
+//!
+//! [`run_live`] opens one [`Transport`] endpoint per process, spawns one
+//! thread per process running the configured [`Pacing`]'s event loop, and
+//! watches for completion:
+//!
+//! * **Lockstep** — the driver participates in the tick barrier: each tick
+//!   it first arbitrates the settle handshake (nodes drain their
+//!   transports until `messages_sent == frames_consumed`, so no frame is
+//!   ever read a tick late or lost in kernel transit — this is what makes
+//!   the guarantees transport-independent), then stops the run after two
+//!   consecutive all-quiet ticks, where *quiet* means a node neither
+//!   delivered nor sent anything, holds no pending frames, and its engine
+//!   is quiescent. Two idle ticks prove the network empty: any frame sent
+//!   at tick `t` makes its sender non-quiet at `t`, so two quiet ticks
+//!   mean the last send was at least two ticks ago and everything since
+//!   has been consumed and delivered. Outcomes are bit-identical for a
+//!   given seed.
+//! * **Free-running** — the driver polls for a sustained wall-clock quiet
+//!   period, mirroring the paper's "eventually every process stops sending"
+//!   quiescence condition.
+//!
+//! Crash injection kills process `p` after its configured number of local
+//! steps: under free-running pacing the thread exits and drops its
+//! endpoint (its peers' sends start failing, i.e. their messages are lost);
+//! under lockstep the node turns into a zombie that keeps draining its
+//! sockets but delivers and sends nothing — same observable semantics,
+//! still deterministic.
+
+use std::sync::atomic::Ordering;
+use std::sync::Barrier;
+use std::thread;
+use std::time::Duration;
+
+use agossip_core::{GossipCtx, GossipEngine, RumorSet, WireCodec};
+use agossip_sim::ProcessId;
+
+use crate::error::RuntimeError;
+use crate::event_loop::{
+    run_free_node, run_lockstep_node, FreeNode, LockstepNode, NodeOutcome, SharedRun,
+};
+use crate::transport::Transport;
+
+/// Upper bound on poll-only settle rounds per lockstep tick. On a healthy
+/// transport a frame becomes readable within a round or two; thousands of
+/// rounds without progress means frames were truly lost (which lockstep
+/// transports never do by construction) and the run aborts with an error
+/// instead of spinning forever.
+const MAX_SETTLE_ROUNDS: u64 = 100_000;
+
+/// How the node event loops are paced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pacing {
+    /// Barrier-paced deterministic ticks with seeded delays in `1..=d`
+    /// ticks. Bit-identical outcomes for a given seed, on any transport.
+    Lockstep {
+        /// Delivery delay bound in ticks (the model's `d`), `≥ 1`.
+        d: u64,
+        /// Hard limit on the number of ticks (a non-quiescent protocol
+        /// otherwise never terminates).
+        max_ticks: u64,
+    },
+    /// Uncoordinated pacing: random sleeps between steps, random wall-clock
+    /// delivery delays, completion by sustained quiet.
+    FreeRunning {
+        /// Upper bound on the injected per-message delay (the model's `d`).
+        max_delay: Duration,
+        /// Upper bound on a node's pause between local steps (the model's
+        /// `δ`).
+        max_step_pause: Duration,
+        /// How long the system must stay quiet before the run is declared
+        /// finished.
+        quiet_period: Duration,
+        /// Hard wall-clock limit on the run.
+        max_duration: Duration,
+    },
+}
+
+impl Pacing {
+    /// Lockstep defaults: `d = 2`, generous tick limit.
+    pub fn lockstep() -> Self {
+        Pacing::Lockstep {
+            d: 2,
+            max_ticks: 1 << 20,
+        }
+    }
+
+    /// Free-running defaults suitable for tests: sub-millisecond pacing,
+    /// sub-second completion.
+    pub fn free_running() -> Self {
+        Pacing::FreeRunning {
+            max_delay: Duration::from_millis(2),
+            max_step_pause: Duration::from_millis(1),
+            quiet_period: Duration::from_millis(100),
+            max_duration: Duration::from_secs(20),
+        }
+    }
+}
+
+/// Configuration of one live run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveConfig {
+    /// Number of processes (threads).
+    pub n: usize,
+    /// Failure budget handed to the protocol (`f < n`).
+    pub f: usize,
+    /// Master seed: protocol randomness and injected delays derive from it.
+    pub seed: u64,
+    /// Processes to crash, with the number of local steps after which each
+    /// halts.
+    pub crashes: Vec<(ProcessId, u64)>,
+    /// The pacing discipline.
+    pub pacing: Pacing,
+}
+
+impl LiveConfig {
+    /// A deterministic lockstep configuration.
+    pub fn lockstep(n: usize, f: usize, seed: u64) -> Self {
+        LiveConfig {
+            n,
+            f,
+            seed,
+            crashes: Vec::new(),
+            pacing: Pacing::lockstep(),
+        }
+    }
+
+    /// A free-running configuration with test-friendly timing.
+    pub fn free_running(n: usize, f: usize, seed: u64) -> Self {
+        LiveConfig {
+            n,
+            f,
+            seed,
+            crashes: Vec::new(),
+            pacing: Pacing::free_running(),
+        }
+    }
+
+    /// Adds crash injections.
+    pub fn with_crashes(mut self, crashes: Vec<(ProcessId, u64)>) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    fn validate(&self) -> Result<(), RuntimeError> {
+        if self.n == 0 {
+            return Err(RuntimeError::Config("need at least one process".into()));
+        }
+        if self.f >= self.n {
+            return Err(RuntimeError::Config(format!(
+                "f = {} must be < n = {}",
+                self.f, self.n
+            )));
+        }
+        if let Some((victim, _)) = self
+            .crashes
+            .iter()
+            .find(|(victim, _)| victim.index() >= self.n)
+        {
+            return Err(RuntimeError::Config(format!(
+                "crash victim {victim} out of range for n = {}",
+                self.n
+            )));
+        }
+        if let Pacing::Lockstep { d, .. } = self.pacing {
+            if d == 0 {
+                return Err(RuntimeError::Config("lockstep d must be ≥ 1".into()));
+            }
+        }
+        Ok(())
+    }
+
+    fn crash_after(&self, pid: ProcessId) -> Option<u64> {
+        self.crashes
+            .iter()
+            .find(|(victim, _)| *victim == pid)
+            .map(|(_, steps)| *steps)
+    }
+}
+
+/// Outcome of a live run.
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Which transport carried the frames ("channel", "tcp", "uds").
+    pub transport: &'static str,
+    /// Final rumor set of each node (crashed nodes report the set they had
+    /// when they crashed).
+    pub final_rumors: Vec<RumorSet>,
+    /// Which nodes were never crash-injected.
+    pub correct: Vec<bool>,
+    /// Local steps taken per node.
+    pub steps: Vec<u64>,
+    /// Point-to-point messages handed to the transport.
+    pub messages_sent: u64,
+    /// Messages decoded and delivered to engines.
+    pub messages_delivered: u64,
+    /// Encoded payload bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// Frames dropped because their payload failed to decode (always 0 on a
+    /// healthy transport).
+    pub decode_errors: u64,
+    /// Whether the run ended by quiescence (vs hitting a limit).
+    pub quiescent: bool,
+    /// Lockstep ticks executed (0 under free-running pacing).
+    pub ticks: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Runs every node of the protocol produced by `make` on its own OS thread,
+/// exchanging byte frames over `transport`, until completion.
+pub fn run_live<T, G, F>(
+    config: &LiveConfig,
+    transport: &T,
+    make: F,
+) -> Result<LiveReport, RuntimeError>
+where
+    T: Transport,
+    G: GossipEngine + Send,
+    F: Fn(GossipCtx) -> G,
+    G::Msg: WireCodec + PartialEq,
+{
+    config.validate()?;
+    let n = config.n;
+    let endpoints = transport.open(n)?;
+    let shared = SharedRun::new(n);
+    let engines: Vec<G> = ProcessId::all(n)
+        .map(|pid| make(GossipCtx::new(pid, n, config.f, config.seed)))
+        .collect();
+
+    let mut quiescent = false;
+    let mut ticks = 0u64;
+    let outcomes: Vec<NodeOutcome> = match config.pacing {
+        Pacing::Lockstep { d, max_ticks } => {
+            let barrier = Barrier::new(n + 1);
+            let outcomes = thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for (pid, (engine, endpoint)) in engines.into_iter().zip(endpoints).enumerate() {
+                    let node = LockstepNode {
+                        engine,
+                        endpoint,
+                        crash_after: config.crash_after(ProcessId(pid)),
+                        seed: config.seed,
+                        d,
+                    };
+                    let shared = &shared;
+                    let barrier = &barrier;
+                    handles.push(scope.spawn(move || run_lockstep_node(node, shared, barrier)));
+                }
+                // The driver is the (n+1)-th barrier participant. Each tick
+                // it first arbitrates the settle handshake (nodes run
+                // poll-only rounds until every sent frame has been taken
+                // off the transport — one round on channels, possibly more
+                // on kernel sockets), then reads the quiet flags.
+                let mut quiet_streak = 0u32;
+                'ticks: loop {
+                    // Settle rounds.
+                    let mut settle_rounds = 0u64;
+                    loop {
+                        barrier.wait(); // nodes have polled
+                        let sent = shared.stats.messages_sent.load(Ordering::Relaxed);
+                        let consumed = shared.stats.frames_consumed.load(Ordering::Relaxed);
+                        let settled = sent == consumed;
+                        shared.settled.store(settled, Ordering::Relaxed);
+                        settle_rounds += 1;
+                        if settle_rounds > MAX_SETTLE_ROUNDS {
+                            shared.record_error(RuntimeError::Config(format!(
+                                "transport failed to settle: {consumed}/{sent} frames \
+                                 consumed after {settle_rounds} poll rounds"
+                            )));
+                        }
+                        if shared.has_error() {
+                            shared.stop.store(true, Ordering::Relaxed);
+                        }
+                        let stopping = shared.stop.load(Ordering::Relaxed);
+                        barrier.wait(); // verdict published
+                        if stopping {
+                            break 'ticks;
+                        }
+                        if settled {
+                            break;
+                        }
+                        // Unsettled on a kernel transport: give the softirq
+                        // path a moment before the next poll round.
+                        thread::yield_now();
+                    }
+                    // Quiet check.
+                    barrier.wait();
+                    ticks += 1;
+                    let all_quiet = shared.quiet.iter().all(|flag| flag.load(Ordering::Relaxed));
+                    quiet_streak = if all_quiet { quiet_streak + 1 } else { 0 };
+                    if quiet_streak >= 2 {
+                        quiescent = true;
+                        shared.stop.store(true, Ordering::Relaxed);
+                    }
+                    if ticks >= max_ticks || shared.has_error() {
+                        shared.stop.store(true, Ordering::Relaxed);
+                    }
+                    let stopping = shared.stop.load(Ordering::Relaxed);
+                    barrier.wait();
+                    if stopping {
+                        break;
+                    }
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("node thread panicked"))
+                    .collect()
+            });
+            outcomes
+        }
+        Pacing::FreeRunning {
+            max_delay,
+            max_step_pause,
+            quiet_period,
+            max_duration,
+        } => {
+            thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for (pid, (engine, endpoint)) in engines.into_iter().zip(endpoints).enumerate() {
+                    let node = FreeNode {
+                        engine,
+                        endpoint,
+                        crash_after: config.crash_after(ProcessId(pid)),
+                        seed: config.seed,
+                        max_delay,
+                        max_step_pause,
+                    };
+                    let shared = &shared;
+                    handles.push(scope.spawn(move || run_free_node(node, shared)));
+                }
+                // Wait for sustained quiet or the wall-clock limit.
+                loop {
+                    thread::sleep(Duration::from_millis(5));
+                    if shared.started.elapsed() >= max_duration || shared.has_error() {
+                        break;
+                    }
+                    let all_quiet = shared.quiet.iter().all(|flag| flag.load(Ordering::Relaxed));
+                    if all_quiet && shared.since_last_activity() >= quiet_period {
+                        quiescent = true;
+                        break;
+                    }
+                }
+                shared.stop.store(true, Ordering::Relaxed);
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("node thread panicked"))
+                    .collect()
+            })
+        }
+    };
+
+    if let Some(error) = shared.first_error.lock().take() {
+        return Err(error);
+    }
+
+    let correct: Vec<bool> = ProcessId::all(n)
+        .map(|pid| config.crash_after(pid).is_none())
+        .collect();
+    Ok(LiveReport {
+        transport: transport.name(),
+        final_rumors: outcomes.iter().map(|o| o.rumors.clone()).collect(),
+        correct,
+        steps: outcomes.iter().map(|o| o.steps).collect(),
+        messages_sent: shared.stats.messages_sent.load(Ordering::Relaxed),
+        messages_delivered: shared.stats.messages_delivered.load(Ordering::Relaxed),
+        bytes_sent: shared.stats.bytes_sent.load(Ordering::Relaxed),
+        decode_errors: shared.stats.decode_errors.load(Ordering::Relaxed),
+        quiescent,
+        ticks,
+        elapsed: shared.started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{ChannelTransport, SocketTransport};
+    use agossip_core::{check_gossip, Ears, GossipSpec, Rumor, Tears, Trivial};
+
+    fn initial_rumors(n: usize) -> Vec<Rumor> {
+        (0..n).map(|i| Rumor::new(ProcessId(i), i as u64)).collect()
+    }
+
+    fn assert_full_gossip(report: &LiveReport, n: usize) {
+        let check = check_gossip(
+            GossipSpec::Full,
+            &report.final_rumors,
+            &initial_rumors(n),
+            &report.correct,
+            report.quiescent,
+        );
+        assert!(check.all_ok(), "{check:?}");
+    }
+
+    #[test]
+    fn lockstep_channel_run_is_bit_identical_across_repeats() {
+        let config = LiveConfig::lockstep(12, 3, 7)
+            .with_crashes(vec![(ProcessId(10), 2), (ProcessId(11), 0)]);
+        let a = run_live(&config, &ChannelTransport, Ears::new).unwrap();
+        let b = run_live(&config, &ChannelTransport, Ears::new).unwrap();
+        assert_eq!(a.final_rumors, b.final_rumors);
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.messages_delivered, b.messages_delivered);
+        assert_eq!(a.bytes_sent, b.bytes_sent);
+        assert_eq!(a.ticks, b.ticks);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.decode_errors, 0);
+        assert!(a.quiescent);
+    }
+
+    #[test]
+    fn lockstep_trivial_gossip_completes_on_channels() {
+        let n = 8;
+        let config = LiveConfig::lockstep(n, 0, 1);
+        let report = run_live(&config, &ChannelTransport, Trivial::new).unwrap();
+        assert!(report.quiescent);
+        assert_eq!(report.messages_sent, (n * (n - 1)) as u64);
+        assert_eq!(report.messages_sent, report.messages_delivered);
+        assert!(report.bytes_sent > 0);
+        assert_full_gossip(&report, n);
+    }
+
+    #[test]
+    fn lockstep_runs_over_tcp() {
+        let n = 8;
+        let config = LiveConfig::lockstep(n, 2, 3);
+        let report = run_live(&config, &SocketTransport::tcp(), Ears::new).unwrap();
+        assert_eq!(report.transport, "tcp");
+        assert!(report.quiescent);
+        assert_eq!(report.decode_errors, 0);
+        assert_full_gossip(&report, n);
+    }
+
+    #[test]
+    fn free_running_tears_reaches_majority() {
+        let n = 16;
+        let config = LiveConfig::free_running(n, 0, 4);
+        let report = run_live(&config, &ChannelTransport, Tears::new).unwrap();
+        let check = check_gossip(
+            GossipSpec::Majority,
+            &report.final_rumors,
+            &initial_rumors(n),
+            &report.correct,
+            true,
+        );
+        assert!(check.gathering_ok, "{check:?}");
+        assert!(check.validity_ok);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad_f = LiveConfig::lockstep(4, 4, 0);
+        assert!(matches!(
+            run_live(&bad_f, &ChannelTransport, Trivial::new),
+            Err(RuntimeError::Config(_))
+        ));
+        let bad_victim = LiveConfig::lockstep(4, 1, 0).with_crashes(vec![(ProcessId(9), 0)]);
+        assert!(matches!(
+            run_live(&bad_victim, &ChannelTransport, Trivial::new),
+            Err(RuntimeError::Config(_))
+        ));
+        let bad_d = LiveConfig {
+            pacing: Pacing::Lockstep { d: 0, max_ticks: 1 },
+            ..LiveConfig::lockstep(4, 1, 0)
+        };
+        assert!(matches!(
+            run_live(&bad_d, &ChannelTransport, Trivial::new),
+            Err(RuntimeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn lockstep_tick_limit_reports_non_quiescent() {
+        // d = 1 and a tick budget too small for gossip to finish.
+        let config = LiveConfig {
+            pacing: Pacing::Lockstep { d: 1, max_ticks: 2 },
+            ..LiveConfig::lockstep(8, 2, 5)
+        };
+        let report = run_live(&config, &ChannelTransport, Ears::new).unwrap();
+        assert!(!report.quiescent);
+        assert_eq!(report.ticks, 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type of the live runtime.
+
+use std::fmt;
+
+use agossip_core::CodecError;
+
+/// Why a live run (or one of its transport operations) failed.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// An I/O operation on a socket transport failed in a way that is not
+    /// attributable to a crashed peer (peer-connection failures are message
+    /// loss, not errors — see `transport`).
+    Io {
+        /// What the runtime was doing.
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A frame arrived but its payload failed to decode. The event loop
+    /// normally *counts* decode failures instead of propagating them (a
+    /// byte-corrupting network is message loss in the model); this variant is
+    /// surfaced only by transport-level helpers.
+    Codec(CodecError),
+    /// The configuration is invalid (e.g. `f ≥ n`).
+    Config(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Io { context, source } => write!(f, "{context}: {source}"),
+            RuntimeError::Codec(e) => write!(f, "frame decode failed: {e}"),
+            RuntimeError::Config(reason) => write!(f, "invalid runtime config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Io { source, .. } => Some(source),
+            RuntimeError::Codec(e) => Some(e),
+            RuntimeError::Config(_) => None,
+        }
+    }
+}
+
+impl From<CodecError> for RuntimeError {
+    fn from(e: CodecError) -> Self {
+        RuntimeError::Codec(e)
+    }
+}
+
+/// Attaches a context string to an I/O error.
+pub(crate) fn io_err(context: &'static str) -> impl FnOnce(std::io::Error) -> RuntimeError {
+    move |source| RuntimeError::Io { context, source }
+}

@@ -1,0 +1,527 @@
+//! The per-process event loop: decode frames, drive the engine, encode and
+//! send.
+//!
+//! One loop body exists per *pacing* discipline (see
+//! [`crate::driver::Pacing`]):
+//!
+//! * [`run_lockstep_node`] — barrier-paced ticks with seeded per-message
+//!   delays in `1..=d` ticks. Every thread runs concurrently within a tick,
+//!   but delivery order is a pure function of `(deliver_tick, sender, seq)`,
+//!   so a run's outcome is **bit-identical for a given seed** regardless of
+//!   OS scheduling. This mirrors the simulator's `(d, δ)` model with
+//!   `δ = 1`. Each tick starts with a *settle* handshake: nodes drain
+//!   their transports in poll-only rounds until the driver observes that
+//!   every frame handed to the transport has been taken off it
+//!   (`messages_sent == frames_consumed`). Channels settle in one round;
+//!   kernel transports (loopback TCP/UDS) may buffer a frame past one
+//!   poll, and without the handshake a late frame would change the
+//!   execution — or be lost entirely if the run stopped while it was in
+//!   transit. With it, determinism and no-loss hold on *any* transport.
+//! * [`run_free_node`] — free-running pacing: the thread sleeps a random
+//!   sub-millisecond interval between local steps and injects random
+//!   wall-clock delivery delays. Nothing synchronises the threads; this is
+//!   the runtime under *real* scheduling nondeterminism.
+//!
+//! Both loops speak bytes: outgoing messages go through
+//! [`agossip_core::codec`] ([`WireCodec::encode_into`]) and incoming frames
+//! are decoded before delivery. A frame that fails to decode is counted and
+//! dropped — a byte-corrupting link is message loss in the model, and the
+//! codec's typed errors guarantee it can never panic the loop.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use agossip_core::codec::{read_varint, write_varint};
+use agossip_core::{GossipEngine, WireCodec};
+use agossip_sim::rng::{derive_seed, RngStream};
+use agossip_sim::ProcessId;
+
+use crate::error::RuntimeError;
+use crate::transport::{Endpoint, RawFrame, SendOutcome};
+
+/// Counters shared by every node thread of one run.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// Point-to-point messages handed to the transport.
+    pub messages_sent: AtomicU64,
+    /// Messages decoded and delivered to an engine.
+    pub messages_delivered: AtomicU64,
+    /// Raw frames taken off the transport (delivered, dropped by a crashed
+    /// node, or undecodable). Lockstep's settle handshake compares this
+    /// against `messages_sent` to know the network is drained.
+    pub frames_consumed: AtomicU64,
+    /// Encoded message-*body* bytes handed to the transport (the lockstep
+    /// tick/seq prefix and the stream framing overhead are not included, so
+    /// the figure measures the wire codec itself and is comparable across
+    /// pacings and transports).
+    pub bytes_sent: AtomicU64,
+    /// Frames dropped because their payload failed to decode.
+    pub decode_errors: AtomicU64,
+}
+
+/// Everything the node threads of one run share with the driver.
+pub(crate) struct SharedRun {
+    pub stats: RunStats,
+    pub stop: AtomicBool,
+    /// Lockstep only: the driver's verdict of the current settle round
+    /// (true once every sent frame has been consumed).
+    pub settled: AtomicBool,
+    /// Per-node "nothing pending, engine quiescent" flags.
+    pub quiet: Vec<AtomicBool>,
+    /// Wall-clock of the last send/delivery, for free-running quiescence
+    /// detection (milliseconds since `started`).
+    pub last_activity_ms: AtomicU64,
+    pub started: Instant,
+    /// First error any node thread hit; the driver surfaces it after join.
+    pub first_error: Mutex<Option<RuntimeError>>,
+}
+
+impl SharedRun {
+    pub fn new(n: usize) -> Self {
+        SharedRun {
+            stats: RunStats::default(),
+            stop: AtomicBool::new(false),
+            settled: AtomicBool::new(false),
+            quiet: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            last_activity_ms: AtomicU64::new(0),
+            started: Instant::now(),
+            first_error: Mutex::new(None),
+        }
+    }
+
+    pub fn touch(&self) {
+        let elapsed = self.started.elapsed().as_millis() as u64;
+        self.last_activity_ms.store(elapsed, Ordering::Relaxed);
+    }
+
+    pub fn since_last_activity(&self) -> Duration {
+        let last = self.last_activity_ms.load(Ordering::Relaxed);
+        let now = self.started.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(last))
+    }
+
+    /// Records the first error seen; later errors are dropped.
+    pub fn record_error(&self, error: RuntimeError) {
+        let mut slot = self.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+    }
+
+    pub fn has_error(&self) -> bool {
+        self.first_error.lock().is_some()
+    }
+}
+
+/// What one node thread hands back when it finishes.
+pub(crate) struct NodeOutcome {
+    pub rumors: agossip_core::RumorSet,
+    pub steps: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep pacing
+// ---------------------------------------------------------------------------
+
+/// A decoded message waiting out its delivery tick. Min-heap order on
+/// `(deliver_tick, from, seq)` — a strict total order, since `(from, seq)`
+/// is unique — which is what makes lockstep delivery deterministic.
+struct PendingTick<M> {
+    deliver_tick: u64,
+    from: ProcessId,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for PendingTick<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl<M> Eq for PendingTick<M> {}
+
+impl<M> PartialOrd for PendingTick<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for PendingTick<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.deliver_tick, other.from.index(), other.seq).cmp(&(
+            self.deliver_tick,
+            self.from.index(),
+            self.seq,
+        ))
+    }
+}
+
+/// Parameters of one lockstep node thread.
+pub(crate) struct LockstepNode<G, E> {
+    pub engine: G,
+    pub endpoint: E,
+    /// Crash after this many local steps (`None` = correct process).
+    pub crash_after: Option<u64>,
+    /// Per-run master seed (the per-node delay stream is derived from it).
+    pub seed: u64,
+    /// Delivery delay bound `d ≥ 1`, in ticks.
+    pub d: u64,
+}
+
+/// Runs one node under barrier-paced lockstep until the driver raises the
+/// stop flag. See the module docs for the tick structure and the
+/// determinism argument.
+pub(crate) fn run_lockstep_node<G, E>(
+    node: LockstepNode<G, E>,
+    shared: &SharedRun,
+    barrier: &Barrier,
+) -> NodeOutcome
+where
+    G: GossipEngine,
+    G::Msg: WireCodec + PartialEq,
+    E: Endpoint,
+{
+    let LockstepNode {
+        mut engine,
+        mut endpoint,
+        crash_after,
+        seed,
+        d,
+    } = node;
+    let pid = endpoint.pid();
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0x11FE, RngStream::Process(pid)));
+    let mut pending: BinaryHeap<PendingTick<G::Msg>> = BinaryHeap::new();
+    let mut frames: Vec<RawFrame> = Vec::new();
+    let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut body: Vec<u8> = Vec::new();
+    let mut last_encoded: Option<G::Msg> = None;
+    let mut tick = 0u64;
+    let mut steps = 0u64;
+    let mut seq = 0u64;
+    let mut crashed = false;
+
+    'run: loop {
+        // --- Settle: drain the transport in poll-only rounds until the
+        // driver observes every sent frame consumed (one round on
+        // channels; kernel transports may need more). ---------------------
+        loop {
+            frames.clear();
+            if let Err(e) = endpoint.poll_into(&mut frames) {
+                shared.record_error(e);
+                crashed = true; // keep participating in barriers, do nothing
+            }
+            shared
+                .stats
+                .frames_consumed
+                .fetch_add(frames.len() as u64, Ordering::Relaxed);
+            if crashed {
+                // A crashed process receives nothing and sends nothing;
+                // frames addressed to it are dropped on the floor.
+                frames.clear();
+            } else {
+                for frame in frames.drain(..) {
+                    match parse_lockstep_payload::<G::Msg>(&frame.payload) {
+                        Ok((deliver_tick, msg_seq, msg)) => pending.push(PendingTick {
+                            deliver_tick,
+                            from: frame.from,
+                            seq: msg_seq,
+                            msg,
+                        }),
+                        Err(_) => {
+                            shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            barrier.wait(); // driver compares sent vs consumed
+            barrier.wait(); // driver has published settled/stop
+            if shared.stop.load(Ordering::Relaxed) {
+                break 'run;
+            }
+            if shared.settled.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+
+        // --- Step: deliver what is due this tick, run the engine, send. --
+        let mut active = false;
+        if !crashed {
+            while pending.peek().is_some_and(|p| p.deliver_tick <= tick) {
+                let p = pending.pop().expect("peeked element");
+                engine.deliver(p.from, p.msg);
+                active = true;
+                shared
+                    .stats
+                    .messages_delivered
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if crash_after.is_some_and(|limit| steps >= limit) {
+                crashed = true;
+                pending.clear();
+            } else {
+                out.clear();
+                engine.local_step(&mut out);
+                steps += 1;
+                for (to, msg) in out.drain(..) {
+                    // A broadcast pushes clones of one message to many
+                    // targets; encode the body once per distinct message
+                    // and only re-stamp the per-send tick/seq prefix.
+                    if last_encoded.as_ref() != Some(&msg) {
+                        body.clear();
+                        msg.encode_into(&mut body);
+                        last_encoded = Some(msg);
+                    }
+                    // `d ≥ 1` is guaranteed by `LiveConfig::validate`.
+                    let delay = rng.gen_range(1..=d);
+                    payload.clear();
+                    write_varint(&mut payload, tick + delay);
+                    write_varint(&mut payload, seq);
+                    seq += 1;
+                    payload.extend_from_slice(&body);
+                    active = true;
+                    shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .bytes_sent
+                        .fetch_add(body.len() as u64, Ordering::Relaxed);
+                    match endpoint.send(to, &payload) {
+                        Ok(SendOutcome::Sent) => {}
+                        // A frame the transport dropped will never be
+                        // polled: book it as consumed so the settle
+                        // handshake's sent == consumed invariant survives
+                        // peer death.
+                        Ok(SendOutcome::Lost) => {
+                            shared.stats.frames_consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            shared.record_error(e);
+                            crashed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Quiet = this node neither delivered nor sent this tick, holds no
+        // pending frames, and its engine will not send unprompted. The
+        // delivered/sent part matters: with `d = 1` an engine can absorb a
+        // delivery without reacting (a duplicate rumor), and without it two
+        // such ticks could read all-quiet while a reply was still in
+        // flight.
+        let quiet = crashed || (!active && pending.is_empty() && engine.is_quiescent());
+        shared.quiet[pid.index()].store(quiet, Ordering::Relaxed);
+
+        // --- Quiet check: the driver inspects the flags between the two
+        // barriers and decides whether the run is over. ------------------
+        barrier.wait();
+        barrier.wait();
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        tick += 1;
+    }
+
+    NodeOutcome {
+        rumors: engine.rumors().clone(),
+        steps,
+    }
+}
+
+/// Splits a lockstep payload into `(deliver_tick, seq, message)`.
+fn parse_lockstep_payload<M: WireCodec>(
+    payload: &[u8],
+) -> Result<(u64, u64, M), agossip_core::CodecError> {
+    let (deliver_tick, a) = read_varint(payload)?;
+    let (seq, b) = read_varint(&payload[a..])?;
+    let msg = M::decode(&payload[a + b..])?;
+    Ok((deliver_tick, seq, msg))
+}
+
+// ---------------------------------------------------------------------------
+// Free-running pacing
+// ---------------------------------------------------------------------------
+
+/// A decoded message waiting out its injected wall-clock delay, deadline-
+/// indexed like the lockstep buffer (min-heap on `(deliver_after, seq)`
+/// with an arrival sequence for FIFO tie-breaking).
+struct PendingWall<M> {
+    deliver_after: Instant,
+    seq: u64,
+    from: ProcessId,
+    msg: M,
+}
+
+impl<M> PartialEq for PendingWall<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<M> Eq for PendingWall<M> {}
+
+impl<M> PartialOrd for PendingWall<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for PendingWall<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .deliver_after
+            .cmp(&self.deliver_after)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Parameters of one free-running node thread.
+pub(crate) struct FreeNode<G, E> {
+    pub engine: G,
+    pub endpoint: E,
+    pub crash_after: Option<u64>,
+    pub seed: u64,
+    /// Upper bound on the injected per-message delivery delay (the role of
+    /// `d` in the model).
+    pub max_delay: Duration,
+    /// Upper bound on the pause between local steps (the role of `δ`).
+    pub max_step_pause: Duration,
+}
+
+/// Runs one node free-running until the driver raises the stop flag (or the
+/// node's crash point arrives — the thread then exits, dropping its
+/// endpoint, which is how its peers experience the crash).
+pub(crate) fn run_free_node<G, E>(node: FreeNode<G, E>, shared: &SharedRun) -> NodeOutcome
+where
+    G: GossipEngine,
+    G::Msg: WireCodec + PartialEq,
+    E: Endpoint,
+{
+    let FreeNode {
+        mut engine,
+        mut endpoint,
+        crash_after,
+        seed,
+        max_delay,
+        max_step_pause,
+    } = node;
+    let pid = endpoint.pid();
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0xA51C, RngStream::Process(pid)));
+    let mut pending: BinaryHeap<PendingWall<G::Msg>> = BinaryHeap::new();
+    let mut frames: Vec<RawFrame> = Vec::new();
+    let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut last_encoded: Option<G::Msg> = None;
+    let mut arrival_seq = 0u64;
+    let mut steps = 0u64;
+    let max_delay_us = max_delay.as_micros().max(1) as u64;
+    let max_pause_us = max_step_pause.as_micros().max(1) as u64;
+
+    'run: loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if crash_after.is_some_and(|limit| steps >= limit) {
+            break; // crash: halt permanently, deliver nothing further
+        }
+
+        // Drain the transport into the deadline-indexed delay buffer,
+        // drawing each frame's injected delay from the node's seeded stream.
+        frames.clear();
+        if let Err(e) = endpoint.poll_into(&mut frames) {
+            shared.record_error(e);
+            break;
+        }
+        let now = Instant::now();
+        shared
+            .stats
+            .frames_consumed
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
+        for frame in frames.drain(..) {
+            match G::Msg::decode(&frame.payload) {
+                Ok(msg) => {
+                    let delay = Duration::from_micros(rng.gen_range(0..=max_delay_us));
+                    pending.push(PendingWall {
+                        deliver_after: now + delay,
+                        seq: arrival_seq,
+                        from: frame.from,
+                        msg,
+                    });
+                    arrival_seq += 1;
+                }
+                Err(_) => {
+                    shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Deliver everything whose injected delay has expired; the heap top
+        // is the earliest deadline, so this touches only due messages.
+        let now = Instant::now();
+        while pending.peek().is_some_and(|p| p.deliver_after <= now) {
+            let p = pending.pop().expect("peeked element");
+            engine.deliver(p.from, p.msg);
+            shared
+                .stats
+                .messages_delivered
+                .fetch_add(1, Ordering::Relaxed);
+            shared.touch();
+        }
+
+        // One local step.
+        out.clear();
+        engine.local_step(&mut out);
+        steps += 1;
+        for (to, msg) in out.drain(..) {
+            // As in the lockstep loop: a broadcast's clones of one message
+            // are encoded once, not once per destination.
+            if last_encoded.as_ref() != Some(&msg) {
+                payload.clear();
+                msg.encode_into(&mut payload);
+                last_encoded = Some(msg);
+            }
+            shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .bytes_sent
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            shared.touch();
+            match endpoint.send(to, &payload) {
+                Ok(SendOutcome::Sent) => {}
+                // Book transport-dropped frames as consumed, as in the
+                // lockstep loop, so the counters stay reconcilable.
+                Ok(SendOutcome::Lost) => {
+                    shared.stats.frames_consumed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    shared.record_error(e);
+                    break 'run;
+                }
+            }
+        }
+
+        shared.quiet[pid.index()].store(
+            engine.is_quiescent() && pending.is_empty(),
+            Ordering::Relaxed,
+        );
+
+        // Pace the next step (the role of δ).
+        std::thread::sleep(Duration::from_micros(rng.gen_range(0..=max_pause_us)));
+    }
+
+    // Whether the node crashed or the run is over, it will never send again:
+    // mark it quiescent so the driver is not blocked on a crashed node.
+    shared.quiet[pid.index()].store(true, Ordering::Relaxed);
+    NodeOutcome {
+        rumors: engine.rumors().clone(),
+        steps,
+    }
+}

@@ -1,18 +1,22 @@
-//! The thread-per-process execution harness.
+//! The historical thread-per-process harness API, now a thin veneer over
+//! the live runtime subsystem.
+//!
+//! Earlier revisions of this crate were exactly this one file: a
+//! self-contained harness with its own channel wiring, its own
+//! pending-delay buffer and its own quiet-period coordinator. Those private
+//! duplicates are gone — [`run_threaded`] is now [`crate::run_live`] with
+//! the [`ChannelTransport`] and free-running pacing, so the same event
+//! loop, byte codec and transport machinery back both entry points. The
+//! types here survive for the callers (tests, examples, smoke tests) that
+//! predate the [`crate::LiveConfig`] API.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use agossip_core::{GossipCtx, GossipEngine, RumorSet};
-use agossip_sim::rng::{derive_seed, RngStream};
+use agossip_core::{GossipCtx, GossipEngine, RumorSet, WireCodec};
 use agossip_sim::ProcessId;
+
+use crate::driver::{run_live, LiveConfig, Pacing};
+use crate::transport::ChannelTransport;
 
 /// Configuration of a threaded run.
 #[derive(Debug, Clone)]
@@ -58,6 +62,22 @@ impl RuntimeConfig {
         self.crashes = crashes;
         self
     }
+
+    /// The equivalent [`LiveConfig`] (free-running pacing).
+    pub fn to_live(&self) -> LiveConfig {
+        LiveConfig {
+            n: self.n,
+            f: self.f,
+            seed: self.seed,
+            crashes: self.crashes.clone(),
+            pacing: Pacing::FreeRunning {
+                max_delay: self.max_delay,
+                max_step_pause: self.max_step_pause,
+                quiet_period: self.quiet_period,
+                max_duration: self.max_duration,
+            },
+        }
+    }
 }
 
 /// Outcome of a threaded run.
@@ -81,277 +101,32 @@ pub struct RuntimeReport {
     pub steps: Vec<u64>,
 }
 
-/// Per-node result slot: the final rumor set and local step count, filled in
-/// when the node's thread exits.
-type ResultSlots = Vec<Option<(RumorSet, u64)>>;
-
-struct Wire<M> {
-    payload: M,
-    from: ProcessId,
-    deliver_after: Instant,
-}
-
-/// A received message waiting out its injected delay, ordered for a min-heap
-/// on `(deliver_after, seq)` so the delay buffer is deadline-indexed like the
-/// simulator's network (no per-step linear scan), with FIFO tie-breaking.
-struct Pending<M> {
-    deliver_after: Instant,
-    /// Receiver-side arrival counter; unique per node.
-    seq: u64,
-    from: ProcessId,
-    payload: M,
-}
-
-impl<M> PartialEq for Pending<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.seq == other.seq
-    }
-}
-
-impl<M> Eq for Pending<M> {}
-
-impl<M> PartialOrd for Pending<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Pending<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other
-            .deliver_after
-            .cmp(&self.deliver_after)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-struct Shared {
-    stop: AtomicBool,
-    sent: AtomicU64,
-    delivered: AtomicU64,
-    last_activity_ms: AtomicU64,
-    started: Instant,
-}
-
-impl Shared {
-    fn touch(&self) {
-        let elapsed = self.started.elapsed().as_millis() as u64;
-        self.last_activity_ms.store(elapsed, Ordering::Relaxed);
-    }
-
-    fn since_last_activity(&self) -> Duration {
-        let last = self.last_activity_ms.load(Ordering::Relaxed);
-        let now = self.started.elapsed().as_millis() as u64;
-        Duration::from_millis(now.saturating_sub(last))
-    }
-}
-
 /// Runs every node of the protocol produced by `make` on its own thread until
 /// the system goes quiet or the wall-clock limit expires.
+///
+/// Equivalent to [`run_live`] over the in-process [`ChannelTransport`] with
+/// [`Pacing::FreeRunning`]; every message is encoded to bytes and decoded
+/// back through [`agossip_core::codec`] on the way.
 pub fn run_threaded<G, F>(config: &RuntimeConfig, make: F) -> RuntimeReport
 where
-    G: GossipEngine + Send + 'static,
-    G::Msg: Send,
+    G: GossipEngine + Send,
+    G::Msg: WireCodec + PartialEq,
     F: Fn(GossipCtx) -> G,
 {
-    assert!(config.n > 0, "need at least one process");
-    assert!(config.f < config.n, "f must be < n");
-
-    let n = config.n;
-    let mut senders: Vec<Sender<Wire<G::Msg>>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Receiver<Wire<G::Msg>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-
-    let shared = Arc::new(Shared {
-        stop: AtomicBool::new(false),
-        sent: AtomicU64::new(0),
-        delivered: AtomicU64::new(0),
-        last_activity_ms: AtomicU64::new(0),
-        started: Instant::now(),
-    });
-    let quiescent_flags: Arc<Vec<AtomicBool>> =
-        Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
-    let results: Arc<Mutex<ResultSlots>> = Arc::new(Mutex::new(vec![None; n]));
-
-    let mut handles = Vec::with_capacity(n);
-    for (i, rx) in receivers.into_iter().enumerate() {
-        let pid = ProcessId(i);
-        let engine = make(GossipCtx::new(pid, n, config.f, config.seed));
-        let senders = senders.clone();
-        let shared = Arc::clone(&shared);
-        let quiescent_flags = Arc::clone(&quiescent_flags);
-        let results = Arc::clone(&results);
-        let crash_after = config
-            .crashes
-            .iter()
-            .find(|(victim, _)| *victim == pid)
-            .map(|(_, steps)| *steps);
-        let max_delay = config.max_delay;
-        let max_pause = config.max_step_pause;
-        let seed = config.seed;
-        let handle = thread::spawn(move || {
-            node_loop(
-                pid,
-                engine,
-                rx,
-                senders,
-                shared,
-                quiescent_flags,
-                results,
-                crash_after,
-                max_delay,
-                max_pause,
-                seed,
-            )
-        });
-        handles.push(handle);
-    }
-    drop(senders);
-
-    // Coordinator: wait for sustained quiet or the wall-clock limit.
-    let quiescent = loop {
-        thread::sleep(Duration::from_millis(5));
-        let elapsed = shared.started.elapsed();
-        if elapsed >= config.max_duration {
-            break false;
-        }
-        let all_quiet = quiescent_flags
-            .iter()
-            .all(|flag| flag.load(Ordering::Relaxed));
-        if all_quiet && shared.since_last_activity() >= config.quiet_period {
-            break true;
-        }
-    };
-    shared.stop.store(true, Ordering::Relaxed);
-    for handle in handles {
-        let _ = handle.join();
-    }
-
-    let elapsed = shared.started.elapsed();
-    let collected = results.lock();
-    let mut final_rumors = Vec::with_capacity(n);
-    let mut steps = Vec::with_capacity(n);
-    for entry in collected.iter() {
-        match entry {
-            Some((rumors, step_count)) => {
-                final_rumors.push(rumors.clone());
-                steps.push(*step_count);
-            }
-            None => {
-                final_rumors.push(RumorSet::new());
-                steps.push(0);
-            }
-        }
-    }
-    let correct: Vec<bool> = ProcessId::all(n)
-        .map(|pid| !config.crashes.iter().any(|(victim, _)| *victim == pid))
-        .collect();
-
+    // The channel transport itself cannot fail, but config validation can:
+    // surface its message directly (the historical harness asserted the
+    // same invariants inline).
+    let report =
+        run_live(&config.to_live(), &ChannelTransport, make).unwrap_or_else(|e| panic!("{e}"));
     RuntimeReport {
-        messages_sent: shared.sent.load(Ordering::Relaxed),
-        messages_delivered: shared.delivered.load(Ordering::Relaxed),
-        final_rumors,
-        correct,
-        quiescent,
-        elapsed,
-        steps,
+        messages_sent: report.messages_sent,
+        messages_delivered: report.messages_delivered,
+        final_rumors: report.final_rumors,
+        correct: report.correct,
+        quiescent: report.quiescent,
+        elapsed: report.elapsed,
+        steps: report.steps,
     }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn node_loop<G>(
-    pid: ProcessId,
-    mut engine: G,
-    rx: Receiver<Wire<G::Msg>>,
-    senders: Vec<Sender<Wire<G::Msg>>>,
-    shared: Arc<Shared>,
-    quiescent_flags: Arc<Vec<AtomicBool>>,
-    results: Arc<Mutex<ResultSlots>>,
-    crash_after: Option<u64>,
-    max_delay: Duration,
-    max_pause: Duration,
-    seed: u64,
-) where
-    G: GossipEngine,
-{
-    let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0xA51C, RngStream::Process(pid)));
-    let mut pending: std::collections::BinaryHeap<Pending<G::Msg>> =
-        std::collections::BinaryHeap::new();
-    let mut pending_seq = 0u64;
-    let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
-    let mut steps = 0u64;
-
-    loop {
-        if shared.stop.load(Ordering::Relaxed) {
-            break;
-        }
-        if let Some(limit) = crash_after {
-            if steps >= limit {
-                break; // crash: halt permanently, deliver nothing further
-            }
-        }
-
-        // Drain the channel into the deadline-indexed delay buffer.
-        while let Ok(wire) = rx.try_recv() {
-            pending.push(Pending {
-                deliver_after: wire.deliver_after,
-                seq: pending_seq,
-                from: wire.from,
-                payload: wire.payload,
-            });
-            pending_seq += 1;
-        }
-
-        // Deliver everything whose injected delay has expired; the heap top
-        // is the earliest deadline, so this touches only due messages.
-        let now = Instant::now();
-        while pending.peek().is_some_and(|p| p.deliver_after <= now) {
-            let p = pending.pop().expect("peeked element");
-            engine.deliver(p.from, p.payload);
-            shared.delivered.fetch_add(1, Ordering::Relaxed);
-            shared.touch();
-        }
-
-        // One local step.
-        out.clear();
-        engine.local_step(&mut out);
-        steps += 1;
-        if !out.is_empty() {
-            shared.sent.fetch_add(out.len() as u64, Ordering::Relaxed);
-            shared.touch();
-            let now = Instant::now();
-            for (to, msg) in out.drain(..) {
-                let delay =
-                    Duration::from_micros(rng.gen_range(0..=max_delay.as_micros().max(1) as u64));
-                // A send to a crashed (terminated) node fails; that is
-                // exactly a message that is never delivered.
-                let _ = senders[to.index()].send(Wire {
-                    payload: msg,
-                    from: pid,
-                    deliver_after: now + delay,
-                });
-            }
-        }
-
-        quiescent_flags[pid.index()].store(
-            engine.is_quiescent() && pending.is_empty(),
-            Ordering::Relaxed,
-        );
-
-        // Pace the next step (the role of δ).
-        let pause = Duration::from_micros(rng.gen_range(0..=max_pause.as_micros().max(1) as u64));
-        thread::sleep(pause);
-    }
-
-    // Whether the node crashed or the run is over, it will never send again:
-    // mark it quiescent so the coordinator is not blocked on a crashed node.
-    quiescent_flags[pid.index()].store(true, Ordering::Relaxed);
-    let mut slot = results.lock();
-    slot[pid.index()] = Some((engine.rumors().clone(), steps));
 }
 
 #[cfg(test)]

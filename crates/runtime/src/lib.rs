@@ -1,15 +1,25 @@
 //! # agossip-runtime
 //!
-//! A thread-per-process runtime for the gossip protocols in `agossip-core`.
+//! A live message-passing runtime for the gossip protocols in
+//! `agossip-core`: real OS threads exchanging real byte frames over real
+//! transports.
 //!
 //! The discrete-event simulator in `agossip-sim` is the right tool for
-//! measuring complexity (it controls and counts every step), but it is still
-//! a single-threaded loop. This crate demonstrates that the very same
-//! protocol state machines are genuinely *asynchronous* algorithms: each
-//! process runs on its own OS thread with its own pacing, messages travel
-//! through channels with randomized injected delays, and processes may be
-//! crashed mid-execution — there is no global clock and no round structure
-//! anywhere.
+//! measuring complexity (it controls and counts every step), but it is a
+//! single-threaded loop moving typed values. This crate runs the very same
+//! protocol state machines as a *system*:
+//!
+//! * every message crosses a [`transport::Transport`] as encoded bytes
+//!   (the [`agossip_core::codec`] wire format) — in-process channels, or
+//!   loopback TCP / Unix-domain sockets with kernel-level framing;
+//! * each process runs a per-thread event loop that decodes frames, drives
+//!   the engine and encodes its output;
+//! * the [`driver::LiveDriver`-style entry point][driver::run_live] runs
+//!   `n` concurrent processes to gossip completion under either
+//!   deterministic lockstep pacing (bit-identical per seed) or free-running
+//!   pacing (real scheduling nondeterminism);
+//! * crash injection kills live processes mid-run, mirroring the
+//!   simulator's adversary.
 //!
 //! The runtime mirrors the paper's model:
 //!
@@ -17,11 +27,24 @@
 //!   arrived and is past its injected delay, compute, send);
 //! * the injected per-message delay bound plays the role of `d`;
 //! * the per-node pacing jitter plays the role of `δ`;
-//! * crash injection halts a thread permanently.
+//! * crash injection halts a node permanently.
+//!
+//! The original [`harness::run_threaded`] API survives as a veneer over
+//! [`driver::run_live`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
+mod error;
+mod event_loop;
 pub mod harness;
+pub mod transport;
 
+pub use driver::{run_live, LiveConfig, LiveReport, Pacing};
+pub use error::RuntimeError;
+pub use event_loop::RunStats;
 pub use harness::{run_threaded, RuntimeConfig, RuntimeReport};
+pub use transport::{
+    ChannelTransport, Endpoint, RawFrame, SendOutcome, SocketKind, SocketTransport, Transport,
+};

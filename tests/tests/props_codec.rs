@@ -1,0 +1,234 @@
+//! Property-based tests on the byte-level wire codec: round-trip identity
+//! for arbitrary messages of all six kinds at arbitrary system sizes, the
+//! WireSize/encoded-bytes proportionality bounds, and corrupt-frame fuzzing
+//! (truncation and bit flips must yield typed errors, never panics).
+//!
+//! These run in debug mode as part of tier-1.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use agossip_core::codec::{MAX_BYTES_PER_UNIT, MAX_UNITS_PER_BYTE};
+use agossip_core::informed_list::InformedList;
+use agossip_core::tears::TearsFlag;
+use agossip_core::{
+    CodecError, EarsMessage, Rumor, RumorSet, SearsMessage, SyncMessage, TearsMessage, Trivial,
+    TrivialMessage, WireCodec, WireSize,
+};
+use agossip_sim::ProcessId;
+
+/// System sizes from degenerate to several bitmap words.
+fn n_strategy() -> impl Strategy<Value = usize> {
+    1..300usize
+}
+
+fn rumor_set_strategy(n: usize) -> impl Strategy<Value = RumorSet> {
+    prop::collection::vec((0..n, any::<u64>()), 0..40).prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(origin, payload)| Rumor::new(ProcessId(origin), payload))
+            .collect()
+    })
+}
+
+fn informed_strategy(n: usize) -> impl Strategy<Value = InformedList> {
+    prop::collection::vec((0..n, 0..n), 0..60).prop_map(|pairs| {
+        let mut list = InformedList::new();
+        for (origin, target) in pairs {
+            list.insert(ProcessId(origin), ProcessId(target));
+        }
+        list
+    })
+}
+
+/// Any of the six wire message kinds, over a universe of size `n`.
+#[derive(Debug, Clone, PartialEq)]
+enum AnyMessage {
+    Trivial(TrivialMessage),
+    Ears(EarsMessage),
+    Sears(SearsMessage),
+    TearsUp(TearsMessage),
+    TearsDown(TearsMessage),
+    Sync(SyncMessage),
+}
+
+impl AnyMessage {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            AnyMessage::Trivial(m) => m.encode(),
+            AnyMessage::Ears(m) => m.encode(),
+            AnyMessage::Sears(m) => m.encode(),
+            AnyMessage::TearsUp(m) | AnyMessage::TearsDown(m) => m.encode(),
+            AnyMessage::Sync(m) => m.encode(),
+        }
+    }
+
+    fn wire_units(&self) -> u64 {
+        match self {
+            AnyMessage::Trivial(m) => m.wire_units(),
+            AnyMessage::Ears(m) => m.wire_units(),
+            AnyMessage::Sears(m) => m.wire_units(),
+            AnyMessage::TearsUp(m) | AnyMessage::TearsDown(m) => m.wire_units(),
+            AnyMessage::Sync(m) => m.wire_units(),
+        }
+    }
+
+    /// Decodes with the matching kind's decoder and re-wraps.
+    fn decode_as_self(&self, bytes: &[u8]) -> Result<AnyMessage, CodecError> {
+        Ok(match self {
+            AnyMessage::Trivial(_) => AnyMessage::Trivial(TrivialMessage::decode(bytes)?),
+            AnyMessage::Ears(_) => AnyMessage::Ears(EarsMessage::decode(bytes)?),
+            AnyMessage::Sears(_) => AnyMessage::Sears(SearsMessage::decode(bytes)?),
+            AnyMessage::TearsUp(_) => {
+                let m = TearsMessage::decode(bytes)?;
+                match m.flag {
+                    TearsFlag::Up => AnyMessage::TearsUp(m),
+                    TearsFlag::Down => AnyMessage::TearsDown(m),
+                }
+            }
+            AnyMessage::TearsDown(_) => {
+                let m = TearsMessage::decode(bytes)?;
+                match m.flag {
+                    TearsFlag::Up => AnyMessage::TearsUp(m),
+                    TearsFlag::Down => AnyMessage::TearsDown(m),
+                }
+            }
+            AnyMessage::Sync(_) => AnyMessage::Sync(SyncMessage::decode(bytes)?),
+        })
+    }
+}
+
+fn message_strategy() -> impl Strategy<Value = AnyMessage> {
+    n_strategy().prop_flat_map(|n| {
+        (
+            0..6u8,
+            rumor_set_strategy(n),
+            informed_strategy(n),
+            0..n,
+            any::<u64>(),
+        )
+            .prop_map(move |(kind, rumors, informed, origin, payload)| {
+                let rumors = Arc::new(rumors);
+                let informed = Arc::new(informed);
+                match kind {
+                    0 => AnyMessage::Trivial(TrivialMessage {
+                        rumor: Rumor::new(ProcessId(origin), payload),
+                    }),
+                    1 => AnyMessage::Ears(EarsMessage { rumors, informed }),
+                    2 => AnyMessage::Sears(SearsMessage { rumors, informed }),
+                    3 => AnyMessage::TearsUp(TearsMessage {
+                        rumors,
+                        flag: TearsFlag::Up,
+                    }),
+                    4 => AnyMessage::TearsDown(TearsMessage {
+                        rumors,
+                        flag: TearsFlag::Down,
+                    }),
+                    _ => AnyMessage::Sync(SyncMessage { rumors }),
+                }
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `decode(encode(m)) == m` for arbitrary messages of all six kinds at
+    /// arbitrary n.
+    #[test]
+    fn round_trip_is_identity(msg in message_strategy()) {
+        let encoded = msg.encode();
+        let decoded = msg.decode_as_self(&encoded).expect("round trip must decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The abstract wire-unit count and the encoded byte count are mutually
+    /// proportional, for every message: this is what lets the simulator's
+    /// unit metrics stand in for real bit complexity.
+    #[test]
+    fn wire_units_are_proportional_to_encoded_bytes(msg in message_strategy()) {
+        let bytes = msg.encode().len();
+        let units = msg.wire_units();
+        prop_assert!(
+            bytes as u64 <= MAX_BYTES_PER_UNIT as u64 * units,
+            "{bytes} bytes exceed {MAX_BYTES_PER_UNIT}·{units} units"
+        );
+        prop_assert!(
+            units <= MAX_UNITS_PER_BYTE * bytes as u64,
+            "{units} units exceed {MAX_UNITS_PER_BYTE}·{bytes} bytes"
+        );
+    }
+
+    /// Every strict prefix of a valid frame fails to decode with a typed
+    /// error — and never panics.
+    #[test]
+    fn truncated_frames_yield_typed_errors(msg in message_strategy(), cut in 0.0..1.0f64) {
+        let encoded = msg.encode();
+        let len = ((encoded.len() as f64) * cut) as usize; // < encoded.len()
+        let result = msg.decode_as_self(&encoded[..len]);
+        prop_assert!(result.is_err(), "a strict prefix decoded");
+    }
+
+    /// Arbitrary single-bit corruption either still decodes (the flipped bit
+    /// landed in a payload) or fails with a typed error — and never panics.
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        msg in message_strategy(),
+        pos in 0.0..1.0f64,
+        bit in 0..8u32,
+    ) {
+        let mut encoded = msg.encode();
+        let index = ((encoded.len() as f64) * pos) as usize % encoded.len();
+        encoded[index] ^= 1 << bit;
+        // The outcome (Ok with different content, or any CodecError) is
+        // data-dependent; the property is the absence of panics and of
+        // unbounded allocations.
+        let _ = msg.decode_as_self(&encoded);
+    }
+
+    /// Arbitrary garbage bytes never panic any decoder.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = TrivialMessage::decode(&bytes);
+        let _ = EarsMessage::decode(&bytes);
+        let _ = SearsMessage::decode(&bytes);
+        let _ = TearsMessage::decode(&bytes);
+        let _ = SyncMessage::decode(&bytes);
+    }
+
+    /// Cross-kind confusion is caught: a frame of one kind fed to another
+    /// kind's decoder is a `BadKind` error, not a misparse.
+    #[test]
+    fn wrong_kind_decoders_reject_valid_frames(msg in message_strategy()) {
+        let encoded = msg.encode();
+        if !matches!(msg, AnyMessage::Trivial(_)) {
+            prop_assert!(matches!(
+                TrivialMessage::decode(&encoded),
+                Err(CodecError::BadKind(_))
+            ));
+        }
+        if !matches!(msg, AnyMessage::Sync(_)) {
+            prop_assert!(matches!(
+                SyncMessage::decode(&encoded),
+                Err(CodecError::BadKind(_))
+            ));
+        }
+    }
+}
+
+/// A protocol engine's own messages survive the codec: drive a real
+/// `Trivial` engine, encode everything it emits, decode, and compare.
+#[test]
+fn engine_emitted_messages_round_trip() {
+    use agossip_core::{GossipCtx, GossipEngine};
+    let ctx = GossipCtx::new(ProcessId(2), 8, 1, 99);
+    let mut engine = Trivial::new(ctx);
+    let mut out = Vec::new();
+    engine.local_step(&mut out);
+    assert_eq!(out.len(), 7);
+    for (_, msg) in out {
+        let decoded = TrivialMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+}

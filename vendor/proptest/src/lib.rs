@@ -109,6 +109,20 @@ pub trait Strategy {
             map,
         }
     }
+
+    /// Derives a second strategy from every generated value and draws from
+    /// it (dependent generation, e.g. "a size n, then a set over `0..n`").
+    fn prop_flat_map<S2, F>(self, flat_map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap {
+            strategy: self,
+            flat_map,
+        }
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -127,6 +141,26 @@ where
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.map)(self.strategy.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    strategy: S,
+    flat_map: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.flat_map)(self.strategy.generate(rng)).generate(rng)
     }
 }
 
