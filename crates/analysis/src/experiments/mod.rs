@@ -20,6 +20,7 @@
 //! | [`ablation`] | DESIGN.md ablations — sweeping the hidden `Θ(·)` constants |
 //! | [`robustness`] | Theorems 6/7/12 — correctness across the oblivious adversary family |
 //! | [`live`] | the live runtime: protocols over the byte codec on OS threads |
+//! | [`scale`] | checker-verified `tears` at `n` up to 65 536 (scaled constants) |
 
 pub mod ablation;
 pub mod bit_complexity;
@@ -28,6 +29,7 @@ pub mod common;
 pub mod live;
 pub mod lower_bound;
 pub mod robustness;
+pub mod scale;
 pub mod sears_sweep;
 pub mod table1;
 pub mod table2;
@@ -48,6 +50,7 @@ pub use lower_bound::{run_lower_bound_experiment, run_lower_bound_experiment_wit
 pub use robustness::{
     default_environments, run_robustness, run_robustness_with, AdversaryEnvironment, RobustnessRow,
 };
+pub use scale::{run_scale, run_scale_with, scale_tears_params, tears_params_for_a, ScaleRow};
 pub use sears_sweep::{run_sears_sweep, run_sears_sweep_with, SearsSweepRow};
 pub use table1::{run_table1, run_table1_with, table1_to_table, Table1Row};
 pub use table2::{run_table2, run_table2_with, table2_to_table, Table2Row};

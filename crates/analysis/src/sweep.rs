@@ -54,7 +54,7 @@ use agossip_core::{
 use agossip_sim::rng::trial_seed;
 use agossip_sim::{
     Adversary, EnvelopeMeta, FairObliviousAdversary, SimConfig, SimError, SimResult, StepPlan,
-    SystemView,
+    SystemView, MAX_PROCESSES,
 };
 use crossbeam::channel;
 
@@ -677,8 +677,8 @@ impl Scenario {
 /// The catalogue of every registered scenario, one per experiment driver.
 pub fn registry() -> Vec<Scenario> {
     use crate::experiments::{
-        ablation, bit_complexity, coa, live, lower_bound, robustness, sears_sweep, table1, table2,
-        tears_lemmas,
+        ablation, bit_complexity, coa, live, lower_bound, robustness, scale, sears_sweep, table1,
+        table2, tears_lemmas,
     };
     vec![
         Scenario {
@@ -853,6 +853,20 @@ pub fn registry() -> Vec<Scenario> {
                 live::run_live_sweep_with(pool, scale).map(|rows| live::live_to_table(&rows))
             },
         },
+        Scenario {
+            name: "scale",
+            summary: "checker-verified tears at n up to 65 536 (scaled constants)",
+            artifact: "scaling north star (ROADMAP)",
+            example: "cargo run --release -p agossip-bench --bin scale_baseline",
+            trials_apply: true,
+            // One trial per size: a single tears n = 65 536 trial (tens of
+            // millions of messages, ~GB-scale peak RSS) is the point of the
+            // scenario. CI's scale_smoke job runs it at n = 4096 only.
+            default_scale: scale::scale_default_scale,
+            runner: |sc, pool| {
+                scale::run_scale_with(pool, sc).map(|rows| scale::scale_to_table(&rows))
+            },
+        },
     ]
 }
 
@@ -952,7 +966,18 @@ impl SweepArgs {
                     let list = value_for("--n")?;
                     let values: Result<Vec<usize>, _> =
                         list.split(',').map(|v| v.trim().parse()).collect();
-                    parsed.n_values = Some(values.map_err(|e| invalid(format!("--n: {e}")))?);
+                    let values = values.map_err(|e| invalid(format!("--n: {e}")))?;
+                    // Catch a size the simulator would reject anyway before
+                    // a multi-point sweep burns wall-clock getting there
+                    // (the n/64 word math is kept within 32-bit indices;
+                    // see agossip_sim::MAX_PROCESSES).
+                    if let Some(&too_big) = values.iter().find(|&&n| n > MAX_PROCESSES) {
+                        return Err(invalid(format!(
+                            "--n: {too_big} exceeds the supported maximum of \
+                             {MAX_PROCESSES} (2^20) processes"
+                        )));
+                    }
+                    parsed.n_values = Some(values);
                 }
                 "--list" => parsed.list = true,
                 "--help" | "-h" => return Err(SweepArgsError::HelpRequested),
@@ -1161,11 +1186,11 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let registry = registry();
-        assert_eq!(registry.len(), 10);
+        assert_eq!(registry.len(), 11);
         let mut names: Vec<&str> = registry.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10, "duplicate scenario names");
+        assert_eq!(names.len(), 11, "duplicate scenario names");
         for name in names {
             assert!(find_scenario(name).is_some());
         }
@@ -1229,6 +1254,17 @@ mod tests {
             SweepArgs::parse(["--bogus".into()]),
             Err(SweepArgsError::Invalid(_))
         ));
+        // The largest supported size parses; one past it is rejected with a
+        // message naming the cap.
+        let at_cap = format!("{MAX_PROCESSES}");
+        assert!(SweepArgs::parse(["--n".into(), at_cap]).is_ok());
+        let past_cap = format!("16,{}", MAX_PROCESSES + 1);
+        match SweepArgs::parse(["--n".into(), past_cap]) {
+            Err(SweepArgsError::Invalid(message)) => {
+                assert!(message.contains("2^20"), "{message}")
+            }
+            other => panic!("oversized --n must be rejected, got {other:?}"),
+        }
         assert_eq!(
             SweepArgs::parse(["--help".into()]),
             Err(SweepArgsError::HelpRequested)

@@ -1,7 +1,7 @@
 //! The CI bench-regression gate.
 //!
-//! Re-runs the scheduler, rumor-set and sweep baselines at reduced (but
-//! release-mode) scale and compares every pinned metric against the
+//! Re-runs the scheduler, rumor-set, sweep and scale baselines at reduced
+//! (but release-mode) scale and compares every pinned metric against the
 //! committed `BENCH_*.json` trajectories at the repository root. The
 //! tolerance is deliberately generous — the gate fails only when a pinned
 //! row is more than `--factor` (default 2.5×) slower than its committed
@@ -28,9 +28,11 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use agossip_analysis::experiments::scale::{scale_default_scale, scale_tears_params};
 use agossip_analysis::experiments::table1::run_table1_with;
 use agossip_analysis::experiments::ExperimentScale;
 use agossip_analysis::sweep::TrialPool;
+use agossip_analysis::{ScenarioSpec, TrialProtocol};
 use agossip_bench::hotloop::{run_oblivious, run_withheld};
 use agossip_bench::json::Json;
 use agossip_bench::rumorset::{dense_evens, dense_odds};
@@ -302,22 +304,113 @@ fn check_sweep(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scale baseline (checker-verified tears at n = 4 096 with scaled constants)
+// ---------------------------------------------------------------------------
+
+fn check_scale(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
+    // Only the smallest point of the scale grid is re-run here: the gate
+    // must stay minutes-cheap, and a regression in the adaptive-set or
+    // sharded-scheduler hot paths shows up at n = 4 096 just as it would at
+    // 65 536 (the committed larger rows are regenerated via the
+    // `scale_baseline` binary when the trajectory is refreshed).
+    let n = 4096usize;
+    let mut scale = scale_default_scale();
+    scale.n_values = vec![n];
+    let spec = ScenarioSpec::from_scale(TrialProtocol::TearsWith(scale_tears_params(n)), &scale, n);
+    let start = Instant::now();
+    let report = spec
+        .run_trial(0)
+        .unwrap_or_else(|e| bail(&format!("scale tears trial failed to run: {e}")));
+    let secs = start.elapsed().as_secs_f64();
+    if !report.ok {
+        bail(&format!(
+            "the scale tears trial at n = {n} failed its correctness check"
+        ));
+    }
+    let steps = report.time_steps.expect("a verified trial is quiescent");
+    let fresh = steps as f64 / secs;
+    writeln!(
+        fresh_lines,
+        "{{\"label\": \"bench_check\", \"n\": {n}, \"steps\": {steps}, \
+         \"wall_secs\": {secs:.2}, \"steps_per_sec\": {fresh:.3}, \"checker_ok\": true}}"
+    )
+    .expect("write to string");
+    let row = |r: &Json| r.number("n") == Some(n as f64);
+    match committed_number(doc, row, "steps_per_sec") {
+        Some(committed) => checks.push(Check {
+            bench: "scale",
+            metric: format!("steps_per_sec @ n={n} (scaled tears)"),
+            committed,
+            fresh,
+        }),
+        None => bail(&format!("BENCH_scale.json has no row at n={n}")),
+    }
+}
+
+/// Renders the per-row delta table as GitHub-flavoured markdown and appends
+/// it to the file named by `$GITHUB_STEP_SUMMARY`, so a regression is
+/// readable from the workflow summary page without downloading artifacts.
+/// A no-op (and never an error) outside GitHub Actions.
+fn append_step_summary(checks: &[Check], factor: f64, failed: usize) {
+    let Some(path) = std::env::var_os("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    let mut md = String::from("## Bench-regression gate\n\n");
+    md.push_str("| bench | metric | committed | fresh | ratio | verdict |\n");
+    md.push_str("|---|---|---:|---:|---:|---|\n");
+    for check in checks {
+        let _ = writeln!(
+            md,
+            "| {} | {} | {:.1} | {:.1} | {:.2}x | {} |",
+            check.bench,
+            check.metric,
+            check.committed,
+            check.fresh,
+            check.ratio(),
+            if check.ok(factor) {
+                "ok"
+            } else {
+                "**REGRESSION**"
+            }
+        );
+    }
+    let _ = writeln!(
+        md,
+        "\n{} of {} pinned metrics within the {factor}x tolerance.",
+        checks.len() - failed,
+        checks.len()
+    );
+    if let Err(e) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, md.as_bytes()))
+    {
+        eprintln!("could not append to GITHUB_STEP_SUMMARY: {e}");
+    }
+}
+
 fn main() {
     let args = parse_args();
     let scheduler = load(&args.baseline_dir, "BENCH_scheduler.json");
     let rumorset = load(&args.baseline_dir, "BENCH_rumorset.json");
     let sweep = load(&args.baseline_dir, "BENCH_sweep.json");
+    let scale = load(&args.baseline_dir, "BENCH_scale.json");
 
     let mut checks = Vec::new();
     let mut fresh_scheduler = String::new();
     let mut fresh_rumorset = String::new();
     let mut fresh_sweep = String::new();
+    let mut fresh_scale = String::new();
     eprintln!("re-running the scheduler hot-loop baseline…");
     check_scheduler(&scheduler, &mut checks, &mut fresh_scheduler);
     eprintln!("re-running the rumor-set micro baseline…");
     check_rumorset(&rumorset, &mut checks, &mut fresh_rumorset);
     eprintln!("re-running the sweep toy baseline…");
     check_sweep(&sweep, &mut checks, &mut fresh_sweep);
+    eprintln!("re-running the scale n=4096 baseline…");
+    check_scale(&scale, &mut checks, &mut fresh_scale);
 
     // Persist the fresh measurements for the CI artifact upload.
     std::fs::create_dir_all(&args.out_dir)
@@ -327,6 +420,7 @@ fn main() {
         ("BENCH_scheduler.fresh.jsonl", &fresh_scheduler),
         ("BENCH_rumorset.fresh.jsonl", &fresh_rumorset),
         ("BENCH_sweep.fresh.jsonl", &fresh_sweep),
+        ("BENCH_scale.fresh.jsonl", &fresh_scale),
     ] {
         std::fs::write(args.out_dir.join(file), lines)
             .unwrap_or_else(|e| bail(&format!("writing {file}: {e}")));
@@ -370,6 +464,7 @@ fn main() {
     );
     std::fs::write(args.out_dir.join("BENCH_check_report.json"), report)
         .unwrap_or_else(|e| bail(&format!("writing report: {e}")));
+    append_step_summary(&checks, args.factor, failed);
 
     if failed > 0 {
         eprintln!(

@@ -339,6 +339,7 @@ mod tests {
             "BENCH_scheduler.json",
             "BENCH_rumorset.json",
             "BENCH_sweep.json",
+            "BENCH_scale.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string() + "/" + name;
             let text =

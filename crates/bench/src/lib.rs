@@ -136,21 +136,28 @@ pub mod rumorset {
         }
     }
 
-    /// Every even origin of `0..n` (half-full set), dense representation.
+    /// Every even origin of `0..n` (half-full set), forced to the dense
+    /// representation: these helpers pin the dense word-packed paths the
+    /// committed micro rows were measured on, independent of where the
+    /// adaptive sparse→dense crossover happens to sit.
     pub fn dense_evens(n: usize) -> RumorSet {
-        (0..n)
+        let mut s: RumorSet = (0..n)
             .step_by(2)
             .map(|i| Rumor::new(ProcessId(i), i as u64))
-            .collect()
+            .collect();
+        s.force_dense();
+        s
     }
 
-    /// Every odd origin of `0..n` (the disjoint other half), dense.
+    /// Every odd origin of `0..n` (the disjoint other half), forced dense.
     pub fn dense_odds(n: usize) -> RumorSet {
-        (0..n)
+        let mut s: RumorSet = (0..n)
             .skip(1)
             .step_by(2)
             .map(|i| Rumor::new(ProcessId(i), i as u64))
-            .collect()
+            .collect();
+        s.force_dense();
+        s
     }
 
     /// Every even origin of `0..n`, baseline representation.

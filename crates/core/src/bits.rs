@@ -1,14 +1,42 @@
-//! A growable word-packed bitset: the shared representation machinery behind
-//! [`crate::rumor::RumorSet`] and [`crate::informed_list::InformedList`].
+//! Word-packed and adaptive bitsets: the shared representation machinery
+//! behind [`crate::rumor::RumorSet`] and
+//! [`crate::informed_list::InformedList`].
 //!
-//! Both collections live over the fixed universe `0..n` of process indices,
-//! so membership packs into `⌈n/64⌉` machine words: `contains` is a bit test,
-//! `union` is a word-wise OR, and iteration walks set bits in ascending index
-//! order (which is exactly the origin order the old tree-based
-//! representations produced). The capacity grows on demand because the
-//! collections are constructed before `n` is known to them; two sets that
-//! hold the same indices compare equal regardless of how much capacity each
-//! happens to have allocated.
+//! Both collections live over the fixed universe `0..n` of process indices.
+//! [`WordSet`] packs membership 64 indices per word: `contains` is a bit
+//! test, `union` is a word-wise OR, and iteration walks set bits in
+//! ascending index order (which is exactly the origin order the old
+//! tree-based representations produced). The capacity grows on demand
+//! because the collections are constructed before `n` is known to them; two
+//! sets that hold the same indices compare equal regardless of how much
+//! capacity each happens to have allocated.
+//!
+//! [`AdaptiveSet`] is the roaring-bitmap-style wrapper that makes the same
+//! semantics affordable at `n = 65 536`: a set starts as a sorted sparse id
+//! list (16 bytes per element, independent of the universe size) and
+//! promotes — once, irreversibly — to the dense word-packed form when it
+//! grows past [`ADAPTIVE_SPARSE_LIMIT`] elements. Every observable
+//! behaviour (membership, union deltas, ascending iteration order,
+//! equality) is identical in both representations, so executions are
+//! bit-for-bit unchanged; only the memory touched by small sets shrinks
+//! from `Θ(n)` to `O(|set|)`.
+
+use std::borrow::Cow;
+
+/// The sparse→dense crossover: an `AdaptiveSet` (and the sparse entry
+/// list inside `RumorSet`) promotes to the word-packed form as soon as it
+/// holds more than this many elements. At 16 bytes per sparse element the
+/// sparse form caps at ~4 KiB — about the dense bitmap cost at
+/// `n = 32 768` — while staying small enough that sorted-merge unions of
+/// two sparse sets are cheap.
+pub const ADAPTIVE_SPARSE_LIMIT: usize = 256;
+
+/// Presence words with trailing zero words trimmed (the capacity a set has
+/// grown to is not part of its value).
+pub(crate) fn trimmed(words: &[u64]) -> &[u64] {
+    let len = words.len() - words.iter().rev().take_while(|&&w| w == 0).count();
+    &words[..len]
+}
 
 /// A set of `usize` indices packed 64 per word.
 #[derive(Clone, Default)]
@@ -81,38 +109,268 @@ impl WordSet {
     }
 
     /// Iterates over the set indices in ascending order.
-    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words
-            .iter()
-            .enumerate()
-            .flat_map(|(w, &word)| BitIter { word }.map(move |b| w * 64 + b))
-    }
-
-    /// Capacity-insensitive equality: same indices, regardless of how many
-    /// trailing zero words either side has allocated.
-    pub(crate) fn eq_bits(&self, other: &WordSet) -> bool {
-        let common = self.words.len().min(other.words.len());
-        self.words[..common] == other.words[..common]
-            && self.words[common..].iter().all(|&w| w == 0)
-            && other.words[common..].iter().all(|&w| w == 0)
+    pub(crate) fn iter(&self) -> WordSetIter<'_> {
+        WordSetIter {
+            words: &self.words,
+            w: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 }
 
-/// Iterates the set bit positions of one word, low bit first.
-struct BitIter {
-    word: u64,
+/// Ascending iterator over a [`WordSet`]'s indices.
+pub(crate) struct WordSetIter<'a> {
+    words: &'a [u64],
+    w: usize,
+    current: u64,
 }
 
-impl Iterator for BitIter {
+impl Iterator for WordSetIter<'_> {
     type Item = usize;
 
     fn next(&mut self) -> Option<usize> {
-        if self.word == 0 {
-            return None;
+        while self.current == 0 {
+            self.w += 1;
+            if self.w >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.w];
         }
-        let bit = self.word.trailing_zeros() as usize;
-        self.word &= self.word - 1;
-        Some(bit)
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.w * 64 + bit)
+    }
+}
+
+/// An index set that adapts its representation to its cardinality: sorted
+/// sparse ids below [`ADAPTIVE_SPARSE_LIMIT`], the dense word-packed
+/// [`WordSet`] above it. Promotion is one-way — a set that has gone dense
+/// stays dense — so a long-lived set settles into the representation its
+/// steady state wants.
+#[derive(Clone)]
+pub(crate) enum AdaptiveSet {
+    /// Sorted ascending, no duplicates.
+    Sparse(Vec<u32>),
+    /// The word-packed form.
+    Dense(WordSet),
+}
+
+impl Default for AdaptiveSet {
+    fn default() -> Self {
+        AdaptiveSet::Sparse(Vec::new())
+    }
+}
+
+impl AdaptiveSet {
+    /// Creates an empty set (sparse).
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the set holds no index.
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            AdaptiveSet::Sparse(ids) => ids.is_empty(),
+            AdaptiveSet::Dense(words) => words.words().iter().all(|&w| w == 0),
+        }
+    }
+
+    /// True if the set is in the dense word-packed representation.
+    #[cfg(test)]
+    pub(crate) fn is_dense(&self) -> bool {
+        matches!(self, AdaptiveSet::Dense(_))
+    }
+
+    /// True if `index` is in the set.
+    pub(crate) fn contains(&self, index: usize) -> bool {
+        match self {
+            AdaptiveSet::Sparse(ids) => {
+                u32::try_from(index).is_ok_and(|id| ids.binary_search(&id).is_ok())
+            }
+            AdaptiveSet::Dense(words) => words.contains(index),
+        }
+    }
+
+    /// Switches to the dense representation (no-op if already dense).
+    pub(crate) fn promote(&mut self) {
+        if let AdaptiveSet::Sparse(ids) = self {
+            let mut words = WordSet::new();
+            if let Some(&max) = ids.last() {
+                words.ensure_words(max as usize / 64 + 1);
+            }
+            for &id in ids.iter() {
+                words.insert(id as usize);
+            }
+            *self = AdaptiveSet::Dense(words);
+        }
+    }
+
+    /// Inserts `index`. Returns `true` if it was not present before.
+    /// Promotes past the crossover (or for indices beyond `u32`, which the
+    /// sparse id list cannot represent).
+    pub(crate) fn insert(&mut self, index: usize) -> bool {
+        match self {
+            AdaptiveSet::Sparse(ids) => {
+                let Ok(id) = u32::try_from(index) else {
+                    self.promote();
+                    return self.insert(index);
+                };
+                match ids.binary_search(&id) {
+                    Ok(_) => false,
+                    Err(pos) => {
+                        ids.insert(pos, id);
+                        if ids.len() > ADAPTIVE_SPARSE_LIMIT {
+                            self.promote();
+                        }
+                        true
+                    }
+                }
+            }
+            AdaptiveSet::Dense(words) => words.insert(index),
+        }
+    }
+
+    /// Merges `other` into `self`. Returns the number of indices added.
+    pub(crate) fn union(&mut self, other: &AdaptiveSet) -> usize {
+        match (&mut *self, other) {
+            (AdaptiveSet::Sparse(own), AdaptiveSet::Sparse(theirs)) => {
+                let added = merge_sorted(own, theirs);
+                if own.len() > ADAPTIVE_SPARSE_LIMIT {
+                    self.promote();
+                }
+                added
+            }
+            (AdaptiveSet::Sparse(_), AdaptiveSet::Dense(_)) => {
+                self.promote();
+                self.union(other)
+            }
+            (AdaptiveSet::Dense(words), AdaptiveSet::Sparse(theirs)) => theirs
+                .iter()
+                .map(|&id| words.insert(id as usize) as usize)
+                .sum(),
+            (AdaptiveSet::Dense(own), AdaptiveSet::Dense(theirs)) => own.union(theirs),
+        }
+    }
+
+    /// True if every index of `other` is in `self`.
+    pub(crate) fn is_superset_of(&self, other: &AdaptiveSet) -> bool {
+        match (self, other) {
+            (AdaptiveSet::Dense(own), AdaptiveSet::Dense(theirs)) => own.is_superset_of(theirs),
+            (_, AdaptiveSet::Sparse(theirs)) => theirs.iter().all(|&id| self.contains(id as usize)),
+            // Self is sparse (≤ the crossover), other dense: every index of
+            // `other` must be one of self's few ids.
+            (AdaptiveSet::Sparse(_), AdaptiveSet::Dense(theirs)) => {
+                theirs.iter().all(|id| self.contains(id))
+            }
+        }
+    }
+
+    /// Iterates over the set indices in ascending order.
+    pub(crate) fn iter(&self) -> AdaptiveIter<'_> {
+        match self {
+            AdaptiveSet::Sparse(ids) => AdaptiveIter::Sparse(ids.iter()),
+            AdaptiveSet::Dense(words) => AdaptiveIter::Dense(words.iter()),
+        }
+    }
+
+    /// ANDs this set into `mask` (one bit per index, `mask[w]` covering
+    /// indices `64w..64w+64`): bits of `mask` whose index is not in the set
+    /// are cleared. Indices beyond the mask are ignored.
+    pub(crate) fn and_into(&self, mask: &mut [u64]) {
+        match self {
+            AdaptiveSet::Sparse(ids) => {
+                let mut next = 0usize;
+                for (w, m) in mask.iter_mut().enumerate() {
+                    let mut own = 0u64;
+                    while next < ids.len() && ids[next] as usize / 64 == w {
+                        own |= 1 << (ids[next] % 64);
+                        next += 1;
+                    }
+                    *m &= own;
+                }
+            }
+            AdaptiveSet::Dense(words) => {
+                let words = words.words();
+                for (w, m) in mask.iter_mut().enumerate() {
+                    *m &= words.get(w).copied().unwrap_or(0);
+                }
+            }
+        }
+    }
+
+    /// The set as trimmed dense words — borrowed when already dense,
+    /// materialized when sparse. This is what the wire codec's dense section
+    /// ships, so the bytes are identical whichever representation the set
+    /// happens to be in.
+    pub(crate) fn to_words(&self) -> Cow<'_, [u64]> {
+        match self {
+            AdaptiveSet::Sparse(ids) => {
+                let Some(&max) = ids.last() else {
+                    return Cow::Owned(Vec::new());
+                };
+                let mut words = vec![0u64; max as usize / 64 + 1];
+                for &id in ids {
+                    words[id as usize / 64] |= 1 << (id % 64);
+                }
+                Cow::Owned(words)
+            }
+            AdaptiveSet::Dense(words) => Cow::Borrowed(trimmed(words.words())),
+        }
+    }
+}
+
+/// Merges sorted `theirs` into sorted `own` (both ascending, duplicate
+/// free). Returns the number of new elements.
+fn merge_sorted(own: &mut Vec<u32>, theirs: &[u32]) -> usize {
+    if theirs.is_empty() {
+        return 0;
+    }
+    // Fast path: everything new lands past the current tail.
+    if own.last().is_none_or(|&tail| tail < theirs[0]) {
+        own.extend_from_slice(theirs);
+        return theirs.len();
+    }
+    let mut merged = Vec::with_capacity(own.len() + theirs.len());
+    let (mut i, mut j, mut added) = (0usize, 0usize, 0usize);
+    while i < own.len() && j < theirs.len() {
+        match own[i].cmp(&theirs[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(own[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(theirs[j]);
+                j += 1;
+                added += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(own[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&own[i..]);
+    added += theirs.len() - j;
+    merged.extend_from_slice(&theirs[j..]);
+    *own = merged;
+    added
+}
+
+/// Ascending iterator over an [`AdaptiveSet`]'s indices.
+pub(crate) enum AdaptiveIter<'a> {
+    Sparse(std::slice::Iter<'a, u32>),
+    Dense(WordSetIter<'a>),
+}
+
+impl Iterator for AdaptiveIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            AdaptiveIter::Sparse(ids) => ids.next().map(|&id| id as usize),
+            AdaptiveIter::Dense(bits) => bits.next(),
+        }
     }
 }
 
@@ -159,28 +417,125 @@ mod tests {
     }
 
     #[test]
-    fn equality_ignores_capacity() {
-        let mut a = WordSet::new();
-        a.insert(1);
-        let mut b = WordSet::new();
-        b.insert(1);
-        b.insert(500);
-        let mut c = WordSet::new();
-        c.insert(1);
-        assert!(a.eq_bits(&c));
-        assert!(!a.eq_bits(&b));
-        // Give `c` extra capacity holding only zeros.
-        c.ensure_words(16);
-        assert!(a.eq_bits(&c));
-        assert!(c.eq_bits(&a));
-    }
-
-    #[test]
     fn or_word_reports_fresh_mask() {
         let mut s = WordSet::new();
         assert_eq!(s.or_word(2, 0b1010), 0b1010);
         assert_eq!(s.or_word(2, 0b1110), 0b0100);
         assert_eq!(s.or_word(5, 0), 0, "zero word neither grows nor sets");
         assert_eq!(s.words().len(), 3);
+    }
+
+    #[test]
+    fn adaptive_starts_sparse_and_promotes_past_the_crossover() {
+        let mut s = AdaptiveSet::new();
+        assert!(!s.is_dense());
+        for i in 0..ADAPTIVE_SPARSE_LIMIT {
+            assert!(s.insert(i * 3));
+        }
+        assert!(!s.is_dense(), "at the limit the set is still sparse");
+        assert!(s.insert(ADAPTIVE_SPARSE_LIMIT * 3));
+        assert!(s.is_dense(), "one past the limit promotes");
+        // Semantics survive the promotion.
+        for i in 0..=ADAPTIVE_SPARSE_LIMIT {
+            assert!(s.contains(i * 3));
+            assert!(!s.contains(i * 3 + 1));
+        }
+        let got: Vec<usize> = s.iter().collect();
+        let want: Vec<usize> = (0..=ADAPTIVE_SPARSE_LIMIT).map(|i| i * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn adaptive_union_matches_in_every_representation_pairing() {
+        let build = |ids: &[usize], dense: bool| {
+            let mut s = AdaptiveSet::new();
+            if dense {
+                s.promote();
+            }
+            for &i in ids {
+                s.insert(i);
+            }
+            s
+        };
+        let a_ids = [1usize, 5, 64, 130];
+        let b_ids = [0usize, 5, 131, 200];
+        for &a_dense in &[false, true] {
+            for &b_dense in &[false, true] {
+                let mut a = build(&a_ids, a_dense);
+                let b = build(&b_ids, b_dense);
+                assert_eq!(a.union(&b), 3, "({a_dense}, {b_dense})");
+                assert_eq!(a.union(&b), 0);
+                let got: Vec<usize> = a.iter().collect();
+                assert_eq!(got, vec![0, 1, 5, 64, 130, 131, 200]);
+                assert!(a.is_superset_of(&b));
+                assert!(!b.is_superset_of(&a));
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_union_promotes_when_the_merge_crosses_the_limit() {
+        let mut a = AdaptiveSet::new();
+        let mut b = AdaptiveSet::new();
+        for i in 0..ADAPTIVE_SPARSE_LIMIT {
+            a.insert(2 * i);
+            b.insert(2 * i + 1);
+        }
+        assert!(!a.is_dense() && !b.is_dense());
+        assert_eq!(a.union(&b), ADAPTIVE_SPARSE_LIMIT);
+        assert!(a.is_dense());
+        assert_eq!(a.iter().count(), 2 * ADAPTIVE_SPARSE_LIMIT);
+    }
+
+    #[test]
+    fn adaptive_and_into_masks_identically_for_both_representations() {
+        let ids = [0usize, 3, 64, 127, 190];
+        let mut sparse = AdaptiveSet::new();
+        let mut dense = AdaptiveSet::new();
+        dense.promote();
+        for &i in &ids {
+            sparse.insert(i);
+            dense.insert(i);
+        }
+        let mut m1 = vec![u64::MAX; 3];
+        let mut m2 = m1.clone();
+        sparse.and_into(&mut m1);
+        dense.and_into(&mut m2);
+        assert_eq!(m1, m2);
+        for i in 0..192 {
+            let set = m1[i / 64] & (1 << (i % 64)) != 0;
+            assert_eq!(set, ids.contains(&i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn adaptive_to_words_is_identical_for_both_representations() {
+        let ids = [1usize, 64, 500];
+        let mut sparse = AdaptiveSet::new();
+        let mut dense = AdaptiveSet::new();
+        dense.promote();
+        for &i in &ids {
+            sparse.insert(i);
+            dense.insert(i);
+        }
+        assert_eq!(sparse.to_words(), dense.to_words());
+        assert!(AdaptiveSet::new().to_words().is_empty());
+        // Dense words are trimmed: trailing capacity is not part of the value.
+        let mut grown = AdaptiveSet::Dense(WordSet::new());
+        grown.insert(1);
+        if let AdaptiveSet::Dense(w) = &mut grown {
+            w.ensure_words(12);
+        }
+        assert_eq!(grown.to_words().len(), 1);
+    }
+
+    #[test]
+    fn merge_sorted_counts_only_new_elements() {
+        let mut own = vec![1, 4, 9];
+        assert_eq!(merge_sorted(&mut own, &[0, 4, 10]), 2);
+        assert_eq!(own, vec![0, 1, 4, 9, 10]);
+        assert_eq!(merge_sorted(&mut own, &[]), 0);
+        assert_eq!(merge_sorted(&mut own, &[11, 12]), 2, "append fast path");
+        assert_eq!(own, vec![0, 1, 4, 9, 10, 11, 12]);
     }
 }

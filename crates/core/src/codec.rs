@@ -258,19 +258,16 @@ fn read_header(reader: &mut Reader<'_>) -> Result<u8, CodecError> {
     reader.u8()
 }
 
-/// Presence words with trailing zero words trimmed (the capacity a set has
-/// grown to is not part of its value).
-fn trimmed(words: &[u64]) -> &[u64] {
-    let len = words.len() - words.iter().rev().take_while(|&&w| w == 0).count();
-    &words[..len]
-}
-
 // ---------------------------------------------------------------------------
 // RumorSet section
 // ---------------------------------------------------------------------------
 
 fn encode_rumor_set(buf: &mut Vec<u8>, set: &RumorSet) {
-    let words = trimmed(set.present_words());
+    // Trimmed dense presence words — borrowed when the set is dense,
+    // materialized when it is sparse, so the sparse-vs-dense choice below
+    // (and therefore every wire byte) depends only on the set's *contents*,
+    // never on its in-memory representation.
+    let words = set.dense_words();
     // The payload varints are common to both representations; compare only
     // the parts that differ: the origin varints vs the raw bitmap words.
     let sparse_ids: usize = varint_len(set.len() as u64)
@@ -289,7 +286,7 @@ fn encode_rumor_set(buf: &mut Vec<u8>, set: &RumorSet) {
     } else {
         buf.push(TAG_DENSE);
         write_varint(buf, words.len() as u64);
-        for &word in words {
+        for &word in words.iter() {
             buf.extend_from_slice(&word.to_le_bytes());
         }
         for rumor in set.iter() {
@@ -343,13 +340,10 @@ fn decode_rumor_set(reader: &mut Reader<'_>) -> Result<RumorSet, CodecError> {
 // ---------------------------------------------------------------------------
 
 fn encode_informed(buf: &mut Vec<u8>, list: &InformedList) {
-    let rows: Vec<(usize, &[u64])> = list
-        .target_rows()
-        .iter()
-        .enumerate()
-        .map(|(origin, row)| (origin, trimmed(row.words())))
-        .filter(|(_, words)| !words.is_empty())
-        .collect();
+    // As with the rumor section: trimmed per-row dense words regardless of
+    // each row's in-memory representation, so the size comparison and the
+    // emitted bytes are a pure function of the list's contents.
+    let rows = list.dense_rows();
     let sparse_size: usize = varint_len(list.len() as u64)
         + list
             .iter()
@@ -372,10 +366,10 @@ fn encode_informed(buf: &mut Vec<u8>, list: &InformedList) {
     } else {
         buf.push(TAG_DENSE);
         write_varint(buf, rows.len() as u64);
-        for (origin, words) in rows {
-            write_varint(buf, origin as u64);
+        for (origin, words) in &rows {
+            write_varint(buf, *origin as u64);
             write_varint(buf, words.len() as u64);
-            for &word in words {
+            for &word in words.iter() {
                 buf.extend_from_slice(&word.to_le_bytes());
             }
         }

@@ -6,28 +6,33 @@
 //! cannot ascertain have been sent every rumor in `V(p)`; the protocol keeps
 //! gossiping while `L(p)` is non-empty.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use agossip_sim::ProcessId;
 
-use crate::bits::WordSet;
+use crate::bits::AdaptiveSet;
 use crate::rumor::RumorSet;
 
 /// The set of `⟨rumor origin, target⟩` pairs a process knows about.
 ///
 /// Rumors are identified by their origin (each origin has exactly one rumor),
 /// so a pair `(r, q)` is stored as `(r.origin, q)` — a point in the fixed
-/// `n × n` universe. The storage is dense: one word-packed target bitset per
-/// origin row, so `contains` is a bit test, [`InformedList::union`] is a
-/// row-by-row word-wise OR (instead of the historical per-pair
-/// `BTreeSet<(ProcessId, ProcessId)>` merge), and the coverage queries that
-/// `ears`/`sears` evaluate every local step reduce to AND-ing the rows of the
-/// known rumors. Iteration yields pairs in ascending `(origin, target)`
-/// order, exactly as the tree representation did.
+/// `n × n` universe. The storage is one target set per origin row, and each
+/// row is *adaptive* (see `crate::bits::AdaptiveSet`): a sorted sparse id
+/// list while the row is small — so an early-phase process at `n = 65 536`
+/// holds a few dozen ids per known rumor instead of `Θ(n)` bitmap words —
+/// promoting per-row to the word-packed form past the crossover, where
+/// `contains` is a bit test, [`InformedList::union`] is a row-by-row
+/// word-wise OR, and the coverage queries that `ears`/`sears` evaluate every
+/// local step reduce to AND-ing the rows of the known rumors. Iteration
+/// yields pairs in ascending `(origin, target)` order in either
+/// representation, exactly as the historical
+/// `BTreeSet<(ProcessId, ProcessId)>` did.
 #[derive(Clone, Default)]
 pub struct InformedList {
     /// `rows[origin]` is the set of targets covered for that origin's rumor.
-    rows: Vec<WordSet>,
+    rows: Vec<AdaptiveSet>,
     len: usize,
 }
 
@@ -37,11 +42,20 @@ impl InformedList {
         Self::default()
     }
 
-    fn row_mut(&mut self, origin: usize) -> &mut WordSet {
+    fn row_mut(&mut self, origin: usize) -> &mut AdaptiveSet {
         if self.rows.len() <= origin {
-            self.rows.resize_with(origin + 1, WordSet::new);
+            self.rows.resize_with(origin + 1, AdaptiveSet::new);
         }
         &mut self.rows[origin]
+    }
+
+    /// Forces every row into the dense representation. A hook for the
+    /// representation-differential tests; never needed in protocol code.
+    #[doc(hidden)]
+    pub fn force_dense(&mut self) {
+        for row in &mut self.rows {
+            row.promote();
+        }
     }
 
     /// Records that the rumor originating at `rumor_origin` has been sent to
@@ -72,7 +86,7 @@ impl InformedList {
     pub fn union(&mut self, other: &InformedList) -> usize {
         let mut added = 0usize;
         for (origin, row) in other.rows.iter().enumerate() {
-            if row.words().iter().all(|&w| w == 0) {
+            if row.is_empty() {
                 continue;
             }
             added += self.row_mut(origin).union(row);
@@ -89,7 +103,7 @@ impl InformedList {
             .enumerate()
             .all(|(origin, row)| match self.rows.get(origin) {
                 Some(own) => own.is_superset_of(row),
-                None => row.words().iter().all(|&w| w == 0),
+                None => row.is_empty(),
             })
     }
 
@@ -115,12 +129,7 @@ impl InformedList {
         }
         for origin in rumors.origins() {
             match self.rows.get(origin.index()) {
-                Some(row) => {
-                    let words = row.words();
-                    for (w, c) in covered.iter_mut().enumerate() {
-                        *c &= words.get(w).copied().unwrap_or(0);
-                    }
-                }
+                Some(row) => row.and_into(&mut covered),
                 None => {
                     covered.fill(0);
                     break;
@@ -157,11 +166,17 @@ impl InformedList {
             && (n.is_multiple_of(64) || covered[full] == (1u64 << (n % 64)) - 1)
     }
 
-    /// The target-bitset rows (indexed by origin), for the wire codec's
-    /// dense section: the encoder ships each non-empty row's words
-    /// byte-for-byte.
-    pub(crate) fn target_rows(&self) -> &[WordSet] {
-        &self.rows
+    /// The non-empty rows as `(origin, trimmed dense words)` — for the wire
+    /// codec's dense section. A row's words are borrowed when it is already
+    /// dense and materialized when it is sparse, so the bytes on the wire
+    /// are identical whichever representation each row happens to be in.
+    pub(crate) fn dense_rows(&self) -> Vec<(usize, Cow<'_, [u64]>)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| !row.is_empty())
+            .map(|(origin, row)| (origin, row.to_words()))
+            .collect()
     }
 
     /// Iterates over the pairs `(rumor origin, target)` in order.
@@ -190,6 +205,7 @@ impl fmt::Debug for InformedList {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bits::ADAPTIVE_SPARSE_LIMIT;
     use crate::rumor::Rumor;
 
     fn rumors(origins: &[usize]) -> RumorSet {
@@ -234,7 +250,7 @@ mod tests {
     }
 
     #[test]
-    fn superset_and_equality_ignore_capacity() {
+    fn superset_and_equality_ignore_representation() {
         let mut a = InformedList::new();
         a.insert(ProcessId(5), ProcessId(70));
         a.insert(ProcessId(0), ProcessId(0));
@@ -243,6 +259,10 @@ mod tests {
         b.insert(ProcessId(5), ProcessId(70));
         assert_eq!(a, b);
         assert!(a.is_superset_of(&b));
+        // Promoting one side's rows must not disturb equality either way.
+        b.force_dense();
+        assert_eq!(a, b);
+        assert_eq!(b, a);
         b.insert(ProcessId(9), ProcessId(1));
         assert_ne!(a, b);
         assert!(b.is_superset_of(&a));
@@ -306,6 +326,27 @@ mod tests {
         }
         assert!(!partial.covers_all(&v, n));
         assert_eq!(partial.uncovered_targets(&v, n), vec![ProcessId(129)]);
+    }
+
+    #[test]
+    fn coverage_is_identical_across_row_representations() {
+        // A sparse row and its force-promoted twin answer the coverage
+        // queries identically (the rows here stay far below the crossover).
+        let n = 200;
+        let v = rumors(&[3]);
+        let targets = [0usize, 64, 65, 130, 199];
+        let mut sparse = InformedList::new();
+        for &t in &targets {
+            sparse.insert(ProcessId(3), ProcessId(t));
+        }
+        let mut dense = sparse.clone();
+        dense.force_dense();
+        assert_eq!(
+            sparse.uncovered_targets(&v, n),
+            dense.uncovered_targets(&v, n)
+        );
+        assert_eq!(sparse.covers_all(&v, n), dense.covers_all(&v, n));
+        assert!(ADAPTIVE_SPARSE_LIMIT > targets.len());
     }
 
     #[test]

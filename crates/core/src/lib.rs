@@ -55,6 +55,7 @@ pub mod trivial;
 pub mod wire;
 
 pub use adapter::SimGossip;
+pub use bits::ADAPTIVE_SPARSE_LIMIT;
 pub use checker::{check_engines, check_gossip, CheckReport, GossipSpec};
 pub use codec::{CodecError, WireCodec, CODEC_VERSION};
 pub use driver::{run_gossip, GossipReport};
@@ -64,6 +65,6 @@ pub use params::{EarsParams, ParamError, SearsParams, SyncParams, TearsParams};
 pub use rumor::{Rumor, RumorSet};
 pub use sears::{Sears, SearsMessage};
 pub use sync_epidemic::{SyncEpidemic, SyncMessage};
-pub use tears::{Tears, TearsMessage};
+pub use tears::{Tears, TearsFlag, TearsMessage};
 pub use trivial::{Trivial, TrivialMessage};
 pub use wire::WireSize;

@@ -1,10 +1,11 @@
 //! Rumors and rumor collections.
 
+use std::borrow::Cow;
 use std::fmt;
 
 use agossip_sim::ProcessId;
 
-use crate::bits::WordSet;
+use crate::bits::{trimmed, WordSet, WordSetIter, ADAPTIVE_SPARSE_LIMIT};
 
 /// A rumor: the unit of information spread by gossip.
 ///
@@ -39,25 +40,92 @@ impl fmt::Display for Rumor {
 ///
 /// The paper's sets `V(p)` never contain two distinct rumors from the same
 /// origin (each process has exactly one initial rumor), so the collection is
-/// keyed by origin over the fixed universe `0..n` and stored *densely*: a
-/// word-packed presence bitset plus a payload array indexed by origin.
-/// [`RumorSet::contains_origin`] is a bit test, [`RumorSet::union`] is a
-/// word-wise OR over `⌈n/64⌉` words (plus a payload copy for each newly set
-/// bit), and iteration walks set bits in ascending order — the same origin
+/// keyed by origin over the fixed universe `0..n`. The representation is
+/// *adaptive* (see the `bits` module): a set starts as a sorted sparse
+/// `(origin, payload)` entry list — 16 bytes per rumor, independent of `n`,
+/// so a fresh process at `n = 65 536` holds its singleton in one small
+/// allocation instead of a `Θ(n)` payload array — and promotes past
+/// [`ADAPTIVE_SPARSE_LIMIT`] entries to the dense form: a word-packed
+/// presence bitset plus payloads. Dense payloads are *identity-compressed*:
+/// the gossip experiments tag every rumor with its origin index
+/// (`payload == origin`), and as long as that holds no payload array is
+/// materialized at all — only consensus, whose payloads are votes, pays for
+/// an explicit array.
+///
+/// Both representations expose identical semantics: [`RumorSet::union`]
+/// deltas, membership, and iteration in ascending origin order — the same
 /// order the historical `BTreeMap<ProcessId, u64>` representation produced,
 /// so every metric downstream is bit-identical (pinned by
 /// `tests/tests/seed_equivalence.rs` and the representation-differential
-/// proptests in `tests/tests/rumor_differential.rs`).
+/// proptests in `tests/tests/rumor_differential.rs` /
+/// `tests/tests/adaptive_differential.rs`).
 ///
 /// Insertion keeps the first payload seen for an origin; in a correct
 /// execution there is only ever one.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct RumorSet {
-    present: WordSet,
-    /// `payloads[origin]` is meaningful iff the presence bit for `origin` is
-    /// set; kept at exactly `64 ×` the presence word count.
-    payloads: Vec<u64>,
+    repr: Repr,
     len: usize,
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// Sorted by origin, no duplicate origins.
+    Sparse(Vec<(u32, u64)>),
+    /// Word-packed presence plus payloads.
+    Dense {
+        present: WordSet,
+        payloads: Payloads,
+    },
+}
+
+/// Dense payload storage.
+#[derive(Clone)]
+enum Payloads {
+    /// Every present origin's payload equals its own index — the invariant
+    /// all plain gossip runs maintain — so no storage is needed.
+    Identity,
+    /// `v[origin]` is meaningful iff the presence bit for `origin` is set;
+    /// kept at `64 ×` the presence word count.
+    Explicit(Vec<u64>),
+}
+
+impl Payloads {
+    fn get(&self, index: usize) -> u64 {
+        match self {
+            Payloads::Identity => index as u64,
+            Payloads::Explicit(v) => v[index],
+        }
+    }
+
+    /// Records `payload` for `index`; `slots` is the presence capacity in
+    /// bits (≥ `index + 1`). Stays [`Payloads::Identity`] when the payload
+    /// already matches the index.
+    fn set(&mut self, index: usize, payload: u64, slots: usize) {
+        match self {
+            Payloads::Identity if payload == index as u64 => {}
+            Payloads::Identity => {
+                let mut v: Vec<u64> = (0..slots as u64).collect();
+                v[index] = payload;
+                *self = Payloads::Explicit(v);
+            }
+            Payloads::Explicit(v) => {
+                if v.len() < slots {
+                    v.extend(v.len() as u64..slots as u64);
+                }
+                v[index] = payload;
+            }
+        }
+    }
+}
+
+impl Default for RumorSet {
+    fn default() -> Self {
+        RumorSet {
+            repr: Repr::Sparse(Vec::new()),
+            len: 0,
+        }
+    }
 }
 
 impl RumorSet {
@@ -73,58 +141,168 @@ impl RumorSet {
         set
     }
 
-    /// Keeps the payload array sized to the presence bitset.
-    fn sync_payloads(&mut self) {
-        let need = self.present.words().len() * 64;
-        if self.payloads.len() < need {
-            self.payloads.resize(need, 0);
+    /// Switches to the dense representation (no-op if already dense).
+    fn promote(&mut self) {
+        if let Repr::Sparse(entries) = &mut self.repr {
+            let entries = std::mem::take(entries);
+            let mut present = WordSet::new();
+            if let Some(&(max, _)) = entries.last() {
+                present.ensure_words(max as usize / 64 + 1);
+            }
+            for &(o, _) in &entries {
+                present.insert(o as usize);
+            }
+            let payloads = if entries.iter().all(|&(o, p)| p == o as u64) {
+                Payloads::Identity
+            } else {
+                let slots = present.words().len() * 64;
+                let mut v: Vec<u64> = (0..slots as u64).collect();
+                for &(o, p) in &entries {
+                    v[o as usize] = p;
+                }
+                Payloads::Explicit(v)
+            };
+            self.repr = Repr::Dense { present, payloads };
         }
+    }
+
+    /// Forces the dense representation regardless of cardinality. A hook
+    /// for the representation-differential tests and benches; never needed
+    /// in protocol code.
+    #[doc(hidden)]
+    pub fn force_dense(&mut self) {
+        self.promote();
+    }
+
+    /// True if the set is currently in the dense representation (test
+    /// hook).
+    #[doc(hidden)]
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense { .. })
     }
 
     /// Inserts a rumor. Returns `true` if the origin was not present before.
     pub fn insert(&mut self, rumor: Rumor) -> bool {
         let index = rumor.origin.index();
-        if !self.present.insert(index) {
-            return false;
+        match &mut self.repr {
+            Repr::Sparse(entries) => {
+                let Ok(id) = u32::try_from(index) else {
+                    // Beyond the sparse id range: fall through to dense,
+                    // which handles any index (as the historical
+                    // representation did).
+                    self.promote();
+                    return self.insert(rumor);
+                };
+                match entries.binary_search_by_key(&id, |&(o, _)| o) {
+                    Ok(_) => false,
+                    Err(pos) => {
+                        entries.insert(pos, (id, rumor.payload));
+                        self.len += 1;
+                        if entries.len() > ADAPTIVE_SPARSE_LIMIT {
+                            self.promote();
+                        }
+                        true
+                    }
+                }
+            }
+            Repr::Dense { present, payloads } => {
+                if !present.insert(index) {
+                    return false;
+                }
+                payloads.set(index, rumor.payload, present.words().len() * 64);
+                self.len += 1;
+                true
+            }
         }
-        self.sync_payloads();
-        self.payloads[index] = rumor.payload;
-        self.len += 1;
-        true
     }
 
     /// Merges every rumor of `other` into `self`. Returns the number of new
     /// origins added.
     pub fn union(&mut self, other: &RumorSet) -> usize {
-        let mut added = 0usize;
-        for (w, &word) in other.present.words().iter().enumerate() {
-            let mut fresh = self.present.or_word(w, word);
-            if fresh == 0 {
-                continue;
+        if matches!(&self.repr, Repr::Sparse(_)) && matches!(&other.repr, Repr::Dense { .. }) {
+            // The other side has already outgrown the sparse form; so will
+            // the union.
+            self.promote();
+        }
+        let added = match (&mut self.repr, &other.repr) {
+            (Repr::Sparse(own), Repr::Sparse(theirs)) => merge_entries(own, theirs),
+            (Repr::Dense { present, payloads }, Repr::Sparse(theirs)) => {
+                let mut added = 0usize;
+                for &(o, p) in theirs {
+                    let index = o as usize;
+                    if present.insert(index) {
+                        payloads.set(index, p, present.words().len() * 64);
+                        added += 1;
+                    }
+                }
+                added
             }
-            self.sync_payloads();
-            added += fresh.count_ones() as usize;
-            while fresh != 0 {
-                let index = w * 64 + fresh.trailing_zeros() as usize;
-                self.payloads[index] = other.payloads[index];
-                fresh &= fresh - 1;
+            (
+                Repr::Dense { present, payloads },
+                Repr::Dense {
+                    present: other_present,
+                    payloads: other_payloads,
+                },
+            ) => {
+                if let (Payloads::Identity, Payloads::Identity) = (&*payloads, other_payloads) {
+                    // The gossip hot path: membership OR, no payload work.
+                    present.union(other_present)
+                } else {
+                    let mut added = 0usize;
+                    for (w, &word) in other_present.words().iter().enumerate() {
+                        let mut fresh = present.or_word(w, word);
+                        if fresh == 0 {
+                            continue;
+                        }
+                        added += fresh.count_ones() as usize;
+                        let slots = present.words().len() * 64;
+                        while fresh != 0 {
+                            let index = w * 64 + fresh.trailing_zeros() as usize;
+                            payloads.set(index, other_payloads.get(index), slots);
+                            fresh &= fresh - 1;
+                        }
+                    }
+                    added
+                }
+            }
+            (Repr::Sparse(_), Repr::Dense { .. }) => unreachable!("promoted above"),
+        };
+        self.len += added;
+        if let Repr::Sparse(entries) = &self.repr {
+            if entries.len() > ADAPTIVE_SPARSE_LIMIT {
+                self.promote();
             }
         }
-        self.len += added;
         added
     }
 
     /// True if a rumor originating at `origin` is present.
     pub fn contains_origin(&self, origin: ProcessId) -> bool {
-        self.present.contains(origin.index())
+        match &self.repr {
+            Repr::Sparse(entries) => u32::try_from(origin.index())
+                .is_ok_and(|id| entries.binary_search_by_key(&id, |&(o, _)| o).is_ok()),
+            Repr::Dense { present, .. } => present.contains(origin.index()),
+        }
     }
 
     /// Returns the rumor originating at `origin`, if present.
     pub fn get(&self, origin: ProcessId) -> Option<Rumor> {
-        self.contains_origin(origin).then(|| Rumor {
-            origin,
-            payload: self.payloads[origin.index()],
-        })
+        match &self.repr {
+            Repr::Sparse(entries) => {
+                let id = u32::try_from(origin.index()).ok()?;
+                entries
+                    .binary_search_by_key(&id, |&(o, _)| o)
+                    .ok()
+                    .map(|pos| Rumor {
+                        origin,
+                        payload: entries[pos].1,
+                    })
+            }
+            Repr::Dense { present, payloads } => present.contains(origin.index()).then(|| Rumor {
+                origin,
+                payload: payloads.get(origin.index()),
+            }),
+        }
     }
 
     /// Number of distinct rumors held.
@@ -139,38 +317,138 @@ impl RumorSet {
 
     /// Iterates over the rumors in origin order.
     pub fn iter(&self) -> impl Iterator<Item = Rumor> + '_ {
-        self.present.iter().map(|index| Rumor {
-            origin: ProcessId(index),
-            payload: self.payloads[index],
-        })
+        match &self.repr {
+            Repr::Sparse(entries) => RumorIter::Sparse(entries.iter()),
+            Repr::Dense { present, payloads } => RumorIter::Dense {
+                bits: present.iter(),
+                payloads,
+            },
+        }
     }
 
     /// Iterates over the origins in order.
     pub fn origins(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.present.iter().map(ProcessId)
+        self.iter().map(|r| r.origin)
     }
 
     /// True if `self` contains every rumor of `other`.
     pub fn is_superset_of(&self, other: &RumorSet) -> bool {
-        self.present.is_superset_of(&other.present)
+        match (&self.repr, &other.repr) {
+            (_, Repr::Sparse(theirs)) => theirs
+                .iter()
+                .all(|&(o, _)| self.contains_origin(ProcessId(o as usize))),
+            (
+                Repr::Dense { present, .. },
+                Repr::Dense {
+                    present: other_present,
+                    ..
+                },
+            ) => present.is_superset_of(other_present),
+            (
+                Repr::Sparse(_),
+                Repr::Dense {
+                    present: other_present,
+                    ..
+                },
+            ) => {
+                other.len <= self.len
+                    && other_present
+                        .iter()
+                        .all(|i| self.contains_origin(ProcessId(i)))
+            }
+        }
     }
 
-    /// The raw presence words (low word first), for the wire codec's dense
-    /// section: the encoder ships these words byte-for-byte.
-    pub(crate) fn present_words(&self) -> &[u64] {
-        self.present.words()
+    /// The presence bitmap as trimmed dense words (low word first) — for the
+    /// wire codec's dense section. Borrowed when the set is already dense,
+    /// materialized when sparse, so the bytes on the wire are identical
+    /// whichever representation the set happens to be in.
+    pub(crate) fn dense_words(&self) -> Cow<'_, [u64]> {
+        match &self.repr {
+            Repr::Sparse(entries) => {
+                let Some(&(max, _)) = entries.last() else {
+                    return Cow::Owned(Vec::new());
+                };
+                let mut words = vec![0u64; max as usize / 64 + 1];
+                for &(o, _) in entries {
+                    words[o as usize / 64] |= 1 << (o % 64);
+                }
+                Cow::Owned(words)
+            }
+            Repr::Dense { present, .. } => Cow::Borrowed(trimmed(present.words())),
+        }
+    }
+}
+
+/// Merges sorted `theirs` into sorted `own` (both keyed by origin,
+/// duplicate free); an origin already present keeps its payload. Returns
+/// the number of new origins.
+fn merge_entries(own: &mut Vec<(u32, u64)>, theirs: &[(u32, u64)]) -> usize {
+    if theirs.is_empty() {
+        return 0;
+    }
+    // Fast path: everything new lands past the current tail.
+    if own.last().is_none_or(|&(tail, _)| tail < theirs[0].0) {
+        own.extend_from_slice(theirs);
+        return theirs.len();
+    }
+    let mut merged = Vec::with_capacity(own.len() + theirs.len());
+    let (mut i, mut j, mut added) = (0usize, 0usize, 0usize);
+    while i < own.len() && j < theirs.len() {
+        match own[i].0.cmp(&theirs[j].0) {
+            std::cmp::Ordering::Less => {
+                merged.push(own[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(theirs[j]);
+                j += 1;
+                added += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                // First payload wins.
+                merged.push(own[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&own[i..]);
+    added += theirs.len() - j;
+    merged.extend_from_slice(&theirs[j..]);
+    *own = merged;
+    added
+}
+
+enum RumorIter<'a> {
+    Sparse(std::slice::Iter<'a, (u32, u64)>),
+    Dense {
+        bits: WordSetIter<'a>,
+        payloads: &'a Payloads,
+    },
+}
+
+impl Iterator for RumorIter<'_> {
+    type Item = Rumor;
+
+    fn next(&mut self) -> Option<Rumor> {
+        match self {
+            RumorIter::Sparse(entries) => entries
+                .next()
+                .map(|&(o, p)| Rumor::new(ProcessId(o as usize), p)),
+            RumorIter::Dense { bits, payloads } => bits
+                .next()
+                .map(|index| Rumor::new(ProcessId(index), payloads.get(index))),
+        }
     }
 }
 
 impl PartialEq for RumorSet {
     fn eq(&self, other: &Self) -> bool {
-        // Capacity-insensitive: two sets holding the same rumors are equal
-        // no matter how much backing storage each has grown.
-        self.len == other.len
-            && self.present.eq_bits(&other.present)
-            && self
-                .origins()
-                .all(|o| self.payloads[o.index()] == other.payloads[o.index()])
+        // Representation- and capacity-insensitive: two sets holding the
+        // same rumors are equal no matter which form each is in or how much
+        // backing storage each has grown.
+        self.len == other.len && self.iter().eq(other.iter())
     }
 }
 
@@ -269,6 +547,7 @@ mod tests {
         assert_eq!(set.len(), 1);
         assert!(set.contains_origin(ProcessId(5)));
         assert!(!set.contains_origin(ProcessId(4)));
+        assert!(!set.is_dense(), "a singleton stays sparse");
     }
 
     #[test]
@@ -281,20 +560,75 @@ mod tests {
     }
 
     #[test]
-    fn equality_ignores_backing_capacity() {
-        // Same content built in different insertion orders, so the two sets
-        // went through different growth sequences.
+    fn equality_ignores_representation() {
+        // Same content built in different insertion orders.
         let high_first: RumorSet = [r(300, 300), r(1, 1)].into_iter().collect();
         let low_first: RumorSet = [r(1, 1), r(300, 300)].into_iter().collect();
         assert_eq!(high_first, low_first);
-        // Extra zeroed capacity on one side must not break equality.
+        // A force-promoted set equals its sparse twin, both ways.
         let mut grown = RumorSet::singleton(r(1, 1));
-        grown.present.ensure_words(8);
-        grown.payloads.resize(8 * 64, 0);
+        grown.force_dense();
+        assert!(grown.is_dense());
         assert_eq!(grown, RumorSet::singleton(r(1, 1)));
         assert_eq!(RumorSet::singleton(r(1, 1)), grown);
         // Different payload for the same origin is a real difference.
         assert_ne!(RumorSet::singleton(r(1, 1)), RumorSet::singleton(r(1, 2)));
+    }
+
+    #[test]
+    fn promotion_happens_past_the_crossover_and_preserves_content() {
+        let mut set = RumorSet::new();
+        for i in 0..=ADAPTIVE_SPARSE_LIMIT {
+            set.insert(r(2 * i, (2 * i) as u64));
+        }
+        assert!(set.is_dense(), "one past the limit promotes");
+        assert_eq!(set.len(), ADAPTIVE_SPARSE_LIMIT + 1);
+        let origins: Vec<usize> = set.origins().map(|p| p.index()).collect();
+        let want: Vec<usize> = (0..=ADAPTIVE_SPARSE_LIMIT).map(|i| 2 * i).collect();
+        assert_eq!(origins, want);
+        assert_eq!(set.get(ProcessId(4)), Some(r(4, 4)));
+    }
+
+    #[test]
+    fn non_identity_payloads_survive_promotion_and_dense_union() {
+        // Payloads that do NOT equal their origin (the consensus case).
+        let mut set = RumorSet::new();
+        for i in 0..=ADAPTIVE_SPARSE_LIMIT {
+            set.insert(r(i, (i % 2) as u64));
+        }
+        assert!(set.is_dense());
+        for i in 0..=ADAPTIVE_SPARSE_LIMIT {
+            assert_eq!(set.get(ProcessId(i)), Some(r(i, (i % 2) as u64)));
+        }
+        // A dense union carrying a non-identity payload lands intact.
+        let mut incoming = RumorSet::singleton(r(400, 9));
+        incoming.force_dense();
+        assert_eq!(set.union(&incoming), 1);
+        assert_eq!(set.get(ProcessId(400)), Some(r(400, 9)));
+    }
+
+    #[test]
+    fn union_agrees_across_representation_pairings() {
+        let a_rumors = [r(1, 1), r(5, 5), r(130, 130)];
+        let b_rumors = [r(0, 0), r(5, 5), r(131, 131)];
+        for a_dense in [false, true] {
+            for b_dense in [false, true] {
+                let mut a: RumorSet = a_rumors.into_iter().collect();
+                let mut b: RumorSet = b_rumors.into_iter().collect();
+                if a_dense {
+                    a.force_dense();
+                }
+                if b_dense {
+                    b.force_dense();
+                }
+                assert_eq!(a.union(&b), 2, "({a_dense}, {b_dense})");
+                assert_eq!(a.union(&b), 0);
+                let origins: Vec<usize> = a.origins().map(|p| p.index()).collect();
+                assert_eq!(origins, vec![0, 1, 5, 130, 131]);
+                assert!(a.is_superset_of(&b));
+                assert!(!b.is_superset_of(&a));
+            }
+        }
     }
 
     #[test]

@@ -2,6 +2,17 @@
 
 use crate::error::{SimError, SimResult};
 
+/// The largest system size the simulator accepts: `2^20` processes.
+///
+/// The cap exists so that every layer above can rely on process indices
+/// fitting comfortably in 32 bits: the adaptive sparse set representation
+/// stores origins as `u32`, the wire codec rejects identifiers at the same
+/// `1 << 20` bound (`MAX_WIRE_ID`), and word-packed bitset math indexes
+/// `n / 64` words with 32-bit arithmetic. `n = 2^20` keeps all of those a
+/// factor of ~4000 below `u32::MAX` while still being 16× the largest
+/// checker-verified scale run (`n = 65 536`; see the `scale` scenario).
+pub const MAX_PROCESSES: usize = 1 << 20;
+
 /// Parameters of one simulated execution.
 ///
 /// `n`, `f`, `d` and `δ` are the quantities in which every bound of the paper
@@ -102,6 +113,15 @@ impl SimConfig {
                 reason: "n must be at least 1".into(),
             });
         }
+        if self.n > MAX_PROCESSES {
+            return Err(SimError::InvalidConfig {
+                reason: format!(
+                    "n must be ≤ {MAX_PROCESSES} (2^20; process indices are kept \
+                     within 32-bit word math), got n = {}",
+                    self.n
+                ),
+            });
+        }
         if self.f >= self.n {
             return Err(SimError::InvalidConfig {
                 reason: format!("f must be < n (got f = {}, n = {})", self.f, self.n),
@@ -171,6 +191,21 @@ mod tests {
             SimConfig::new(0, 0).validate(),
             Err(SimError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_n_beyond_the_supported_range() {
+        SimConfig::new(MAX_PROCESSES, 0).validate().unwrap();
+        let err = SimConfig::new(MAX_PROCESSES + 1, 0).validate().unwrap_err();
+        match err {
+            SimError::InvalidConfig { reason } => {
+                assert!(
+                    reason.contains("2^20"),
+                    "reason should name the cap: {reason}"
+                )
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

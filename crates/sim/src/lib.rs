@@ -72,7 +72,7 @@ pub mod scheduler;
 pub mod time;
 
 pub use adversary::{Adversary, FairObliviousAdversary, StepPlan, SystemView};
-pub use config::SimConfig;
+pub use config::{SimConfig, MAX_PROCESSES};
 pub use error::{SimError, SimResult};
 pub use message::{Envelope, EnvelopeMeta, Outbox};
 pub use metrics::Metrics;

@@ -21,7 +21,25 @@
 //! is exactly the order the historical `VecDeque`-scan implementation
 //! produced, so executions are bit-for-bit reproducible across the two
 //! representations (see `tests/network_differential.rs`).
+//!
+//! # Sharding
+//!
+//! The destination queues are additionally grouped into *shards* of
+//! [`SHARD_SIZE`] consecutive destinations. Each shard tracks its own
+//! in-flight count and a lazily recomputed cache of the earliest delivery
+//! deadline over its member queues, so the whole-network queries —
+//! [`Network::earliest_deliverable`] (the idle fast-forward target) and
+//! [`Network::all_beyond`] (quiescence under withheld messages) — cost
+//! O(shards) plus one O([`SHARD_SIZE`]) rescan per shard that changed since
+//! the last query, instead of peeking all `n` queues every time. At
+//! `n = 65 536` that turns a 65 536-peek scan into at most 1 024 cache
+//! reads. Shards are merged in ascending shard order, which is
+//! deterministic and — since `min` is order-insensitive — yields exactly
+//! the value the flat scan produced, so executions stay bit-for-bit
+//! identical (pinned by `tests/network_differential.rs` and the golden
+//! seeds in `tests/tests/seed_equivalence.rs`).
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -69,11 +87,45 @@ impl<M> Ord for InFlight<M> {
     }
 }
 
+/// Destinations per scheduler shard: `1 << SHARD_SHIFT`.
+const SHARD_SHIFT: usize = 6;
+
+/// Number of consecutive destinations grouped under one shard (64): small
+/// enough that a stale shard's rescan is one cache line of heap tops, large
+/// enough that the shard directory at `n = 65 536` is only 1 024 entries.
+pub const SHARD_SIZE: usize = 1 << SHARD_SHIFT;
+
+/// Per-shard scheduling state: the in-flight count and the cached earliest
+/// delivery deadline over the shard's member queues.
+///
+/// The cache uses interior mutability (`Cell`) because the whole-network
+/// queries are `&self`; a shard is marked stale whenever one of its queues
+/// loses messages (delivery or crash-drop) and rescanned on the next query.
+/// Sends keep the cache exact directly (the minimum only decreases).
+#[derive(Debug, Clone)]
+struct Shard {
+    in_flight: usize,
+    earliest: Cell<Option<TimeStep>>,
+    stale: Cell<bool>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            in_flight: 0,
+            earliest: Cell::new(None),
+            stale: Cell::new(false),
+        }
+    }
+}
+
 /// The network: a per-destination deadline-indexed queue of in-flight
-/// messages.
+/// messages, grouped into shards of [`SHARD_SIZE`] destinations for the
+/// whole-network queries (see the module docs).
 #[derive(Debug, Clone)]
 pub struct Network<M> {
     queues: Vec<BinaryHeap<InFlight<M>>>,
+    shards: Vec<Shard>,
     in_flight: usize,
     next_seq: u64,
     /// Scratch space for popped messages while a delivered batch is being
@@ -87,6 +139,7 @@ impl<M> Network<M> {
     pub fn new(n: usize) -> Self {
         Network {
             queues: (0..n).map(|_| BinaryHeap::new()).collect(),
+            shards: (0..n.div_ceil(SHARD_SIZE)).map(|_| Shard::new()).collect(),
             in_flight: 0,
             next_seq: 0,
             scratch: Vec::new(),
@@ -117,6 +170,16 @@ impl<M> Network<M> {
             seq,
         });
         self.in_flight += 1;
+        let shard = &mut self.shards[to >> SHARD_SHIFT];
+        shard.in_flight += 1;
+        if !shard.stale.get() {
+            // The cache is exact; a send can only lower the minimum.
+            let earliest = shard
+                .earliest
+                .get()
+                .map_or(deliverable_at, |e| e.min(deliverable_at));
+            shard.earliest.set(Some(earliest));
+        }
     }
 
     /// Removes and returns every message addressed to `to` whose delivery
@@ -154,6 +217,9 @@ impl<M> Network<M> {
             self.scratch.push(queue.pop().expect("peeked element"));
         }
         self.in_flight -= self.scratch.len();
+        let shard = &mut self.shards[to.index() >> SHARD_SHIFT];
+        shard.in_flight -= self.scratch.len();
+        shard.stale.set(true);
         // Heap order is (deadline, seq); the historical contract is send
         // order across the whole batch, i.e. ascending seq.
         self.scratch.sort_unstable_by_key(|m| m.seq);
@@ -167,6 +233,11 @@ impl<M> Network<M> {
         let dropped = queue.len();
         queue.clear();
         self.in_flight -= dropped;
+        if dropped > 0 {
+            let shard = &mut self.shards[to.index() >> SHARD_SHIFT];
+            shard.in_flight -= dropped;
+            shard.stale.set(true);
+        }
         dropped
     }
 
@@ -186,14 +257,39 @@ impl<M> Network<M> {
         self.queues[to.index()].peek().map(|m| m.deliverable_at)
     }
 
+    /// The cached earliest deadline of shard `s`, rescanning its member
+    /// queues first if the shard changed since the last query.
+    fn shard_earliest(&self, s: usize) -> Option<TimeStep> {
+        let shard = &self.shards[s];
+        if shard.in_flight == 0 {
+            shard.earliest.set(None);
+            shard.stale.set(false);
+            return None;
+        }
+        if shard.stale.get() {
+            let lo = s << SHARD_SHIFT;
+            let hi = ((s + 1) << SHARD_SHIFT).min(self.queues.len());
+            let earliest = self.queues[lo..hi]
+                .iter()
+                .filter_map(|q| q.peek().map(|m| m.deliverable_at))
+                .min();
+            shard.earliest.set(earliest);
+            shard.stale.set(false);
+        }
+        shard.earliest.get()
+    }
+
     /// Earliest time at which any in-flight message (to any destination)
-    /// becomes deliverable, or `None` if the network is empty. O(n) peeks.
+    /// becomes deliverable, or `None` if the network is empty. Merges the
+    /// per-shard cached deadlines in ascending shard order: O(shards) cache
+    /// reads plus one member rescan per shard that changed since the last
+    /// query (`min` is order-insensitive, so the result is exactly what the
+    /// historical flat scan over all `n` queues produced).
     ///
     /// This is what the scheduler's idle fast-forward jumps to.
     pub fn earliest_deliverable(&self) -> Option<TimeStep> {
-        self.queues
-            .iter()
-            .filter_map(|q| q.peek().map(|m| m.deliverable_at))
+        (0..self.shards.len())
+            .filter_map(|s| self.shard_earliest(s))
             .min()
     }
 
@@ -225,12 +321,10 @@ impl<M> Network<M> {
     /// True if every in-flight message has a delivery deadline of
     /// `u64::MAX`-like magnitude, i.e. has been withheld "forever" relative
     /// to `horizon`. Used by drivers that want to treat permanently withheld
-    /// messages as drained. O(n): only each destination's earliest deadline
-    /// needs inspecting.
+    /// messages as drained. O(shards) via the per-shard deadline caches:
+    /// only a shard's earliest deadline needs inspecting.
     pub fn all_beyond(&self, horizon: TimeStep) -> bool {
-        self.queues
-            .iter()
-            .all(|q| q.peek().is_none_or(|m| m.deliverable_at > horizon))
+        (0..self.shards.len()).all(|s| self.shard_earliest(s).is_none_or(|e| e > horizon))
     }
 }
 
@@ -376,6 +470,36 @@ mod tests {
         net.collect_deliverable_into(ProcessId(1), TimeStep(8), &mut out);
         let payloads: Vec<u32> = out.iter().map(|e| e.payload).collect();
         assert_eq!(payloads, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shard_caches_track_sends_collections_and_drops() {
+        // Destinations straddling a shard boundary, so the global queries
+        // merge more than one shard's cache.
+        let n = SHARD_SIZE * 2 + 3;
+        let mut net: Network<u32> = Network::new(n);
+        let near = ProcessId(1); // shard 0
+        let far = ProcessId(SHARD_SIZE + 1); // shard 1
+        let edge = ProcessId(2 * SHARD_SIZE); // shard 2 (partial)
+        net.send(env(0, near.index(), 0, 1), 9);
+        net.send(env(0, far.index(), 0, 2), 3);
+        net.send(env(0, edge.index(), 0, 3), 5);
+        assert_eq!(net.earliest_deliverable(), Some(TimeStep(3)));
+        // Delivering the earliest message must advance the merged minimum
+        // (the shard cache is stale after the pop and gets rescanned).
+        assert_eq!(net.collect_deliverable(far, TimeStep(3)).len(), 1);
+        assert_eq!(net.earliest_deliverable(), Some(TimeStep(5)));
+        assert!(net.all_beyond(TimeStep(4)));
+        assert!(!net.all_beyond(TimeStep(5)));
+        // A crash-drop empties its shard; the remaining message wins.
+        assert_eq!(net.drop_for(edge), 1);
+        assert_eq!(net.earliest_deliverable(), Some(TimeStep(9)));
+        assert_eq!(net.drop_for(near), 1);
+        assert_eq!(net.earliest_deliverable(), None);
+        assert!(net.is_empty());
+        // A send after the caches went empty repopulates them exactly.
+        net.send(env(0, far.index(), 10, 4), 2);
+        assert_eq!(net.earliest_deliverable(), Some(TimeStep(12)));
     }
 
     #[test]

@@ -102,6 +102,10 @@ impl<M> ReferenceNetwork<M> {
     fn all_beyond(&self, horizon: TimeStep) -> bool {
         self.queues.iter().flatten().all(|(_, at)| *at > horizon)
     }
+
+    fn earliest_deliverable(&self) -> Option<TimeStep> {
+        self.queues.iter().flatten().map(|(_, at)| *at).min()
+    }
 }
 
 proptest! {
@@ -111,11 +115,17 @@ proptest! {
     /// order of every delivered batch.
     #[test]
     fn network_matches_reference_model(
-        n in 2usize..8,
+        n_base in 2usize..8,
+        wide in any::<bool>(),
         d in 1u64..6,
         ops in 20usize..160,
         scenario in 0u64..1_000_000,
     ) {
+        // Half the cases use a universe spanning several scheduler shards
+        // (64 destinations each), so the shard-cache merge in
+        // `earliest_deliverable`/`all_beyond` is exercised across
+        // boundaries, not just within shard 0.
+        let n = if wide { n_base * 24 } else { n_base };
         let mut prng = Prng(scenario);
         let mut network: Network<u64> = Network::new(n);
         let mut model: ReferenceNetwork<u64> = ReferenceNetwork::new(n);
@@ -177,6 +187,11 @@ proptest! {
                 );
             }
             prop_assert_eq!(network.all_beyond(now), model.all_beyond(now));
+            prop_assert_eq!(
+                network.earliest_deliverable(),
+                model.earliest_deliverable(),
+                "shard-merged earliest deadline diverged"
+            );
         }
 
         // Drain everything still deliverable and compare the final batches.

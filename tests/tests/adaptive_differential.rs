@@ -1,0 +1,199 @@
+//! Representation-differential proptests for the adaptive sparse/dense
+//! rework: the same operation sequence is driven once against sets left in
+//! their natural adaptive representation (sparse id lists promoting to dense
+//! word-packed form past [`ADAPTIVE_SPARSE_LIMIT`]) and once against copies
+//! force-promoted to dense up front. Every observable — membership, length,
+//! union deltas, iteration order, coverage queries, equality, and the exact
+//! wire bytes of the codec — must be identical regardless of which
+//! representation each set happens to be in.
+//!
+//! The origin universe deliberately straddles the promotion crossover so
+//! sequences exercise sparse-only, mixed, and post-promotion states; together
+//! with the oracle tests in `rumor_differential.rs` and the golden pins in
+//! `seed_equivalence.rs` this proves the adaptive rework is bit-for-bit
+//! equivalent to the dense-only behaviour.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use agossip_core::informed_list::InformedList;
+use agossip_core::{EarsMessage, Rumor, RumorSet, WireCodec, ADAPTIVE_SPARSE_LIMIT};
+use agossip_sim::ProcessId;
+
+/// Universe of origins: wide enough that a union can jump a set from far
+/// below the crossover to far above it in one operation.
+const UNIVERSE: usize = 3 * ADAPTIVE_SPARSE_LIMIT;
+
+/// One operation of the differential driver, applied to both twins.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize, u64),
+    /// Union with a set built from these rumors (the argument itself is
+    /// built adaptively on one side and force-promoted on the other).
+    Union(Vec<(usize, u64)>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (
+        0..2usize,
+        (0..UNIVERSE, any::<u64>()),
+        prop::collection::vec((0..UNIVERSE, any::<u64>()), 0..(ADAPTIVE_SPARSE_LIMIT + 64)),
+    )
+        .prop_map(|(tag, (o, p), rumors)| match tag {
+            0 => Op::Insert(o, p),
+            _ => Op::Union(rumors),
+        })
+}
+
+/// Payload strategy biased towards the identity encoding (`payload ==
+/// origin`) the gossip protocols use, with enough explicit payloads mixed in
+/// to exercise the materialized path.
+fn set_from(rumors: &[(usize, u64)]) -> RumorSet {
+    let mut set = RumorSet::new();
+    for &(o, p) in rumors {
+        set.insert(Rumor::new(ProcessId(o), p));
+    }
+    set
+}
+
+fn dense_twin(set: &RumorSet) -> RumorSet {
+    let mut twin = set.clone();
+    twin.force_dense();
+    twin
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary insert/union sequences observe identical state whether the
+    /// sets stay adaptive or are force-promoted to dense after every step.
+    #[test]
+    fn rumor_set_observables_are_representation_independent(
+        ops in prop::collection::vec(op_strategy(), 0..16),
+        identity_payloads in any::<bool>(),
+    ) {
+        let mut adaptive = RumorSet::new();
+        let mut dense = RumorSet::new();
+        dense.force_dense();
+        for op in ops {
+            match op {
+                Op::Insert(origin, payload) => {
+                    let payload = if identity_payloads { origin as u64 } else { payload };
+                    let r = Rumor::new(ProcessId(origin), payload);
+                    prop_assert_eq!(adaptive.insert(r), dense.insert(r));
+                }
+                Op::Union(rumors) => {
+                    let rumors: Vec<(usize, u64)> = if identity_payloads {
+                        rumors.iter().map(|&(o, _)| (o, o as u64)).collect()
+                    } else {
+                        rumors
+                    };
+                    let arg = set_from(&rumors);
+                    // Cross the representations on the argument side too:
+                    // adaptive ∪ dense-arg and dense ∪ adaptive-arg.
+                    prop_assert_eq!(adaptive.union(&dense_twin(&arg)), dense.union(&arg));
+                }
+            }
+            prop_assert_eq!(adaptive.len(), dense.len());
+            prop_assert_eq!(adaptive == dense, true, "PartialEq must ignore representation");
+            let a: Vec<Rumor> = adaptive.iter().collect();
+            let d: Vec<Rumor> = dense.iter().collect();
+            prop_assert_eq!(a, d, "iteration order must match");
+            for q in ProcessId::all(UNIVERSE) {
+                prop_assert_eq!(adaptive.get(q), dense.get(q));
+            }
+            prop_assert_eq!(
+                adaptive.is_superset_of(&dense) && dense.is_superset_of(&adaptive),
+                true
+            );
+        }
+    }
+
+    /// The wire codec emits byte-identical frames for a message whose sets
+    /// are adaptive and its force-promoted twin — the sparse-vs-dense wire
+    /// section choice is a pure function of the contents.
+    #[test]
+    fn wire_bytes_are_representation_independent(
+        rumors in prop::collection::vec(0..UNIVERSE, 0..(ADAPTIVE_SPARSE_LIMIT + 32)),
+        pairs in prop::collection::vec((0..UNIVERSE, 0..64usize), 0..(ADAPTIVE_SPARSE_LIMIT + 32)),
+    ) {
+        let mut set = RumorSet::new();
+        for &o in &rumors {
+            set.insert(Rumor::new(ProcessId(o), o as u64));
+        }
+        let mut informed = InformedList::new();
+        for &(o, t) in &pairs {
+            informed.insert(ProcessId(o), ProcessId(t));
+        }
+        let mut dense_set = set.clone();
+        dense_set.force_dense();
+        let mut dense_informed = informed.clone();
+        dense_informed.force_dense();
+
+        let adaptive_frame = EarsMessage {
+            rumors: Arc::new(set),
+            informed: Arc::new(informed),
+        }
+        .encode();
+        let dense_frame = EarsMessage {
+            rumors: Arc::new(dense_set),
+            informed: Arc::new(dense_informed),
+        }
+        .encode();
+        prop_assert_eq!(&adaptive_frame, &dense_frame, "wire bytes diverged across representations");
+
+        // And the frame round-trips back to equal state.
+        let decoded = EarsMessage::decode(&adaptive_frame).unwrap();
+        let reencoded = decoded.encode();
+        prop_assert_eq!(adaptive_frame, reencoded);
+    }
+
+    /// `InformedList` coverage queries and unions agree between adaptive
+    /// rows and force-promoted rows.
+    #[test]
+    fn informed_list_observables_are_representation_independent(
+        pairs in prop::collection::vec((0..UNIVERSE, 0..48usize), 0..(ADAPTIVE_SPARSE_LIMIT + 32)),
+        extra in prop::collection::vec((0..UNIVERSE, 0..48usize), 0..32),
+        probe_origins in prop::collection::vec(0..UNIVERSE, 0..8),
+    ) {
+        let n = 48;
+        let mut adaptive = InformedList::new();
+        let mut dense = InformedList::new();
+        for &(o, t) in &pairs {
+            prop_assert_eq!(
+                adaptive.insert(ProcessId(o), ProcessId(t)),
+                dense.insert(ProcessId(o), ProcessId(t))
+            );
+        }
+        dense.force_dense();
+
+        let mut probe = RumorSet::new();
+        for &o in &probe_origins {
+            probe.insert(Rumor::new(ProcessId(o), o as u64));
+        }
+        prop_assert_eq!(adaptive.len(), dense.len());
+        let a: Vec<_> = adaptive.iter().collect();
+        let d: Vec<_> = dense.iter().collect();
+        prop_assert_eq!(a, d, "pair iteration order must match");
+        prop_assert_eq!(
+            adaptive.uncovered_targets(&probe, n),
+            dense.uncovered_targets(&probe, n)
+        );
+        prop_assert_eq!(adaptive.covers_all(&probe, n), dense.covers_all(&probe, n));
+
+        // Union across mixed representations: adaptive ∪ dense-arg must
+        // report the same delta as dense ∪ adaptive-arg.
+        let mut adaptive_arg = InformedList::new();
+        for &(o, t) in &extra {
+            adaptive_arg.insert(ProcessId(o), ProcessId(t));
+        }
+        let mut dense_arg = adaptive_arg.clone();
+        dense_arg.force_dense();
+        prop_assert_eq!(adaptive.union(&dense_arg), dense.union(&adaptive_arg));
+        prop_assert_eq!(adaptive.len(), dense.len());
+        let a: Vec<_> = adaptive.iter().collect();
+        let d: Vec<_> = dense.iter().collect();
+        prop_assert_eq!(a, d, "post-union pair iteration order must match");
+    }
+}

@@ -10,8 +10,14 @@
 //! with a counting global allocator: a regression back to per-destination
 //! deep clones trips the assertion by an order of magnitude.
 //!
-//! The file contains exactly one `#[test]` so no concurrent test pollutes
-//! the allocation counter.
+//! A second test pins the *scale* regression this counter exists to catch:
+//! an early-phase `tears` step at `n = 65 536` must allocate in proportion
+//! to what the process has actually heard (O(informed)), not to the system
+//! size (a single accidental densification costs `n/8` bytes and would
+//! multiply across 65 536 processes into gigabytes).
+//!
+//! The tests share one global allocation counter, so they serialise on
+//! [`ALLOC_WINDOW`]: only one measurement window is open at a time.
 
 // The counting allocator is the one place in the workspace that needs
 // `unsafe`: `GlobalAlloc` is an unsafe trait. The workspace-level
@@ -20,21 +26,35 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use std::sync::Arc;
 
 use agossip_adversary::ObliviousPlan;
-use agossip_core::{run_gossip, GossipSpec, Tears};
-use agossip_sim::SimConfig;
+use agossip_analysis::experiments::scale::scale_tears_params;
+use agossip_core::{
+    run_gossip, GossipCtx, GossipEngine, GossipSpec, Rumor, RumorSet, Tears, TearsFlag,
+    TearsMessage,
+};
+use agossip_sim::{ProcessId, SimConfig};
 
-/// Forwards to the system allocator, counting every allocation call.
+/// Forwards to the system allocator, counting every allocation call and the
+/// bytes it requested.
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Held for the duration of each test's measurement window so the counters
+/// only ever observe one workload at a time.
+static ALLOC_WINDOW: Mutex<()> = Mutex::new(());
 
 // SAFETY: delegates verbatim to `System`, which upholds the `GlobalAlloc`
-// contract; the added atomic counter has no effect on the returned memory.
+// contract; the added atomic counters have no effect on the returned memory.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
         // SAFETY: `layout` is the caller's layout, passed through unchanged.
         unsafe { System.alloc(layout) }
     }
@@ -46,6 +66,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
         // SAFETY: forwarded unchanged; `ptr`/`layout` come from this
         // allocator and `new_size` is the caller's request.
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -62,9 +83,11 @@ fn tears_trial_allocates_per_broadcast_not_per_destination() {
     let cfg = SimConfig::new(64, 0).with_d(2).with_delta(2).with_seed(9);
     let mut adv = ObliviousPlan::from_config(&cfg).build();
 
+    let window = ALLOC_WINDOW.lock().unwrap();
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     let report = run_gossip(&cfg, GossipSpec::Majority, &mut adv, Tears::new).unwrap();
     let during = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    drop(window);
 
     assert!(report.check.all_ok(), "{:?}", report.check);
     let messages = report.metrics.messages_sent;
@@ -84,5 +107,67 @@ fn tears_trial_allocates_per_broadcast_not_per_destination() {
         during < messages / 4,
         "a tears n=64 trial should allocate O(broadcasts), not O(messages): \
          {during} allocations for {messages} messages"
+    );
+}
+
+#[test]
+fn early_phase_tears_step_at_n_65536_allocates_o_informed_not_theta_n() {
+    // The regression the adaptive sparse/dense representation exists to
+    // prevent: before the µ−κ trigger threshold a process has heard only a
+    // handful of rumors, so delivering those rumors and taking a local step
+    // must cost O(informed) bytes. A single accidental densification (or any
+    // other Θ(n) allocation on this path) costs at least `n/8` bytes for the
+    // origin bitset alone — across 65 536 processes that is the difference
+    // between megabytes and gigabytes for the early phase of a scale run.
+    const N: usize = 65_536;
+    let params = scale_tears_params(N);
+    // Construction is Θ(n) by definition (two Bernoulli draws per peer) and
+    // happens outside the measured window, as does building the incoming
+    // messages.
+    let mut engine = Tears::with_params(GossipCtx::new(ProcessId(7), N, N / 4, 2008), params);
+    let informed = usize::try_from((engine.mu() - engine.kappa()) / 2).unwrap();
+    assert!(
+        informed > 0 && engine.is_trigger_count(informed as u64).eq(&false),
+        "the workload must stay below the second-level trigger window"
+    );
+    // Origins start at 100 so none collides with the engine's own pid.
+    let incoming: Vec<(ProcessId, TearsMessage)> = (100..100 + informed)
+        .map(|i| {
+            let msg = TearsMessage {
+                rumors: Arc::new(RumorSet::singleton(Rumor::new(ProcessId(i), i as u64))),
+                flag: TearsFlag::Up,
+            };
+            (ProcessId(i), msg)
+        })
+        .collect();
+    let mut out = Vec::new();
+
+    let window = ALLOC_WINDOW.lock().unwrap();
+    let before = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    for (from, msg) in incoming {
+        engine.deliver(from, msg);
+    }
+    engine.local_step(&mut out);
+    let during = ALLOCATED_BYTES.load(Ordering::Relaxed) - before;
+    drop(window);
+
+    // Sanity: the workload did what it claims — the rumors arrived and the
+    // step sent the first-level broadcast to the Θ(a)-sized neighbourhood.
+    assert_eq!(engine.rumors().len(), informed + 1);
+    assert_eq!(out.len(), engine.pi1().len());
+    assert!(!out.is_empty());
+
+    eprintln!("bytes allocated: {during}, informed: {informed}, n: {N}");
+
+    // O(informed) here means a few hundred bytes of sparse-set growth plus
+    // the ~a-element broadcast buffer. The threshold sits well above that
+    // but below `n/8` — the cheapest possible Θ(n) allocation — so the
+    // assertion is robust to allocator noise yet cannot miss a
+    // densification.
+    assert!(
+        during < (N / 16) as u64,
+        "an early-phase tears step at n = {N} must allocate O(informed) \
+         bytes, got {during} (Θ(n) would be ≥ {})",
+        N / 8
     );
 }
