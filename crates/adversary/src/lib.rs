@@ -23,6 +23,7 @@
 //! `(d, δ, f)` bounds.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms, unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod oblivious;

@@ -21,6 +21,7 @@
 //! the `scenarios` example and the `sweep_baseline` binary).
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms, unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod experiments;

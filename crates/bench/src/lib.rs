@@ -24,6 +24,7 @@
 //! bit-identity assertion → `BENCH_sweep.json`).
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms, unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod json;

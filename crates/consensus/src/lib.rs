@@ -40,6 +40,7 @@
 //!   adopting the sender's state.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms, unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod checker;

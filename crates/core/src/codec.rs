@@ -128,7 +128,7 @@ impl std::error::Error for CodecError {}
 /// first, high bit = continuation).
 pub fn write_varint(buf: &mut Vec<u8>, mut value: u64) {
     loop {
-        let byte = (value & 0x7f) as u8;
+        let byte = (value & 0x7f) as u8; // lint:allow(no-unchecked-narrowing): masked to the low 7 bits
         value >>= 7;
         if value == 0 {
             buf.push(byte);
@@ -158,6 +158,7 @@ pub fn read_varint(bytes: &[u8]) -> Result<(u64, usize), CodecError> {
 
 /// The number of bytes [`write_varint`] emits for `value`.
 pub fn varint_len(value: u64) -> usize {
+    // lint:allow(no-unchecked-narrowing): leading_zeros of a u64 is at most 64
     ((64 - value.leading_zeros() as usize).div_ceil(7)).max(1)
 }
 
@@ -185,12 +186,12 @@ pub trait WireCodec: Sized {
 /// On-wire message kind discriminants (byte 1 of every frame body). The
 /// `tears` flag is folded into the kind, giving the six wire kinds.
 mod kind {
-    pub const TRIVIAL: u8 = 0;
-    pub const EARS: u8 = 1;
-    pub const SEARS: u8 = 2;
-    pub const TEARS_UP: u8 = 3;
-    pub const TEARS_DOWN: u8 = 4;
-    pub const SYNC: u8 = 5;
+    pub(super) const TRIVIAL: u8 = 0;
+    pub(super) const EARS: u8 = 1;
+    pub(super) const SEARS: u8 = 2;
+    pub(super) const TEARS_UP: u8 = 3;
+    pub(super) const TEARS_DOWN: u8 = 4;
+    pub(super) const SYNC: u8 = 5;
 }
 
 /// Section representation tags.
@@ -226,14 +227,25 @@ impl<'a> Reader<'a> {
         if value >= MAX_WIRE_ID {
             return Err(CodecError::IdOutOfRange(value));
         }
-        Ok(value as usize)
+        usize::try_from(value).map_err(|_| CodecError::IdOutOfRange(value))
+    }
+
+    /// A dense-section word count: a varint checked against
+    /// `MAX_WIRE_ID / 64`, so `count * 64` can never wrap (a corrupt ~9-byte
+    /// varint times 64 would otherwise bypass the id cap).
+    fn word_count(&mut self) -> Result<usize, CodecError> {
+        let count = self.varint()?;
+        if count > MAX_WIRE_ID / 64 {
+            return Err(CodecError::IdOutOfRange(count.saturating_mul(64)));
+        }
+        usize::try_from(count).map_err(|_| CodecError::IdOutOfRange(count))
     }
 
     fn word(&mut self) -> Result<u64, CodecError> {
-        let end = self.pos.checked_add(8).ok_or(CodecError::Truncated)?;
-        let slice = self.bytes.get(self.pos..end).ok_or(CodecError::Truncated)?;
-        self.pos = end;
-        Ok(u64::from_le_bytes(slice.try_into().expect("8-byte slice")))
+        let rest = self.bytes.get(self.pos..).ok_or(CodecError::Truncated)?;
+        let word = rest.first_chunk::<8>().ok_or(CodecError::Truncated)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(*word))
     }
 
     fn finish(self) -> Result<(), CodecError> {
@@ -310,19 +322,15 @@ fn decode_rumor_set(reader: &mut Reader<'_>) -> Result<RumorSet, CodecError> {
             }
         }
         TAG_DENSE => {
-            // Divide instead of multiplying: `word_count * 64` would wrap
-            // for a corrupt ~9-byte varint and bypass the cap.
-            let word_count = reader.varint()?;
-            if word_count > MAX_WIRE_ID / 64 {
-                return Err(CodecError::IdOutOfRange(word_count.saturating_mul(64)));
-            }
-            let mut words = Vec::with_capacity(word_count as usize);
+            let word_count = reader.word_count()?;
+            let mut words = Vec::with_capacity(word_count);
             for _ in 0..word_count {
                 words.push(reader.word()?);
             }
             for (w, &word) in words.iter().enumerate() {
                 let mut bits = word;
                 while bits != 0 {
+                    // lint:allow(no-unchecked-narrowing): trailing_zeros of a u64 is at most 63
                     let origin = w * 64 + bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     let payload = reader.varint()?;
@@ -397,15 +405,12 @@ fn decode_informed(reader: &mut Reader<'_>) -> Result<InformedList, CodecError> 
             }
             for _ in 0..row_count {
                 let origin = reader.id()?;
-                // Divide instead of multiplying, as in `decode_rumor_set`.
-                let word_count = reader.varint()?;
-                if word_count > MAX_WIRE_ID / 64 {
-                    return Err(CodecError::IdOutOfRange(word_count.saturating_mul(64)));
-                }
+                let word_count = reader.word_count()?;
                 for w in 0..word_count {
                     let mut bits = reader.word()?;
                     while bits != 0 {
-                        let target = (w as usize) * 64 + bits.trailing_zeros() as usize;
+                        // lint:allow(no-unchecked-narrowing): trailing_zeros of a u64 is at most 63
+                        let target = w * 64 + bits.trailing_zeros() as usize;
                         bits &= bits - 1;
                         list.insert(ProcessId(origin), ProcessId(target));
                     }

@@ -36,6 +36,7 @@
 //! against an **adaptive** adversary.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms, unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod adapter;

@@ -1,0 +1,422 @@
+//! A small Rust lexer, exactly strong enough for token-stream lint rules.
+//!
+//! The rules in [`crate::rules`] must never fire on a banned name that
+//! appears inside a string literal, a character literal or a comment — so
+//! the lexer's whole job is to classify those regions correctly:
+//!
+//! * line comments (`//`, `///`, `//!`) are kept as [`Tok::LineComment`]
+//!   tokens because waivers (`// lint:allow(rule): reason`) live in them;
+//! * block comments nest (`/* /* */ */`) and are skipped entirely;
+//! * string literals cover plain, byte, C and raw forms (`"…"`, `b"…"`,
+//!   `c"…"`, `r#"…"#` with any number of `#`s) with escape handling;
+//! * `'a'` (char) is distinguished from `'a` (lifetime) by lookahead;
+//! * numeric literals keep enough shape to tell integers (`0`, `0x1f`,
+//!   `1_000u64`) from floats, because the never-panic rule flags
+//!   indexing-by-integer-literal.
+//!
+//! Everything else becomes an identifier/keyword token or single-character
+//! punctuation; multi-character operators (`::`, `->`) arrive as adjacent
+//! punctuation tokens, which is all the sequence matchers need. The lexer is
+//! total: any byte sequence lexes without panicking (malformed input just
+//! produces unhelpful punctuation tokens, never a crash — pinned by the
+//! property tests).
+
+/// One classified token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `as`, `HashMap`, …).
+    Ident(String),
+    /// An integer literal (`0`, `0x7f`, `1_000u64`).
+    IntLit,
+    /// Any other literal: strings, chars, byte strings, floats.
+    Lit,
+    /// A single punctuation character.
+    Punct(char),
+    /// A line comment, text after the `//` (waivers are parsed from these).
+    LineComment(String),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+    /// The classified token.
+    pub kind: Tok,
+}
+
+/// Lexes `src` into a token stream. Total: never panics on any input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, line: u32, kind: Tok) {
+        self.out.push(Token { line, kind });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                '\'' => self.quote(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(line),
+                _ => {
+                    self.bump();
+                    self.push(line, Tok::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '/'
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(line, Tok::LineComment(text));
+    }
+
+    /// Skips a block comment, honouring nesting.
+    fn block_comment(&mut self) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return, // unterminated: nothing left to mislex
+            }
+        }
+    }
+
+    /// A `"…"` literal with `\` escapes (the opening quote not yet consumed).
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // '"'
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped character, e.g. `\"` or `\\`
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(line, Tok::Lit);
+    }
+
+    /// A raw string `r##"…"##` whose prefix (`r`/`br`/`cr`) is already
+    /// consumed; `hashes` is the number of `#`s before the opening quote.
+    fn raw_string_literal(&mut self, line: u32, hashes: usize) {
+        for _ in 0..hashes {
+            self.bump(); // '#'
+        }
+        self.bump(); // '"'
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(line, Tok::Lit);
+    }
+
+    /// A `'` — either a char literal (`'a'`, `'\n'`, `' '`) or a lifetime
+    /// (`'a`, `'static`, `'_`). Lookahead disambiguates: a lifetime is `'`
+    /// followed by an identifier char *not* closed by another quote.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let is_lifetime = match next {
+            Some(c) if c == '_' || c.is_alphabetic() => self.peek(2) != Some('\''),
+            _ => false,
+        };
+        self.bump(); // '\''
+        if is_lifetime {
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            // Lifetimes carry no information the rules need; emit nothing.
+            return;
+        }
+        // Char (or byte-char) literal: scan to the closing quote, skipping
+        // escapes (`'\''`, `'\\'`, `'\u{1F600}'`).
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(line, Tok::Lit);
+    }
+
+    /// A numeric literal. Integers (including `0x…`/`0b…`/`0o…` and suffixed
+    /// forms) become [`Tok::IntLit`]; anything with a fractional part or
+    /// exponent becomes [`Tok::Lit`].
+    fn number(&mut self, line: u32) {
+        let mut is_float = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                if c == 'e' || c == 'E' {
+                    // Exponent only counts as float shape in decimal
+                    // literals; in `0x1E` the `E` is a hex digit. A decimal
+                    // exponent is always followed by a digit or sign.
+                    let hexish = self.out_ends_with_hex_prefix();
+                    if !hexish
+                        && matches!(self.peek(1), Some(d) if d.is_ascii_digit() || d == '+' || d == '-')
+                    {
+                        is_float = true;
+                    }
+                }
+                self.bump();
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(line, if is_float { Tok::Lit } else { Tok::IntLit });
+    }
+
+    /// True while lexing a number that started `0x`/`0X` (so `E` is a digit,
+    /// not an exponent). Cheap approximation: look back at the raw chars.
+    fn out_ends_with_hex_prefix(&self) -> bool {
+        // The number started at most `pos` characters ago on this line;
+        // scan back to its first character.
+        let mut i = self.pos;
+        while i > 0 {
+            let c = self.chars[i - 1];
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+        self.chars.get(i) == Some(&'0') && matches!(self.chars.get(i + 1), Some('x') | Some('X'))
+    }
+
+    /// An identifier — unless it is a literal prefix (`r"`, `b"`, `c"`,
+    /// `br#"`, `b'`), in which case the whole literal is consumed.
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                self.pos += 1; // idents contain no newlines; bump() not needed
+            } else {
+                break;
+            }
+        }
+        let ident: String = self.chars[start..self.pos].iter().collect();
+        let is_string_prefix = matches!(ident.as_str(), "r" | "b" | "c" | "br" | "cr");
+        match self.peek(0) {
+            Some('"') if is_string_prefix => {
+                if ident.contains('r') {
+                    self.raw_string_literal(line, 0);
+                } else {
+                    self.string_literal(line);
+                }
+            }
+            Some('#') if is_string_prefix && ident.contains('r') => {
+                // Count the hashes and require an opening quote after them —
+                // otherwise this was `r #…` punctuation, not a raw string.
+                let mut hashes = 0;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    self.raw_string_literal(line, hashes);
+                } else {
+                    self.push(line, Tok::Ident(ident));
+                }
+            }
+            Some('\'') if ident == "b" => {
+                self.quote(line); // byte-char literal b'x'
+            }
+            _ => self.push(line, Tok::Ident(ident)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            let a = "unwrap() HashMap"; // unsafe in a comment
+            /* unsafe /* nested unsafe */ still comment */
+            let b = r#"panic!("HashMap")"#;
+            let c = b"unsafe";
+            let d = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|i| i == "unwrap" || i == "HashMap" || i == "unsafe" || i == "panic"));
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c", "let", "d"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // `'a` must not swallow `>` as string content.
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x.trim() }");
+        assert!(ids.contains(&"trim".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+        // A real char literal next to a lifetime still lexes.
+        let toks = lex("let c: char = 'x'; let r: &'static str = \"y\";");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Tok::Lit).count(),
+            2,
+            "one char literal and one string literal"
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let ids = idents(r#"let s = "he said \"unwrap()\" loudly"; s.len()"#);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+        let ids = idents(r"let c = '\''; let d = '\\'; x.unwrap()");
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let kinds: Vec<_> = lex("1 0x1F 1_000u64 1.5 2e10 0x1E 3.0f64")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::IntLit, // 1
+                Tok::IntLit, // 0x1F
+                Tok::IntLit, // 1_000u64
+                Tok::Lit,    // 1.5
+                Tok::Lit,    // 2e10
+                Tok::IntLit, // 0x1E — E is a hex digit, not an exponent
+                Tok::Lit,    // 3.0f64
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_across_literals() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = lex(src);
+        assert_eq!(
+            toks[0],
+            Token {
+                line: 1,
+                kind: Tok::Ident("a".into())
+            }
+        );
+        assert_eq!(
+            toks[1],
+            Token {
+                line: 2,
+                kind: Tok::Lit
+            }
+        );
+        assert_eq!(
+            toks[2],
+            Token {
+                line: 4,
+                kind: Tok::Ident("b".into())
+            }
+        );
+    }
+
+    #[test]
+    fn waiver_comments_survive_as_tokens() {
+        let toks = lex("x.foo(); // lint:allow(no-unsafe): demo reason");
+        assert!(toks.iter().any(
+            |t| matches!(&t.kind, Tok::LineComment(c) if c.contains("lint:allow(no-unsafe)"))
+        ));
+    }
+
+    #[test]
+    fn arbitrary_garbage_lexes_without_panicking() {
+        for src in ["\"", "'", "r#\"", "/*", "b'", "0x", "'\\", "r###", "\\"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The lint rules: token-stream matchers with stable identifiers.
+//!
+//! Every rule has a stable id (what waivers name and what the JSON report
+//! keys on) and a matcher over the lexed token stream of one file. Matchers
+//! see only tokens outside `#[cfg(test)]` items — test code is compiled out
+//! of every shipped path, so the guarantees the rules enforce (deterministic
+//! execution, never-panic decode) do not extend to it; see
+//! [`strip_cfg_test`].
+//!
+//! Which files each rule applies to is the policy table's business
+//! ([`crate::policy`]); rules themselves are path-agnostic.
+
+use std::fmt;
+
+use crate::lexer::{Tok, Token};
+
+/// Stable rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `std::collections::{HashMap, HashSet}` in a deterministic crate:
+    /// their iteration order is randomized per process, so any execution
+    /// path through them breaks bit-identical replay.
+    NoNondeterministicCollections,
+    /// `Instant::now` / `SystemTime` outside the free-running runtime paths
+    /// and the bench crate: wall-clock reads make lockstep runs
+    /// unreproducible.
+    NoWallClock,
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+    /// or indexing by an integer literal in decode/frame-handling code:
+    /// corrupt bytes must surface as typed errors, never as panics.
+    NeverPanicDecode,
+    /// A truncating `as` cast in codec/wire code: narrowing must go through
+    /// `try_from` so overflow is an error, not silent wraparound.
+    NoUncheckedNarrowing,
+    /// `unsafe` anywhere in the workspace crates.
+    NoUnsafe,
+    /// A malformed waiver comment (unknown rule id or missing reason). Not
+    /// waivable: a broken waiver must be fixed, not waived away.
+    InvalidWaiver,
+}
+
+impl RuleId {
+    /// Every enforceable rule, in report order ([`RuleId::InvalidWaiver`] is
+    /// a diagnostic, not a policy rule).
+    pub const ALL: [RuleId; 5] = [
+        RuleId::NoNondeterministicCollections,
+        RuleId::NoWallClock,
+        RuleId::NeverPanicDecode,
+        RuleId::NoUncheckedNarrowing,
+        RuleId::NoUnsafe,
+    ];
+
+    /// The stable string id used in waivers, diagnostics and the JSON report.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::NoNondeterministicCollections => "no-nondeterministic-collections",
+            RuleId::NoWallClock => "no-wall-clock",
+            RuleId::NeverPanicDecode => "never-panic-decode",
+            RuleId::NoUncheckedNarrowing => "no-unchecked-narrowing",
+            RuleId::NoUnsafe => "no-unsafe",
+            RuleId::InvalidWaiver => "invalid-waiver",
+        }
+    }
+
+    /// Parses a stable string id (as written in a waiver).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.id() == s)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable description of what matched.
+    pub what: String,
+}
+
+/// Removes every token belonging to a `#[cfg(test)]` item (attribute
+/// included). The matcher recognizes the exact attribute `#[cfg(test)]` and
+/// then skips the annotated item: any further attributes, then either a
+/// brace-delimited body (`mod tests { … }`, `fn …() { … }`) or a
+/// semicolon-terminated item (`use …;`). Conditional attributes that are not
+/// exactly `cfg(test)` — `#[cfg(unix)]`, `#[cfg_attr(…)]` — are left alone.
+pub fn strip_cfg_test(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(after_attr) = match_cfg_test_attr(tokens, i) {
+            i = skip_item(tokens, after_attr);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// If `tokens[i..]` starts with exactly `# [ cfg ( test ) ]`, returns the
+/// index just past the closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    let expected: [&dyn Fn(&Tok) -> bool; 7] = [
+        &|t| matches!(t, Tok::Punct('#')),
+        &|t| matches!(t, Tok::Punct('[')),
+        &|t| matches!(t, Tok::Ident(s) if s == "cfg"),
+        &|t| matches!(t, Tok::Punct('(')),
+        &|t| matches!(t, Tok::Ident(s) if s == "test"),
+        &|t| matches!(t, Tok::Punct(')')),
+        &|t| matches!(t, Tok::Punct(']')),
+    ];
+    for (off, check) in expected.iter().enumerate() {
+        if !check(&tokens.get(i + off)?.kind) {
+            return None;
+        }
+    }
+    Some(i + expected.len())
+}
+
+/// Skips one item starting at `i`: leading attributes, then everything up to
+/// and including either a matched `{ … }` block or a top-level `;`.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Further attributes on the same item (`#[test] #[ignore] fn …`).
+    while matches!(tokens.get(i).map(|t| &t.kind), Some(Tok::Punct('#')))
+        && matches!(tokens.get(i + 1).map(|t| &t.kind), Some(Tok::Punct('[')))
+    {
+        let mut depth = 0usize;
+        while let Some(t) = tokens.get(i) {
+            match t.kind {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // The item proper.
+    let mut brace_depth = 0usize;
+    while let Some(t) = tokens.get(i) {
+        match t.kind {
+            Tok::Punct('{') => brace_depth += 1,
+            Tok::Punct('}') => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if brace_depth == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') if brace_depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Runs one rule's matcher over a (already `cfg(test)`-stripped) stream.
+pub fn check(rule: RuleId, tokens: &[Token]) -> Vec<Violation> {
+    match rule {
+        RuleId::NoNondeterministicCollections => nondeterministic_collections(tokens),
+        RuleId::NoWallClock => wall_clock(tokens),
+        RuleId::NeverPanicDecode => never_panic(tokens),
+        RuleId::NoUncheckedNarrowing => narrowing(tokens),
+        RuleId::NoUnsafe => no_unsafe(tokens),
+        RuleId::InvalidWaiver => Vec::new(), // produced by the waiver parser
+    }
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn violation(rule: RuleId, tokens: &[Token], i: usize, what: impl Into<String>) -> Violation {
+    Violation {
+        rule,
+        line: tokens[i].line,
+        what: what.into(),
+    }
+}
+
+fn nondeterministic_collections(tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if let Some(name @ ("HashMap" | "HashSet")) = ident_at(tokens, i) {
+            out.push(violation(
+                RuleId::NoNondeterministicCollections,
+                tokens,
+                i,
+                format!("`{name}` iterates in randomized order; use BTreeMap/BTreeSet or an index-keyed Vec"),
+            ));
+        }
+    }
+    out
+}
+
+fn wall_clock(tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        match ident_at(tokens, i) {
+            Some("SystemTime") => out.push(violation(
+                RuleId::NoWallClock,
+                tokens,
+                i,
+                "`SystemTime` reads the wall clock",
+            )),
+            Some("Instant")
+                if punct_at(tokens, i + 1, ':')
+                    && punct_at(tokens, i + 2, ':')
+                    && ident_at(tokens, i + 3) == Some("now") =>
+            {
+                out.push(violation(
+                    RuleId::NoWallClock,
+                    tokens,
+                    i,
+                    "`Instant::now` reads the wall clock",
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn never_panic(tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        // `.unwrap(` / `.expect(` — method calls only, so `unwrap_or`,
+        // `expect_err` and free functions named `unwrap` don't match.
+        if punct_at(tokens, i, '.') {
+            if let Some(name @ ("unwrap" | "expect")) = ident_at(tokens, i + 1) {
+                if punct_at(tokens, i + 2, '(') {
+                    out.push(violation(
+                        RuleId::NeverPanicDecode,
+                        tokens,
+                        i + 1,
+                        format!("`.{name}()` can panic; return a typed error"),
+                    ));
+                }
+            }
+        }
+        // Panicking macros.
+        if let Some(name @ ("panic" | "unreachable" | "todo" | "unimplemented")) =
+            ident_at(tokens, i)
+        {
+            if punct_at(tokens, i + 1, '!') {
+                out.push(violation(
+                    RuleId::NeverPanicDecode,
+                    tokens,
+                    i,
+                    format!("`{name}!` in a never-panic path"),
+                ));
+            }
+        }
+        // Indexing by an integer literal: `expr[0]`. The previous token of a
+        // real index expression is an identifier, `)` or `]`; an array
+        // literal (`[0, 1]`, `[0u8; 8]`) or attribute is preceded by
+        // something else, and `[0u8; 8]` also fails the closing-bracket test.
+        if punct_at(tokens, i, '[')
+            && matches!(tokens.get(i + 1).map(|t| &t.kind), Some(Tok::IntLit))
+            && punct_at(tokens, i + 2, ']')
+            && i > 0
+            && matches!(
+                tokens.get(i - 1).map(|t| &t.kind),
+                Some(Tok::Ident(_)) | Some(Tok::Punct(')')) | Some(Tok::Punct(']'))
+            )
+        {
+            out.push(violation(
+                RuleId::NeverPanicDecode,
+                tokens,
+                i,
+                "indexing by integer literal can panic; use `.get(…)`",
+            ));
+        }
+    }
+    out
+}
+
+/// Integer types an `as` cast can truncate into (a 64-bit value fits every
+/// wider target; `usize`/`isize` are platform-width, so a cast *into* them
+/// is narrowing on 32-bit targets and flagged too).
+const NARROW_TARGETS: [&str; 8] = ["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
+
+fn narrowing(tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) == Some("as") {
+            if let Some(target) = ident_at(tokens, i + 1) {
+                if NARROW_TARGETS.contains(&target) {
+                    out.push(violation(
+                        RuleId::NoUncheckedNarrowing,
+                        tokens,
+                        i,
+                        format!("`as {target}` can truncate; use `{target}::try_from`"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn no_unsafe(tokens: &[Token]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if ident_at(tokens, i) == Some("unsafe") {
+            out.push(violation(
+                RuleId::NoUnsafe,
+                tokens,
+                i,
+                "`unsafe` is banned in workspace crates",
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,71 @@
+//! The rule corpus: every rule must flag every `bad/` snippet and pass
+//! every `good/` one.
+//!
+//! Snippets live in `tests/corpus/<rule-id>/{bad,good}/*.rs`. They are
+//! lexed by the linter but never compiled, and the workspace walk excludes
+//! the corpus directory (the `bad/` files are deliberate violations).
+
+use std::path::PathBuf;
+
+use agossip_lint::lint_source;
+use agossip_lint::policy::Policy;
+use agossip_lint::rules::RuleId;
+
+fn corpus_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// `(file name, source)` of every snippet under `<rule>/<kind>/`.
+fn snippets(rule: RuleId, kind: &str) -> Vec<(String, String)> {
+    let dir = corpus_root().join(rule.id()).join(kind);
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display())) {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            let source = std::fs::read_to_string(&path).expect("corpus file readable");
+            out.push((name, source));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn every_bad_snippet_is_flagged() {
+    for rule in RuleId::ALL {
+        let bad = snippets(rule, "bad");
+        assert!(!bad.is_empty(), "rule {rule} has no bad/ corpus snippets");
+        for (name, source) in bad {
+            let (findings, _) = lint_source(&name, &source, &Policy::single_rule(rule));
+            let hits: Vec<_> = findings.iter().filter(|f| f.rule == rule).collect();
+            assert!(
+                !hits.is_empty(),
+                "rule {rule} missed corpus snippet {rule}/bad/{name}"
+            );
+            assert!(
+                hits.iter().all(|f| f.is_unwaived()),
+                "corpus snippet {rule}/bad/{name} must not carry waivers"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_good_snippet_is_clean() {
+    for rule in RuleId::ALL {
+        let good = snippets(rule, "good");
+        assert!(!good.is_empty(), "rule {rule} has no good/ corpus snippets");
+        for (name, source) in good {
+            let (findings, _) = lint_source(&name, &source, &Policy::single_rule(rule));
+            assert!(
+                findings.is_empty(),
+                "rule {rule} false-positived on {rule}/good/{name}: {findings:?}"
+            );
+        }
+    }
+}

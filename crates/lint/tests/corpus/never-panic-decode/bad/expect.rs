@@ -1,0 +1,3 @@
+fn word(v: &[u8]) -> u64 {
+    u64::from_le_bytes(v[..8].try_into().expect("8-byte slice"))
+}

@@ -1,0 +1,3 @@
+fn version(frame: &[u8]) -> u8 {
+    frame[0]
+}

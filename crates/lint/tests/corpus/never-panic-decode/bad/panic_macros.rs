@@ -1,0 +1,9 @@
+fn kind(byte: u8) -> &'static str {
+    match byte {
+        0 => "trivial",
+        1 => "ears",
+        2 => unreachable!("filtered earlier"),
+        3 => todo!(),
+        _ => panic!("unknown kind {byte}"),
+    }
+}

@@ -1,0 +1,3 @@
+fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,12 @@
+fn shipped(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![7u8];
+        assert_eq!(super::shipped(&v).unwrap(), v[0]);
+    }
+}

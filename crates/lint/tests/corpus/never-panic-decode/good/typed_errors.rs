@@ -1,0 +1,24 @@
+fn first(v: &[u8]) -> Result<u8, ()> {
+    v.first().copied().ok_or(())
+}
+
+fn word(v: &[u8]) -> Result<u64, ()> {
+    let chunk = v.first_chunk::<8>().ok_or(())?;
+    Ok(u64::from_le_bytes(*chunk))
+}
+
+// Array *literals* are not indexing, and `=`-preceded brackets never are.
+fn header() -> [u8; 4] {
+    let scratch = [0u8; 4];
+    scratch
+}
+
+// `unwrap_or` / `unwrap_or_default` / `expect_err` are total, not panicking.
+fn lenient(v: &[u8]) -> u8 {
+    v.first().copied().unwrap_or(0)
+}
+
+fn check(r: Result<u8, String>) -> String {
+    r.map(|_| String::new()).unwrap_or_default();
+    r.expect_err("only called on errors in this example")
+}

@@ -1,0 +1,4 @@
+fn dedup(xs: &[u32]) -> usize {
+    let seen: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}

@@ -1,0 +1,13 @@
+use std::collections::{BTreeMap, BTreeSet};
+
+fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn dedup(xs: &[u32]) -> BTreeSet<u32> {
+    xs.iter().copied().collect()
+}

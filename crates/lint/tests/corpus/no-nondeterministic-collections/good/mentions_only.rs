@@ -1,0 +1,10 @@
+// A HashMap mentioned in a comment is not a use of one.
+
+/// Neither is a HashSet named in a doc comment.
+fn describe() -> &'static str {
+    "iteration order of a HashMap is nondeterministic"
+}
+
+fn raw() -> &'static str {
+    r#"HashSet inside a raw string is data too"#
+}

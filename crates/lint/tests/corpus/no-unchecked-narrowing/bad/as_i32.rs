@@ -1,0 +1,3 @@
+fn signed(x: i64) -> i32 {
+    x as i32
+}

@@ -1,0 +1,3 @@
+fn low_byte(x: u64) -> u8 {
+    x as u8
+}

@@ -1,0 +1,3 @@
+fn index(len: u64) -> usize {
+    len as usize
+}

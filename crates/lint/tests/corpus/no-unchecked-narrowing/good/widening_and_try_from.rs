@@ -1,0 +1,18 @@
+// Widening casts never truncate.
+fn widen(x: u8) -> u64 {
+    x as u64
+}
+
+fn widen_signed(x: i32) -> i64 {
+    x as i64
+}
+
+// Narrowing via `try_from` is the checked form the rule demands.
+fn narrow(x: u64) -> Result<u8, std::num::TryFromIntError> {
+    u8::try_from(x)
+}
+
+// `as` in prose: a comment narrowing such as `x as u8` is not a cast.
+fn describe() -> &'static str {
+    "cast as usize in a string is data"
+}

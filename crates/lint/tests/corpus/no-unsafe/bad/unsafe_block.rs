@@ -1,0 +1,3 @@
+fn deref(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,5 @@
+/// # Safety
+/// Caller promises nothing; this whole file is a lint corpus specimen.
+unsafe fn launder(x: u64) -> u64 {
+    x
+}

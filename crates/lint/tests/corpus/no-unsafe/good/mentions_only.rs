@@ -1,0 +1,4 @@
+// The word unsafe in a comment is not an unsafe block.
+fn describe() -> &'static str {
+    "unsafe inside a string literal is data, not code"
+}

@@ -1,0 +1,3 @@
+fn add(a: u32, b: u32) -> Option<u32> {
+    a.checked_add(b)
+}

@@ -1,0 +1,5 @@
+use std::time::Instant;
+
+fn stamp() -> Instant {
+    Instant::now()
+}

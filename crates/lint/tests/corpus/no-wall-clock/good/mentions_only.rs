@@ -1,0 +1,4 @@
+// Instant::now() in a comment is not a clock read.
+fn describe() -> &'static str {
+    "SystemTime::now() in a string is data"
+}

@@ -1,0 +1,11 @@
+use std::time::{Duration, Instant};
+
+// Holding or comparing an `Instant` someone else read is fine; only the
+// `Instant::now()` read itself is banned.
+fn expired(deadline: Instant, now: Instant) -> bool {
+    now >= deadline
+}
+
+fn budget() -> Duration {
+    Duration::from_millis(5)
+}

@@ -1,0 +1,64 @@
+//! Property tests on the lint lexer: totality on arbitrary input, and the
+//! guarantee that banned identifiers hidden inside string/char/byte
+//! literals or comments never surface as identifier tokens (the reason the
+//! rules can run on the token stream instead of raw text).
+
+use proptest::prelude::*;
+
+use agossip_lint::lexer::{lex, Tok};
+
+/// The identifiers the rules key on.
+const BANNED: [&str; 7] = [
+    "HashMap",
+    "HashSet",
+    "unsafe",
+    "unwrap",
+    "expect",
+    "Instant",
+    "SystemTime",
+];
+
+proptest! {
+    /// The lexer is total: arbitrary (often invalid-UTF-8, lossily decoded)
+    /// input never panics it, and token positions are sane — 1-based lines
+    /// within the input, non-decreasing in scan order.
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let tokens = lex(&src);
+        let lines = src.chars().filter(|&c| c == '\n').count() as u32 + 1;
+        let mut prev = 1u32;
+        for t in &tokens {
+            prop_assert!(t.line >= 1);
+            prop_assert!(t.line <= lines);
+            prop_assert!(t.line >= prev);
+            prev = t.line;
+        }
+    }
+
+    /// A banned word embedded in any literal or comment form never produces
+    /// an identifier token, so no rule can fire on it.
+    #[test]
+    fn banned_words_hidden_in_literals_never_tokenize(
+        word_ix in 0..7usize,
+        container in 0..6usize,
+        noise in 0..1000u32,
+    ) {
+        let word = BANNED[word_ix];
+        let src = match container {
+            0 => format!("let s = \"{word} {noise}\";\n"),
+            1 => format!("let s = r#\"{word} \"quoted\" {noise}\"#;\n"),
+            2 => format!("// {word} {noise}\nlet x = {noise};\n"),
+            3 => format!("/* {word} /* nested {noise} */ {word} */ fn f() {{}}\n"),
+            4 => format!("/// {word} {noise}\nfn g() {{}}\n"),
+            _ => format!("let s = b\"{word}\"; let e = \"esc\\\"{word}\";\n"),
+        };
+        for t in lex(&src) {
+            if let Tok::Ident(name) = &t.kind {
+                prop_assert!(name != word);
+            }
+        }
+    }
+}

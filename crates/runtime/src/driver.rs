@@ -303,10 +303,7 @@ where
                         break;
                     }
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("node thread panicked"))
-                    .collect()
+                join_nodes(handles, &shared)
             });
             outcomes
         }
@@ -343,10 +340,7 @@ where
                     }
                 }
                 shared.stop.store(true, Ordering::Relaxed);
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("node thread panicked"))
-                    .collect()
+                join_nodes(handles, &shared)
             })
         }
     };
@@ -371,6 +365,24 @@ where
         ticks,
         elapsed: shared.started.elapsed(),
     })
+}
+
+/// Joins the node threads, converting any panic into a recorded
+/// [`RuntimeError::NodePanicked`] instead of propagating it. `run_live`
+/// surfaces the first recorded error before the (then short) outcome list
+/// is ever read.
+fn join_nodes<'scope>(
+    handles: Vec<thread::ScopedJoinHandle<'scope, NodeOutcome>>,
+    shared: &SharedRun,
+) -> Vec<NodeOutcome> {
+    let mut outcomes = Vec::with_capacity(handles.len());
+    for handle in handles {
+        match handle.join() {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(_) => shared.record_error(RuntimeError::NodePanicked),
+        }
+    }
+    outcomes
 }
 
 #[cfg(test)]

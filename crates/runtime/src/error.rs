@@ -23,6 +23,9 @@ pub enum RuntimeError {
     Codec(CodecError),
     /// The configuration is invalid (e.g. `f ≥ n`).
     Config(String),
+    /// A node thread panicked instead of returning an outcome. The driver
+    /// records this and aborts the run; the panic payload is not preserved.
+    NodePanicked,
 }
 
 impl fmt::Display for RuntimeError {
@@ -31,6 +34,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Io { context, source } => write!(f, "{context}: {source}"),
             RuntimeError::Codec(e) => write!(f, "frame decode failed: {e}"),
             RuntimeError::Config(reason) => write!(f, "invalid runtime config: {reason}"),
+            RuntimeError::NodePanicked => write!(f, "a node thread panicked"),
         }
     }
 }
@@ -41,6 +45,7 @@ impl std::error::Error for RuntimeError {
             RuntimeError::Io { source, .. } => Some(source),
             RuntimeError::Codec(e) => Some(e),
             RuntimeError::Config(_) => None,
+            RuntimeError::NodePanicked => None,
         }
     }
 }

@@ -83,38 +83,39 @@ pub(crate) struct SharedRun {
 }
 
 impl SharedRun {
-    pub fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         SharedRun {
             stats: RunStats::default(),
             stop: AtomicBool::new(false),
             settled: AtomicBool::new(false),
             quiet: (0..n).map(|_| AtomicBool::new(false)).collect(),
             last_activity_ms: AtomicU64::new(0),
+            // lint:allow(no-wall-clock): elapsed-time base, read only by the free-running paths
             started: Instant::now(),
             first_error: Mutex::new(None),
         }
     }
 
-    pub fn touch(&self) {
+    pub(crate) fn touch(&self) {
         let elapsed = self.started.elapsed().as_millis() as u64;
         self.last_activity_ms.store(elapsed, Ordering::Relaxed);
     }
 
-    pub fn since_last_activity(&self) -> Duration {
+    pub(crate) fn since_last_activity(&self) -> Duration {
         let last = self.last_activity_ms.load(Ordering::Relaxed);
         let now = self.started.elapsed().as_millis() as u64;
         Duration::from_millis(now.saturating_sub(last))
     }
 
     /// Records the first error seen; later errors are dropped.
-    pub fn record_error(&self, error: RuntimeError) {
+    pub(crate) fn record_error(&self, error: RuntimeError) {
         let mut slot = self.first_error.lock();
         if slot.is_none() {
             *slot = Some(error);
         }
     }
 
-    pub fn has_error(&self) -> bool {
+    pub(crate) fn has_error(&self) -> bool {
         self.first_error.lock().is_some()
     }
 }
@@ -256,7 +257,7 @@ where
         let mut active = false;
         if !crashed {
             while pending.peek().is_some_and(|p| p.deliver_tick <= tick) {
-                let p = pending.pop().expect("peeked element");
+                let Some(p) = pending.pop() else { break };
                 engine.deliver(p.from, p.msg);
                 active = true;
                 shared
@@ -440,6 +441,7 @@ where
             shared.record_error(e);
             break;
         }
+        // lint:allow(no-wall-clock): free-running pacing is wall-clock by design
         let now = Instant::now();
         shared
             .stats
@@ -465,9 +467,10 @@ where
 
         // Deliver everything whose injected delay has expired; the heap top
         // is the earliest deadline, so this touches only due messages.
+        // lint:allow(no-wall-clock): free-running pacing is wall-clock by design
         let now = Instant::now();
         while pending.peek().is_some_and(|p| p.deliver_after <= now) {
-            let p = pending.pop().expect("peeked element");
+            let Some(p) = pending.pop() else { break };
             engine.deliver(p.from, p.msg);
             shared
                 .stats

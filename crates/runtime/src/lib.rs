@@ -33,6 +33,7 @@
 //! [`driver::run_live`].
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms, unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod driver;

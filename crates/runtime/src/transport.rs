@@ -323,14 +323,16 @@ impl FrameBuf {
         if from >= u64::from(u32::MAX) {
             return Err(CodecError::IdOutOfRange(from).into());
         }
+        let len = usize::try_from(len).map_err(|_| CodecError::IdOutOfRange(len))?;
+        let from = usize::try_from(from).map_err(|_| CodecError::IdOutOfRange(from))?;
         let header = from_len + len_len;
-        if (self.data.len() - header) < len as usize {
+        if (self.data.len() - header) < len {
             return Ok(None);
         }
         self.data.drain(..header);
-        let payload: Vec<u8> = self.data.drain(..len as usize).collect();
+        let payload: Vec<u8> = self.data.drain(..len).collect();
         Ok(Some(RawFrame {
-            from: ProcessId(from as usize),
+            from: ProcessId(from),
             payload,
         }))
     }
@@ -386,7 +388,11 @@ impl Endpoint for SocketEndpoint {
             }
         }
         let frame = frame_bytes(self.pid, payload);
-        let stream = self.outbound[slot].as_mut().expect("connected above");
+        let Some(stream) = self.outbound[slot].as_mut() else {
+            // Connected just above; a lost send is the safe degradation if
+            // that invariant ever broke.
+            return Ok(SendOutcome::Lost);
+        };
         match stream.write_all_bytes(&frame) {
             Ok(()) => Ok(SendOutcome::Sent),
             Err(e) if is_peer_death(&e) => {
@@ -461,24 +467,14 @@ impl Transport for SocketTransport {
     }
 
     fn open(&self, n: usize) -> Result<Vec<SocketEndpoint>, RuntimeError> {
-        let mut listeners = Vec::with_capacity(n);
-        let mut peers = Vec::with_capacity(n);
-        let cleanup = match self.kind {
-            SocketKind::Tcp => None,
-            #[cfg(unix)]
-            SocketKind::Unix => {
-                let dir = std::env::temp_dir().join(format!(
-                    "agossip-uds-{}-{}",
-                    std::process::id(),
-                    UDS_RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
-                ));
-                std::fs::create_dir_all(&dir).map_err(io_err("creating UDS directory"))?;
-                Some(Arc::new(TempDirGuard { path: dir }))
-            }
-        };
-        for i in 0..n {
-            match self.kind {
-                SocketKind::Tcp => {
+        // Each kind assembles its listeners and addresses in one
+        // self-contained branch, so the UDS branch owns its cleanup guard
+        // directly instead of re-borrowing an `Option` per iteration.
+        let (listeners, peers, cleanup) = match self.kind {
+            SocketKind::Tcp => {
+                let mut listeners = Vec::with_capacity(n);
+                let mut peers = Vec::with_capacity(n);
+                for _ in 0..n {
                     let listener =
                         TcpListener::bind("127.0.0.1:0").map_err(io_err("binding listener"))?;
                     listener
@@ -491,10 +487,21 @@ impl Transport for SocketTransport {
                     ));
                     listeners.push(AnyListener::Tcp(listener));
                 }
-                #[cfg(unix)]
-                SocketKind::Unix => {
-                    let dir = &cleanup.as_ref().expect("uds cleanup guard").path;
-                    let path = dir.join(format!("p{i}.sock"));
+                (listeners, peers, None)
+            }
+            #[cfg(unix)]
+            SocketKind::Unix => {
+                let dir = std::env::temp_dir().join(format!(
+                    "agossip-uds-{}-{}",
+                    std::process::id(),
+                    UDS_RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&dir).map_err(io_err("creating UDS directory"))?;
+                let guard = Arc::new(TempDirGuard { path: dir });
+                let mut listeners = Vec::with_capacity(n);
+                let mut peers = Vec::with_capacity(n);
+                for i in 0..n {
+                    let path = guard.path.join(format!("p{i}.sock"));
                     let listener =
                         UnixListener::bind(&path).map_err(io_err("binding UDS listener"))?;
                     listener
@@ -503,8 +510,9 @@ impl Transport for SocketTransport {
                     peers.push(PeerAddr::Unix(path));
                     listeners.push(AnyListener::Unix(listener));
                 }
+                (listeners, peers, Some(guard))
             }
-        }
+        };
         Ok(listeners
             .into_iter()
             .enumerate()

@@ -58,6 +58,7 @@
 //! produces bit-identical results.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms, unreachable_pub)]
 #![warn(missing_docs)]
 
 pub mod adversary;

@@ -210,11 +210,9 @@ impl<M> Network<M> {
             _ => return,
         }
         debug_assert!(self.scratch.is_empty());
-        while let Some(m) = queue.peek() {
-            if m.deliverable_at > now {
-                break;
-            }
-            self.scratch.push(queue.pop().expect("peeked element"));
+        while queue.peek().is_some_and(|m| m.deliverable_at <= now) {
+            let Some(m) = queue.pop() else { break };
+            self.scratch.push(m);
         }
         self.in_flight -= self.scratch.len();
         let shard = &mut self.shards[to.index() >> SHARD_SHIFT];

@@ -13,6 +13,10 @@
 //! maximum per-iteration wall-clock times are printed. That is enough to eye
 //! asymptotic growth, which is what the paper-reproduction benches are for.
 
+//!
+//! Not walked by `agossip-lint` (the linter's `no-unsafe` rule covers
+//! `crates/` and `tests/` only); this stub instead carries the stronger,
+//! compiler-enforced `#![forbid(unsafe_code)]` below.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

@@ -8,6 +8,10 @@
 //! `Condvar` — far simpler than crossbeam's lock-free queues, but with the
 //! same observable semantics for an unbounded MPMC channel.
 
+//!
+//! Not walked by `agossip-lint` (the linter's `no-unsafe` rule covers
+//! `crates/` and `tests/` only); this stub instead carries the stronger,
+//! compiler-enforced `#![forbid(unsafe_code)]` below.
 #![forbid(unsafe_code)]
 
 pub mod channel {

@@ -6,6 +6,10 @@
 //! `std::sync::Mutex` (poisoned locks are recovered, matching
 //! `parking_lot`'s indifference to panics in critical sections).
 
+//!
+//! Not walked by `agossip-lint` (the linter's `no-unsafe` rule covers
+//! `crates/` and `tests/` only); this stub instead carries the stronger,
+//! compiler-enforced `#![forbid(unsafe_code)]` below.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

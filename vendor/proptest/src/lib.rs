@@ -17,6 +17,10 @@
 //! Those differences do not change what the tests verify, only how failures
 //! are minimised and reported.
 
+//!
+//! Not walked by `agossip-lint` (the linter's `no-unsafe` rule covers
+//! `crates/` and `tests/` only); this stub instead carries the stronger,
+//! compiler-enforced `#![forbid(unsafe_code)]` below.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 

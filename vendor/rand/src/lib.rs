@@ -14,6 +14,10 @@
 //! be cryptographically secure and does not reproduce the exact streams of
 //! the real `StdRng`.
 
+//!
+//! Not walked by `agossip-lint` (the linter's `no-unsafe` rule covers
+//! `crates/` and `tests/` only); this stub instead carries the stronger,
+//! compiler-enforced `#![forbid(unsafe_code)]` below.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
