@@ -15,11 +15,15 @@
 //! default because binding hundreds of listeners per grid is kernel-state
 //! heavy, not because anything about the measurement differs.
 
-use agossip_core::{check_gossip, Ears, GossipCtx, GossipEngine, Rumor, Tears, Trivial, WireCodec};
-use agossip_runtime::{run_live, ChannelTransport, LiveConfig, LiveReport, Pacing};
+use agossip_core::{
+    check_gossip, Ears, GossipCtx, GossipEngine, GossipSpec, Rumor, Tears, TearsParams, Trivial,
+    WireCodec,
+};
+use agossip_runtime::{run_live, ChannelTransport, LiveConfig, LiveReport, Pacing, Threading};
 use agossip_sim::{ProcessId, SimError, SimResult};
 
 use crate::experiments::common::{ExperimentScale, GossipProtocolKind};
+use crate::experiments::scale::{scale_a_target, tears_params_for_a};
 use crate::report::{fmt_f64, Table};
 use crate::stats::Summary;
 use crate::sweep::TrialPool;
@@ -80,6 +84,7 @@ pub fn live_config(scale: &ExperimentScale, n: usize, trial: usize) -> LiveConfi
             d: scale.d,
             max_ticks: 1 << 20,
         },
+        threading: Threading::PerProcess,
     }
 }
 
@@ -178,6 +183,163 @@ pub fn run_live_sweep(scale: &ExperimentScale) -> SimResult<Vec<LiveRow>> {
     run_live_sweep_with(&TrialPool::serial(), scale)
 }
 
+// ---------------------------------------------------------------------------
+// live_scale — thousands of live processes on a handful of reactor threads
+// ---------------------------------------------------------------------------
+
+/// One row of the `live_scale` scenario: a checker-verified lockstep `tears`
+/// run at system size `n`, all processes multiplexed onto `reactors` event
+/// loops ([`Threading::Reactor`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveScaleRow {
+    /// System size.
+    pub n: usize,
+    /// Crash budget (all `f` crashes are injected, staggered across the
+    /// first local steps).
+    pub f: usize,
+    /// Reactor threads the `n` processes were multiplexed onto.
+    pub reactors: usize,
+    /// Lockstep ticks to quiescence.
+    pub ticks: u64,
+    /// Point-to-point messages (encoded frames) sent.
+    pub messages: u64,
+    /// Encoded payload bytes sent.
+    pub bytes: u64,
+    /// Wall-clock seconds of the run (the runtime's own clock).
+    pub wall_secs: f64,
+    /// Frames through the transport per wall-clock second.
+    pub messages_per_sec: f64,
+    /// Encoded payload bytes through the transport per wall-clock second.
+    pub bytes_per_sec: f64,
+    /// Whether the majority-gossip checker accepted the run (and no frame
+    /// failed to decode).
+    pub ok: bool,
+}
+
+/// The `tears` parameters of a `live_scale` trial: the same logarithmic
+/// neighbourhood target the simulator's `scale` scenario is calibrated to
+/// (`a = 2 + 1.5·log₂n`), applied at *every* size. The sim-side crossover
+/// keeps paper-faithful `Θ(√n·log n)` constants below `n = 2048`, but a live
+/// run pays per-byte codec cost on every message, so the quadratic default
+/// grid is unaffordable well below the crossover.
+pub fn live_scale_params(n: usize) -> TearsParams {
+    tears_params_for_a(n, scale_a_target(n))
+}
+
+/// The crash budget of a `live_scale` trial: 16 crashes once `n` is large
+/// enough to spare them (`f < n/2` is a `tears` requirement; `n/8` keeps
+/// small smoke sizes valid).
+pub fn live_scale_f(n: usize) -> usize {
+    16.min(n / 8)
+}
+
+/// The live-run configuration of a `live_scale` trial: lockstep pacing over
+/// `reactors` reactor threads, with the [`live_scale_f`] highest pids
+/// crash-injected, staggered across the first four local steps (a scaled
+/// `tears` run quiesces within a handful of ticks, so a wider stagger would
+/// leave late crashes unfired).
+///
+/// The delay bound is `d = 6`, matching the simulator's scale grid: the
+/// logarithmic [`live_scale_params`] neighbourhood only reaches majority
+/// coverage when first-level deliveries spread over several ticks, so the
+/// second-level triggers fire in waves that compound each other's gathered
+/// rumors (see `experiments/scale.rs`). With the default `d = 2` the
+/// `n = 512` point fails gathering on some seeds.
+pub fn live_scale_config(n: usize, reactors: usize, seed: u64) -> LiveConfig {
+    let f = live_scale_f(n);
+    let crashes = (0..f)
+        .map(|i| (ProcessId(n - 1 - i), (i % 4) as u64))
+        .collect();
+    let mut config = LiveConfig::lockstep(n, f, seed)
+        .with_crashes(crashes)
+        .on_reactors(reactors);
+    config.pacing = Pacing::Lockstep {
+        d: 6,
+        max_ticks: 1 << 20,
+    };
+    config
+}
+
+/// Runs one `live_scale` trial: scaled `tears` at size `n` over the channel
+/// transport on `reactors` reactor threads, verified by the majority-gossip
+/// checker.
+pub fn run_live_scale_trial(n: usize, reactors: usize, seed: u64) -> SimResult<LiveScaleRow> {
+    let config = live_scale_config(n, reactors, seed);
+    let params = live_scale_params(n);
+    let report = run_live(&config, &ChannelTransport, move |ctx| {
+        Tears::with_params(ctx, params)
+    })
+    .map_err(|e| SimError::InvalidConfig {
+        reason: format!("live_scale run failed: {e}"),
+    })?;
+    let check = check_gossip(
+        GossipSpec::Majority,
+        &report.final_rumors,
+        &initial_rumors(config.n, config.f, config.seed),
+        &report.correct,
+        report.quiescent,
+    );
+    let ok = check.all_ok() && report.decode_errors == 0;
+    let wall_secs = report.elapsed.as_secs_f64();
+    let per_sec = |count: u64| {
+        if wall_secs > 0.0 {
+            count as f64 / wall_secs
+        } else {
+            0.0
+        }
+    };
+    Ok(LiveScaleRow {
+        n,
+        f: config.f,
+        reactors,
+        ticks: report.ticks,
+        messages: report.messages_sent,
+        bytes: report.bytes_sent,
+        wall_secs,
+        messages_per_sec: per_sec(report.messages_sent),
+        bytes_per_sec: per_sec(report.bytes_sent),
+        ok,
+    })
+}
+
+/// Runs the `live_scale` scenario: one trial per size, serial — each trial
+/// is already internally concurrent (its reactor threads saturate the box),
+/// so sharding trials across a worker pool would only fight them for cores.
+pub fn run_live_scale(
+    n_values: &[usize],
+    reactors: usize,
+    seed: u64,
+) -> SimResult<Vec<LiveScaleRow>> {
+    n_values
+        .iter()
+        .map(|&n| run_live_scale_trial(n, reactors, seed))
+        .collect()
+}
+
+/// Renders the `live_scale` rows.
+pub fn live_scale_to_table(rows: &[LiveScaleRow]) -> Table {
+    let mut table = Table::new(
+        "Live scale — lockstep tears on reactor threads (measured)",
+        &[
+            "n", "f", "reactors", "ticks", "messages", "bytes", "msgs/s", "bytes/s", "ok",
+        ],
+    );
+    for row in rows {
+        table.push_row(vec![
+            row.n.to_string(),
+            row.f.to_string(),
+            row.reactors.to_string(),
+            row.ticks.to_string(),
+            row.messages.to_string(),
+            row.bytes.to_string(),
+            fmt_f64(row.messages_per_sec),
+            fmt_f64(row.bytes_per_sec),
+            if row.ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    table
+}
+
 /// Renders the live rows.
 pub fn live_to_table(rows: &[LiveRow]) -> Table {
     let mut table = Table::new(
@@ -257,5 +419,30 @@ mod tests {
     fn non_live_protocols_are_rejected() {
         let config = live_config(&tiny(), 8, 0);
         assert!(run_live_trial(GossipProtocolKind::SyncEpidemic, &config).is_err());
+    }
+
+    #[test]
+    fn live_scale_trial_is_checker_verified_and_deterministic() {
+        let a = run_live_scale_trial(128, 4, 7).unwrap();
+        assert!(a.ok, "{a:?}");
+        assert_eq!(a.f, 16);
+        assert_eq!(a.reactors, 4);
+        assert!(a.messages > 0 && a.bytes > a.messages);
+        // Wall-clock rates vary run to run; the execution itself must not.
+        let b = run_live_scale_trial(128, 4, 7).unwrap();
+        assert_eq!(
+            (a.ticks, a.messages, a.bytes),
+            (b.ticks, b.messages, b.bytes)
+        );
+    }
+
+    #[test]
+    fn live_scale_crash_budget_respects_small_sizes() {
+        assert_eq!(live_scale_f(4096), 16);
+        assert_eq!(live_scale_f(512), 16);
+        assert_eq!(live_scale_f(64), 8);
+        let config = live_scale_config(64, 2, 3);
+        assert_eq!(config.crashes.len(), 8);
+        assert!(config.crashes.iter().all(|&(_, step)| step < 4));
     }
 }

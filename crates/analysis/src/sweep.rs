@@ -854,6 +854,26 @@ pub fn registry() -> Vec<Scenario> {
             },
         },
         Scenario {
+            name: "live_scale",
+            summary: "thousands of live processes multiplexed onto 8 reactor threads",
+            artifact: "reactor scaling north star (ROADMAP item 2)",
+            example: "cargo run --release -p agossip-bench --bin live_baseline",
+            // One trial per size, like `scale`: the single n = 4096 live run
+            // (16 staggered crashes, checker-verified, ~800k frames through
+            // the byte codec) is the point. Trial sharding would not help —
+            // each trial's reactor threads already saturate the box.
+            trials_apply: false,
+            default_scale: || ExperimentScale {
+                n_values: vec![512, 4096],
+                trials: 1,
+                ..ExperimentScale::default()
+            },
+            runner: |scale, _pool| {
+                live::run_live_scale(&scale.n_values, 8, scale.seed)
+                    .map(|rows| live::live_scale_to_table(&rows))
+            },
+        },
+        Scenario {
             name: "scale",
             summary: "checker-verified tears at n up to 65 536 (scaled constants)",
             artifact: "scaling north star (ROADMAP)",
@@ -1154,11 +1174,14 @@ mod tests {
     }
 
     #[test]
-    fn trials_apply_everywhere_but_the_deterministic_lower_bound() {
+    fn trials_apply_everywhere_but_the_single_trial_scenarios() {
+        // `lower_bound` is fully deterministic per `(n, protocol)`;
+        // `live_scale` runs exactly one live trial per size by design (its
+        // reactor threads already saturate the box).
         for scenario in registry() {
             assert_eq!(
                 scenario.trials_apply,
-                scenario.name != "lower_bound",
+                scenario.name != "lower_bound" && scenario.name != "live_scale",
                 "{}",
                 scenario.name
             );
@@ -1186,11 +1209,11 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let registry = registry();
-        assert_eq!(registry.len(), 11);
+        assert_eq!(registry.len(), 12);
         let mut names: Vec<&str> = registry.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 11, "duplicate scenario names");
+        assert_eq!(names.len(), 12, "duplicate scenario names");
         for name in names {
             assert!(find_scenario(name).is_some());
         }

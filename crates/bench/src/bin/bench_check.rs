@@ -28,6 +28,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
+use agossip_analysis::experiments::live::run_live_scale_trial;
 use agossip_analysis::experiments::scale::{scale_default_scale, scale_tears_params};
 use agossip_analysis::experiments::table1::run_table1_with;
 use agossip_analysis::experiments::ExperimentScale;
@@ -348,6 +349,64 @@ fn check_scale(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Live baseline (reactor runtime: checker-verified lockstep tears at n = 512)
+// ---------------------------------------------------------------------------
+
+fn check_live(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
+    // Only the smallest committed point is re-run: the per-frame reactor
+    // path — encode, enqueue, flush, reassemble, decode, deliver — regresses
+    // at n = 512 exactly as it would at 4096, and the gate must stay
+    // minutes-cheap. The larger committed rows are regenerated via the
+    // `live_baseline` binary when the trajectory is refreshed.
+    let n = 512usize;
+    let reactors = 8usize;
+    // Best of three runs, like the other wall-clock gates: the fresh number
+    // is compared against one measured on an idle box.
+    let mut best: Option<agossip_analysis::experiments::live::LiveScaleRow> = None;
+    for _ in 0..3 {
+        let row = run_live_scale_trial(n, reactors, 2008)
+            .unwrap_or_else(|e| bail(&format!("live_scale trial failed to run: {e}")));
+        if !row.ok {
+            bail(&format!(
+                "the live_scale trial at n = {n} failed its correctness check"
+            ));
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| row.messages_per_sec > b.messages_per_sec)
+        {
+            best = Some(row);
+        }
+    }
+    let row = best.expect("three runs produce a best row");
+    writeln!(
+        fresh_lines,
+        "{{\"label\": \"bench_check\", \"n\": {n}, \"reactors\": {reactors}, \
+         \"wall_secs\": {secs:.2}, \"ticks\": {ticks}, \"messages\": {messages}, \
+         \"messages_per_sec\": {mps:.0}, \"bytes_per_sec\": {bps:.0}, \"checker_ok\": true}}",
+        secs = row.wall_secs,
+        ticks = row.ticks,
+        messages = row.messages,
+        mps = row.messages_per_sec,
+        bps = row.bytes_per_sec,
+    )
+    .expect("write to string");
+    let keep =
+        |r: &Json| r.number("n") == Some(n as f64) && r.number("reactors") == Some(reactors as f64);
+    match committed_number(doc, keep, "messages_per_sec") {
+        Some(committed) => checks.push(Check {
+            bench: "live",
+            metric: format!("messages_per_sec @ n={n} (reactor tears)"),
+            committed,
+            fresh: row.messages_per_sec,
+        }),
+        None => bail(&format!(
+            "BENCH_live.json has no row at n={n}, reactors={reactors}"
+        )),
+    }
+}
+
 /// Renders the per-row delta table as GitHub-flavoured markdown and appends
 /// it to the file named by `$GITHUB_STEP_SUMMARY`, so a regression is
 /// readable from the workflow summary page without downloading artifacts.
@@ -397,12 +456,14 @@ fn main() {
     let rumorset = load(&args.baseline_dir, "BENCH_rumorset.json");
     let sweep = load(&args.baseline_dir, "BENCH_sweep.json");
     let scale = load(&args.baseline_dir, "BENCH_scale.json");
+    let live = load(&args.baseline_dir, "BENCH_live.json");
 
     let mut checks = Vec::new();
     let mut fresh_scheduler = String::new();
     let mut fresh_rumorset = String::new();
     let mut fresh_sweep = String::new();
     let mut fresh_scale = String::new();
+    let mut fresh_live = String::new();
     eprintln!("re-running the scheduler hot-loop baseline…");
     check_scheduler(&scheduler, &mut checks, &mut fresh_scheduler);
     eprintln!("re-running the rumor-set micro baseline…");
@@ -411,6 +472,8 @@ fn main() {
     check_sweep(&sweep, &mut checks, &mut fresh_sweep);
     eprintln!("re-running the scale n=4096 baseline…");
     check_scale(&scale, &mut checks, &mut fresh_scale);
+    eprintln!("re-running the live reactor n=512 baseline…");
+    check_live(&live, &mut checks, &mut fresh_live);
 
     // Persist the fresh measurements for the CI artifact upload.
     std::fs::create_dir_all(&args.out_dir)
@@ -421,6 +484,7 @@ fn main() {
         ("BENCH_rumorset.fresh.jsonl", &fresh_rumorset),
         ("BENCH_sweep.fresh.jsonl", &fresh_sweep),
         ("BENCH_scale.fresh.jsonl", &fresh_scale),
+        ("BENCH_live.fresh.jsonl", &fresh_live),
     ] {
         std::fs::write(args.out_dir.join(file), lines)
             .unwrap_or_else(|e| bail(&format!("writing {file}: {e}")));

@@ -1,0 +1,103 @@
+//! Throughput runner for the `live_scale` scenario: checker-verified
+//! lockstep `tears` runs with every process live — real byte frames through
+//! the wire codec over the in-process channel transport — multiplexed onto
+//! a handful of reactor threads (`agossip_runtime::reactor`).
+//!
+//! Emits one JSON object per line, suitable for appending to
+//! `BENCH_live.json` at the repository root (the trajectory the
+//! `bench_check` CI gate compares against):
+//!
+//! * `messages_per_sec` — encoded frames through the transport per
+//!   wall-clock second (send-side count; every frame is also decoded and
+//!   delivered, so this measures the full encode → enqueue → reassemble →
+//!   decode → deliver path);
+//! * `bytes_per_sec` — encoded payload bytes through the transport per
+//!   wall-clock second;
+//! * `peak_rss_mib` — the process's peak RSS from `/proc/self/status`
+//!   `VmHWM` after the trial.
+//!
+//! Sizes run in ascending order so each `VmHWM` reading is dominated by its
+//! own trial. Every trial carries the full `live_scale` crash schedule (16
+//! staggered crashes at the default sizes) and is asserted checker-verified
+//! (majority gathering, validity, quiescence, zero decode errors) — the
+//! binary aborts otherwise.
+//!
+//! Usage: `cargo run --release -p agossip-bench --bin live_baseline --
+//! [--n A,B,C] [--reactors R] [--seed S] [label]`
+
+use agossip_analysis::experiments::live::run_live_scale_trial;
+
+/// Peak resident set size of this process so far, in MiB, from `VmHWM`
+/// (`None` off Linux).
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n_values: Vec<usize> = vec![512, 1024, 4096];
+    let mut reactors = 8usize;
+    let mut seed = 2008u64;
+    let mut label = "current".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--n" => {
+                n_values = value_for("--n")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--n: sizes must be integers"))
+                    .collect();
+            }
+            "--reactors" => {
+                reactors = value_for("--reactors")
+                    .parse()
+                    .expect("--reactors: must be an integer");
+            }
+            "--seed" => {
+                seed = value_for("--seed")
+                    .parse()
+                    .expect("--seed: must be an integer");
+            }
+            other if !other.starts_with("--") => label = other.to_string(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: live_baseline [--n A,B,C] [--reactors R] [--seed S] [label]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Ascending n: each VmHWM reading is dominated by its own trial.
+    n_values.sort_unstable();
+    for &n in &n_values {
+        let row = run_live_scale_trial(n, reactors, seed).expect("live_scale trial must run");
+        assert!(
+            row.ok,
+            "live_scale trial at n = {n} failed its correctness check"
+        );
+        let rss = peak_rss_mib().unwrap_or(-1.0);
+        println!(
+            "{{\"label\": \"{label}\", \"n\": {n}, \"f\": {f}, \"reactors\": {reactors}, \
+             \"transport\": \"channel\", \"wall_secs\": {secs:.2}, \"ticks\": {ticks}, \
+             \"messages\": {messages}, \"messages_per_sec\": {mps:.0}, \
+             \"bytes\": {bytes}, \"bytes_per_sec\": {bps:.0}, \
+             \"peak_rss_mib\": {rss:.0}, \"checker_ok\": true}}",
+            f = row.f,
+            secs = row.wall_secs,
+            ticks = row.ticks,
+            messages = row.messages,
+            mps = row.messages_per_sec,
+            bytes = row.bytes,
+            bps = row.bytes_per_sec,
+        );
+    }
+}

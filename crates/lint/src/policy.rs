@@ -117,7 +117,9 @@ pub fn default_policy() -> Policy {
         // (3) Decode and frame handling must never panic: corrupt bytes are
         // message loss, surfaced as typed errors. The driver is included
         // because it joins node threads and surfaces their errors — a panic
-        // there takes down the whole run.
+        // there takes down the whole run; the reactor multiplexes *every*
+        // process of its shard, so a panic there takes out all of them at
+        // once.
         entry(
             RuleId::NeverPanicDecode,
             &[
@@ -125,6 +127,8 @@ pub fn default_policy() -> Policy {
                 "crates/runtime/src/transport.rs",
                 "crates/runtime/src/event_loop.rs",
                 "crates/runtime/src/driver.rs",
+                "crates/runtime/src/reactor.rs",
+                "crates/runtime/src/clock.rs",
             ],
             &[],
         ),
@@ -184,6 +188,10 @@ mod tests {
         assert!(codec.contains(&RuleId::NeverPanicDecode));
         assert!(codec.contains(&RuleId::NoUncheckedNarrowing));
         assert!(codec.contains(&RuleId::NoNondeterministicCollections));
+
+        let reactor = policy.rules_for("crates/runtime/src/reactor.rs");
+        assert!(reactor.contains(&RuleId::NeverPanicDecode));
+        assert!(reactor.contains(&RuleId::NoWallClock));
 
         let bench = policy.rules_for("crates/bench/src/lib.rs");
         assert!(

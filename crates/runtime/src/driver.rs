@@ -1,9 +1,10 @@
-//! The live driver: n concurrent OS-threaded processes gossiping to
-//! completion over a byte transport.
+//! The live driver: n concurrent processes gossiping to completion over a
+//! byte transport.
 //!
-//! [`run_live`] opens one [`Transport`] endpoint per process, spawns one
-//! thread per process running the configured [`Pacing`]'s event loop, and
-//! watches for completion:
+//! [`run_live`] opens one [`Transport`] endpoint per process, schedules the
+//! processes onto OS threads per the configured [`Threading`] — one thread
+//! per process, or a handful of reactor threads each multiplexing many
+//! processes (see [`crate::reactor`]) — and watches for completion:
 //!
 //! * **Lockstep** — the driver participates in the tick barrier: each tick
 //!   it first arbitrates the settle handshake (nodes drain their
@@ -16,30 +17,33 @@
 //!   at tick `t` makes its sender non-quiet at `t`, so two quiet ticks
 //!   mean the last send was at least two ticks ago and everything since
 //!   has been consumed and delivered. Outcomes are bit-identical for a
-//!   given seed.
-//! * **Free-running** — the driver polls for a sustained wall-clock quiet
-//!   period, mirroring the paper's "eventually every process stops sending"
-//!   quiescence condition.
+//!   given seed — under either threading, with any reactor count.
+//! * **Free-running** — the driver polls for a sustained quiet period,
+//!   mirroring the paper's "eventually every process stops sending"
+//!   quiescence condition. Time is read through the run's [`Clock`]
+//!   ([`run_live`] uses the real [`MonotonicClock`];
+//!   [`run_live_with_clock`] lets tests inject a [`crate::FakeClock`]).
 //!
 //! Crash injection kills process `p` after its configured number of local
-//! steps: under free-running pacing the thread exits and drops its
-//! endpoint (its peers' sends start failing, i.e. their messages are lost);
-//! under lockstep the node turns into a zombie that keeps draining its
-//! sockets but delivers and sends nothing — same observable semantics,
-//! still deterministic.
+//! steps: under free-running pacing its endpoint is dropped (its peers'
+//! sends start failing, i.e. their messages are lost); under lockstep the
+//! node turns into a zombie that keeps draining its sockets but delivers
+//! and sends nothing — same observable semantics, still deterministic.
 
 use std::sync::atomic::Ordering;
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Duration;
 
 use agossip_core::{GossipCtx, GossipEngine, RumorSet, WireCodec};
 use agossip_sim::ProcessId;
 
+use crate::clock::{Clock, MonotonicClock};
 use crate::error::RuntimeError;
 use crate::event_loop::{
     run_free_node, run_lockstep_node, FreeNode, LockstepNode, NodeOutcome, SharedRun,
 };
+use crate::reactor::{reactor_of, run_free_reactor, run_lockstep_reactor, ReactorProc};
 use crate::transport::Transport;
 
 /// Upper bound on poll-only settle rounds per lockstep tick. On a healthy
@@ -61,8 +65,8 @@ pub enum Pacing {
         /// otherwise never terminates).
         max_ticks: u64,
     },
-    /// Uncoordinated pacing: random sleeps between steps, random wall-clock
-    /// delivery delays, completion by sustained quiet.
+    /// Uncoordinated pacing: random pauses between steps, random
+    /// clock-driven delivery delays, completion by sustained quiet.
     FreeRunning {
         /// Upper bound on the injected per-message delay (the model's `d`).
         max_delay: Duration,
@@ -72,7 +76,7 @@ pub enum Pacing {
         /// How long the system must stay quiet before the run is declared
         /// finished.
         quiet_period: Duration,
-        /// Hard wall-clock limit on the run.
+        /// Hard clock limit on the run.
         max_duration: Duration,
     },
 }
@@ -98,10 +102,25 @@ impl Pacing {
     }
 }
 
+/// How processes are scheduled onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Threading {
+    /// One OS thread per process (the PR 5 runtime). Faithful to "a process
+    /// is a thread", but caps `n` near the machine's thread budget.
+    PerProcess,
+    /// `reactors` event-loop threads, each multiplexing the processes
+    /// pinned to it (process `p` runs on reactor `p mod reactors` — see
+    /// [`crate::reactor`]). Thousands of processes on a handful of threads.
+    Reactor {
+        /// Number of reactor threads, `≥ 1` (clamped to `n` at run time).
+        reactors: usize,
+    },
+}
+
 /// Configuration of one live run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LiveConfig {
-    /// Number of processes (threads).
+    /// Number of processes.
     pub n: usize,
     /// Failure budget handed to the protocol (`f < n`).
     pub f: usize,
@@ -112,10 +131,12 @@ pub struct LiveConfig {
     pub crashes: Vec<(ProcessId, u64)>,
     /// The pacing discipline.
     pub pacing: Pacing,
+    /// The thread scheduling discipline.
+    pub threading: Threading,
 }
 
 impl LiveConfig {
-    /// A deterministic lockstep configuration.
+    /// A deterministic lockstep configuration (thread per process).
     pub fn lockstep(n: usize, f: usize, seed: u64) -> Self {
         LiveConfig {
             n,
@@ -123,10 +144,12 @@ impl LiveConfig {
             seed,
             crashes: Vec::new(),
             pacing: Pacing::lockstep(),
+            threading: Threading::PerProcess,
         }
     }
 
-    /// A free-running configuration with test-friendly timing.
+    /// A free-running configuration with test-friendly timing (thread per
+    /// process).
     pub fn free_running(n: usize, f: usize, seed: u64) -> Self {
         LiveConfig {
             n,
@@ -134,12 +157,19 @@ impl LiveConfig {
             seed,
             crashes: Vec::new(),
             pacing: Pacing::free_running(),
+            threading: Threading::PerProcess,
         }
     }
 
     /// Adds crash injections.
     pub fn with_crashes(mut self, crashes: Vec<(ProcessId, u64)>) -> Self {
         self.crashes = crashes;
+        self
+    }
+
+    /// Switches the run onto `reactors` multiplexing reactor threads.
+    pub fn on_reactors(mut self, reactors: usize) -> Self {
+        self.threading = Threading::Reactor { reactors };
         self
     }
 
@@ -166,6 +196,11 @@ impl LiveConfig {
         if let Pacing::Lockstep { d, .. } = self.pacing {
             if d == 0 {
                 return Err(RuntimeError::Config("lockstep d must be ≥ 1".into()));
+            }
+        }
+        if let Threading::Reactor { reactors } = self.threading {
+            if reactors == 0 {
+                return Err(RuntimeError::Config("need at least one reactor".into()));
             }
         }
         Ok(())
@@ -204,12 +239,13 @@ pub struct LiveReport {
     pub quiescent: bool,
     /// Lockstep ticks executed (0 under free-running pacing).
     pub ticks: u64,
-    /// Wall-clock duration of the run.
+    /// Duration of the run per its clock (wall-clock under [`run_live`]).
     pub elapsed: Duration,
 }
 
-/// Runs every node of the protocol produced by `make` on its own OS thread,
-/// exchanging byte frames over `transport`, until completion.
+/// Runs every node of the protocol produced by `make` per the configured
+/// threading, exchanging byte frames over `transport`, until completion.
+/// Time is real ([`MonotonicClock`]).
 pub fn run_live<T, G, F>(
     config: &LiveConfig,
     transport: &T,
@@ -221,126 +257,120 @@ where
     F: Fn(GossipCtx) -> G,
     G::Msg: WireCodec + PartialEq,
 {
+    run_live_with_clock(config, transport, Arc::new(MonotonicClock::new()), make)
+}
+
+/// [`run_live`] with an injected time source: the free-running delay and
+/// quiet-period machinery reads `clock`, so a [`crate::FakeClock`] can
+/// drive it deterministically in tests. Lockstep runs never read the clock
+/// except for the report's `elapsed` field.
+pub fn run_live_with_clock<T, G, F>(
+    config: &LiveConfig,
+    transport: &T,
+    clock: Arc<dyn Clock>,
+    make: F,
+) -> Result<LiveReport, RuntimeError>
+where
+    T: Transport,
+    G: GossipEngine + Send,
+    F: Fn(GossipCtx) -> G,
+    G::Msg: WireCodec + PartialEq,
+{
     config.validate()?;
     let n = config.n;
+    let seed = config.seed;
     let endpoints = transport.open(n)?;
-    let shared = SharedRun::new(n);
+    let shared = SharedRun::new(n, clock);
     let engines: Vec<G> = ProcessId::all(n)
-        .map(|pid| make(GossipCtx::new(pid, n, config.f, config.seed)))
+        .map(|pid| make(GossipCtx::new(pid, n, config.f, seed)))
         .collect();
 
     let mut quiescent = false;
     let mut ticks = 0u64;
-    let outcomes: Vec<NodeOutcome> = match config.pacing {
-        Pacing::Lockstep { d, max_ticks } => {
+    let outcomes: Vec<NodeOutcome> = match (&config.pacing, config.threading) {
+        (&Pacing::Lockstep { d, max_ticks }, Threading::PerProcess) => {
             let barrier = Barrier::new(n + 1);
-            let outcomes = thread::scope(|scope| {
+            thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(n);
                 for (pid, (engine, endpoint)) in engines.into_iter().zip(endpoints).enumerate() {
                     let node = LockstepNode {
                         engine,
                         endpoint,
                         crash_after: config.crash_after(ProcessId(pid)),
-                        seed: config.seed,
+                        seed,
                         d,
                     };
                     let shared = &shared;
                     let barrier = &barrier;
                     handles.push(scope.spawn(move || run_lockstep_node(node, shared, barrier)));
                 }
-                // The driver is the (n+1)-th barrier participant. Each tick
-                // it first arbitrates the settle handshake (nodes run
-                // poll-only rounds until every sent frame has been taken
-                // off the transport — one round on channels, possibly more
-                // on kernel sockets), then reads the quiet flags.
-                let mut quiet_streak = 0u32;
-                'ticks: loop {
-                    // Settle rounds.
-                    let mut settle_rounds = 0u64;
-                    loop {
-                        barrier.wait(); // nodes have polled
-                        let sent = shared.stats.messages_sent.load(Ordering::Relaxed);
-                        let consumed = shared.stats.frames_consumed.load(Ordering::Relaxed);
-                        let settled = sent == consumed;
-                        shared.settled.store(settled, Ordering::Relaxed);
-                        settle_rounds += 1;
-                        if settle_rounds > MAX_SETTLE_ROUNDS {
-                            shared.record_error(RuntimeError::Config(format!(
-                                "transport failed to settle: {consumed}/{sent} frames \
-                                 consumed after {settle_rounds} poll rounds"
-                            )));
-                        }
-                        if shared.has_error() {
-                            shared.stop.store(true, Ordering::Relaxed);
-                        }
-                        let stopping = shared.stop.load(Ordering::Relaxed);
-                        barrier.wait(); // verdict published
-                        if stopping {
-                            break 'ticks;
-                        }
-                        if settled {
-                            break;
-                        }
-                        // Unsettled on a kernel transport: give the softirq
-                        // path a moment before the next poll round.
-                        thread::yield_now();
-                    }
-                    // Quiet check.
-                    barrier.wait();
-                    ticks += 1;
-                    let all_quiet = shared.quiet.iter().all(|flag| flag.load(Ordering::Relaxed));
-                    quiet_streak = if all_quiet { quiet_streak + 1 } else { 0 };
-                    if quiet_streak >= 2 {
-                        quiescent = true;
-                        shared.stop.store(true, Ordering::Relaxed);
-                    }
-                    if ticks >= max_ticks || shared.has_error() {
-                        shared.stop.store(true, Ordering::Relaxed);
-                    }
-                    let stopping = shared.stop.load(Ordering::Relaxed);
-                    barrier.wait();
-                    if stopping {
-                        break;
-                    }
-                }
+                (quiescent, ticks) = drive_lockstep(&barrier, &shared, max_ticks);
                 join_nodes(handles, &shared)
-            });
-            outcomes
+            })
         }
-        Pacing::FreeRunning {
-            max_delay,
-            max_step_pause,
-            quiet_period,
-            max_duration,
-        } => {
+        (&Pacing::Lockstep { d, max_ticks }, Threading::Reactor { reactors }) => {
+            let r = reactors.min(n);
+            let barrier = Barrier::new(r + 1);
+            let groups = pin_to_reactors(config, engines, endpoints, r);
             thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n);
-                for (pid, (engine, endpoint)) in engines.into_iter().zip(endpoints).enumerate() {
-                    let node = FreeNode {
-                        engine,
-                        endpoint,
-                        crash_after: config.crash_after(ProcessId(pid)),
-                        seed: config.seed,
-                        max_delay,
-                        max_step_pause,
-                    };
+                let mut handles = Vec::with_capacity(r);
+                for group in groups {
                     let shared = &shared;
-                    handles.push(scope.spawn(move || run_free_node(node, shared)));
+                    let barrier = &barrier;
+                    handles.push(
+                        scope.spawn(move || run_lockstep_reactor(group, seed, d, shared, barrier)),
+                    );
                 }
-                // Wait for sustained quiet or the wall-clock limit.
-                loop {
-                    thread::sleep(Duration::from_millis(5));
-                    if shared.started.elapsed() >= max_duration || shared.has_error() {
-                        break;
-                    }
-                    let all_quiet = shared.quiet.iter().all(|flag| flag.load(Ordering::Relaxed));
-                    if all_quiet && shared.since_last_activity() >= quiet_period {
-                        quiescent = true;
-                        break;
-                    }
+                (quiescent, ticks) = drive_lockstep(&barrier, &shared, max_ticks);
+                join_reactors(handles, n, &shared)
+            })
+        }
+        (
+            &Pacing::FreeRunning {
+                max_delay,
+                max_step_pause,
+                quiet_period,
+                max_duration,
+            },
+            Threading::PerProcess,
+        ) => thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (pid, (engine, endpoint)) in engines.into_iter().zip(endpoints).enumerate() {
+                let node = FreeNode {
+                    engine,
+                    endpoint,
+                    crash_after: config.crash_after(ProcessId(pid)),
+                    seed,
+                    max_delay,
+                    max_step_pause,
+                };
+                let shared = &shared;
+                handles.push(scope.spawn(move || run_free_node(node, shared)));
+            }
+            quiescent = drive_free(&shared, quiet_period, max_duration);
+            join_nodes(handles, &shared)
+        }),
+        (
+            &Pacing::FreeRunning {
+                max_delay,
+                max_step_pause,
+                quiet_period,
+                max_duration,
+            },
+            Threading::Reactor { reactors },
+        ) => {
+            let r = reactors.min(n);
+            let groups = pin_to_reactors(config, engines, endpoints, r);
+            thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(r);
+                for group in groups {
+                    let shared = &shared;
+                    handles.push(scope.spawn(move || {
+                        run_free_reactor(group, seed, max_delay, max_step_pause, shared)
+                    }));
                 }
-                shared.stop.store(true, Ordering::Relaxed);
-                join_nodes(handles, &shared)
+                quiescent = drive_free(&shared, quiet_period, max_duration);
+                join_reactors(handles, n, &shared)
             })
         }
     };
@@ -363,8 +393,111 @@ where
         decode_errors: shared.stats.decode_errors.load(Ordering::Relaxed),
         quiescent,
         ticks,
-        elapsed: shared.started.elapsed(),
+        elapsed: shared.elapsed(),
     })
+}
+
+/// Splits engines/endpoints into per-reactor groups by the pinning rule
+/// (`pid mod reactors`), pid-ordered within each group.
+fn pin_to_reactors<G, E>(
+    config: &LiveConfig,
+    engines: Vec<G>,
+    endpoints: Vec<E>,
+    reactors: usize,
+) -> Vec<Vec<(ProcessId, ReactorProc<G, E>)>> {
+    let mut groups: Vec<Vec<(ProcessId, ReactorProc<G, E>)>> =
+        (0..reactors).map(|_| Vec::new()).collect();
+    for (i, (engine, endpoint)) in engines.into_iter().zip(endpoints).enumerate() {
+        let pid = ProcessId(i);
+        groups[reactor_of(pid, reactors)].push((
+            pid,
+            ReactorProc {
+                engine,
+                endpoint,
+                crash_after: config.crash_after(pid),
+            },
+        ));
+    }
+    groups
+}
+
+/// The driver's side of the lockstep tick protocol: arbitrates the settle
+/// handshake, then the quiet check, as the extra barrier participant. The
+/// node side may be thread-per-process event loops or reactor threads —
+/// the protocol is identical. Returns `(quiescent, ticks)`.
+fn drive_lockstep(barrier: &Barrier, shared: &SharedRun, max_ticks: u64) -> (bool, u64) {
+    let mut quiescent = false;
+    let mut ticks = 0u64;
+    let mut quiet_streak = 0u32;
+    'ticks: loop {
+        // Settle rounds.
+        let mut settle_rounds = 0u64;
+        loop {
+            barrier.wait(); // nodes have polled
+            let sent = shared.stats.messages_sent.load(Ordering::Relaxed);
+            let consumed = shared.stats.frames_consumed.load(Ordering::Relaxed);
+            let settled = sent == consumed;
+            shared.settled.store(settled, Ordering::Relaxed);
+            settle_rounds += 1;
+            if settle_rounds > MAX_SETTLE_ROUNDS {
+                shared.record_error(RuntimeError::Config(format!(
+                    "transport failed to settle: {consumed}/{sent} frames \
+                     consumed after {settle_rounds} poll rounds"
+                )));
+            }
+            if shared.has_error() {
+                shared.stop.store(true, Ordering::Relaxed);
+            }
+            let stopping = shared.stop.load(Ordering::Relaxed);
+            barrier.wait(); // verdict published
+            if stopping {
+                break 'ticks;
+            }
+            if settled {
+                break;
+            }
+            // Unsettled on a kernel transport: give the softirq path a
+            // moment before the next poll round.
+            thread::yield_now();
+        }
+        // Quiet check.
+        barrier.wait();
+        ticks += 1;
+        let all_quiet = shared.quiet.iter().all(|flag| flag.load(Ordering::Relaxed));
+        quiet_streak = if all_quiet { quiet_streak + 1 } else { 0 };
+        if quiet_streak >= 2 {
+            quiescent = true;
+            shared.stop.store(true, Ordering::Relaxed);
+        }
+        if ticks >= max_ticks || shared.has_error() {
+            shared.stop.store(true, Ordering::Relaxed);
+        }
+        let stopping = shared.stop.load(Ordering::Relaxed);
+        barrier.wait();
+        if stopping {
+            break;
+        }
+    }
+    (quiescent, ticks)
+}
+
+/// The driver's side of a free-running run: wait for sustained quiet or
+/// the clock limit, then raise the stop flag. Returns `quiescent`.
+fn drive_free(shared: &SharedRun, quiet_period: Duration, max_duration: Duration) -> bool {
+    let mut quiescent = false;
+    loop {
+        thread::sleep(Duration::from_millis(5));
+        if shared.elapsed() >= max_duration || shared.has_error() {
+            break;
+        }
+        let all_quiet = shared.quiet.iter().all(|flag| flag.load(Ordering::Relaxed));
+        if all_quiet && shared.since_last_activity() >= quiet_period {
+            quiescent = true;
+            break;
+        }
+    }
+    shared.stop.store(true, Ordering::Relaxed);
+    quiescent
 }
 
 /// Joins the node threads, converting any panic into a recorded
@@ -385,9 +518,32 @@ fn join_nodes<'scope>(
     outcomes
 }
 
+/// Joins reactor threads and re-assembles their per-process outcomes into
+/// pid order. A panicked reactor is recorded like a panicked node; the
+/// error is surfaced before the (then short) outcome list is read.
+fn join_reactors<'scope>(
+    handles: Vec<thread::ScopedJoinHandle<'scope, Vec<(ProcessId, NodeOutcome)>>>,
+    n: usize,
+    shared: &SharedRun,
+) -> Vec<NodeOutcome> {
+    let mut by_pid: Vec<Option<NodeOutcome>> = (0..n).map(|_| None).collect();
+    for handle in handles {
+        match handle.join() {
+            Ok(outcomes) => {
+                for (pid, outcome) in outcomes {
+                    by_pid[pid.index()] = Some(outcome);
+                }
+            }
+            Err(_) => shared.record_error(RuntimeError::NodePanicked),
+        }
+    }
+    by_pid.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::FakeClock;
     use crate::transport::{ChannelTransport, SocketTransport};
     use agossip_core::{check_gossip, Ears, GossipSpec, Rumor, Tears, Trivial};
 
@@ -420,6 +576,51 @@ mod tests {
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.decode_errors, 0);
         assert!(a.quiescent);
+    }
+
+    #[test]
+    fn lockstep_reactor_matches_per_process_bit_for_bit() {
+        // The same configuration under thread-per-process and under 1, 3,
+        // and 8 reactors: identical outcomes and counters everywhere.
+        let base = LiveConfig::lockstep(12, 3, 7)
+            .with_crashes(vec![(ProcessId(10), 2), (ProcessId(11), 0)]);
+        let reference = run_live(&base, &ChannelTransport, Ears::new).unwrap();
+        for reactors in [1usize, 3, 8] {
+            let config = base.clone().on_reactors(reactors);
+            let got = run_live(&config, &ChannelTransport, Ears::new).unwrap();
+            assert_eq!(got.final_rumors, reference.final_rumors, "r={reactors}");
+            assert_eq!(got.messages_sent, reference.messages_sent, "r={reactors}");
+            assert_eq!(
+                got.messages_delivered, reference.messages_delivered,
+                "r={reactors}"
+            );
+            assert_eq!(got.bytes_sent, reference.bytes_sent, "r={reactors}");
+            assert_eq!(got.ticks, reference.ticks, "r={reactors}");
+            assert_eq!(got.steps, reference.steps, "r={reactors}");
+            assert!(got.quiescent, "r={reactors}");
+        }
+    }
+
+    #[test]
+    fn lockstep_reactor_runs_over_tcp() {
+        let n = 8;
+        let config = LiveConfig::lockstep(n, 2, 3).on_reactors(2);
+        let report = run_live(&config, &SocketTransport::tcp(), Ears::new).unwrap();
+        assert_eq!(report.transport, "tcp");
+        assert!(report.quiescent);
+        assert_eq!(report.decode_errors, 0);
+        assert_full_gossip(&report, n);
+    }
+
+    #[test]
+    fn free_running_reactor_completes_with_crashes() {
+        let n = 16;
+        let config = LiveConfig::free_running(n, 4, 9)
+            .with_crashes(vec![(ProcessId(14), 1), (ProcessId(15), 3)])
+            .on_reactors(4);
+        let report = run_live(&config, &ChannelTransport, Ears::new).unwrap();
+        assert!(report.quiescent);
+        assert_full_gossip(&report, n);
     }
 
     #[test]
@@ -462,6 +663,28 @@ mod tests {
     }
 
     #[test]
+    fn free_running_driven_by_a_fake_clock() {
+        // No real time passes (beyond scheduler pauses): every delay,
+        // quiet-period and deadline read comes from the auto-advancing
+        // fake clock. The run must still complete, checker-verified.
+        let n = 8;
+        let config = LiveConfig {
+            pacing: Pacing::FreeRunning {
+                max_delay: Duration::from_millis(2),
+                max_step_pause: Duration::from_micros(50),
+                quiet_period: Duration::from_millis(40),
+                max_duration: Duration::from_secs(3600),
+            },
+            ..LiveConfig::free_running(n, 2, 11)
+        }
+        .on_reactors(2);
+        let clock = Arc::new(FakeClock::auto_advancing(Duration::from_micros(20)));
+        let report = run_live_with_clock(&config, &ChannelTransport, clock, Ears::new).unwrap();
+        assert!(report.quiescent);
+        assert_full_gossip(&report, n);
+    }
+
+    #[test]
     fn invalid_configs_are_rejected() {
         let bad_f = LiveConfig::lockstep(4, 4, 0);
         assert!(matches!(
@@ -479,6 +702,11 @@ mod tests {
         };
         assert!(matches!(
             run_live(&bad_d, &ChannelTransport, Trivial::new),
+            Err(RuntimeError::Config(_))
+        ));
+        let bad_reactors = LiveConfig::lockstep(4, 1, 0).on_reactors(0);
+        assert!(matches!(
+            run_live(&bad_reactors, &ChannelTransport, Trivial::new),
             Err(RuntimeError::Config(_))
         ));
     }

@@ -30,8 +30,8 @@
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -42,6 +42,7 @@ use agossip_core::{GossipEngine, WireCodec};
 use agossip_sim::rng::{derive_seed, RngStream};
 use agossip_sim::ProcessId;
 
+use crate::clock::Clock;
 use crate::error::RuntimeError;
 use crate::transport::{Endpoint, RawFrame, SendOutcome};
 
@@ -74,36 +75,43 @@ pub(crate) struct SharedRun {
     pub settled: AtomicBool,
     /// Per-node "nothing pending, engine quiescent" flags.
     pub quiet: Vec<AtomicBool>,
-    /// Wall-clock of the last send/delivery, for free-running quiescence
-    /// detection (milliseconds since `started`).
+    /// Clock of the last send/delivery, for free-running quiescence
+    /// detection (milliseconds since the run's [`Clock`] epoch).
     pub last_activity_ms: AtomicU64,
-    pub started: Instant,
+    /// The run's time source: real time under [`crate::MonotonicClock`],
+    /// test time under [`crate::FakeClock`]. Only the free-running paths
+    /// read it; lockstep time is the tick counter.
+    pub clock: Arc<dyn Clock>,
     /// First error any node thread hit; the driver surfaces it after join.
     pub first_error: Mutex<Option<RuntimeError>>,
 }
 
 impl SharedRun {
-    pub(crate) fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize, clock: Arc<dyn Clock>) -> Self {
         SharedRun {
             stats: RunStats::default(),
             stop: AtomicBool::new(false),
             settled: AtomicBool::new(false),
             quiet: (0..n).map(|_| AtomicBool::new(false)).collect(),
             last_activity_ms: AtomicU64::new(0),
-            // lint:allow(no-wall-clock): elapsed-time base, read only by the free-running paths
-            started: Instant::now(),
+            clock,
             first_error: Mutex::new(None),
         }
     }
 
+    /// Time since the run started, per the run's clock.
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.clock.now()
+    }
+
     pub(crate) fn touch(&self) {
-        let elapsed = self.started.elapsed().as_millis() as u64;
+        let elapsed = duration_ms(self.clock.now());
         self.last_activity_ms.store(elapsed, Ordering::Relaxed);
     }
 
     pub(crate) fn since_last_activity(&self) -> Duration {
         let last = self.last_activity_ms.load(Ordering::Relaxed);
-        let now = self.started.elapsed().as_millis() as u64;
+        let now = duration_ms(self.clock.now());
         Duration::from_millis(now.saturating_sub(last))
     }
 
@@ -120,6 +128,11 @@ impl SharedRun {
     }
 }
 
+/// Whole milliseconds of `d`, saturating at `u64::MAX`.
+fn duration_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
 /// What one node thread hands back when it finishes.
 pub(crate) struct NodeOutcome {
     pub rumors: agossip_core::RumorSet,
@@ -133,11 +146,11 @@ pub(crate) struct NodeOutcome {
 /// A decoded message waiting out its delivery tick. Min-heap order on
 /// `(deliver_tick, from, seq)` — a strict total order, since `(from, seq)`
 /// is unique — which is what makes lockstep delivery deterministic.
-struct PendingTick<M> {
-    deliver_tick: u64,
-    from: ProcessId,
-    seq: u64,
-    msg: M,
+pub(crate) struct PendingTick<M> {
+    pub(crate) deliver_tick: u64,
+    pub(crate) from: ProcessId,
+    pub(crate) seq: u64,
+    pub(crate) msg: M,
 }
 
 impl<M> PartialEq for PendingTick<M> {
@@ -215,6 +228,21 @@ where
         // driver observes every sent frame consumed (one round on
         // channels; kernel transports may need more). ---------------------
         loop {
+            // Push queued outbound bytes (sockets write non-blockingly);
+            // frames the flush discovered lost to a dead peer are booked as
+            // consumed, like a Lost send, to keep the settle invariant.
+            match endpoint.flush() {
+                Ok(lost) => {
+                    shared
+                        .stats
+                        .frames_consumed
+                        .fetch_add(lost, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    shared.record_error(e);
+                    crashed = true;
+                }
+            }
             frames.clear();
             if let Err(e) = endpoint.poll_into(&mut frames) {
                 shared.record_error(e);
@@ -338,7 +366,7 @@ where
 }
 
 /// Splits a lockstep payload into `(deliver_tick, seq, message)`.
-fn parse_lockstep_payload<M: WireCodec>(
+pub(crate) fn parse_lockstep_payload<M: WireCodec>(
     payload: &[u8],
 ) -> Result<(u64, u64, M), agossip_core::CodecError> {
     let (deliver_tick, a) = read_varint(payload)?;
@@ -353,12 +381,14 @@ fn parse_lockstep_payload<M: WireCodec>(
 
 /// A decoded message waiting out its injected wall-clock delay, deadline-
 /// indexed like the lockstep buffer (min-heap on `(deliver_after, seq)`
-/// with an arrival sequence for FIFO tie-breaking).
-struct PendingWall<M> {
-    deliver_after: Instant,
-    seq: u64,
-    from: ProcessId,
-    msg: M,
+/// with an arrival sequence for FIFO tie-breaking). Deadlines are elapsed
+/// time per the run's [`Clock`], not `Instant`s, so a fake clock can drive
+/// them in tests.
+pub(crate) struct PendingWall<M> {
+    pub(crate) deliver_after: Duration,
+    pub(crate) seq: u64,
+    pub(crate) from: ProcessId,
+    pub(crate) msg: M,
 }
 
 impl<M> PartialEq for PendingWall<M> {
@@ -434,6 +464,20 @@ where
             break; // crash: halt permanently, deliver nothing further
         }
 
+        // Push queued outbound bytes; flush-discovered losses are booked as
+        // consumed so the counters stay reconcilable.
+        match endpoint.flush() {
+            Ok(lost) => {
+                shared
+                    .stats
+                    .frames_consumed
+                    .fetch_add(lost, Ordering::Relaxed);
+            }
+            Err(e) => {
+                shared.record_error(e);
+                break;
+            }
+        }
         // Drain the transport into the deadline-indexed delay buffer,
         // drawing each frame's injected delay from the node's seeded stream.
         frames.clear();
@@ -441,8 +485,7 @@ where
             shared.record_error(e);
             break;
         }
-        // lint:allow(no-wall-clock): free-running pacing is wall-clock by design
-        let now = Instant::now();
+        let now = shared.clock.now();
         shared
             .stats
             .frames_consumed
@@ -467,8 +510,7 @@ where
 
         // Deliver everything whose injected delay has expired; the heap top
         // is the earliest deadline, so this touches only due messages.
-        // lint:allow(no-wall-clock): free-running pacing is wall-clock by design
-        let now = Instant::now();
+        let now = shared.clock.now();
         while pending.peek().is_some_and(|p| p.deliver_after <= now) {
             let Some(p) = pending.pop() else { break };
             engine.deliver(p.from, p.msg);

@@ -76,6 +76,7 @@ impl RuntimeConfig {
                 quiet_period: self.quiet_period,
                 max_duration: self.max_duration,
             },
+            threading: crate::driver::Threading::PerProcess,
         }
     }
 }

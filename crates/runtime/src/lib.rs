@@ -12,12 +12,18 @@
 //! * every message crosses a [`transport::Transport`] as encoded bytes
 //!   (the [`agossip_core::codec`] wire format) — in-process channels, or
 //!   loopback TCP / Unix-domain sockets with kernel-level framing;
-//! * each process runs a per-thread event loop that decodes frames, drives
-//!   the engine and encodes its output;
+//! * each process runs an event loop that decodes frames, drives the
+//!   engine and encodes its output — either one OS thread per process, or
+//!   many processes multiplexed onto a handful of [`reactor`] threads
+//!   ([`driver::Threading`]);
 //! * the [`driver::LiveDriver`-style entry point][driver::run_live] runs
 //!   `n` concurrent processes to gossip completion under either
-//!   deterministic lockstep pacing (bit-identical per seed) or free-running
-//!   pacing (real scheduling nondeterminism);
+//!   deterministic lockstep pacing (bit-identical per seed, for any
+//!   threading and reactor count) or free-running pacing (real scheduling
+//!   nondeterminism);
+//! * free-running time is read through the [`clock::Clock`] trait, so
+//!   tests can drive delays from a [`clock::FakeClock`] instead of real
+//!   sleeps ([`driver::run_live_with_clock`]);
 //! * crash injection kills live processes mid-run, mirroring the
 //!   simulator's adversary.
 //!
@@ -36,16 +42,20 @@
 #![deny(rust_2018_idioms, unreachable_pub)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod driver;
 mod error;
 mod event_loop;
 pub mod harness;
+pub mod reactor;
 pub mod transport;
 
-pub use driver::{run_live, LiveConfig, LiveReport, Pacing};
+pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use driver::{run_live, run_live_with_clock, LiveConfig, LiveReport, Pacing, Threading};
 pub use error::RuntimeError;
 pub use event_loop::RunStats;
 pub use harness::{run_threaded, RuntimeConfig, RuntimeReport};
 pub use transport::{
-    ChannelTransport, Endpoint, RawFrame, SendOutcome, SocketKind, SocketTransport, Transport,
+    frame_bytes, ChannelTransport, Endpoint, FrameBuf, RawFrame, SendOutcome, SocketKind,
+    SocketTransport, Transport, MAX_FRAME_BYTES,
 };

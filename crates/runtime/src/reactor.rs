@@ -1,0 +1,477 @@
+//! The reactor: many multiplexed processes per event-loop thread.
+//!
+//! PR 5's live runtime spends one OS thread per process, which caps live
+//! experiments near the machine's thread budget while the simulator already
+//! verifies n = 65 536. A reactor inverts the ownership: one event-loop
+//! thread owns *all* the endpoints of the processes pinned to it and drives
+//! them with level-triggered readiness polling — every iteration it makes
+//! non-blocking write progress (batched flushes against each connection's
+//! backpressure queue), drains whatever bytes have arrived (the socket
+//! endpoints reassemble frames incrementally through
+//! [`crate::transport::FrameBuf`]), routes each decoded envelope into the
+//! addressed process's in-memory inbox (a deadline-indexed pending heap),
+//! and steps the engines whose turn has come. With `reactors = r`, process
+//! `p` is pinned to reactor `p mod r` — a static assignment, so a process's
+//! endpoint never migrates across threads and no locking is needed around
+//! any per-process state.
+//!
+//! There is no epoll here on purpose: the workspace forbids `unsafe` and
+//! vendors no FFI crates, so readiness is discovered by polling nonblocking
+//! sockets rather than by kernel notification. For the loopback transports
+//! this workspace runs on, the poll loop is the same O(endpoints) sweep an
+//! epoll wakeup storm would degrade to; the architectural payoff — thousands
+//! of processes on a handful of threads — is identical.
+//!
+//! ## Determinism
+//!
+//! Lockstep pacing survives multiplexing *bit-identically*: the settle
+//! handshake (all frames consumed before anyone steps) and the
+//! `(deliver_tick, from, seq)` delivery order are both independent of which
+//! thread polls an endpoint or in which order slots are swept, and every
+//! per-process RNG stream is derived from the process id exactly as in the
+//! thread-per-process loops. A lockstep run at a given seed therefore
+//! produces the same outcome across repeats, across reactor counts, and
+//! across `Threading::PerProcess` vs `Threading::Reactor` — the golden-
+//! digest regression test pins this.
+//!
+//! Free-running pacing keeps real nondeterminism: slots step when their
+//! wall-clock (or [`crate::Clock`]-injected) deadlines expire, and the
+//! interleaving across reactor threads is whatever the scheduler does.
+//!
+//! ## Crash injection
+//!
+//! Crashing a multiplexed process must not tear down the reactor that hosts
+//! it. Under free-running pacing the reactor *deregisters* the slot: the
+//! endpoint is dropped (peers' sends turn into message loss, exactly as if
+//! the process's thread had exited) and the slot is skipped from then on.
+//! Under lockstep the slot becomes a zombie that keeps draining its
+//! transport but delivers and sends nothing — the same observable semantics
+//! as the thread-per-process zombie, preserving the settle invariant.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::Ordering;
+use std::sync::Barrier;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use agossip_core::codec::write_varint;
+use agossip_core::{GossipEngine, WireCodec};
+use agossip_sim::rng::{derive_seed, RngStream};
+use agossip_sim::ProcessId;
+
+use crate::event_loop::{parse_lockstep_payload, NodeOutcome, PendingTick, PendingWall, SharedRun};
+use crate::transport::{Endpoint, RawFrame, SendOutcome};
+
+/// One process handed to a reactor: its engine, its endpoint, and its crash
+/// point.
+pub(crate) struct ReactorProc<G, E> {
+    pub engine: G,
+    pub endpoint: E,
+    pub crash_after: Option<u64>,
+}
+
+/// Pins process `pid` to one of `reactors` event-loop threads.
+pub(crate) fn reactor_of(pid: ProcessId, reactors: usize) -> usize {
+    pid.index() % reactors.max(1)
+}
+
+/// How long an idle free-running reactor sleeps before its next sweep: long
+/// enough not to burn a core, short next to the millisecond-scale pacing
+/// bounds the configs use.
+const IDLE_SWEEP_PAUSE: Duration = Duration::from_micros(100);
+
+// ---------------------------------------------------------------------------
+// Lockstep reactor
+// ---------------------------------------------------------------------------
+
+/// Per-slot state of one lockstep-multiplexed process: exactly the locals
+/// of `run_lockstep_node`, hoisted into a struct so one thread can hold
+/// many of them. The tick counter is reactor-wide (every slot is always at
+/// the same tick — that is what the barrier enforces).
+struct LockstepSlot<G: GossipEngine, E> {
+    pid: ProcessId,
+    engine: G,
+    endpoint: E,
+    crash_after: Option<u64>,
+    rng: StdRng,
+    pending: BinaryHeap<PendingTick<G::Msg>>,
+    body: Vec<u8>,
+    last_encoded: Option<G::Msg>,
+    steps: u64,
+    seq: u64,
+    crashed: bool,
+}
+
+/// Runs one reactor thread's worth of lockstep slots until the driver
+/// raises the stop flag. Mirrors `run_lockstep_node` phase for phase; the
+/// barrier participant is the reactor thread, not the individual process.
+pub(crate) fn run_lockstep_reactor<G, E>(
+    procs: Vec<(ProcessId, ReactorProc<G, E>)>,
+    seed: u64,
+    d: u64,
+    shared: &SharedRun,
+    barrier: &Barrier,
+) -> Vec<(ProcessId, NodeOutcome)>
+where
+    G: GossipEngine,
+    G::Msg: WireCodec + PartialEq,
+    E: Endpoint,
+{
+    let mut slots: Vec<LockstepSlot<G, E>> = procs
+        .into_iter()
+        .map(|(pid, p)| LockstepSlot {
+            pid,
+            engine: p.engine,
+            endpoint: p.endpoint,
+            crash_after: p.crash_after,
+            rng: StdRng::seed_from_u64(derive_seed(seed ^ 0x11FE, RngStream::Process(pid))),
+            pending: BinaryHeap::new(),
+            body: Vec::new(),
+            last_encoded: None,
+            steps: 0,
+            seq: 0,
+            crashed: false,
+        })
+        .collect();
+    let mut frames: Vec<RawFrame> = Vec::new();
+    let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    let mut tick = 0u64;
+
+    'run: loop {
+        // --- Settle: sweep every slot's transport in poll-only rounds
+        // until the driver observes every sent frame consumed. -------------
+        loop {
+            for slot in slots.iter_mut() {
+                match slot.endpoint.flush() {
+                    Ok(lost) => {
+                        shared
+                            .stats
+                            .frames_consumed
+                            .fetch_add(lost, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        shared.record_error(e);
+                        slot.crashed = true;
+                    }
+                }
+                frames.clear();
+                if let Err(e) = slot.endpoint.poll_into(&mut frames) {
+                    shared.record_error(e);
+                    slot.crashed = true;
+                }
+                shared
+                    .stats
+                    .frames_consumed
+                    .fetch_add(frames.len() as u64, Ordering::Relaxed);
+                if slot.crashed {
+                    // Zombie: consumes and discards — see the module docs.
+                    frames.clear();
+                } else {
+                    for frame in frames.drain(..) {
+                        match parse_lockstep_payload::<G::Msg>(&frame.payload) {
+                            Ok((deliver_tick, msg_seq, msg)) => slot.pending.push(PendingTick {
+                                deliver_tick,
+                                from: frame.from,
+                                seq: msg_seq,
+                                msg,
+                            }),
+                            Err(_) => {
+                                shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            }
+            barrier.wait(); // driver compares sent vs consumed
+            barrier.wait(); // driver has published settled/stop
+            if shared.stop.load(Ordering::Relaxed) {
+                break 'run;
+            }
+            if shared.settled.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+
+        // --- Step every slot, in pid order within this reactor. ----------
+        for slot in slots.iter_mut() {
+            let mut active = false;
+            if !slot.crashed {
+                while slot.pending.peek().is_some_and(|p| p.deliver_tick <= tick) {
+                    let Some(p) = slot.pending.pop() else { break };
+                    slot.engine.deliver(p.from, p.msg);
+                    active = true;
+                    shared
+                        .stats
+                        .messages_delivered
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if slot.crash_after.is_some_and(|limit| slot.steps >= limit) {
+                    slot.crashed = true;
+                    slot.pending.clear();
+                } else {
+                    out.clear();
+                    slot.engine.local_step(&mut out);
+                    slot.steps += 1;
+                    for (to, msg) in out.drain(..) {
+                        if slot.last_encoded.as_ref() != Some(&msg) {
+                            slot.body.clear();
+                            msg.encode_into(&mut slot.body);
+                            slot.last_encoded = Some(msg);
+                        }
+                        // `d ≥ 1` is guaranteed by `LiveConfig::validate`.
+                        let delay = slot.rng.gen_range(1..=d);
+                        payload.clear();
+                        write_varint(&mut payload, tick + delay);
+                        write_varint(&mut payload, slot.seq);
+                        slot.seq += 1;
+                        payload.extend_from_slice(&slot.body);
+                        active = true;
+                        shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .stats
+                            .bytes_sent
+                            .fetch_add(slot.body.len() as u64, Ordering::Relaxed);
+                        match slot.endpoint.send(to, &payload) {
+                            Ok(SendOutcome::Sent) => {}
+                            Ok(SendOutcome::Lost) => {
+                                shared.stats.frames_consumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                shared.record_error(e);
+                                slot.crashed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            let quiet =
+                slot.crashed || (!active && slot.pending.is_empty() && slot.engine.is_quiescent());
+            shared.quiet[slot.pid.index()].store(quiet, Ordering::Relaxed);
+        }
+
+        // --- Quiet check: driver inspects the flags between the barriers. -
+        barrier.wait();
+        barrier.wait();
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        tick += 1;
+    }
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            (
+                slot.pid,
+                NodeOutcome {
+                    rumors: slot.engine.rumors().clone(),
+                    steps: slot.steps,
+                },
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Free-running reactor
+// ---------------------------------------------------------------------------
+
+/// Per-slot state of one free-running multiplexed process. The endpoint is
+/// an `Option`: crash injection deregisters the slot by dropping it (see
+/// the module docs), after which the slot is inert.
+struct FreeSlot<G: GossipEngine, E> {
+    pid: ProcessId,
+    engine: G,
+    endpoint: Option<E>,
+    crash_after: Option<u64>,
+    rng: StdRng,
+    pending: BinaryHeap<PendingWall<G::Msg>>,
+    body: Vec<u8>,
+    last_encoded: Option<G::Msg>,
+    arrival_seq: u64,
+    steps: u64,
+    /// The slot takes its next local step once the run clock passes this —
+    /// the multiplexed replacement for the per-thread random step pause.
+    next_step_at: Duration,
+}
+
+/// Runs one reactor thread's worth of free-running slots until the driver
+/// raises the stop flag.
+pub(crate) fn run_free_reactor<G, E>(
+    procs: Vec<(ProcessId, ReactorProc<G, E>)>,
+    seed: u64,
+    max_delay: Duration,
+    max_step_pause: Duration,
+    shared: &SharedRun,
+) -> Vec<(ProcessId, NodeOutcome)>
+where
+    G: GossipEngine,
+    G::Msg: WireCodec + PartialEq,
+    E: Endpoint,
+{
+    let max_delay_us = max_delay.as_micros().max(1) as u64;
+    let max_pause_us = max_step_pause.as_micros().max(1) as u64;
+    let mut slots: Vec<FreeSlot<G, E>> = procs
+        .into_iter()
+        .map(|(pid, p)| FreeSlot {
+            pid,
+            engine: p.engine,
+            endpoint: Some(p.endpoint),
+            crash_after: p.crash_after,
+            rng: StdRng::seed_from_u64(derive_seed(seed ^ 0xA51C, RngStream::Process(pid))),
+            pending: BinaryHeap::new(),
+            body: Vec::new(),
+            last_encoded: None,
+            arrival_seq: 0,
+            steps: 0,
+            next_step_at: Duration::ZERO,
+        })
+        .collect();
+    let mut frames: Vec<RawFrame> = Vec::new();
+    let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+
+    while !shared.stop.load(Ordering::Relaxed) {
+        let mut any_active = false;
+        for slot in slots.iter_mut() {
+            let Some(endpoint) = slot.endpoint.as_mut() else {
+                continue; // deregistered (crashed): inert, reactor unharmed
+            };
+            if slot.crash_after.is_some_and(|limit| slot.steps >= limit) {
+                // Deregister: drop the endpoint so peers see message loss,
+                // keep the reactor and its other slots running.
+                slot.endpoint = None;
+                slot.pending.clear();
+                shared.quiet[slot.pid.index()].store(true, Ordering::Relaxed);
+                continue;
+            }
+
+            match endpoint.flush() {
+                Ok(lost) => {
+                    shared
+                        .stats
+                        .frames_consumed
+                        .fetch_add(lost, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    shared.record_error(e);
+                    slot.endpoint = None;
+                    shared.quiet[slot.pid.index()].store(true, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            frames.clear();
+            if let Err(e) = endpoint.poll_into(&mut frames) {
+                shared.record_error(e);
+                slot.endpoint = None;
+                shared.quiet[slot.pid.index()].store(true, Ordering::Relaxed);
+                continue;
+            }
+            let now = shared.clock.now();
+            shared
+                .stats
+                .frames_consumed
+                .fetch_add(frames.len() as u64, Ordering::Relaxed);
+            for frame in frames.drain(..) {
+                match G::Msg::decode(&frame.payload) {
+                    Ok(msg) => {
+                        let delay = Duration::from_micros(slot.rng.gen_range(0..=max_delay_us));
+                        slot.pending.push(PendingWall {
+                            deliver_after: now + delay,
+                            seq: slot.arrival_seq,
+                            from: frame.from,
+                            msg,
+                        });
+                        slot.arrival_seq += 1;
+                    }
+                    Err(_) => {
+                        shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+
+            // Deliver everything whose injected delay has expired.
+            let now = shared.clock.now();
+            while slot.pending.peek().is_some_and(|p| p.deliver_after <= now) {
+                let Some(p) = slot.pending.pop() else { break };
+                slot.engine.deliver(p.from, p.msg);
+                any_active = true;
+                shared
+                    .stats
+                    .messages_delivered
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.touch();
+            }
+
+            // One local step, if this slot's pause has elapsed.
+            if now >= slot.next_step_at {
+                out.clear();
+                slot.engine.local_step(&mut out);
+                slot.steps += 1;
+                slot.next_step_at =
+                    now + Duration::from_micros(slot.rng.gen_range(0..=max_pause_us));
+                for (to, msg) in out.drain(..) {
+                    if slot.last_encoded.as_ref() != Some(&msg) {
+                        slot.body.clear();
+                        msg.encode_into(&mut slot.body);
+                        slot.last_encoded = Some(msg);
+                    }
+                    payload.clear();
+                    payload.extend_from_slice(&slot.body);
+                    any_active = true;
+                    shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .bytes_sent
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    shared.touch();
+                    match endpoint.send(to, &payload) {
+                        Ok(SendOutcome::Sent) => {}
+                        Ok(SendOutcome::Lost) => {
+                            shared.stats.frames_consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            shared.record_error(e);
+                            slot.endpoint = None;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            if slot.endpoint.is_some() {
+                shared.quiet[slot.pid.index()].store(
+                    slot.engine.is_quiescent() && slot.pending.is_empty(),
+                    Ordering::Relaxed,
+                );
+            } else {
+                shared.quiet[slot.pid.index()].store(true, Ordering::Relaxed);
+            }
+        }
+
+        if !any_active {
+            std::thread::sleep(IDLE_SWEEP_PAUSE);
+        }
+    }
+
+    // Run over (or slots crashed): nothing here will send again.
+    for slot in slots.iter() {
+        shared.quiet[slot.pid.index()].store(true, Ordering::Relaxed);
+    }
+    slots
+        .into_iter()
+        .map(|slot| {
+            (
+                slot.pid,
+                NodeOutcome {
+                    rumors: slot.engine.rumors().clone(),
+                    steps: slot.steps,
+                },
+            )
+        })
+        .collect()
+}

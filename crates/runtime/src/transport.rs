@@ -75,11 +75,27 @@ pub trait Endpoint: Send + 'static {
 
     /// Sends one frame to `to`. An unreachable peer is message loss
     /// ([`SendOutcome::Lost`]), not an error (see the module docs).
+    ///
+    /// A `Sent` outcome means the transport *accepted* the frame; endpoints
+    /// with local write queues (sockets) may still be holding the bytes.
+    /// Event loops must keep calling [`Endpoint::flush`] until the run is
+    /// over to push queued bytes out.
     fn send(&mut self, to: ProcessId, payload: &[u8]) -> Result<SendOutcome, RuntimeError>;
 
     /// Appends every frame that has fully arrived to `out`, without
     /// blocking.
     fn poll_into(&mut self, out: &mut Vec<RawFrame>) -> Result<(), RuntimeError>;
+
+    /// Makes non-blocking progress on locally queued outbound bytes.
+    ///
+    /// Returns the number of previously `Sent` frames now known to be lost
+    /// (their peer died with the frames still queued). Callers that account
+    /// for every frame — the lockstep settle handshake — must book that
+    /// count as consumed, exactly as they do for a [`SendOutcome::Lost`]
+    /// send. Endpoints without write queues (channels) have nothing to do.
+    fn flush(&mut self) -> Result<u64, RuntimeError> {
+        Ok(0)
+    }
 }
 
 /// A family of endpoints that can be opened as a connected clique.
@@ -248,11 +264,11 @@ impl AnyStream {
         }
     }
 
-    fn write_all_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+    fn write_some(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
         match self {
-            AnyStream::Tcp(s) => s.write_all(bytes),
+            AnyStream::Tcp(s) => s.write(bytes),
             #[cfg(unix)]
-            AnyStream::Unix(s) => s.write_all(bytes),
+            AnyStream::Unix(s) => s.write(bytes),
         }
     }
 }
@@ -283,26 +299,39 @@ impl Drop for TempDirGuard {
 
 /// Incremental frame extractor over a byte stream.
 ///
-/// Wire framing: `varint sender ++ varint payload_len ++ payload`.
-struct FrameBuf {
+/// Wire framing: `varint sender ++ varint length ++ payload`. Feed arbitrary
+/// byte chunks in with [`FrameBuf::extend`] — one byte at a time, split mid-
+/// header, several frames coalesced — and pull complete frames out with
+/// [`FrameBuf::next_frame`]. This is the reassembly layer both the socket
+/// endpoints and the reactor read path share; it never panics on corrupt
+/// input (typed errors only), which the segmentation proptests pin down.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
     data: VecDeque<u8>,
     scratch: Vec<u8>,
 }
 
 impl FrameBuf {
-    fn new() -> Self {
+    /// An empty reassembly buffer.
+    pub fn new() -> Self {
         FrameBuf {
             data: VecDeque::new(),
             scratch: Vec::new(),
         }
     }
 
-    fn extend(&mut self, bytes: &[u8]) {
+    /// Appends raw stream bytes (any segmentation).
+    pub fn extend(&mut self, bytes: &[u8]) {
         self.data.extend(bytes);
     }
 
+    /// Bytes buffered but not yet extracted as frames.
+    pub fn buffered_len(&self) -> usize {
+        self.data.len()
+    }
+
     /// Extracts the next complete frame, or `None` if more bytes are needed.
-    fn next_frame(&mut self) -> Result<Option<RawFrame>, RuntimeError> {
+    pub fn next_frame(&mut self) -> Result<Option<RawFrame>, RuntimeError> {
         // Parse the two varint headers from a contiguous copy of the front
         // (headers are ≤ 20 bytes).
         self.scratch.clear();
@@ -338,8 +367,9 @@ impl FrameBuf {
     }
 }
 
-/// Prepends the stream framing header to a payload.
-fn frame_bytes(from: ProcessId, payload: &[u8]) -> Vec<u8> {
+/// Prepends the stream framing header to a payload: the encoding side of
+/// [`FrameBuf`]'s wire format.
+pub fn frame_bytes(from: ProcessId, payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(payload.len() + 12);
     write_varint(&mut frame, from.index() as u64);
     write_varint(&mut frame, payload.len() as u64);
@@ -353,18 +383,102 @@ struct Inbound {
     closed: bool,
 }
 
+/// Soft cap on bytes queued toward one peer. A send that would leave the
+/// queue above the cap spins on non-blocking flushes (yielding between
+/// attempts) until the kernel drains it below the cap — per-connection
+/// backpressure instead of unbounded memory growth.
+const MAX_BACKLOG_BYTES: usize = 4 * 1024 * 1024;
+
+/// How many yield-then-flush attempts a backpressured send makes before
+/// concluding the connection is wedged and surfacing an error. Loopback
+/// kernels drain in microseconds; hitting this means the receiver stopped
+/// polling entirely.
+const MAX_BACKPRESSURE_SPINS: u32 = 1_000_000;
+
+/// One established outbound connection with its write queue: whole frames,
+/// drained front-first by non-blocking writes (`written` is the byte offset
+/// into the front frame).
+struct OutboundConn {
+    stream: AnyStream,
+    queue: VecDeque<Vec<u8>>,
+    written: usize,
+    queued_bytes: usize,
+}
+
+impl OutboundConn {
+    fn new(stream: AnyStream) -> Self {
+        OutboundConn {
+            stream,
+            queue: VecDeque::new(),
+            written: 0,
+            queued_bytes: 0,
+        }
+    }
+}
+
 /// Endpoint of the [`SocketTransport`].
 pub struct SocketEndpoint {
     pid: ProcessId,
     listener: AnyListener,
     peers: Vec<PeerAddr>,
-    outbound: Vec<Option<AnyStream>>,
+    outbound: Vec<Option<OutboundConn>>,
     /// Peers whose connections have failed: further sends are dropped
     /// without reconnect attempts.
     dead: Vec<bool>,
+    /// Frames accepted as `Sent` whose peer has since died with the frame
+    /// still queued; handed to the caller (and reset) by `flush`.
+    pending_lost: u64,
     inbound: Vec<Inbound>,
     read_buf: Vec<u8>,
     _cleanup: Option<Arc<TempDirGuard>>,
+}
+
+impl SocketEndpoint {
+    /// Non-blocking write progress on one peer's queue. Peer death discards
+    /// the queue into `pending_lost`; `WouldBlock` leaves the rest queued.
+    fn flush_slot(&mut self, slot: usize) -> Result<(), RuntimeError> {
+        let Some(conn) = self.outbound[slot].as_mut() else {
+            return Ok(());
+        };
+        loop {
+            let Some(front) = conn.queue.front() else {
+                return Ok(());
+            };
+            match conn.stream.write_some(&front[conn.written..]) {
+                Ok(0) => {
+                    // A zero-byte write on a non-empty buffer: the socket
+                    // can take nothing; treat like WouldBlock.
+                    return Ok(());
+                }
+                Ok(k) => {
+                    conn.written += k;
+                    conn.queued_bytes = conn.queued_bytes.saturating_sub(k);
+                    if conn.written == front.len() {
+                        conn.queue.pop_front();
+                        conn.written = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if is_peer_death(&e) => {
+                    // Every queued frame (including a partially written
+                    // front) was accepted as Sent and will never arrive.
+                    self.pending_lost += conn.queue.len() as u64;
+                    self.outbound[slot] = None;
+                    self.dead[slot] = true;
+                    return Ok(());
+                }
+                Err(e) => return Err(io_err("writing frame")(e)),
+            }
+        }
+    }
+
+    /// Bytes currently queued toward `slot`.
+    fn backlog_bytes(&self, slot: usize) -> usize {
+        self.outbound[slot]
+            .as_ref()
+            .map_or(0, |conn| conn.queued_bytes)
+    }
 }
 
 impl Endpoint for SocketEndpoint {
@@ -379,7 +493,12 @@ impl Endpoint for SocketEndpoint {
         }
         if self.outbound[slot].is_none() {
             match AnyStream::connect(&self.peers[slot]) {
-                Ok(stream) => self.outbound[slot] = Some(stream),
+                Ok(stream) => {
+                    stream
+                        .set_nonblocking(true)
+                        .map_err(io_err("configuring outbound stream"))?;
+                    self.outbound[slot] = Some(OutboundConn::new(stream));
+                }
                 Err(e) if is_peer_death(&e) => {
                     self.dead[slot] = true;
                     return Ok(SendOutcome::Lost);
@@ -388,20 +507,35 @@ impl Endpoint for SocketEndpoint {
             }
         }
         let frame = frame_bytes(self.pid, payload);
-        let Some(stream) = self.outbound[slot].as_mut() else {
+        let Some(conn) = self.outbound[slot].as_mut() else {
             // Connected just above; a lost send is the safe degradation if
             // that invariant ever broke.
             return Ok(SendOutcome::Lost);
         };
-        match stream.write_all_bytes(&frame) {
-            Ok(()) => Ok(SendOutcome::Sent),
-            Err(e) if is_peer_death(&e) => {
-                self.outbound[slot] = None;
-                self.dead[slot] = true;
-                Ok(SendOutcome::Lost)
+        conn.queued_bytes += frame.len();
+        conn.queue.push_back(frame);
+        // Opportunistic drain keeps queues shallow on an unclogged socket.
+        self.flush_slot(slot)?;
+        // Backpressure: refuse to let one slow peer absorb unbounded memory.
+        let mut spins = 0u32;
+        while self.backlog_bytes(slot) > MAX_BACKLOG_BYTES {
+            spins += 1;
+            if spins > MAX_BACKPRESSURE_SPINS {
+                return Err(io_err("write backlog stuck above cap")(
+                    std::io::Error::new(std::io::ErrorKind::WouldBlock, "peer not draining"),
+                ));
             }
-            Err(e) => Err(io_err("writing frame")(e)),
+            std::thread::yield_now();
+            self.flush_slot(slot)?;
         }
+        Ok(SendOutcome::Sent)
+    }
+
+    fn flush(&mut self) -> Result<u64, RuntimeError> {
+        for slot in 0..self.outbound.len() {
+            self.flush_slot(slot)?;
+        }
+        Ok(std::mem::take(&mut self.pending_lost))
     }
 
     fn poll_into(&mut self, out: &mut Vec<RawFrame>) -> Result<(), RuntimeError> {
@@ -522,6 +656,7 @@ impl Transport for SocketTransport {
                 peers: peers.clone(),
                 outbound: (0..n).map(|_| None).collect(),
                 dead: vec![false; n],
+                pending_lost: 0,
                 inbound: Vec::new(),
                 read_buf: vec![0u8; 16 * 1024],
                 _cleanup: cleanup.clone(),
@@ -545,8 +680,10 @@ mod tests {
 
         let mut got = Vec::new();
         // Socket delivery needs the connection handshake to complete; retry
-        // the non-blocking poll briefly.
+        // the non-blocking poll briefly, flushing the senders' write queues.
         for _ in 0..200 {
+            a.flush().unwrap();
+            c.flush().unwrap();
             b.poll_into(&mut got).unwrap();
             if got.len() == 2 {
                 break;
@@ -569,6 +706,7 @@ mod tests {
         );
         let mut got_c = Vec::new();
         for _ in 0..200 {
+            a.flush().unwrap();
             c.poll_into(&mut got_c).unwrap();
             if !got_c.is_empty() {
                 break;

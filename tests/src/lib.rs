@@ -1,8 +1,10 @@
 //! # agossip-xtests
 //!
-//! Workspace-level integration and property tests. The crate has no library
-//! content of its own — everything lives in `tests/` and exercises the public
-//! APIs of the other `agossip` crates together:
+//! Workspace-level integration and property tests, plus one shared library
+//! module: [`live_harness`], the live-vs-simulator differential machinery
+//! that `live_differential` and the CI smoke jobs drive. Everything else
+//! lives in `tests/` and exercises the public APIs of the other `agossip`
+//! crates together:
 //!
 //! * `gossip_correctness` — every protocol satisfies Gathering / Validity /
 //!   Quiescence (or the majority variant) across a grid of system sizes,
@@ -15,3 +17,5 @@
 //!   discrete-event simulator;
 //! * `props_core` / `props_sim` — proptest invariants on the data structures
 //!   and the simulator.
+
+pub mod live_harness;

@@ -1,106 +1,69 @@
 //! Differential tests between the live runtime and the discrete-event
-//! simulator: the set of rumors learned by every correct process in a live
-//! run must satisfy exactly the same correctness checker that judges
-//! simulated executions — same verdicts, and (for full gossip) the same
-//! final rumor sets.
+//! simulator, expressed through the shared [`agossip_xtests::live_harness`]:
+//! the set of rumors learned by every correct process in a live run must
+//! satisfy exactly the same correctness checker that judges simulated
+//! executions — same verdicts, and (for full gossip) the same final rumor
+//! sets.
 //!
-//! These are the acceptance tests of the live-runtime tentpole: a TCP (and,
-//! on Unix, a UDS) run at `n = 32` with staggered crashes completes with
-//! every correct process holding the checker-verified rumor set, and
-//! channel-transport lockstep runs are bit-identical per seed.
+//! Because every case goes through `live_vs_sim`, the whole matrix —
+//! channel/TCP/UDS × lockstep/free-running — runs under both threading
+//! disciplines (thread-per-process and multiplexing reactors) by iterating
+//! [`live_harness::threadings`]: the reactor inherits every PR 5 acceptance
+//! case for free.
 
-use agossip_core::{
-    check_gossip, run_gossip, CheckReport, Ears, GossipCtx, GossipSpec, Rumor, Tears,
+use agossip_core::{Ears, GossipSpec, Tears};
+use agossip_runtime::{run_live, ChannelTransport, LiveConfig, Pacing, Threading};
+use agossip_sim::ProcessId;
+use agossip_xtests::live_harness::{
+    assert_bit_identical, live_vs_sim, threadings, DiffConfig, SimSide, TransportKind,
 };
-use agossip_runtime::{run_live, ChannelTransport, LiveConfig, Pacing, SocketTransport, Transport};
-use agossip_sim::{FairObliviousAdversary, ProcessId, SimConfig};
-
-fn initial_rumors(n: usize, f: usize, seed: u64) -> Vec<Rumor> {
-    ProcessId::all(n)
-        .map(|pid| GossipCtx::new(pid, n, f, seed).rumor)
-        .collect()
-}
-
-fn verdict(report: &CheckReport) -> (bool, bool, bool) {
-    (
-        report.gathering_ok,
-        report.validity_ok,
-        report.quiescence_ok,
-    )
-}
 
 /// The live runtime and the simulator, running the same protocol from the
 /// same seed, must both produce executions the correctness checker accepts —
 /// and for full gossip without crashes, the *same* final rumor sets: every
-/// correct process ends holding every rumor, in both substrates.
+/// correct process ends holding every rumor, in both substrates. Holds under
+/// every threading discipline.
 #[test]
 fn live_and_simulated_ears_agree_with_the_checker() {
-    let n = 16;
-    let f = 4;
-    let seed = 77;
-
-    let sim_config = SimConfig::new(n, f).with_d(2).with_delta(2).with_seed(seed);
-    let mut adversary = FairObliviousAdversary::new(2, 2, seed);
-    let simulated = run_gossip(&sim_config, GossipSpec::Full, &mut adversary, Ears::new).unwrap();
-
-    let live_config = LiveConfig {
-        pacing: Pacing::Lockstep {
-            d: 2,
-            max_ticks: 1 << 20,
-        },
-        ..LiveConfig::lockstep(n, f, seed)
-    };
-    let live = run_live(&live_config, &ChannelTransport, Ears::new).unwrap();
-    let live_check = check_gossip(
-        GossipSpec::Full,
-        &live.final_rumors,
-        &initial_rumors(n, f, seed),
-        &live.correct,
-        live.quiescent,
-    );
-
-    assert_eq!(verdict(&simulated.check), verdict(&live_check));
-    assert!(live_check.all_ok(), "{live_check:?}");
-    assert_eq!(live.decode_errors, 0);
-    // Full gossip, no crashes: both substrates converge on identical rumor
-    // sets at every process.
-    assert_eq!(live.final_rumors, simulated.final_rumors);
+    for threading in threadings() {
+        let mut live = LiveConfig {
+            pacing: Pacing::Lockstep {
+                d: 2,
+                max_ticks: 1 << 20,
+            },
+            ..LiveConfig::lockstep(16, 4, 77)
+        };
+        live.threading = threading;
+        let case = DiffConfig {
+            live,
+            transport: TransportKind::Channel,
+            spec: GossipSpec::Full,
+            sim: Some(SimSide { d: 2, delta: 2 }),
+        };
+        let verdict = live_vs_sim(&case, Ears::new).unwrap();
+        verdict.assert_checker_verified();
+        // Full gossip, no crashes: both substrates converge on identical
+        // rumor sets at every process.
+        verdict.assert_rumor_sets_match_sim();
+    }
 }
 
 /// Majority gossip differential: the checker that judges simulated `tears`
-/// runs accepts the live runs too.
+/// runs accepts the live runs too, under every threading discipline.
 #[test]
 fn live_and_simulated_tears_agree_with_the_checker() {
-    let n = 24;
-    let seed = 5;
-
-    let sim_config = SimConfig::new(n, 0).with_d(2).with_delta(2).with_seed(seed);
-    let mut adversary = FairObliviousAdversary::new(2, 2, seed);
-    let simulated = run_gossip(
-        &sim_config,
-        GossipSpec::Majority,
-        &mut adversary,
-        Tears::new,
-    )
-    .unwrap();
-    assert!(simulated.check.gathering_ok && simulated.check.validity_ok);
-
-    let live = run_live(
-        &LiveConfig::lockstep(n, 0, seed),
-        &ChannelTransport,
-        Tears::new,
-    )
-    .unwrap();
-    let live_check = check_gossip(
-        GossipSpec::Majority,
-        &live.final_rumors,
-        &initial_rumors(n, 0, seed),
-        &live.correct,
-        live.quiescent,
-    );
-    assert!(live_check.gathering_ok, "{live_check:?}");
-    assert!(live_check.validity_ok);
-    assert!(live.quiescent);
+    for threading in threadings() {
+        let mut live = LiveConfig::lockstep(24, 0, 5);
+        live.threading = threading;
+        let case = DiffConfig {
+            live,
+            transport: TransportKind::Channel,
+            spec: GossipSpec::Majority,
+            sim: Some(SimSide { d: 2, delta: 2 }),
+        };
+        let verdict = live_vs_sim(&case, Tears::new).unwrap();
+        verdict.assert_checker_verified();
+    }
 }
 
 fn n32_crash_config(seed: u64) -> LiveConfig {
@@ -112,69 +75,104 @@ fn n32_crash_config(seed: u64) -> LiveConfig {
     ])
 }
 
-fn assert_checker_verified<T: Transport>(transport: &T, config: &LiveConfig) {
-    let report = run_live(config, transport, Ears::new).unwrap();
-    assert!(
-        report.quiescent,
-        "run on {} hit the tick limit",
-        report.transport
-    );
-    assert_eq!(report.decode_errors, 0);
-    let check = check_gossip(
-        GossipSpec::Full,
-        &report.final_rumors,
-        &initial_rumors(config.n, config.f, config.seed),
-        &report.correct,
-        report.quiescent,
-    );
-    assert!(check.all_ok(), "[{}] {check:?}", report.transport);
+fn assert_checker_verified(transport: TransportKind, config: &LiveConfig) {
+    let case = DiffConfig::live_only(config.clone(), transport);
+    live_vs_sim(&case, Ears::new)
+        .unwrap()
+        .assert_checker_verified();
 }
 
 /// The acceptance criterion, channel half: an `n = 32` lockstep run with
-/// staggered crashes is bit-identical across repeats of the same seed.
+/// staggered crashes is bit-identical across repeats of the same seed —
+/// and across threading disciplines, including different reactor counts.
 #[test]
 fn channel_lockstep_n32_with_crashes_is_bit_identical() {
     let config = n32_crash_config(2008);
     let a = run_live(&config, &ChannelTransport, Ears::new).unwrap();
     let b = run_live(&config, &ChannelTransport, Ears::new).unwrap();
-    assert_eq!(a.final_rumors, b.final_rumors);
-    assert_eq!(a.messages_sent, b.messages_sent);
-    assert_eq!(a.messages_delivered, b.messages_delivered);
-    assert_eq!(a.bytes_sent, b.bytes_sent);
-    assert_eq!(a.ticks, b.ticks);
-    assert_eq!(a.steps, b.steps);
+    assert_bit_identical("repeat", &a, &b);
     assert!(a.quiescent);
-    assert_checker_verified(&ChannelTransport, &config);
+    for reactors in [1usize, 4] {
+        let on_reactors = config.clone().on_reactors(reactors);
+        let c = run_live(&on_reactors, &ChannelTransport, Ears::new).unwrap();
+        assert_bit_identical(&format!("reactors={reactors}"), &a, &c);
+    }
+    assert_checker_verified(TransportKind::Channel, &config);
 }
 
 /// The acceptance criterion, TCP half: a live loopback-TCP run at `n = 32`
 /// with crashes completes with every correct process holding the
-/// checker-verified rumor set.
+/// checker-verified rumor set — on node threads and on reactors.
 #[test]
 fn tcp_n32_with_crashes_is_checker_verified() {
-    assert_checker_verified(&SocketTransport::tcp(), &n32_crash_config(2009));
+    for threading in threadings() {
+        let mut config = n32_crash_config(2009);
+        config.threading = threading;
+        assert_checker_verified(TransportKind::Tcp, &config);
+    }
 }
 
 /// Same over Unix-domain sockets.
 #[cfg(unix)]
 #[test]
 fn uds_n32_with_crashes_is_checker_verified() {
-    assert_checker_verified(&SocketTransport::uds(), &n32_crash_config(2010));
+    for threading in threadings() {
+        let mut config = n32_crash_config(2010);
+        config.threading = threading;
+        assert_checker_verified(TransportKind::Uds, &config);
+    }
 }
 
 /// Free-running pacing (real scheduling nondeterminism) still yields
-/// checker-verified executions over TCP.
+/// checker-verified executions over TCP, on node threads and on reactors.
 #[test]
 fn free_running_tcp_is_checker_verified() {
-    let config = LiveConfig::free_running(8, 2, 11);
-    let report = run_live(&config, &SocketTransport::tcp(), Ears::new).unwrap();
-    assert!(report.quiescent, "free-running TCP run timed out");
-    let check = check_gossip(
-        GossipSpec::Full,
-        &report.final_rumors,
-        &initial_rumors(8, 2, 11),
-        &report.correct,
-        report.quiescent,
-    );
-    assert!(check.all_ok(), "{check:?}");
+    for threading in threadings() {
+        let mut config = LiveConfig::free_running(8, 2, 11);
+        config.threading = threading;
+        assert_checker_verified(TransportKind::Tcp, &config);
+    }
+}
+
+/// CI's `live_smoke` job: the reactor differential at `n = 512` on two
+/// reactor threads — 512 live processes multiplexed onto 2 event loops,
+/// running scale-calibrated `tears` with the full 16-crash schedule, judged
+/// by the same checker as a simulator run at the same timing bounds.
+///
+/// Ignored by default: the run is release-scale (~7 s debug is fine, but
+/// the sim side at n = 512 adds more); the CI job runs it with
+/// `--release -- --ignored`.
+#[test]
+#[ignore = "release-scale smoke; CI's live_smoke job runs it with --release -- --ignored"]
+fn reactor_differential_n512_on_two_threads() {
+    use agossip_analysis::experiments::live::{live_scale_config, live_scale_params};
+    use agossip_core::Tears;
+
+    let live = live_scale_config(512, 2, 2008);
+    assert_eq!(live.threading, Threading::Reactor { reactors: 2 });
+    let params = live_scale_params(512);
+    let case = DiffConfig {
+        live,
+        transport: TransportKind::Channel,
+        spec: GossipSpec::Majority,
+        sim: Some(SimSide { d: 6, delta: 3 }),
+    };
+    let verdict = live_vs_sim(&case, move |ctx| Tears::with_params(ctx, params)).unwrap();
+    verdict.assert_checker_verified();
+}
+
+/// Free-running reactor runs with staggered crashes stay checker-verified
+/// over channels — the crash path exercises slot deregistration rather
+/// than thread exit.
+#[test]
+fn free_running_reactor_crashes_deregister_cleanly() {
+    let config = LiveConfig::free_running(16, 4, 13)
+        .with_crashes(vec![
+            (ProcessId(15), 0),
+            (ProcessId(14), 2),
+            (ProcessId(13), 5),
+        ])
+        .on_reactors(3);
+    assert_eq!(config.threading, Threading::Reactor { reactors: 3 });
+    assert_checker_verified(TransportKind::Channel, &config);
 }

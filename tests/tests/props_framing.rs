@@ -1,0 +1,152 @@
+//! Property-based tests on the stream-framing reassembly layer
+//! (`agossip_runtime::FrameBuf`) — the read path shared by the socket
+//! endpoints and the reactor. Extends the `props_codec` stance one level
+//! down the stack: arbitrary segmentation of a valid frame stream (1-byte
+//! reads, split varint headers, coalesced frames) must reassemble the
+//! identical frame sequence, and truncation or garbage must yield typed
+//! errors or "need more bytes" — never panics.
+//!
+//! These run in debug mode as part of tier-1.
+
+use proptest::prelude::*;
+
+use agossip_core::codec::write_varint;
+use agossip_runtime::{frame_bytes, FrameBuf, RawFrame, MAX_FRAME_BYTES};
+use agossip_sim::ProcessId;
+
+/// An arbitrary sequence of valid frames: senders across a wide pid range
+/// (exercising multi-byte varint headers), payloads from empty to a few
+/// hundred bytes.
+fn frames_strategy() -> impl Strategy<Value = Vec<RawFrame>> {
+    prop::collection::vec(
+        (
+            0..2usize,
+            0..16usize,
+            prop::collection::vec(any::<u8>(), 0..300),
+        ),
+        0..12,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .map(|(wide, from, payload)| RawFrame {
+                // Half the senders get pids past 2^17, forcing multi-byte
+                // varint sender headers.
+                from: ProcessId(from + wide * 150_000),
+                payload,
+            })
+            .collect()
+    })
+}
+
+/// The wire bytes of a frame sequence.
+fn stream_of(frames: &[RawFrame]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for frame in frames {
+        stream.extend_from_slice(&frame_bytes(frame.from, &frame.payload));
+    }
+    stream
+}
+
+/// Feeds `stream` into a fresh buffer in the given chunk sizes (cycled) and
+/// returns every frame extracted. Panics on a framing error — valid streams
+/// must never produce one.
+fn reassemble(stream: &[u8], chunk_sizes: &[usize]) -> Vec<RawFrame> {
+    let mut buf = FrameBuf::new();
+    let mut got = Vec::new();
+    let mut offset = 0;
+    let mut cursor = chunk_sizes.iter().cycle();
+    while offset < stream.len() {
+        let take =
+            (*cursor.next().expect("cycled slice is never empty")).min(stream.len() - offset);
+        buf.extend(&stream[offset..offset + take]);
+        offset += take;
+        while let Some(frame) = buf.next_frame().expect("valid stream must reassemble") {
+            got.push(frame);
+        }
+    }
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any segmentation of a valid frame stream — down to 1-byte reads that
+    /// split the varint headers, up to chunks coalescing several frames —
+    /// reassembles the identical frame sequence.
+    #[test]
+    fn arbitrary_segmentation_reassembles_identically(
+        frames in frames_strategy(),
+        chunk_sizes in prop::collection::vec(1..64usize, 1..24),
+    ) {
+        let stream = stream_of(&frames);
+        prop_assert_eq!(reassemble(&stream, &chunk_sizes), frames);
+    }
+
+    /// The degenerate segmentations: the whole stream at once, and one byte
+    /// at a time, agree with each other and the original.
+    #[test]
+    fn one_byte_reads_equal_one_shot_reads(frames in frames_strategy()) {
+        let stream = stream_of(&frames);
+        prop_assert_eq!(reassemble(&stream, &[stream.len().max(1)]), frames.clone());
+        prop_assert_eq!(reassemble(&stream, &[1]), frames);
+    }
+
+    /// A strict prefix of a valid stream yields a prefix of its frames and
+    /// then reports "need more bytes" — truncation mid-frame is indistinct
+    /// from a slow sender, never an error, never a panic.
+    #[test]
+    fn truncation_yields_a_frame_prefix(
+        frames in frames_strategy(),
+        cut in 0.0..1.0f64,
+    ) {
+        let stream = stream_of(&frames);
+        let len = ((stream.len() as f64) * cut) as usize; // < stream.len()
+        let mut buf = FrameBuf::new();
+        buf.extend(&stream[..len]);
+        let mut got = Vec::new();
+        while let Some(frame) = buf.next_frame().expect("prefix of a valid stream") {
+            got.push(frame);
+        }
+        prop_assert!(got.len() <= frames.len());
+        prop_assert_eq!(&got[..], &frames[..got.len()]);
+        // And the remainder still completes the original sequence.
+        buf.extend(&stream[len..]);
+        while let Some(frame) = buf.next_frame().expect("completed stream") {
+            got.push(frame);
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    /// Arbitrary garbage bytes never panic the reassembler: every pull is a
+    /// frame, "need more", or a typed error. After an error the test stops —
+    /// a real endpoint treats the connection as poisoned.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let mut buf = FrameBuf::new();
+        buf.extend(&bytes);
+        for _ in 0..=bytes.len() {
+            match buf.next_frame() {
+                Ok(Some(_)) => continue,
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+
+    /// A length header above the frame cap is rejected with a typed error
+    /// no matter what sender id precedes it or what bytes follow.
+    #[test]
+    fn oversized_length_headers_are_typed_errors(
+        from in 0..1_000_000u64,
+        oversize in (MAX_FRAME_BYTES + 1)..u64::MAX / 2,
+        tail in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, from);
+        write_varint(&mut bytes, oversize);
+        bytes.extend_from_slice(&tail);
+        let mut buf = FrameBuf::new();
+        buf.extend(&bytes);
+        prop_assert!(buf.next_frame().is_err());
+    }
+}
