@@ -17,7 +17,7 @@
 
 use agossip_core::{
     check_gossip, Ears, GossipCtx, GossipEngine, GossipSpec, Rumor, Tears, TearsParams, Trivial,
-    WireCodec,
+    WireCodec, WireDecodeView,
 };
 use agossip_runtime::{run_live, ChannelTransport, LiveConfig, LiveReport, Pacing, Threading};
 use agossip_sim::{ProcessId, SimError, SimResult};
@@ -107,7 +107,7 @@ pub fn run_live_trial(
     ) -> SimResult<(LiveReport, bool)>
     where
         G: GossipEngine + Send,
-        G::Msg: WireCodec + PartialEq,
+        G::Msg: WireCodec + WireDecodeView + PartialEq,
     {
         let report =
             run_live(config, &ChannelTransport, make).map_err(|e| SimError::InvalidConfig {

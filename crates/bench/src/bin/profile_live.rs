@@ -1,0 +1,115 @@
+//! Sampling-friendly profiling harness for the live reactor hot path.
+//!
+//! Runs the canonical `live_scale` scenario — checker-verified lockstep
+//! `tears` with crashes, real byte frames over the channel transport,
+//! multiplexed onto reactor threads — in a single-scenario loop until a
+//! target number of frames has gone through the transport. One fixed
+//! workload, repeated back to back, is what a sampling profiler wants: the
+//! encode → enqueue → reassemble → decode-view → batched-union path
+//! dominates the profile instead of setup noise, and `--frames N` slices
+//! the total work so a capture can be as short (CI smoke) or as long
+//! (flamegraph session) as needed.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p agossip-bench --bin profile_live -- \
+//!     [--n N] [--reactors R] [--seed S] [--frames F]
+//! ```
+//!
+//! Flamegraph recipe (Linux, needs `perf` and the flamegraph scripts or
+//! `cargo flamegraph` on the host — neither is a build dependency):
+//!
+//! ```text
+//! cargo build --release -p agossip-bench --bin profile_live
+//! perf record -F 997 --call-graph dwarf -- \
+//!     target/release/profile_live --n 1024 --frames 2000000
+//! perf report          # or: perf script | stackcollapse-perf | flamegraph
+//! ```
+//!
+//! Every iteration is the full crash-schedule trial and is asserted
+//! checker-verified; the binary exits non-zero on any correctness failure,
+//! so CI can run it as a smoke gate (`--frames 10000`).
+
+use agossip_analysis::experiments::live::run_live_scale_trial;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n = 1024usize;
+    let mut reactors = 8usize;
+    let mut seed = 2008u64;
+    let mut frames = 1_000_000u64;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--n" => n = value_for("--n").parse().expect("--n: must be an integer"),
+            "--reactors" => {
+                reactors = value_for("--reactors")
+                    .parse()
+                    .expect("--reactors: must be an integer");
+            }
+            "--seed" => {
+                seed = value_for("--seed")
+                    .parse()
+                    .expect("--seed: must be an integer");
+            }
+            "--frames" => {
+                frames = value_for("--frames")
+                    .parse()
+                    .expect("--frames: must be an integer");
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: profile_live [--n N] [--reactors R] [--seed S] [--frames F]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "profile_live: n = {n}, reactors = {reactors}, seed = {seed}, \
+         target = {frames} frames; attach a sampler now (e.g. `perf record -p {pid}`)",
+        pid = std::process::id()
+    );
+
+    let mut total_frames = 0u64;
+    let mut total_bytes = 0u64;
+    let mut total_secs = 0.0f64;
+    let mut iterations = 0u64;
+    while total_frames < frames {
+        // A fresh seed per iteration keeps runs deterministic for a given
+        // invocation while still varying the delivery interleavings the
+        // profiler sees across the capture.
+        let row = run_live_scale_trial(n, reactors, seed + iterations)
+            .expect("live_scale trial must run");
+        assert!(
+            row.ok,
+            "live_scale trial at n = {n}, seed = {} failed its correctness check",
+            seed + iterations
+        );
+        total_frames += row.messages;
+        total_bytes += row.bytes;
+        total_secs += row.wall_secs;
+        iterations += 1;
+        eprintln!(
+            "  iteration {iterations}: {m} frames in {s:.2}s ({total_frames}/{frames} total)",
+            m = row.messages,
+            s = row.wall_secs,
+        );
+    }
+
+    println!(
+        "{{\"bench\": \"profile_live\", \"n\": {n}, \"reactors\": {reactors}, \
+         \"seed\": {seed}, \"iterations\": {iterations}, \"frames\": {total_frames}, \
+         \"bytes\": {total_bytes}, \"wall_secs\": {total_secs:.2}, \
+         \"messages_per_sec\": {mps:.0}, \"bytes_per_sec\": {bps:.0}, \"checker_ok\": true}}",
+        mps = total_frames as f64 / total_secs,
+        bps = total_bytes as f64 / total_secs,
+    );
+}

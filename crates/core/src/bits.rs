@@ -93,19 +93,52 @@ impl WordSet {
 
     /// Merges `other` into `self`. Returns the number of indices added.
     pub(crate) fn union(&mut self, other: &WordSet) -> usize {
+        self.or_words(&other.words)
+    }
+
+    /// ORs a word slice (low word first) into the set, growing once up
+    /// front. Returns the number of indices added. The loop body is a
+    /// straight-line zip over two slices — no per-word bounds checks or
+    /// growth branches — so it autovectorizes.
+    pub(crate) fn or_words(&mut self, words: &[u64]) -> usize {
+        let words = trimmed(words);
+        self.ensure_words(words.len());
         let mut added = 0usize;
-        for (w, &word) in other.words.iter().enumerate() {
-            added += self.or_word(w, word).count_ones() as usize;
+        for (own, &word) in self.words.iter_mut().zip(words) {
+            added += (word & !*own).count_ones() as usize;
+            *own |= word;
+        }
+        added
+    }
+
+    /// ORs `bytes.len() / 8` little-endian 8-byte words (starting at word
+    /// 0) into the set — the dense wire section lands here without an
+    /// intermediate `Vec<u64>`. Trailing bytes short of a full word are
+    /// ignored. Returns the number of indices added.
+    pub(crate) fn or_le_words(&mut self, bytes: &[u8]) -> usize {
+        self.ensure_words(bytes.len() / 8);
+        let mut added = 0usize;
+        for (own, chunk) in self.words.iter_mut().zip(bytes.chunks_exact(8)) {
+            if let Some(arr) = chunk.first_chunk::<8>() {
+                let word = u64::from_le_bytes(*arr);
+                added += (word & !*own).count_ones() as usize;
+                *own |= word;
+            }
         }
         added
     }
 
     /// True if every index of `other` is in `self`.
     pub(crate) fn is_superset_of(&self, other: &WordSet) -> bool {
-        other.words.iter().enumerate().all(|(w, &word)| {
-            let own = self.words.get(w).copied().unwrap_or(0);
-            word & !own == 0
-        })
+        let theirs = trimmed(&other.words);
+        // `trimmed` ends at the last non-zero word, so anything longer than
+        // our storage necessarily holds a bit we do not.
+        theirs.len() <= self.words.len()
+            && self
+                .words
+                .iter()
+                .zip(theirs)
+                .all(|(&own, &word)| word & !own == 0)
     }
 
     /// Iterates over the set indices in ascending order.
@@ -249,6 +282,48 @@ impl AdaptiveSet {
                 .map(|&id| words.insert(id as usize) as usize)
                 .sum(),
             (AdaptiveSet::Dense(own), AdaptiveSet::Dense(theirs)) => own.union(theirs),
+        }
+    }
+
+    /// ORs raw little-endian word bytes (a dense wire row) into the set,
+    /// promoting to the dense form first. Returns the number of indices
+    /// added.
+    pub(crate) fn or_le_words(&mut self, bytes: &[u8]) -> usize {
+        self.promote();
+        match self {
+            AdaptiveSet::Dense(words) => words.or_le_words(bytes),
+            AdaptiveSet::Sparse(_) => 0,
+        }
+    }
+
+    /// True if every index named by raw little-endian word bytes is in
+    /// `self`.
+    pub(crate) fn is_superset_of_le_words(&self, bytes: &[u8]) -> bool {
+        match self {
+            AdaptiveSet::Dense(words) => {
+                let own = words.words();
+                bytes.chunks_exact(8).enumerate().all(|(w, chunk)| {
+                    let word = chunk
+                        .first_chunk::<8>()
+                        .map(|arr| u64::from_le_bytes(*arr))
+                        .unwrap_or(0);
+                    word & !own.get(w).copied().unwrap_or(0) == 0
+                })
+            }
+            AdaptiveSet::Sparse(_) => bytes.chunks_exact(8).enumerate().all(|(w, chunk)| {
+                let mut word = chunk
+                    .first_chunk::<8>()
+                    .map(|arr| u64::from_le_bytes(*arr))
+                    .unwrap_or(0);
+                while word != 0 {
+                    let index = w * 64 + word.trailing_zeros() as usize;
+                    if !self.contains(index) {
+                        return false;
+                    }
+                    word &= word - 1;
+                }
+                true
+            }),
         }
     }
 
@@ -404,6 +479,30 @@ mod tests {
         assert_eq!(a.union(&b), 0);
         assert!(a.is_superset_of(&b));
         assert!(!b.is_superset_of(&a));
+    }
+
+    #[test]
+    fn or_words_and_or_le_words_match_per_word_or() {
+        let mut by_word = WordSet::new();
+        let mut by_slice = WordSet::new();
+        let mut by_bytes = WordSet::new();
+        let words = [0b1010u64, 0, u64::MAX, 1 << 63];
+        for (w, &word) in words.iter().enumerate() {
+            by_word.or_word(w, word);
+        }
+        assert_eq!(by_slice.or_words(&words), 64 + 3);
+        assert_eq!(by_slice.or_words(&words), 0);
+        let mut bytes = Vec::new();
+        for &word in &words {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        assert_eq!(by_bytes.or_le_words(&bytes), 64 + 3);
+        assert_eq!(by_word.words(), by_slice.words());
+        assert_eq!(trimmed(by_word.words()), trimmed(by_bytes.words()));
+        // Trailing partial words are ignored.
+        let mut partial = WordSet::new();
+        assert_eq!(partial.or_le_words(&[0xFF, 0xFF, 0xFF]), 0);
+        assert!(partial.words().is_empty());
     }
 
     #[test]

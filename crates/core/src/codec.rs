@@ -185,44 +185,45 @@ pub trait WireCodec: Sized {
 
 /// On-wire message kind discriminants (byte 1 of every frame body). The
 /// `tears` flag is folded into the kind, giving the six wire kinds.
-mod kind {
-    pub(super) const TRIVIAL: u8 = 0;
-    pub(super) const EARS: u8 = 1;
-    pub(super) const SEARS: u8 = 2;
-    pub(super) const TEARS_UP: u8 = 3;
-    pub(super) const TEARS_DOWN: u8 = 4;
-    pub(super) const SYNC: u8 = 5;
+pub(crate) mod kind {
+    pub(crate) const TRIVIAL: u8 = 0;
+    pub(crate) const EARS: u8 = 1;
+    pub(crate) const SEARS: u8 = 2;
+    pub(crate) const TEARS_UP: u8 = 3;
+    pub(crate) const TEARS_DOWN: u8 = 4;
+    pub(crate) const SYNC: u8 = 5;
 }
 
 /// Section representation tags.
-const TAG_SPARSE: u8 = 0;
-const TAG_DENSE: u8 = 1;
+pub(crate) const TAG_SPARSE: u8 = 0;
+pub(crate) const TAG_DENSE: u8 = 1;
 
-/// A cursor over the input of one decode call.
-struct Reader<'a> {
+/// A cursor over the input of one decode call. Shared with the borrowed
+/// view-decode path in [`crate::codec_view`].
+pub(crate) struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
         Reader { bytes, pos: 0 }
     }
 
-    fn u8(&mut self) -> Result<u8, CodecError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, CodecError> {
         let byte = *self.bytes.get(self.pos).ok_or(CodecError::Truncated)?;
         self.pos += 1;
         Ok(byte)
     }
 
-    fn varint(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, CodecError> {
         let (value, used) = read_varint(&self.bytes[self.pos..])?;
         self.pos += used;
         Ok(value)
     }
 
     /// A varint checked against [`MAX_WIRE_ID`].
-    fn id(&mut self) -> Result<usize, CodecError> {
+    pub(crate) fn id(&mut self) -> Result<usize, CodecError> {
         let value = self.varint()?;
         if value >= MAX_WIRE_ID {
             return Err(CodecError::IdOutOfRange(value));
@@ -233,7 +234,7 @@ impl<'a> Reader<'a> {
     /// A dense-section word count: a varint checked against
     /// `MAX_WIRE_ID / 64`, so `count * 64` can never wrap (a corrupt ~9-byte
     /// varint times 64 would otherwise bypass the id cap).
-    fn word_count(&mut self) -> Result<usize, CodecError> {
+    pub(crate) fn word_count(&mut self) -> Result<usize, CodecError> {
         let count = self.varint()?;
         if count > MAX_WIRE_ID / 64 {
             return Err(CodecError::IdOutOfRange(count.saturating_mul(64)));
@@ -241,14 +242,32 @@ impl<'a> Reader<'a> {
         usize::try_from(count).map_err(|_| CodecError::IdOutOfRange(count))
     }
 
-    fn word(&mut self) -> Result<u64, CodecError> {
+    pub(crate) fn word(&mut self) -> Result<u64, CodecError> {
         let rest = self.bytes.get(self.pos..).ok_or(CodecError::Truncated)?;
         let word = rest.first_chunk::<8>().ok_or(CodecError::Truncated)?;
         self.pos += 8;
         Ok(u64::from_le_bytes(*word))
     }
 
-    fn finish(self) -> Result<(), CodecError> {
+    /// The current cursor position (for carving borrowed sub-slices).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Borrows the next `len` bytes and advances past them.
+    pub(crate) fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(len).ok_or(CodecError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// The bytes between an earlier cursor position and the current one.
+    pub(crate) fn since(&self, start: usize) -> &'a [u8] {
+        self.bytes.get(start..self.pos).unwrap_or(&[])
+    }
+
+    pub(crate) fn finish(self) -> Result<(), CodecError> {
         let left = self.bytes.len() - self.pos;
         if left != 0 {
             return Err(CodecError::TrailingBytes(left));
@@ -262,7 +281,7 @@ fn write_header(buf: &mut Vec<u8>, kind: u8) {
     buf.push(kind);
 }
 
-fn read_header(reader: &mut Reader<'_>) -> Result<u8, CodecError> {
+pub(crate) fn read_header(reader: &mut Reader<'_>) -> Result<u8, CodecError> {
     let version = reader.u8()?;
     if version != CODEC_VERSION {
         return Err(CodecError::BadVersion(version));
@@ -323,12 +342,13 @@ fn decode_rumor_set(reader: &mut Reader<'_>) -> Result<RumorSet, CodecError> {
         }
         TAG_DENSE => {
             let word_count = reader.word_count()?;
-            let mut words = Vec::with_capacity(word_count);
-            for _ in 0..word_count {
-                words.push(reader.word()?);
-            }
-            for (w, &word) in words.iter().enumerate() {
-                let mut bits = word;
+            // Borrow the word region in place — no `Vec<u64>` staging buffer.
+            let words = reader.take(word_count * 8)?;
+            for (w, chunk) in words.chunks_exact(8).enumerate() {
+                let Some(arr) = chunk.first_chunk::<8>() else {
+                    break;
+                };
+                let mut bits = u64::from_le_bytes(*arr);
                 while bits != 0 {
                     // lint:allow(no-unchecked-narrowing): trailing_zeros of a u64 is at most 63
                     let origin = w * 64 + bits.trailing_zeros() as usize;

@@ -80,6 +80,38 @@ pub fn broadcast<M: Clone>(out: &mut Vec<(ProcessId, M)>, targets: &[ProcessId],
     }
 }
 
+/// One received, still-encoded frame awaiting delivery: the sender plus the
+/// encoded message bytes. The runtime's pending queues implement this so
+/// [`GossipEngine::deliver_encoded`] can walk a batch without the queue
+/// having to materialize `(ProcessId, &[u8])` pairs.
+pub trait EncodedFrame {
+    /// The process the frame came from.
+    fn sender(&self) -> ProcessId;
+
+    /// The encoded message body.
+    fn body(&self) -> &[u8];
+}
+
+impl EncodedFrame for (ProcessId, &[u8]) {
+    fn sender(&self) -> ProcessId {
+        self.0
+    }
+
+    fn body(&self) -> &[u8] {
+        self.1
+    }
+}
+
+impl EncodedFrame for (ProcessId, Vec<u8>) {
+    fn sender(&self) -> ProcessId {
+        self.0
+    }
+
+    fn body(&self) -> &[u8] {
+        &self.1
+    }
+}
+
 /// A gossip protocol instance for one process.
 pub trait GossipEngine {
     /// The wire message exchanged by this protocol.
@@ -91,6 +123,30 @@ pub trait GossipEngine {
     /// during a local step, after having received the messages delivered at
     /// that step.
     fn deliver(&mut self, from: ProcessId, msg: Self::Msg);
+
+    /// Delivers a batch of encoded frame bodies, all due at the same
+    /// instant, in order. Returns the number of bodies that failed to
+    /// decode (the rest of the batch is still delivered).
+    ///
+    /// Semantically identical to decoding each body and calling
+    /// [`GossipEngine::deliver`] in order — which is exactly what this
+    /// default does. The set-carrying protocols override it to decode
+    /// borrowed views ([`crate::codec_view`]) and fold the whole batch into
+    /// their state with at most one copy-on-write per set per batch,
+    /// instead of one owned decode + one potential `Arc` copy per message.
+    fn deliver_encoded<F: EncodedFrame>(&mut self, frames: &[F]) -> usize
+    where
+        Self::Msg: crate::codec::WireCodec,
+    {
+        let mut errors = 0usize;
+        for frame in frames {
+            match <Self::Msg as crate::codec::WireCodec>::decode(frame.body()) {
+                Ok(msg) => self.deliver(frame.sender(), msg),
+                Err(_) => errors += 1,
+            }
+        }
+        errors
+    }
 
     /// Executes one local step: compute and push any outgoing messages (as
     /// `(destination, message)` pairs) into `out`.

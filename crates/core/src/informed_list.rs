@@ -95,6 +95,50 @@ impl InformedList {
         added
     }
 
+    /// Merges a borrowed wire view (see [`crate::codec_view`]) into `self`,
+    /// producing exactly the contents that decoding the view's frame and
+    /// calling [`InformedList::union`] would — without materializing the
+    /// sender's list. Dense rows are OR-ed straight into the matching target
+    /// rows. Returns the number of new pairs.
+    pub fn union_view(&mut self, view: &crate::codec_view::InformedListView<'_>) -> usize {
+        use crate::codec_view::InformedViewRepr;
+        match view.repr() {
+            InformedViewRepr::Sparse { .. } => {
+                let mut added = 0usize;
+                for (origin, target) in view.iter() {
+                    added += self.insert(origin, target) as usize;
+                }
+                added
+            }
+            InformedViewRepr::Dense { .. } => {
+                let mut added = 0usize;
+                for row in view.rows() {
+                    added += self.row_mut(row.origin).or_le_words(row.words);
+                }
+                self.len += added;
+                added
+            }
+        }
+    }
+
+    /// True if `self` records every pair of the borrowed wire view — the
+    /// same answer [`InformedList::is_superset_of`] gives for the decoded
+    /// frame, with no allocation.
+    pub fn is_superset_of_view(&self, view: &crate::codec_view::InformedListView<'_>) -> bool {
+        use crate::codec_view::InformedViewRepr;
+        match view.repr() {
+            InformedViewRepr::Sparse { .. } => view
+                .iter()
+                .all(|(origin, target)| self.contains(origin, target)),
+            InformedViewRepr::Dense { .. } => {
+                view.rows().all(|row| match self.rows.get(row.origin) {
+                    Some(own) => own.is_superset_of_le_words(row.words),
+                    None => row.words.iter().all(|&b| b == 0),
+                })
+            }
+        }
+    }
+
     /// True if every pair of `other` is already recorded in `self`.
     pub fn is_superset_of(&self, other: &InformedList) -> bool {
         other

@@ -43,6 +43,7 @@ pub mod adapter;
 mod bits;
 pub mod checker;
 pub mod codec;
+pub mod codec_view;
 pub mod driver;
 pub mod ears;
 pub mod engine;
@@ -59,9 +60,13 @@ pub use adapter::SimGossip;
 pub use bits::ADAPTIVE_SPARSE_LIMIT;
 pub use checker::{check_engines, check_gossip, CheckReport, GossipSpec};
 pub use codec::{CodecError, WireCodec, CODEC_VERSION};
+pub use codec_view::{
+    EarsView, InformedListView, RumorSetView, SearsView, SyncView, TearsView, TrivialView,
+    WireDecodeView,
+};
 pub use driver::{run_gossip, GossipReport};
 pub use ears::{Ears, EarsMessage};
-pub use engine::{broadcast, GossipCtx, GossipEngine};
+pub use engine::{broadcast, EncodedFrame, GossipCtx, GossipEngine};
 pub use params::{EarsParams, ParamError, SearsParams, SyncParams, TearsParams};
 pub use rumor::{Rumor, RumorSet};
 pub use sears::{Sears, SearsMessage};

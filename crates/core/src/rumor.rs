@@ -276,6 +276,97 @@ impl RumorSet {
         added
     }
 
+    /// Merges a borrowed wire view (see [`crate::codec_view`]) into `self`,
+    /// producing exactly the contents that decoding the view's frame and
+    /// calling [`RumorSet::union`] would — without materializing the
+    /// sender's set. A dense view's word region is OR-ed straight into the
+    /// presence bitmap; with identity payloads on both sides no payload
+    /// work happens at all. Returns the number of new origins.
+    pub fn union_view(&mut self, view: &crate::codec_view::RumorSetView<'_>) -> usize {
+        use crate::codec_view::RumorViewRepr;
+        match view.repr() {
+            RumorViewRepr::Sparse { .. } => {
+                let mut added = 0usize;
+                for rumor in view.iter() {
+                    added += self.insert(rumor) as usize;
+                }
+                added
+            }
+            RumorViewRepr::Dense { words, payloads } => {
+                // The view outgrew the sparse wire form; so will the union.
+                self.promote();
+                let Repr::Dense {
+                    present,
+                    payloads: own,
+                } = &mut self.repr
+                else {
+                    return 0;
+                };
+                let added = if view.identity() && matches!(own, Payloads::Identity) {
+                    // The gossip hot path: membership OR, no payload work.
+                    present.or_le_words(words)
+                } else {
+                    let mut added = 0usize;
+                    let mut cursor: &[u8] = payloads;
+                    for (w, chunk) in words.chunks_exact(8).enumerate() {
+                        let Some(arr) = chunk.first_chunk::<8>() else {
+                            break;
+                        };
+                        let word = u64::from_le_bytes(*arr);
+                        if word == 0 {
+                            continue;
+                        }
+                        let fresh = present.or_word(w, word);
+                        added += fresh.count_ones() as usize;
+                        let mut bits = word;
+                        while bits != 0 {
+                            let low = bits & bits.wrapping_neg();
+                            let index = w * 64 + low.trailing_zeros() as usize;
+                            bits ^= low;
+                            let Ok((payload, used)) = crate::codec::read_varint(cursor) else {
+                                break;
+                            };
+                            cursor = cursor.get(used..).unwrap_or(&[]);
+                            if fresh & low != 0 {
+                                own.set(index, payload, present.words().len() * 64);
+                            }
+                        }
+                    }
+                    added
+                };
+                self.len += added;
+                added
+            }
+        }
+    }
+
+    /// True if `self` contains every rumor of the borrowed wire view — the
+    /// same answer [`RumorSet::is_superset_of`] gives for the decoded frame,
+    /// with no allocation.
+    pub fn is_superset_of_view(&self, view: &crate::codec_view::RumorSetView<'_>) -> bool {
+        use crate::codec_view::RumorViewRepr;
+        match view.repr() {
+            RumorViewRepr::Sparse { .. } => {
+                view.len() <= self.len && view.iter().all(|r| self.contains_origin(r.origin))
+            }
+            RumorViewRepr::Dense { words, .. } => match &self.repr {
+                Repr::Dense { present, .. } => {
+                    let own = present.words();
+                    words.chunks_exact(8).enumerate().all(|(w, chunk)| {
+                        let word = chunk
+                            .first_chunk::<8>()
+                            .map(|arr| u64::from_le_bytes(*arr))
+                            .unwrap_or(0);
+                        word & !own.get(w).copied().unwrap_or(0) == 0
+                    })
+                }
+                Repr::Sparse(_) => {
+                    view.len() <= self.len && view.iter().all(|r| self.contains_origin(r.origin))
+                }
+            },
+        }
+    }
+
     /// True if a rumor originating at `origin` is present.
     pub fn contains_origin(&self, origin: ProcessId) -> bool {
         match &self.repr {

@@ -18,7 +18,8 @@ use rand::{Rng, SeedableRng};
 
 use agossip_sim::ProcessId;
 
-use crate::engine::{broadcast, GossipCtx, GossipEngine};
+use crate::codec_view::WireDecodeView;
+use crate::engine::{broadcast, EncodedFrame, GossipCtx, GossipEngine};
 use crate::informed_list::InformedList;
 use crate::params::SearsParams;
 use crate::rumor::RumorSet;
@@ -104,6 +105,31 @@ impl GossipEngine for Sears {
         if !self.informed.is_superset_of(&msg.informed) {
             Arc::make_mut(&mut self.informed).union(&msg.informed);
         }
+    }
+
+    fn deliver_encoded<F: EncodedFrame>(&mut self, frames: &[F]) -> usize {
+        // Batched form of `deliver`: one borrowed-view decode walk per body,
+        // folded into V and I with at most one copy-on-write per set per
+        // batch — the first fresh view pays the `Arc` copy, every later
+        // `make_mut` sees a unique handle.
+        let mut errors = 0usize;
+        let (mut unioning_rumors, mut unioning_informed) = (false, false);
+        for frame in frames {
+            match SearsMessage::decode_view(frame.body()) {
+                Ok(view) => {
+                    if unioning_rumors || !self.rumors.is_superset_of_view(&view.rumors) {
+                        unioning_rumors = true;
+                        Arc::make_mut(&mut self.rumors).union_view(&view.rumors);
+                    }
+                    if unioning_informed || !self.informed.is_superset_of_view(&view.informed) {
+                        unioning_informed = true;
+                        Arc::make_mut(&mut self.informed).union_view(&view.informed);
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        errors
     }
 
     fn local_step(&mut self, out: &mut Vec<(ProcessId, SearsMessage)>) {

@@ -31,7 +31,8 @@ use rand::{Rng, SeedableRng};
 
 use agossip_sim::ProcessId;
 
-use crate::engine::{broadcast, GossipCtx, GossipEngine};
+use crate::codec_view::WireDecodeView;
+use crate::engine::{broadcast, EncodedFrame, GossipCtx, GossipEngine};
 use crate::params::TearsParams;
 use crate::rumor::RumorSet;
 
@@ -191,6 +192,34 @@ impl GossipEngine for Tears {
                 self.pending_bcasts += 1;
             }
         }
+    }
+
+    fn deliver_encoded<F: EncodedFrame>(&mut self, frames: &[F]) -> usize {
+        // Batched form of `deliver`: one borrowed-view decode walk per body,
+        // counting the first-level messages (each increment still visits its
+        // own trigger count) and folding the rumor sections in with at most
+        // one copy-on-write of the state — the first fresh view pays the
+        // `Arc` copy, every later `make_mut` sees a unique handle.
+        let mut errors = 0usize;
+        let mut unioning = false;
+        for frame in frames {
+            match TearsMessage::decode_view(frame.body()) {
+                Ok(view) => {
+                    if view.flag == TearsFlag::Up {
+                        self.up_msg_cnt += 1;
+                        if self.is_trigger_count(self.up_msg_cnt) {
+                            self.pending_bcasts += 1;
+                        }
+                    }
+                    if unioning || !self.rumors.is_superset_of_view(&view.rumors) {
+                        unioning = true;
+                        Arc::make_mut(&mut self.rumors).union_view(&view.rumors);
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+        }
+        errors
     }
 
     fn local_step(&mut self, out: &mut Vec<(ProcessId, TearsMessage)>) {

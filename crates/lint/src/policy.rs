@@ -124,6 +124,7 @@ pub fn default_policy() -> Policy {
             RuleId::NeverPanicDecode,
             &[
                 "crates/core/src/codec.rs",
+                "crates/core/src/codec_view.rs",
                 "crates/runtime/src/transport.rs",
                 "crates/runtime/src/event_loop.rs",
                 "crates/runtime/src/driver.rs",
@@ -137,6 +138,7 @@ pub fn default_policy() -> Policy {
             RuleId::NoUncheckedNarrowing,
             &[
                 "crates/core/src/codec.rs",
+                "crates/core/src/codec_view.rs",
                 "crates/core/src/wire.rs",
                 "crates/runtime/src/transport.rs",
             ],
@@ -188,6 +190,10 @@ mod tests {
         assert!(codec.contains(&RuleId::NeverPanicDecode));
         assert!(codec.contains(&RuleId::NoUncheckedNarrowing));
         assert!(codec.contains(&RuleId::NoNondeterministicCollections));
+
+        let view = policy.rules_for("crates/core/src/codec_view.rs");
+        assert!(view.contains(&RuleId::NeverPanicDecode));
+        assert!(view.contains(&RuleId::NoUncheckedNarrowing));
 
         let reactor = policy.rules_for("crates/runtime/src/reactor.rs");
         assert!(reactor.contains(&RuleId::NeverPanicDecode));

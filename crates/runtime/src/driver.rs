@@ -35,7 +35,7 @@ use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::Duration;
 
-use agossip_core::{GossipCtx, GossipEngine, RumorSet, WireCodec};
+use agossip_core::{GossipCtx, GossipEngine, RumorSet, WireCodec, WireDecodeView};
 use agossip_sim::ProcessId;
 
 use crate::clock::{Clock, MonotonicClock};
@@ -255,7 +255,7 @@ where
     T: Transport,
     G: GossipEngine + Send,
     F: Fn(GossipCtx) -> G,
-    G::Msg: WireCodec + PartialEq,
+    G::Msg: WireCodec + WireDecodeView + PartialEq,
 {
     run_live_with_clock(config, transport, Arc::new(MonotonicClock::new()), make)
 }
@@ -274,7 +274,7 @@ where
     T: Transport,
     G: GossipEngine + Send,
     F: Fn(GossipCtx) -> G,
-    G::Msg: WireCodec + PartialEq,
+    G::Msg: WireCodec + WireDecodeView + PartialEq,
 {
     config.validate()?;
     let n = config.n;

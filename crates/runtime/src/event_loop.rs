@@ -38,13 +38,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use agossip_core::codec::{read_varint, write_varint};
-use agossip_core::{GossipEngine, WireCodec};
+use agossip_core::{EncodedFrame, GossipEngine, WireCodec, WireDecodeView};
 use agossip_sim::rng::{derive_seed, RngStream};
 use agossip_sim::ProcessId;
 
 use crate::clock::Clock;
 use crate::error::RuntimeError;
-use crate::transport::{Endpoint, RawFrame, SendOutcome};
+use crate::transport::{Endpoint, FrameBody, RawFrame, SendOutcome};
 
 /// Counters shared by every node thread of one run.
 #[derive(Debug, Default)]
@@ -143,31 +143,49 @@ pub(crate) struct NodeOutcome {
 // Lockstep pacing
 // ---------------------------------------------------------------------------
 
-/// A decoded message waiting out its delivery tick. Min-heap order on
-/// `(deliver_tick, from, seq)` — a strict total order, since `(from, seq)`
-/// is unique — which is what makes lockstep delivery deterministic.
-pub(crate) struct PendingTick<M> {
+/// A validated, still-encoded message waiting out its delivery tick.
+/// Min-heap order on `(deliver_tick, from, seq)` — a strict total order,
+/// since `(from, seq)` is unique — which is what makes lockstep delivery
+/// deterministic. The body stays encoded (and, for broadcast fast-path
+/// frames, shared) until delivery, when a whole tick's batch is folded into
+/// the engine through [`GossipEngine::deliver_encoded`].
+pub(crate) struct PendingTick {
     pub(crate) deliver_tick: u64,
     pub(crate) from: ProcessId,
     pub(crate) seq: u64,
-    pub(crate) msg: M,
+    /// The frame body, still encoded.
+    pub(crate) body: FrameBody,
+    /// Offset of the message bytes within `body` (stream-framed payloads
+    /// carry the tick/seq stamp inline; fast-path frames carry it in the
+    /// frame head).
+    pub(crate) msg_at: usize,
 }
 
-impl<M> PartialEq for PendingTick<M> {
+impl EncodedFrame for PendingTick {
+    fn sender(&self) -> ProcessId {
+        self.from
+    }
+
+    fn body(&self) -> &[u8] {
+        self.body.as_slice().get(self.msg_at..).unwrap_or(&[])
+    }
+}
+
+impl PartialEq for PendingTick {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == std::cmp::Ordering::Equal
     }
 }
 
-impl<M> Eq for PendingTick<M> {}
+impl Eq for PendingTick {}
 
-impl<M> PartialOrd for PendingTick<M> {
+impl PartialOrd for PendingTick {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<M> Ord for PendingTick<M> {
+impl Ord for PendingTick {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
         (other.deliver_tick, other.from.index(), other.seq).cmp(&(
@@ -200,7 +218,7 @@ pub(crate) fn run_lockstep_node<G, E>(
 ) -> NodeOutcome
 where
     G: GossipEngine,
-    G::Msg: WireCodec + PartialEq,
+    G::Msg: WireCodec + WireDecodeView + PartialEq,
     E: Endpoint,
 {
     let LockstepNode {
@@ -212,11 +230,13 @@ where
     } = node;
     let pid = endpoint.pid();
     let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0x11FE, RngStream::Process(pid)));
-    let mut pending: BinaryHeap<PendingTick<G::Msg>> = BinaryHeap::new();
+    let mut pending: BinaryHeap<PendingTick> = BinaryHeap::new();
     let mut frames: Vec<RawFrame> = Vec::new();
+    let mut due: Vec<PendingTick> = Vec::new();
     let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
-    let mut payload: Vec<u8> = Vec::new();
+    let mut head: Vec<u8> = Vec::new();
     let mut body: Vec<u8> = Vec::new();
+    let mut shared_body: Arc<[u8]> = Arc::new([]);
     let mut last_encoded: Option<G::Msg> = None;
     let mut tick = 0u64;
     let mut steps = 0u64;
@@ -258,12 +278,13 @@ where
                 frames.clear();
             } else {
                 for frame in frames.drain(..) {
-                    match parse_lockstep_payload::<G::Msg>(&frame.payload) {
-                        Ok((deliver_tick, msg_seq, msg)) => pending.push(PendingTick {
+                    match parse_lockstep_frame(&frame) {
+                        Ok((deliver_tick, msg_seq, msg_at)) => pending.push(PendingTick {
                             deliver_tick,
                             from: frame.from,
                             seq: msg_seq,
-                            msg,
+                            body: frame.into_body(),
+                            msg_at,
                         }),
                         Err(_) => {
                             shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -284,14 +305,27 @@ where
         // --- Step: deliver what is due this tick, run the engine, send. --
         let mut active = false;
         if !crashed {
+            due.clear();
             while pending.peek().is_some_and(|p| p.deliver_tick <= tick) {
                 let Some(p) = pending.pop() else { break };
-                engine.deliver(p.from, p.msg);
-                active = true;
+                due.push(p);
+            }
+            if !due.is_empty() {
+                // One view-decode walk per body, batched unions inside the
+                // engine; a frame that fails to decode counts as an error
+                // here and delivers nothing, exactly as when polling
+                // validated eagerly.
+                let errors = engine.deliver_encoded(&due) as u64;
+                active = due.len() as u64 > errors;
+                shared
+                    .stats
+                    .decode_errors
+                    .fetch_add(errors, Ordering::Relaxed);
                 shared
                     .stats
                     .messages_delivered
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(due.len() as u64 - errors, Ordering::Relaxed);
+                due.clear();
             }
             if crash_after.is_some_and(|limit| steps >= limit) {
                 crashed = true;
@@ -303,26 +337,27 @@ where
                 for (to, msg) in out.drain(..) {
                     // A broadcast pushes clones of one message to many
                     // targets; encode the body once per distinct message
-                    // and only re-stamp the per-send tick/seq prefix.
+                    // into one shared buffer and only re-stamp the per-send
+                    // tick/seq head.
                     if last_encoded.as_ref() != Some(&msg) {
                         body.clear();
                         msg.encode_into(&mut body);
+                        shared_body = Arc::from(body.as_slice());
                         last_encoded = Some(msg);
                     }
                     // `d ≥ 1` is guaranteed by `LiveConfig::validate`.
                     let delay = rng.gen_range(1..=d);
-                    payload.clear();
-                    write_varint(&mut payload, tick + delay);
-                    write_varint(&mut payload, seq);
+                    head.clear();
+                    write_varint(&mut head, tick + delay);
+                    write_varint(&mut head, seq);
                     seq += 1;
-                    payload.extend_from_slice(&body);
                     active = true;
                     shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
                     shared
                         .stats
                         .bytes_sent
                         .fetch_add(body.len() as u64, Ordering::Relaxed);
-                    match endpoint.send(to, &payload) {
+                    match endpoint.send_shared(to, &head, &shared_body) {
                         Ok(SendOutcome::Sent) => {}
                         // A frame the transport dropped will never be
                         // polled: book it as consumed so the settle
@@ -365,47 +400,87 @@ where
     }
 }
 
-/// Splits a lockstep payload into `(deliver_tick, seq, message)`.
-pub(crate) fn parse_lockstep_payload<M: WireCodec>(
-    payload: &[u8],
-) -> Result<(u64, u64, M), agossip_core::CodecError> {
-    let (deliver_tick, a) = read_varint(payload)?;
-    let (seq, b) = read_varint(&payload[a..])?;
-    let msg = M::decode(&payload[a + b..])?;
-    Ok((deliver_tick, seq, msg))
+/// Splits a received lockstep frame into `(deliver_tick, seq, offset of the
+/// message within the frame body)`. Only the stamp varints are parsed here;
+/// the message bytes stay untouched until the frame's tick comes up, where
+/// [`GossipEngine::deliver_encoded`] walks them exactly once — an
+/// undecodable body is counted as a decode error there, with the same
+/// totals as when polling validated eagerly.
+pub(crate) fn parse_lockstep_frame(
+    frame: &RawFrame,
+) -> Result<(u64, u64, usize), agossip_core::CodecError> {
+    let head = frame.head();
+    let body = frame.body();
+    if head.is_empty() {
+        // Stream-framed payload: the tick/seq stamp is inline in the body.
+        let (deliver_tick, a) = read_varint(body)?;
+        let (seq, b) = read_varint(&body[a..])?;
+        Ok((deliver_tick, seq, a + b))
+    } else {
+        // Shared-body fast path: the head carries exactly the two varints.
+        let (deliver_tick, a) = read_varint(head)?;
+        let (seq, b) = read_varint(&head[a..])?;
+        if a + b != head.len() {
+            return Err(agossip_core::CodecError::TrailingBytes(head.len() - a - b));
+        }
+        Ok((deliver_tick, seq, 0))
+    }
+}
+
+/// Extracts the body of one free-running frame (whose payload is the bare
+/// encoded message — no tick/seq stamp). A head-carrying frame, which the
+/// free-running send path never produces, is flattened into an owned body.
+/// Validation is deferred to delivery, as in the lockstep path.
+pub(crate) fn free_frame_body(frame: RawFrame) -> FrameBody {
+    if frame.head().is_empty() {
+        frame.into_body()
+    } else {
+        FrameBody::Owned(frame.payload_to_vec())
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Free-running pacing
 // ---------------------------------------------------------------------------
 
-/// A decoded message waiting out its injected wall-clock delay, deadline-
-/// indexed like the lockstep buffer (min-heap on `(deliver_after, seq)`
-/// with an arrival sequence for FIFO tie-breaking). Deadlines are elapsed
-/// time per the run's [`Clock`], not `Instant`s, so a fake clock can drive
-/// them in tests.
-pub(crate) struct PendingWall<M> {
+/// A validated, still-encoded message waiting out its injected wall-clock
+/// delay, deadline-indexed like the lockstep buffer (min-heap on
+/// `(deliver_after, seq)` with an arrival sequence for FIFO tie-breaking).
+/// Deadlines are elapsed time per the run's [`Clock`], not `Instant`s, so a
+/// fake clock can drive them in tests.
+pub(crate) struct PendingWall {
     pub(crate) deliver_after: Duration,
     pub(crate) seq: u64,
     pub(crate) from: ProcessId,
-    pub(crate) msg: M,
+    /// The encoded message body (no tick/seq stamp under free pacing).
+    pub(crate) body: FrameBody,
 }
 
-impl<M> PartialEq for PendingWall<M> {
+impl EncodedFrame for PendingWall {
+    fn sender(&self) -> ProcessId {
+        self.from
+    }
+
+    fn body(&self) -> &[u8] {
+        self.body.as_slice()
+    }
+}
+
+impl PartialEq for PendingWall {
     fn eq(&self, other: &Self) -> bool {
         self.seq == other.seq
     }
 }
 
-impl<M> Eq for PendingWall<M> {}
+impl Eq for PendingWall {}
 
-impl<M> PartialOrd for PendingWall<M> {
+impl PartialOrd for PendingWall {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<M> Ord for PendingWall<M> {
+impl Ord for PendingWall {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         other
             .deliver_after
@@ -433,7 +508,7 @@ pub(crate) struct FreeNode<G, E> {
 pub(crate) fn run_free_node<G, E>(node: FreeNode<G, E>, shared: &SharedRun) -> NodeOutcome
 where
     G: GossipEngine,
-    G::Msg: WireCodec + PartialEq,
+    G::Msg: WireCodec + WireDecodeView + PartialEq,
     E: Endpoint,
 {
     let FreeNode {
@@ -446,10 +521,12 @@ where
     } = node;
     let pid = endpoint.pid();
     let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0xA51C, RngStream::Process(pid)));
-    let mut pending: BinaryHeap<PendingWall<G::Msg>> = BinaryHeap::new();
+    let mut pending: BinaryHeap<PendingWall> = BinaryHeap::new();
     let mut frames: Vec<RawFrame> = Vec::new();
+    let mut due: Vec<PendingWall> = Vec::new();
     let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
-    let mut payload: Vec<u8> = Vec::new();
+    let mut body: Vec<u8> = Vec::new();
+    let mut shared_body: Arc<[u8]> = Arc::new([]);
     let mut last_encoded: Option<G::Msg> = None;
     let mut arrival_seq = 0u64;
     let mut steps = 0u64;
@@ -491,34 +568,42 @@ where
             .frames_consumed
             .fetch_add(frames.len() as u64, Ordering::Relaxed);
         for frame in frames.drain(..) {
-            match G::Msg::decode(&frame.payload) {
-                Ok(msg) => {
-                    let delay = Duration::from_micros(rng.gen_range(0..=max_delay_us));
-                    pending.push(PendingWall {
-                        deliver_after: now + delay,
-                        seq: arrival_seq,
-                        from: frame.from,
-                        msg,
-                    });
-                    arrival_seq += 1;
-                }
-                Err(_) => {
-                    shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                }
-            }
+            let from = frame.from;
+            let body = free_frame_body(frame);
+            let delay = Duration::from_micros(rng.gen_range(0..=max_delay_us));
+            pending.push(PendingWall {
+                deliver_after: now + delay,
+                seq: arrival_seq,
+                from,
+                body,
+            });
+            arrival_seq += 1;
         }
 
         // Deliver everything whose injected delay has expired; the heap top
-        // is the earliest deadline, so this touches only due messages.
+        // is the earliest deadline, so this touches only due messages, and
+        // the whole due batch folds into the engine in one call (which also
+        // counts any body that fails to decode).
         let now = shared.clock.now();
+        due.clear();
         while pending.peek().is_some_and(|p| p.deliver_after <= now) {
             let Some(p) = pending.pop() else { break };
-            engine.deliver(p.from, p.msg);
+            due.push(p);
+        }
+        if !due.is_empty() {
+            let errors = engine.deliver_encoded(&due) as u64;
+            shared
+                .stats
+                .decode_errors
+                .fetch_add(errors, Ordering::Relaxed);
             shared
                 .stats
                 .messages_delivered
-                .fetch_add(1, Ordering::Relaxed);
-            shared.touch();
+                .fetch_add(due.len() as u64 - errors, Ordering::Relaxed);
+            if due.len() as u64 > errors {
+                shared.touch();
+            }
+            due.clear();
         }
 
         // One local step.
@@ -527,19 +612,21 @@ where
         steps += 1;
         for (to, msg) in out.drain(..) {
             // As in the lockstep loop: a broadcast's clones of one message
-            // are encoded once, not once per destination.
+            // are encoded once into one shared buffer, not once per
+            // destination.
             if last_encoded.as_ref() != Some(&msg) {
-                payload.clear();
-                msg.encode_into(&mut payload);
+                body.clear();
+                msg.encode_into(&mut body);
+                shared_body = Arc::from(body.as_slice());
                 last_encoded = Some(msg);
             }
             shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
             shared
                 .stats
                 .bytes_sent
-                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                .fetch_add(body.len() as u64, Ordering::Relaxed);
             shared.touch();
-            match endpoint.send(to, &payload) {
+            match endpoint.send_shared(to, &[], &shared_body) {
                 Ok(SendOutcome::Sent) => {}
                 // Book transport-dropped frames as consumed, as in the
                 // lockstep loop, so the counters stay reconcilable.

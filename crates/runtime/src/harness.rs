@@ -12,7 +12,7 @@
 
 use std::time::Duration;
 
-use agossip_core::{GossipCtx, GossipEngine, RumorSet, WireCodec};
+use agossip_core::{GossipCtx, GossipEngine, RumorSet, WireCodec, WireDecodeView};
 use agossip_sim::ProcessId;
 
 use crate::driver::{run_live, LiveConfig, Pacing};
@@ -111,7 +111,7 @@ pub struct RuntimeReport {
 pub fn run_threaded<G, F>(config: &RuntimeConfig, make: F) -> RuntimeReport
 where
     G: GossipEngine + Send,
-    G::Msg: WireCodec + PartialEq,
+    G::Msg: WireCodec + WireDecodeView + PartialEq,
     F: Fn(GossipCtx) -> G,
 {
     // The channel transport itself cannot fail, but config validation can:

@@ -50,18 +50,20 @@
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::Ordering;
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use agossip_core::codec::write_varint;
-use agossip_core::{GossipEngine, WireCodec};
+use agossip_core::{GossipEngine, WireCodec, WireDecodeView};
 use agossip_sim::rng::{derive_seed, RngStream};
 use agossip_sim::ProcessId;
 
-use crate::event_loop::{parse_lockstep_payload, NodeOutcome, PendingTick, PendingWall, SharedRun};
+use crate::event_loop::{
+    free_frame_body, parse_lockstep_frame, NodeOutcome, PendingTick, PendingWall, SharedRun,
+};
 use crate::transport::{Endpoint, RawFrame, SendOutcome};
 
 /// One process handed to a reactor: its engine, its endpoint, and its crash
@@ -96,8 +98,9 @@ struct LockstepSlot<G: GossipEngine, E> {
     endpoint: E,
     crash_after: Option<u64>,
     rng: StdRng,
-    pending: BinaryHeap<PendingTick<G::Msg>>,
+    pending: BinaryHeap<PendingTick>,
     body: Vec<u8>,
+    shared_body: Arc<[u8]>,
     last_encoded: Option<G::Msg>,
     steps: u64,
     seq: u64,
@@ -116,7 +119,7 @@ pub(crate) fn run_lockstep_reactor<G, E>(
 ) -> Vec<(ProcessId, NodeOutcome)>
 where
     G: GossipEngine,
-    G::Msg: WireCodec + PartialEq,
+    G::Msg: WireCodec + WireDecodeView + PartialEq,
     E: Endpoint,
 {
     let mut slots: Vec<LockstepSlot<G, E>> = procs
@@ -129,6 +132,7 @@ where
             rng: StdRng::seed_from_u64(derive_seed(seed ^ 0x11FE, RngStream::Process(pid))),
             pending: BinaryHeap::new(),
             body: Vec::new(),
+            shared_body: Arc::new([]),
             last_encoded: None,
             steps: 0,
             seq: 0,
@@ -136,8 +140,9 @@ where
         })
         .collect();
     let mut frames: Vec<RawFrame> = Vec::new();
+    let mut due: Vec<PendingTick> = Vec::new();
     let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
-    let mut payload: Vec<u8> = Vec::new();
+    let mut head: Vec<u8> = Vec::new();
     let mut tick = 0u64;
 
     'run: loop {
@@ -171,12 +176,13 @@ where
                     frames.clear();
                 } else {
                     for frame in frames.drain(..) {
-                        match parse_lockstep_payload::<G::Msg>(&frame.payload) {
-                            Ok((deliver_tick, msg_seq, msg)) => slot.pending.push(PendingTick {
+                        match parse_lockstep_frame(&frame) {
+                            Ok((deliver_tick, msg_seq, msg_at)) => slot.pending.push(PendingTick {
                                 deliver_tick,
                                 from: frame.from,
                                 seq: msg_seq,
-                                msg,
+                                body: frame.into_body(),
+                                msg_at,
                             }),
                             Err(_) => {
                                 shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -199,14 +205,27 @@ where
         for slot in slots.iter_mut() {
             let mut active = false;
             if !slot.crashed {
+                due.clear();
                 while slot.pending.peek().is_some_and(|p| p.deliver_tick <= tick) {
                     let Some(p) = slot.pending.pop() else { break };
-                    slot.engine.deliver(p.from, p.msg);
-                    active = true;
+                    due.push(p);
+                }
+                if !due.is_empty() {
+                    // One view-decode walk per body, batched unions inside
+                    // the engine; a frame that fails to decode counts as an
+                    // error here and delivers nothing, exactly as when
+                    // polling validated eagerly.
+                    let errors = slot.engine.deliver_encoded(&due) as u64;
+                    active = due.len() as u64 > errors;
+                    shared
+                        .stats
+                        .decode_errors
+                        .fetch_add(errors, Ordering::Relaxed);
                     shared
                         .stats
                         .messages_delivered
-                        .fetch_add(1, Ordering::Relaxed);
+                        .fetch_add(due.len() as u64 - errors, Ordering::Relaxed);
+                    due.clear();
                 }
                 if slot.crash_after.is_some_and(|limit| slot.steps >= limit) {
                     slot.crashed = true;
@@ -219,22 +238,22 @@ where
                         if slot.last_encoded.as_ref() != Some(&msg) {
                             slot.body.clear();
                             msg.encode_into(&mut slot.body);
+                            slot.shared_body = Arc::from(slot.body.as_slice());
                             slot.last_encoded = Some(msg);
                         }
                         // `d ≥ 1` is guaranteed by `LiveConfig::validate`.
                         let delay = slot.rng.gen_range(1..=d);
-                        payload.clear();
-                        write_varint(&mut payload, tick + delay);
-                        write_varint(&mut payload, slot.seq);
+                        head.clear();
+                        write_varint(&mut head, tick + delay);
+                        write_varint(&mut head, slot.seq);
                         slot.seq += 1;
-                        payload.extend_from_slice(&slot.body);
                         active = true;
                         shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
                         shared
                             .stats
                             .bytes_sent
                             .fetch_add(slot.body.len() as u64, Ordering::Relaxed);
-                        match slot.endpoint.send(to, &payload) {
+                        match slot.endpoint.send_shared(to, &head, &slot.shared_body) {
                             Ok(SendOutcome::Sent) => {}
                             Ok(SendOutcome::Lost) => {
                                 shared.stats.frames_consumed.fetch_add(1, Ordering::Relaxed);
@@ -289,8 +308,9 @@ struct FreeSlot<G: GossipEngine, E> {
     endpoint: Option<E>,
     crash_after: Option<u64>,
     rng: StdRng,
-    pending: BinaryHeap<PendingWall<G::Msg>>,
+    pending: BinaryHeap<PendingWall>,
     body: Vec<u8>,
+    shared_body: Arc<[u8]>,
     last_encoded: Option<G::Msg>,
     arrival_seq: u64,
     steps: u64,
@@ -310,7 +330,7 @@ pub(crate) fn run_free_reactor<G, E>(
 ) -> Vec<(ProcessId, NodeOutcome)>
 where
     G: GossipEngine,
-    G::Msg: WireCodec + PartialEq,
+    G::Msg: WireCodec + WireDecodeView + PartialEq,
     E: Endpoint,
 {
     let max_delay_us = max_delay.as_micros().max(1) as u64;
@@ -325,6 +345,7 @@ where
             rng: StdRng::seed_from_u64(derive_seed(seed ^ 0xA51C, RngStream::Process(pid))),
             pending: BinaryHeap::new(),
             body: Vec::new(),
+            shared_body: Arc::new([]),
             last_encoded: None,
             arrival_seq: 0,
             steps: 0,
@@ -332,8 +353,8 @@ where
         })
         .collect();
     let mut frames: Vec<RawFrame> = Vec::new();
+    let mut due: Vec<PendingWall> = Vec::new();
     let mut out: Vec<(ProcessId, G::Msg)> = Vec::new();
-    let mut payload: Vec<u8> = Vec::new();
 
     while !shared.stop.load(Ordering::Relaxed) {
         let mut any_active = false;
@@ -377,34 +398,42 @@ where
                 .frames_consumed
                 .fetch_add(frames.len() as u64, Ordering::Relaxed);
             for frame in frames.drain(..) {
-                match G::Msg::decode(&frame.payload) {
-                    Ok(msg) => {
-                        let delay = Duration::from_micros(slot.rng.gen_range(0..=max_delay_us));
-                        slot.pending.push(PendingWall {
-                            deliver_after: now + delay,
-                            seq: slot.arrival_seq,
-                            from: frame.from,
-                            msg,
-                        });
-                        slot.arrival_seq += 1;
-                    }
-                    Err(_) => {
-                        shared.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+                let from = frame.from;
+                let body = free_frame_body(frame);
+                let delay = Duration::from_micros(slot.rng.gen_range(0..=max_delay_us));
+                slot.pending.push(PendingWall {
+                    deliver_after: now + delay,
+                    seq: slot.arrival_seq,
+                    from,
+                    body,
+                });
+                slot.arrival_seq += 1;
             }
 
-            // Deliver everything whose injected delay has expired.
+            // Deliver everything whose injected delay has expired, as one
+            // batch folded into the engine (which also counts any body that
+            // fails to decode).
             let now = shared.clock.now();
+            due.clear();
             while slot.pending.peek().is_some_and(|p| p.deliver_after <= now) {
                 let Some(p) = slot.pending.pop() else { break };
-                slot.engine.deliver(p.from, p.msg);
-                any_active = true;
+                due.push(p);
+            }
+            if !due.is_empty() {
+                let errors = slot.engine.deliver_encoded(&due) as u64;
+                shared
+                    .stats
+                    .decode_errors
+                    .fetch_add(errors, Ordering::Relaxed);
                 shared
                     .stats
                     .messages_delivered
-                    .fetch_add(1, Ordering::Relaxed);
-                shared.touch();
+                    .fetch_add(due.len() as u64 - errors, Ordering::Relaxed);
+                if due.len() as u64 > errors {
+                    any_active = true;
+                    shared.touch();
+                }
+                due.clear();
             }
 
             // One local step, if this slot's pause has elapsed.
@@ -418,18 +447,17 @@ where
                     if slot.last_encoded.as_ref() != Some(&msg) {
                         slot.body.clear();
                         msg.encode_into(&mut slot.body);
+                        slot.shared_body = Arc::from(slot.body.as_slice());
                         slot.last_encoded = Some(msg);
                     }
-                    payload.clear();
-                    payload.extend_from_slice(&slot.body);
                     any_active = true;
                     shared.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
                     shared
                         .stats
                         .bytes_sent
-                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        .fetch_add(slot.body.len() as u64, Ordering::Relaxed);
                     shared.touch();
-                    match endpoint.send(to, &payload) {
+                    match endpoint.send_shared(to, &[], &slot.shared_body) {
                         Ok(SendOutcome::Sent) => {}
                         Ok(SendOutcome::Lost) => {
                             shared.stats.frames_consumed.fetch_add(1, Ordering::Relaxed);

@@ -45,14 +45,122 @@ use crate::error::{io_err, RuntimeError};
 /// the receiver buffer gigabytes. Far above any frame the protocols emit.
 pub const MAX_FRAME_BYTES: u64 = 1 << 24;
 
-/// One received frame: who sent it and its (still encoded) payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Longest out-of-line frame prefix [`Endpoint::send_shared`] accepts: two
+/// LEB128 varints of at most 10 bytes each (the lockstep tick/seq stamp).
+pub const MAX_HEAD_BYTES: usize = 20;
+
+/// Inline storage for a frame's per-destination prefix, so the shared-body
+/// fast path never heap-allocates for the ≤ 20-byte head.
+#[derive(Debug, Clone, Copy)]
+struct HeadBuf {
+    bytes: [u8; MAX_HEAD_BYTES],
+    len: u8,
+}
+
+impl HeadBuf {
+    const EMPTY: HeadBuf = HeadBuf {
+        bytes: [0; MAX_HEAD_BYTES],
+        len: 0,
+    };
+
+    /// Copies `head` inline; `None` if it exceeds [`MAX_HEAD_BYTES`].
+    fn new(head: &[u8]) -> Option<HeadBuf> {
+        if head.len() > MAX_HEAD_BYTES {
+            return None;
+        }
+        let len = u8::try_from(head.len()).ok()?;
+        let mut bytes = [0u8; MAX_HEAD_BYTES];
+        bytes[..head.len()].copy_from_slice(head);
+        Some(HeadBuf { bytes, len })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        self.bytes.get(..usize::from(self.len)).unwrap_or(&[])
+    }
+}
+
+/// Body bytes of one frame: uniquely owned, or one encoded broadcast body
+/// shared (by reference count) across every destination's frame.
+#[derive(Debug, Clone)]
+pub enum FrameBody {
+    /// Bytes owned by this frame alone.
+    Owned(Vec<u8>),
+    /// A broadcast body shared across destinations.
+    Shared(Arc<[u8]>),
+}
+
+impl FrameBody {
+    /// The body bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            FrameBody::Owned(bytes) => bytes,
+            FrameBody::Shared(bytes) => bytes,
+        }
+    }
+}
+
+/// One received frame: who sent it and its (still encoded) payload, split
+/// into a small per-destination head and a possibly shared body — the
+/// logical payload is `head ++ body`. Frames reassembled off a byte stream
+/// always have an empty head.
+#[derive(Debug, Clone)]
 pub struct RawFrame {
     /// The sending process.
     pub from: ProcessId,
-    /// The encoded message bytes.
-    pub payload: Vec<u8>,
+    head: HeadBuf,
+    body: FrameBody,
 }
+
+impl RawFrame {
+    /// A frame whose payload is one owned byte buffer (empty head).
+    pub fn owned(from: ProcessId, payload: Vec<u8>) -> Self {
+        RawFrame {
+            from,
+            head: HeadBuf::EMPTY,
+            body: FrameBody::Owned(payload),
+        }
+    }
+
+    /// The per-destination prefix bytes (empty unless the frame came off a
+    /// shared-body fast path).
+    pub fn head(&self) -> &[u8] {
+        self.head.as_slice()
+    }
+
+    /// The body bytes (the whole payload when the head is empty).
+    pub fn body(&self) -> &[u8] {
+        self.body.as_slice()
+    }
+
+    /// Consumes the frame, keeping its body allocation (shared or owned).
+    pub fn into_body(self) -> FrameBody {
+        self.body
+    }
+
+    /// The full logical payload, concatenated into one buffer. Allocates;
+    /// meant for tests and cold paths.
+    pub fn payload_to_vec(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(self.head().len() + self.body().len());
+        payload.extend_from_slice(self.head());
+        payload.extend_from_slice(self.body());
+        payload
+    }
+}
+
+impl PartialEq for RawFrame {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical payload equality: where the head/body split falls (and
+        // whether the body is shared) is a transport detail.
+        self.from == other.from
+            && self
+                .head()
+                .iter()
+                .chain(self.body())
+                .eq(other.head().iter().chain(other.body()))
+    }
+}
+
+impl Eq for RawFrame {}
 
 /// What became of one send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +189,24 @@ pub trait Endpoint: Send + 'static {
     /// Event loops must keep calling [`Endpoint::flush`] until the run is
     /// over to push queued bytes out.
     fn send(&mut self, to: ProcessId, payload: &[u8]) -> Result<SendOutcome, RuntimeError>;
+
+    /// Sends one frame whose logical payload is `head ++ body`, where
+    /// `body` is typically one encoded broadcast body shared across many
+    /// destinations. Endpoints that can hand the receiver the shared buffer
+    /// itself (channels) override this so a broadcast costs one reference-
+    /// count bump per destination instead of one payload copy; the default
+    /// concatenates and delegates to [`Endpoint::send`].
+    fn send_shared(
+        &mut self,
+        to: ProcessId,
+        head: &[u8],
+        body: &Arc<[u8]>,
+    ) -> Result<SendOutcome, RuntimeError> {
+        let mut payload = Vec::with_capacity(head.len() + body.len());
+        payload.extend_from_slice(head);
+        payload.extend_from_slice(body);
+        self.send(to, &payload)
+    }
 
     /// Appends every frame that has fully arrived to `out`, without
     /// blocking.
@@ -133,9 +259,30 @@ impl Endpoint for ChannelEndpoint {
     fn send(&mut self, to: ProcessId, payload: &[u8]) -> Result<SendOutcome, RuntimeError> {
         // A send error means the receiver dropped its endpoint (the process
         // crashed): the message is lost, exactly as the model prescribes.
+        match self.peers[to.index()].send(RawFrame::owned(self.pid, payload.to_vec())) {
+            Ok(()) => Ok(SendOutcome::Sent),
+            Err(_) => Ok(SendOutcome::Lost),
+        }
+    }
+
+    fn send_shared(
+        &mut self,
+        to: ProcessId,
+        head: &[u8],
+        body: &Arc<[u8]>,
+    ) -> Result<SendOutcome, RuntimeError> {
+        let Some(head) = HeadBuf::new(head) else {
+            // Oversized head (never produced by the runtime): fall back to
+            // the concatenating path.
+            let mut payload = Vec::with_capacity(head.len() + body.len());
+            payload.extend_from_slice(head);
+            payload.extend_from_slice(body);
+            return self.send(to, &payload);
+        };
         match self.peers[to.index()].send(RawFrame {
             from: self.pid,
-            payload: payload.to_vec(),
+            head,
+            body: FrameBody::Shared(Arc::clone(body)),
         }) {
             Ok(()) => Ok(SendOutcome::Sent),
             Err(_) => Ok(SendOutcome::Lost),
@@ -360,10 +507,7 @@ impl FrameBuf {
         }
         self.data.drain(..header);
         let payload: Vec<u8> = self.data.drain(..len).collect();
-        Ok(Some(RawFrame {
-            from: ProcessId(from),
-            payload,
-        }))
+        Ok(Some(RawFrame::owned(ProcessId(from), payload)))
     }
 }
 
@@ -395,23 +539,71 @@ const MAX_BACKLOG_BYTES: usize = 4 * 1024 * 1024;
 /// polling entirely.
 const MAX_BACKPRESSURE_SPINS: u32 = 1_000_000;
 
-/// One established outbound connection with its write queue: whole frames,
-/// drained front-first by non-blocking writes (`written` is the byte offset
-/// into the front frame).
+/// A write queue whose consumed prefix exceeds this is compacted (the
+/// unsent tail moved to the front) before the next frame is appended,
+/// bounding buffer growth while keeping compaction amortized-cheap.
+const COMPACT_QUEUE_BYTES: usize = 64 * 1024;
+
+/// One established outbound connection with its write queue: frames are
+/// appended into one contiguous buffer (`buf[written..]` is unsent) so a
+/// single non-blocking write pushes many coalesced frames per syscall.
+/// Per-frame lengths ride alongside for loss accounting when the peer dies
+/// with frames still queued.
 struct OutboundConn {
     stream: AnyStream,
-    queue: VecDeque<Vec<u8>>,
+    buf: Vec<u8>,
     written: usize,
-    queued_bytes: usize,
+    frame_lens: VecDeque<usize>,
+    /// Bytes of the front queued frame already written.
+    front_written: usize,
 }
 
 impl OutboundConn {
     fn new(stream: AnyStream) -> Self {
         OutboundConn {
             stream,
-            queue: VecDeque::new(),
+            buf: Vec::new(),
             written: 0,
-            queued_bytes: 0,
+            frame_lens: VecDeque::new(),
+            front_written: 0,
+        }
+    }
+
+    /// Bytes queued but not yet handed to the kernel.
+    fn queued_bytes(&self) -> usize {
+        self.buf.len() - self.written
+    }
+
+    /// Appends one frame (`framing header ++ head ++ body`) to the queue,
+    /// compacting the already-written prefix away first when it has grown.
+    fn enqueue(&mut self, from: ProcessId, head: &[u8], body: &[u8]) {
+        if self.written == self.buf.len() {
+            self.buf.clear();
+            self.written = 0;
+        } else if self.written > COMPACT_QUEUE_BYTES {
+            self.buf.drain(..self.written);
+            self.written = 0;
+        }
+        let start = self.buf.len();
+        write_varint(&mut self.buf, from.index() as u64);
+        write_varint(&mut self.buf, (head.len() + body.len()) as u64);
+        self.buf.extend_from_slice(head);
+        self.buf.extend_from_slice(body);
+        self.frame_lens.push_back(self.buf.len() - start);
+    }
+
+    /// Books `k` freshly written bytes against the per-frame lengths.
+    fn advance(&mut self, mut k: usize) {
+        self.written += k;
+        while let Some(&len) = self.frame_lens.front() {
+            let remaining = len - self.front_written;
+            if k < remaining {
+                self.front_written += k;
+                break;
+            }
+            k -= remaining;
+            self.front_written = 0;
+            self.frame_lens.pop_front();
         }
     }
 }
@@ -441,29 +633,24 @@ impl SocketEndpoint {
             return Ok(());
         };
         loop {
-            let Some(front) = conn.queue.front() else {
+            if conn.written == conn.buf.len() {
+                conn.buf.clear();
+                conn.written = 0;
                 return Ok(());
-            };
-            match conn.stream.write_some(&front[conn.written..]) {
+            }
+            match conn.stream.write_some(&conn.buf[conn.written..]) {
                 Ok(0) => {
                     // A zero-byte write on a non-empty buffer: the socket
                     // can take nothing; treat like WouldBlock.
                     return Ok(());
                 }
-                Ok(k) => {
-                    conn.written += k;
-                    conn.queued_bytes = conn.queued_bytes.saturating_sub(k);
-                    if conn.written == front.len() {
-                        conn.queue.pop_front();
-                        conn.written = 0;
-                    }
-                }
+                Ok(k) => conn.advance(k),
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) if is_peer_death(&e) => {
                     // Every queued frame (including a partially written
                     // front) was accepted as Sent and will never arrive.
-                    self.pending_lost += conn.queue.len() as u64;
+                    self.pending_lost += conn.frame_lens.len() as u64;
                     self.outbound[slot] = None;
                     self.dead[slot] = true;
                     return Ok(());
@@ -477,16 +664,17 @@ impl SocketEndpoint {
     fn backlog_bytes(&self, slot: usize) -> usize {
         self.outbound[slot]
             .as_ref()
-            .map_or(0, |conn| conn.queued_bytes)
-    }
-}
-
-impl Endpoint for SocketEndpoint {
-    fn pid(&self) -> ProcessId {
-        self.pid
+            .map_or(0, |conn| conn.queued_bytes())
     }
 
-    fn send(&mut self, to: ProcessId, payload: &[u8]) -> Result<SendOutcome, RuntimeError> {
+    /// Queues `head ++ body` toward `to` behind the stream framing header,
+    /// then makes opportunistic flush progress under the backpressure cap.
+    fn send_parts(
+        &mut self,
+        to: ProcessId,
+        head: &[u8],
+        body: &[u8],
+    ) -> Result<SendOutcome, RuntimeError> {
         let slot = to.index();
         if self.dead[slot] {
             return Ok(SendOutcome::Lost);
@@ -506,14 +694,12 @@ impl Endpoint for SocketEndpoint {
                 Err(e) => return Err(io_err("connecting to peer")(e)),
             }
         }
-        let frame = frame_bytes(self.pid, payload);
         let Some(conn) = self.outbound[slot].as_mut() else {
             // Connected just above; a lost send is the safe degradation if
             // that invariant ever broke.
             return Ok(SendOutcome::Lost);
         };
-        conn.queued_bytes += frame.len();
-        conn.queue.push_back(frame);
+        conn.enqueue(self.pid, head, body);
         // Opportunistic drain keeps queues shallow on an unclogged socket.
         self.flush_slot(slot)?;
         // Backpressure: refuse to let one slow peer absorb unbounded memory.
@@ -529,6 +715,27 @@ impl Endpoint for SocketEndpoint {
             self.flush_slot(slot)?;
         }
         Ok(SendOutcome::Sent)
+    }
+}
+
+impl Endpoint for SocketEndpoint {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn send(&mut self, to: ProcessId, payload: &[u8]) -> Result<SendOutcome, RuntimeError> {
+        self.send_parts(to, &[], payload)
+    }
+
+    fn send_shared(
+        &mut self,
+        to: ProcessId,
+        head: &[u8],
+        body: &Arc<[u8]>,
+    ) -> Result<SendOutcome, RuntimeError> {
+        // The shared body is appended straight into the connection's write
+        // buffer behind its head: no intermediate concatenation.
+        self.send_parts(to, head, body)
     }
 
     fn flush(&mut self) -> Result<u64, RuntimeError> {
@@ -690,18 +897,12 @@ mod tests {
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
-        got.sort_by(|x, y| x.payload.cmp(&y.payload));
+        got.sort_by(|x, y| x.body().cmp(y.body()));
         assert_eq!(
             got,
             vec![
-                RawFrame {
-                    from: ProcessId(0),
-                    payload: b"hello".to_vec()
-                },
-                RawFrame {
-                    from: ProcessId(2),
-                    payload: b"world".to_vec()
-                },
+                RawFrame::owned(ProcessId(0), b"hello".to_vec()),
+                RawFrame::owned(ProcessId(2), b"world".to_vec()),
             ]
         );
         let mut got_c = Vec::new();
@@ -714,7 +915,48 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert_eq!(got_c[0].from, ProcessId(0));
-        assert_eq!(got_c[0].payload, b"x".to_vec());
+        assert_eq!(got_c[0].body(), b"x");
+    }
+
+    fn exchange_shared<T: Transport>(transport: &T) {
+        let mut endpoints = transport.open(2).unwrap();
+        let mut b = endpoints.pop().unwrap();
+        let mut a = endpoints.pop().unwrap();
+        let body: Arc<[u8]> = Arc::from(&b"shared-broadcast-body"[..]);
+        a.send_shared(ProcessId(1), b"hd", &body).unwrap();
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            a.flush().unwrap();
+            b.poll_into(&mut got).unwrap();
+            if !got.is_empty() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].from, ProcessId(0));
+        assert_eq!(got[0].payload_to_vec(), b"hdshared-broadcast-body".to_vec());
+    }
+
+    #[test]
+    fn channel_send_shared_delivers_head_then_body() {
+        exchange_shared(&ChannelTransport);
+        // The channel fast path hands over the shared buffer itself.
+        let mut endpoints = ChannelTransport.open(2).unwrap();
+        let mut b = endpoints.pop().unwrap();
+        let mut a = endpoints.pop().unwrap();
+        let body: Arc<[u8]> = Arc::from(&b"body"[..]);
+        a.send_shared(ProcessId(1), b"h", &body).unwrap();
+        let mut got = Vec::new();
+        b.poll_into(&mut got).unwrap();
+        assert_eq!(got[0].head(), b"h");
+        assert_eq!(got[0].body(), b"body");
+        assert!(matches!(got[0].clone().into_body(), FrameBody::Shared(_)));
+    }
+
+    #[test]
+    fn socket_send_shared_delivers_head_then_body() {
+        exchange_shared(&SocketTransport::tcp());
     }
 
     #[test]
@@ -770,7 +1012,7 @@ mod tests {
         buf.extend(b);
         let got = buf.next_frame().unwrap().unwrap();
         assert_eq!(got.from, ProcessId(7));
-        assert_eq!(got.payload, b"payload bytes".to_vec());
+        assert_eq!(got.body(), b"payload bytes");
         assert_eq!(buf.next_frame().unwrap(), None);
 
         // Two frames back to back, fed byte by byte.
@@ -785,7 +1027,7 @@ mod tests {
             }
         }
         assert_eq!(got.len(), 2);
-        assert_eq!(got[0].payload, b"one".to_vec());
+        assert_eq!(got[0].body(), b"one");
         assert_eq!(got[1].from, ProcessId(2));
     }
 

@@ -17,7 +17,7 @@
 
 use agossip_core::{
     check_gossip, run_gossip, CheckReport, GossipCtx, GossipEngine, GossipSpec, Rumor, RumorSet,
-    WireCodec,
+    WireCodec, WireDecodeView,
 };
 use agossip_runtime::{
     run_live, ChannelTransport, LiveConfig, LiveReport, RuntimeError, SocketTransport, Threading,
@@ -171,7 +171,7 @@ pub fn initial_rumors(n: usize, f: usize, seed: u64) -> Vec<Rumor> {
 pub fn live_vs_sim<G, F>(config: &DiffConfig, make: F) -> Result<Verdict, RuntimeError>
 where
     G: GossipEngine + Send,
-    G::Msg: WireCodec + PartialEq,
+    G::Msg: WireCodec + WireDecodeView + PartialEq,
     F: Fn(GossipCtx) -> G,
 {
     let (n, f, seed) = (config.live.n, config.live.f, config.live.seed);

@@ -14,7 +14,7 @@ use agossip_core::informed_list::InformedList;
 use agossip_core::tears::TearsFlag;
 use agossip_core::{
     CodecError, EarsMessage, Rumor, RumorSet, SearsMessage, SyncMessage, TearsMessage, Trivial,
-    TrivialMessage, WireCodec, WireSize,
+    TrivialMessage, WireCodec, WireDecodeView, WireSize,
 };
 use agossip_sim::ProcessId;
 
@@ -96,6 +96,40 @@ impl AnyMessage {
             }
             AnyMessage::Sync(_) => AnyMessage::Sync(SyncMessage::decode(bytes)?),
         })
+    }
+
+    /// Decodes with the matching kind's zero-copy view decoder,
+    /// materializes the owned message, and re-wraps — the borrowed-path
+    /// mirror of [`AnyMessage::decode_as_self`].
+    fn view_decode_as_self(&self, bytes: &[u8]) -> Result<AnyMessage, CodecError> {
+        fn via_view<M: WireDecodeView>(bytes: &[u8]) -> Result<M, CodecError> {
+            Ok(M::view_to_owned(&M::decode_view(bytes)?))
+        }
+        Ok(match self {
+            AnyMessage::Trivial(_) => AnyMessage::Trivial(via_view::<TrivialMessage>(bytes)?),
+            AnyMessage::Ears(_) => AnyMessage::Ears(via_view::<EarsMessage>(bytes)?),
+            AnyMessage::Sears(_) => AnyMessage::Sears(via_view::<SearsMessage>(bytes)?),
+            AnyMessage::TearsUp(_) | AnyMessage::TearsDown(_) => {
+                let m = via_view::<TearsMessage>(bytes)?;
+                match m.flag {
+                    TearsFlag::Up => AnyMessage::TearsUp(m),
+                    TearsFlag::Down => AnyMessage::TearsDown(m),
+                }
+            }
+            AnyMessage::Sync(_) => AnyMessage::Sync(via_view::<SyncMessage>(bytes)?),
+        })
+    }
+}
+
+/// Asserts the owned and view decoders agree on `bytes`: both succeed with
+/// equal messages, or both fail with the same typed error.
+fn assert_view_matches_owned(msg: &AnyMessage, bytes: &[u8]) {
+    let owned = msg.decode_as_self(bytes);
+    let viewed = msg.view_decode_as_self(bytes);
+    match (owned, viewed) {
+        (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "owned and view decodes disagree"),
+        (Err(a), Err(b)) => prop_assert_eq!(a, b, "owned and view errors disagree"),
+        (a, b) => prop_assert!(false, "decode outcomes split: owned {a:?} vs view {b:?}"),
     }
 }
 
@@ -195,6 +229,54 @@ proptest! {
         let _ = SearsMessage::decode(&bytes);
         let _ = TearsMessage::decode(&bytes);
         let _ = SyncMessage::decode(&bytes);
+    }
+
+    /// Differential: on a valid round-trip frame the zero-copy view decoder
+    /// and the owned decoder produce equal messages, for all six kinds at
+    /// arbitrary n.
+    #[test]
+    fn view_decode_equals_owned_decode_on_round_trips(msg in message_strategy()) {
+        assert_view_matches_owned(&msg, &msg.encode());
+    }
+
+    /// Differential over the corrupt-frame corpus: truncation and single-bit
+    /// flips drive the view and owned decoders to the *same* outcome —
+    /// equal messages when both accept, the same typed error when both
+    /// reject, never a split, never a panic.
+    #[test]
+    fn view_decode_equals_owned_decode_on_corrupt_frames(
+        msg in message_strategy(),
+        pos in 0.0..1.0f64,
+        bit in 0..8u32,
+        cut in 0.0..1.0f64,
+    ) {
+        let mut encoded = msg.encode();
+        let len = ((encoded.len() as f64) * cut) as usize; // < encoded.len()
+        assert_view_matches_owned(&msg, &encoded[..len]);
+        let index = ((encoded.len() as f64) * pos) as usize % encoded.len();
+        encoded[index] ^= 1 << bit;
+        assert_view_matches_owned(&msg, &encoded);
+    }
+
+    /// Differential over arbitrary garbage: every kind's view decoder
+    /// agrees byte-for-byte with its owned decoder on what is rejected and
+    /// with which error — and neither ever panics.
+    #[test]
+    fn view_decode_equals_owned_decode_on_garbage(
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        fn agree<M: WireDecodeView + PartialEq + std::fmt::Debug>(bytes: &[u8]) {
+            match (M::decode(bytes), M::decode_view(bytes).map(|v| M::view_to_owned(&v))) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert!(false, "decode outcomes split: owned {a:?} vs view {b:?}"),
+            }
+        }
+        agree::<TrivialMessage>(&bytes);
+        agree::<EarsMessage>(&bytes);
+        agree::<SearsMessage>(&bytes);
+        agree::<TearsMessage>(&bytes);
+        agree::<SyncMessage>(&bytes);
     }
 
     /// Cross-kind confusion is caught: a frame of one kind fed to another

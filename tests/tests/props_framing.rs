@@ -29,11 +29,10 @@ fn frames_strategy() -> impl Strategy<Value = Vec<RawFrame>> {
     .prop_map(|entries| {
         entries
             .into_iter()
-            .map(|(wide, from, payload)| RawFrame {
+            .map(|(wide, from, payload)| {
                 // Half the senders get pids past 2^17, forcing multi-byte
                 // varint sender headers.
-                from: ProcessId(from + wide * 150_000),
-                payload,
+                RawFrame::owned(ProcessId(from + wide * 150_000), payload)
             })
             .collect()
     })
@@ -43,7 +42,7 @@ fn frames_strategy() -> impl Strategy<Value = Vec<RawFrame>> {
 fn stream_of(frames: &[RawFrame]) -> Vec<u8> {
     let mut stream = Vec::new();
     for frame in frames {
-        stream.extend_from_slice(&frame_bytes(frame.from, &frame.payload));
+        stream.extend_from_slice(&frame_bytes(frame.from, frame.body()));
     }
     stream
 }
