@@ -52,7 +52,7 @@ impl AblationKnob {
         }
     }
 
-    /// The sweep of values used by [`run_ablation`], spanning "far too small"
+    /// The sweep of values used by [`ablation_rows`], spanning "far too small"
     /// to "comfortably larger than the default".
     pub fn sweep(&self) -> Vec<f64> {
         match self {
@@ -132,7 +132,7 @@ fn run_knob_grid(
 }
 
 /// Sweeps one knob at the largest system size of `scale` on `pool`.
-pub fn run_knob_ablation_with(
+pub fn knob_ablation_rows(
     pool: &TrialPool,
     knob: AblationKnob,
     scale: &ExperimentScale,
@@ -142,17 +142,9 @@ pub fn run_knob_ablation_with(
     run_knob_grid(pool, &grid, scale, n)
 }
 
-/// Serial convenience wrapper around [`run_knob_ablation_with`].
-pub fn run_knob_ablation(
-    knob: AblationKnob,
-    scale: &ExperimentScale,
-) -> SimResult<Vec<AblationRow>> {
-    run_knob_ablation_with(&TrialPool::serial(), knob, scale)
-}
-
 /// Runs the full ablation on `pool`: every knob, every sweep value, as one
 /// flattened batch of trials.
-pub fn run_ablation_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
+pub fn ablation_rows(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
     let n = scale.n_values.iter().copied().max().unwrap_or(64);
     let mut grid = Vec::new();
     for knob in [
@@ -164,11 +156,6 @@ pub fn run_ablation_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult
         grid.extend(knob.sweep().into_iter().map(|v| (knob, v)));
     }
     run_knob_grid(pool, &grid, scale, n)
-}
-
-/// Serial convenience wrapper around [`run_ablation_with`].
-pub fn run_ablation(scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
-    run_ablation_with(&TrialPool::serial(), scale)
 }
 
 /// Renders ablation rows as a text table.
@@ -225,7 +212,12 @@ mod tests {
     #[test]
     fn ears_shutdown_ablation_runs_and_larger_factor_costs_messages() {
         let scale = ExperimentScale::tiny();
-        let rows = run_knob_ablation(AblationKnob::EarsShutdownFactor, &scale).unwrap();
+        let rows = knob_ablation_rows(
+            &TrialPool::serial(),
+            AblationKnob::EarsShutdownFactor,
+            &scale,
+        )
+        .unwrap();
         assert_eq!(rows.len(), AblationKnob::EarsShutdownFactor.sweep().len());
         let small = rows.first().unwrap();
         let large = rows.last().unwrap();
@@ -240,7 +232,12 @@ mod tests {
     #[test]
     fn sears_fanout_ablation_scales_message_volume() {
         let scale = ExperimentScale::tiny();
-        let rows = run_knob_ablation(AblationKnob::SearsFanoutFactor, &scale).unwrap();
+        let rows = knob_ablation_rows(
+            &TrialPool::serial(),
+            AblationKnob::SearsFanoutFactor,
+            &scale,
+        )
+        .unwrap();
         let small = rows.first().unwrap();
         let large = rows.last().unwrap();
         assert!(large.messages.mean > small.messages.mean);
@@ -251,7 +248,8 @@ mod tests {
     #[test]
     fn tears_a_factor_default_succeeds() {
         let scale = ExperimentScale::tiny();
-        let rows = run_knob_ablation(AblationKnob::TearsAFactor, &scale).unwrap();
+        let rows =
+            knob_ablation_rows(&TrialPool::serial(), AblationKnob::TearsAFactor, &scale).unwrap();
         let default_row = rows
             .iter()
             .find(|r| (r.value - TearsParams::default().a_factor).abs() < 1e-9)

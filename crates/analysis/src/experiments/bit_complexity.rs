@@ -37,7 +37,7 @@ pub struct BitComplexityRow {
 }
 
 /// Runs the bit-complexity sweep over the Table 1 protocols on `pool`.
-pub fn run_bit_complexity_with(
+pub fn bit_complexity_rows(
     pool: &TrialPool,
     scale: &ExperimentScale,
 ) -> SimResult<Vec<BitComplexityRow>> {
@@ -66,11 +66,6 @@ pub fn run_bit_complexity_with(
             }
         },
     )
-}
-
-/// Serial convenience wrapper around [`run_bit_complexity_with`].
-pub fn run_bit_complexity(scale: &ExperimentScale) -> SimResult<Vec<BitComplexityRow>> {
-    run_bit_complexity_with(&TrialPool::serial(), scale)
 }
 
 /// Fits the wire-unit growth exponent of one protocol's rows.
@@ -118,7 +113,7 @@ mod tests {
     #[test]
     fn sweep_produces_rows_for_every_protocol_and_size() {
         let scale = ExperimentScale::tiny();
-        let rows = run_bit_complexity(&scale).unwrap();
+        let rows = bit_complexity_rows(&TrialPool::serial(), &scale).unwrap();
         assert_eq!(rows.len(), 4 * scale.n_values.len());
         assert!(rows.iter().all(|r| r.success_rate == 1.0));
         let table = bit_complexity_to_table(&rows);
@@ -128,7 +123,7 @@ mod tests {
     #[test]
     fn trivial_wire_units_are_twice_its_messages() {
         let scale = ExperimentScale::tiny();
-        let rows = run_bit_complexity(&scale).unwrap();
+        let rows = bit_complexity_rows(&TrialPool::serial(), &scale).unwrap();
         for row in rows.iter().filter(|r| r.protocol == "trivial") {
             assert!((row.units_per_message - 2.0).abs() < 1e-9);
             assert!((row.wire_units.mean - 2.0 * row.messages.mean).abs() < 1e-9);
@@ -138,7 +133,7 @@ mod tests {
     #[test]
     fn ears_messages_are_heavier_than_trivial_messages() {
         let scale = ExperimentScale::tiny();
-        let rows = run_bit_complexity(&scale).unwrap();
+        let rows = bit_complexity_rows(&TrialPool::serial(), &scale).unwrap();
         let ears: Vec<_> = rows.iter().filter(|r| r.protocol == "ears").collect();
         let trivial: Vec<_> = rows.iter().filter(|r| r.protocol == "trivial").collect();
         for (e, t) in ears.iter().zip(trivial.iter()) {
@@ -154,7 +149,7 @@ mod tests {
     #[test]
     fn wire_unit_exponent_fits_available_protocols() {
         let scale = ExperimentScale::tiny();
-        let rows = run_bit_complexity(&scale).unwrap();
+        let rows = bit_complexity_rows(&TrialPool::serial(), &scale).unwrap();
         let fit = wire_unit_exponent(&rows, "trivial").unwrap();
         // Trivial: n(n-1) messages of 2 units each → exponent ≈ 2.
         assert!((fit.exponent - 2.0).abs() < 0.1, "got {}", fit.exponent);

@@ -52,7 +52,7 @@ fn async_kinds() -> [GossipProtocolKind; 3] {
 
 /// Runs the cost-of-asynchrony comparison for the asynchronous Table 1
 /// protocols against the synchronous baseline, on `pool`.
-pub fn run_coa_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
+pub fn coa_rows(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
     // The corollary's comparison is at d = δ = 1 for both sides.
     let unit_scale = ExperimentScale {
         d: 1,
@@ -99,11 +99,6 @@ pub fn run_coa_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<
     Ok(rows)
 }
 
-/// Serial convenience wrapper around [`run_coa_with`].
-pub fn run_coa(scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
-    run_coa_with(&TrialPool::serial(), scale)
-}
-
 /// Renders the comparison as a table.
 pub fn coa_to_table(rows: &[CoaRow]) -> Table {
     let mut table = Table::new(
@@ -143,7 +138,7 @@ mod tests {
     #[test]
     fn coa_rows_cover_three_protocols_per_size() {
         let scale = ExperimentScale::tiny();
-        let rows = run_coa(&scale).unwrap();
+        let rows = coa_rows(&TrialPool::serial(), &scale).unwrap();
         assert_eq!(rows.len(), 3 * scale.n_values.len());
         for row in &rows {
             assert!(row.time_ratio > 0.0);
@@ -154,7 +149,7 @@ mod tests {
     #[test]
     fn trivial_pays_in_messages_not_time() {
         let scale = ExperimentScale::tiny();
-        let rows = run_coa(&scale).unwrap();
+        let rows = coa_rows(&TrialPool::serial(), &scale).unwrap();
         let mut trivial: Vec<&CoaRow> = rows.iter().filter(|r| r.protocol == "trivial").collect();
         trivial.sort_by_key(|r| r.n);
         assert!(trivial.len() >= 2);
@@ -183,7 +178,7 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let scale = ExperimentScale::tiny();
-        let rows = run_coa(&scale).unwrap();
+        let rows = coa_rows(&TrialPool::serial(), &scale).unwrap();
         let table = coa_to_table(&rows);
         assert_eq!(table.len(), rows.len());
         assert!(table.render().contains("ratio"));

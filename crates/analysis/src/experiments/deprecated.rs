@@ -1,0 +1,197 @@
+//! Deprecated experiment entry points, kept for one release.
+//!
+//! The old API exposed every experiment as a `run_X(scale)` / `run_X_with(
+//! pool, scale)` twin. Both forms now delegate to a single `X_rows(pool,
+//! scale)` function per experiment (serial = `TrialPool::serial()`), and the
+//! preferred way to run an experiment by name is the
+//! [`crate::sweep::Experiment`] trait via [`crate::sweep::registry`]. These
+//! shims preserve the old names and signatures so downstream code keeps
+//! compiling for one more release; they will be removed afterwards.
+
+use agossip_sim::SimResult;
+
+use crate::experiments::ablation::{ablation_rows, knob_ablation_rows, AblationKnob, AblationRow};
+use crate::experiments::bit_complexity::{bit_complexity_rows, BitComplexityRow};
+use crate::experiments::coa::{coa_rows, CoaRow};
+use crate::experiments::common::ExperimentScale;
+use crate::experiments::live::{live_rows, live_scale_rows, LiveRow, LiveScaleRow};
+use crate::experiments::lower_bound::{lower_bound_rows, LowerBoundRow};
+use crate::experiments::robustness::{robustness_rows, RobustnessRow};
+use crate::experiments::scale::{scale_rows, ScaleRow};
+use crate::experiments::sears_sweep::{sears_sweep_rows, SearsSweepRow};
+use crate::experiments::table1::{table1_rows, Table1Row};
+use crate::experiments::table2::{table2_rows, Table2Row};
+use crate::experiments::tears_lemmas::{tears_structure_rows, TearsStructureRow};
+use crate::sweep::TrialPool;
+
+/// Deprecated alias for [`table1_rows`] with a serial pool.
+#[deprecated(note = "use `table1_rows(&TrialPool::serial(), scale)`")]
+pub fn run_table1(scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
+    table1_rows(&TrialPool::serial(), scale)
+}
+
+/// Deprecated alias for [`table1_rows`].
+#[deprecated(note = "use `table1_rows(pool, scale)`")]
+pub fn run_table1_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
+    table1_rows(pool, scale)
+}
+
+/// Deprecated alias for [`table2_rows`] with a serial pool.
+#[deprecated(note = "use `table2_rows(&TrialPool::serial(), scale)`")]
+pub fn run_table2(scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
+    table2_rows(&TrialPool::serial(), scale)
+}
+
+/// Deprecated alias for [`table2_rows`].
+#[deprecated(note = "use `table2_rows(pool, scale)`")]
+pub fn run_table2_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
+    table2_rows(pool, scale)
+}
+
+/// Deprecated alias for [`coa_rows`] with a serial pool.
+#[deprecated(note = "use `coa_rows(&TrialPool::serial(), scale)`")]
+pub fn run_coa(scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
+    coa_rows(&TrialPool::serial(), scale)
+}
+
+/// Deprecated alias for [`coa_rows`].
+#[deprecated(note = "use `coa_rows(pool, scale)`")]
+pub fn run_coa_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<CoaRow>> {
+    coa_rows(pool, scale)
+}
+
+/// Deprecated alias for [`ablation_rows`] with a serial pool.
+#[deprecated(note = "use `ablation_rows(&TrialPool::serial(), scale)`")]
+pub fn run_ablation(scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
+    ablation_rows(&TrialPool::serial(), scale)
+}
+
+/// Deprecated alias for [`ablation_rows`].
+#[deprecated(note = "use `ablation_rows(pool, scale)`")]
+pub fn run_ablation_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<AblationRow>> {
+    ablation_rows(pool, scale)
+}
+
+/// Deprecated alias for [`knob_ablation_rows`] with a serial pool.
+#[deprecated(note = "use `knob_ablation_rows(&TrialPool::serial(), knob, scale)`")]
+pub fn run_knob_ablation(
+    knob: AblationKnob,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<AblationRow>> {
+    knob_ablation_rows(&TrialPool::serial(), knob, scale)
+}
+
+/// Deprecated alias for [`knob_ablation_rows`].
+#[deprecated(note = "use `knob_ablation_rows(pool, knob, scale)`")]
+pub fn run_knob_ablation_with(
+    pool: &TrialPool,
+    knob: AblationKnob,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<AblationRow>> {
+    knob_ablation_rows(pool, knob, scale)
+}
+
+/// Deprecated alias for [`bit_complexity_rows`] with a serial pool.
+#[deprecated(note = "use `bit_complexity_rows(&TrialPool::serial(), scale)`")]
+pub fn run_bit_complexity(scale: &ExperimentScale) -> SimResult<Vec<BitComplexityRow>> {
+    bit_complexity_rows(&TrialPool::serial(), scale)
+}
+
+/// Deprecated alias for [`bit_complexity_rows`].
+#[deprecated(note = "use `bit_complexity_rows(pool, scale)`")]
+pub fn run_bit_complexity_with(
+    pool: &TrialPool,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<BitComplexityRow>> {
+    bit_complexity_rows(pool, scale)
+}
+
+/// Deprecated alias for [`sears_sweep_rows`] with a serial pool.
+#[deprecated(note = "use `sears_sweep_rows(&TrialPool::serial(), scale, epsilons)`")]
+pub fn run_sears_sweep(scale: &ExperimentScale, epsilons: &[f64]) -> SimResult<Vec<SearsSweepRow>> {
+    sears_sweep_rows(&TrialPool::serial(), scale, epsilons)
+}
+
+/// Deprecated alias for [`sears_sweep_rows`].
+#[deprecated(note = "use `sears_sweep_rows(pool, scale, epsilons)`")]
+pub fn run_sears_sweep_with(
+    pool: &TrialPool,
+    scale: &ExperimentScale,
+    epsilons: &[f64],
+) -> SimResult<Vec<SearsSweepRow>> {
+    sears_sweep_rows(pool, scale, epsilons)
+}
+
+/// Deprecated alias for [`robustness_rows`] with a serial pool.
+#[deprecated(note = "use `robustness_rows(&TrialPool::serial(), scale)`")]
+pub fn run_robustness(scale: &ExperimentScale) -> SimResult<Vec<RobustnessRow>> {
+    robustness_rows(&TrialPool::serial(), scale)
+}
+
+/// Deprecated alias for [`robustness_rows`].
+#[deprecated(note = "use `robustness_rows(pool, scale)`")]
+pub fn run_robustness_with(
+    pool: &TrialPool,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<RobustnessRow>> {
+    robustness_rows(pool, scale)
+}
+
+/// Deprecated alias for [`live_rows`] with a serial pool.
+#[deprecated(note = "use `live_rows(&TrialPool::serial(), scale)`")]
+pub fn run_live_sweep(scale: &ExperimentScale) -> SimResult<Vec<LiveRow>> {
+    live_rows(&TrialPool::serial(), scale)
+}
+
+/// Deprecated alias for [`live_rows`].
+#[deprecated(note = "use `live_rows(pool, scale)`")]
+pub fn run_live_sweep_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<LiveRow>> {
+    live_rows(pool, scale)
+}
+
+/// Deprecated alias for [`live_scale_rows`].
+#[deprecated(note = "use `live_scale_rows(n_values, reactors, seed)`")]
+pub fn run_live_scale(
+    n_values: &[usize],
+    reactors: usize,
+    seed: u64,
+) -> SimResult<Vec<LiveScaleRow>> {
+    live_scale_rows(n_values, reactors, seed)
+}
+
+/// Deprecated alias for [`scale_rows`] with a serial pool.
+#[deprecated(note = "use `scale_rows(&TrialPool::serial(), scale)`")]
+pub fn run_scale(scale: &ExperimentScale) -> SimResult<Vec<ScaleRow>> {
+    scale_rows(&TrialPool::serial(), scale)
+}
+
+/// Deprecated alias for [`scale_rows`].
+#[deprecated(note = "use `scale_rows(pool, scale)`")]
+pub fn run_scale_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<ScaleRow>> {
+    scale_rows(pool, scale)
+}
+
+/// Deprecated alias for [`lower_bound_rows`] with a serial pool.
+#[deprecated(note = "use `lower_bound_rows(&TrialPool::serial(), n_values, seed)`")]
+pub fn run_lower_bound_experiment(n_values: &[usize], seed: u64) -> SimResult<Vec<LowerBoundRow>> {
+    lower_bound_rows(&TrialPool::serial(), n_values, seed)
+}
+
+/// Deprecated alias for [`lower_bound_rows`].
+#[deprecated(note = "use `lower_bound_rows(pool, n_values, seed)`")]
+pub fn run_lower_bound_experiment_with(
+    pool: &TrialPool,
+    n_values: &[usize],
+    seed: u64,
+) -> SimResult<Vec<LowerBoundRow>> {
+    lower_bound_rows(pool, n_values, seed)
+}
+
+/// Deprecated alias for [`tears_structure_rows`].
+#[deprecated(note = "use `tears_structure_rows(pool, scale)`")]
+pub fn run_tears_structure_sweep(
+    pool: &TrialPool,
+    scale: &ExperimentScale,
+) -> SimResult<Vec<TearsStructureRow>> {
+    tears_structure_rows(pool, scale)
+}

@@ -137,7 +137,7 @@ pub fn run_live_trial(
 /// flattened so every worker stays busy. Each trial spawns `n` OS threads
 /// of its own, so wide pools multiply thread counts — the scenario's
 /// default scale keeps the grid small.
-pub fn run_live_sweep_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<LiveRow>> {
+pub fn live_rows(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<LiveRow>> {
     let grid: Vec<(GossipProtocolKind, usize)> = live_protocols()
         .into_iter()
         .flat_map(|kind| scale.n_values.iter().map(move |&n| (kind, n)))
@@ -176,11 +176,6 @@ pub fn run_live_sweep_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResu
         });
     }
     Ok(rows)
-}
-
-/// Serial convenience wrapper around [`run_live_sweep_with`].
-pub fn run_live_sweep(scale: &ExperimentScale) -> SimResult<Vec<LiveRow>> {
-    run_live_sweep_with(&TrialPool::serial(), scale)
 }
 
 // ---------------------------------------------------------------------------
@@ -305,7 +300,7 @@ pub fn run_live_scale_trial(n: usize, reactors: usize, seed: u64) -> SimResult<L
 /// Runs the `live_scale` scenario: one trial per size, serial — each trial
 /// is already internally concurrent (its reactor threads saturate the box),
 /// so sharding trials across a worker pool would only fight them for cores.
-pub fn run_live_scale(
+pub fn live_scale_rows(
     n_values: &[usize],
     reactors: usize,
     seed: u64,
@@ -394,8 +389,8 @@ mod tests {
     #[test]
     fn live_sweep_rows_are_worker_count_independent() {
         let scale = tiny();
-        let serial = run_live_sweep_with(&TrialPool::serial(), &scale).unwrap();
-        let sharded = run_live_sweep_with(&TrialPool::new(2), &scale).unwrap();
+        let serial = live_rows(&TrialPool::serial(), &scale).unwrap();
+        let sharded = live_rows(&TrialPool::new(2), &scale).unwrap();
         assert_eq!(serial, sharded);
         assert_eq!(serial.len(), live_protocols().len());
         for row in &serial {

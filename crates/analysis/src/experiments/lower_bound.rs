@@ -50,7 +50,7 @@ pub struct LowerBoundRow {
 /// construction (the Theorem 1 adversary derives all of its choices from
 /// `seed`), so the grid parallelizes exactly like the oblivious trial
 /// sweeps: identical output for any worker count.
-pub fn run_lower_bound_experiment_with(
+pub fn lower_bound_rows(
     pool: &TrialPool,
     n_values: &[usize],
     seed: u64,
@@ -85,11 +85,6 @@ pub fn run_lower_bound_experiment_with(
     })
     .into_iter()
     .collect()
-}
-
-/// Serial convenience wrapper around [`run_lower_bound_experiment_with`].
-pub fn run_lower_bound_experiment(n_values: &[usize], seed: u64) -> SimResult<Vec<LowerBoundRow>> {
-    run_lower_bound_experiment_with(&TrialPool::serial(), n_values, seed)
 }
 
 /// Renders the rows as a table.
@@ -136,7 +131,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
     fn dichotomy_holds_for_all_protocols_at_small_sizes() {
-        let rows = run_lower_bound_experiment(&[32, 64], 13).unwrap();
+        let rows = lower_bound_rows(&TrialPool::serial(), &[32, 64], 13).unwrap();
         assert_eq!(rows.len(), 6);
         for row in &rows {
             assert!(row.dichotomy_holds, "dichotomy violated: {row:?}");
@@ -145,7 +140,7 @@ mod tests {
 
     #[test]
     fn trivial_is_message_heavy() {
-        let rows = run_lower_bound_experiment(&[64], 3).unwrap();
+        let rows = lower_bound_rows(&TrialPool::serial(), &[64], 3).unwrap();
         let trivial = rows.iter().find(|r| r.protocol == "trivial").unwrap();
         assert_eq!(trivial.case, LowerBoundCase::MessageHeavy);
         assert!(trivial.messages >= trivial.message_bound / 4);
@@ -153,7 +148,7 @@ mod tests {
 
     #[test]
     fn table_marks_every_row() {
-        let rows = run_lower_bound_experiment(&[32], 5).unwrap();
+        let rows = lower_bound_rows(&TrialPool::serial(), &[32], 5).unwrap();
         let rendered = lower_bound_to_table(&rows).render();
         assert!(rendered.contains("holds"));
         assert!(!rendered.contains("VIOLATED"));

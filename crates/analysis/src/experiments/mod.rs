@@ -1,12 +1,15 @@
 //! Experiment drivers, one per evaluation artifact of the paper.
 //!
 //! Every driver runs its independent trials through the sweep engine in
-//! [`crate::sweep`]: `run_X(scale)` is the serial form, `run_X_with(pool,
-//! scale)` shards the whole trial grid across a
+//! [`crate::sweep`]: each experiment module exposes one `X_rows(pool,
+//! scale)` entry point that shards the whole trial grid across a
 //! [`crate::sweep::TrialPool`]'s workers, producing bit-identical rows for
-//! any worker count. The drivers are also registered by name in
+//! any worker count (serial = `TrialPool::serial()`). Every driver is also
+//! registered as an [`experiment::Experiment`] trait object in
 //! [`crate::sweep::registry`], so every artifact can be produced from one
-//! place (the `scenarios` example, the `sweep_baseline` binary).
+//! place (the `scenarios` example, the `sweep_baseline` binary). The old
+//! `run_X` / `run_X_with` twin names live on for one release as
+//! `#[deprecated]` shims in [`deprecated`].
 //!
 //! | Module | Paper artifact |
 //! |---|---|
@@ -21,39 +24,50 @@
 //! | [`robustness`] | Theorems 6/7/12 — correctness across the oblivious adversary family |
 //! | [`live`] | the live runtime: protocols over the byte codec on OS threads |
 //! | [`scale`] | checker-verified `tears` at `n` up to 65 536 (scaled constants) |
+//! | [`service`] | service mode: pipelined epochs through the replicated rumor log |
 
 pub mod ablation;
 pub mod bit_complexity;
 pub mod coa;
 pub mod common;
+pub mod deprecated;
+pub mod experiment;
 pub mod live;
 pub mod lower_bound;
 pub mod robustness;
 pub mod scale;
 pub mod sears_sweep;
+pub mod service;
 pub mod table1;
 pub mod table2;
 pub mod tears_lemmas;
 
-pub use ablation::{
-    run_ablation, run_ablation_with, run_knob_ablation, run_knob_ablation_with, AblationKnob,
-    AblationRow,
-};
-pub use bit_complexity::{run_bit_complexity, run_bit_complexity_with, BitComplexityRow};
-pub use coa::{run_coa, run_coa_with, CoaRow};
+pub use ablation::{ablation_rows, knob_ablation_rows, AblationKnob, AblationRow};
+pub use bit_complexity::{bit_complexity_rows, BitComplexityRow};
+pub use coa::{coa_rows, CoaRow};
 pub use common::{
     measure_point, measure_point_with, run_one_gossip, ExperimentScale, GossipProtocolKind,
     MeasuredPoint,
 };
-pub use live::{run_live_sweep, run_live_sweep_with, LiveRow};
-pub use lower_bound::{run_lower_bound_experiment, run_lower_bound_experiment_with, LowerBoundRow};
-pub use robustness::{
-    default_environments, run_robustness, run_robustness_with, AdversaryEnvironment, RobustnessRow,
-};
-pub use scale::{run_scale, run_scale_with, scale_tears_params, tears_params_for_a, ScaleRow};
-pub use sears_sweep::{run_sears_sweep, run_sears_sweep_with, SearsSweepRow};
-pub use table1::{run_table1, run_table1_with, table1_to_table, Table1Row};
-pub use table2::{run_table2, run_table2_with, table2_to_table, Table2Row};
+pub use experiment::Experiment;
+pub use live::{live_rows, live_scale_rows, LiveRow, LiveScaleRow};
+pub use lower_bound::{lower_bound_rows, LowerBoundRow};
+pub use robustness::{default_environments, robustness_rows, AdversaryEnvironment, RobustnessRow};
+pub use scale::{scale_rows, scale_tears_params, tears_params_for_a, ScaleRow};
+pub use sears_sweep::{sears_sweep_rows, SearsSweepRow};
+pub use service::{service_rows, service_to_table, ServiceRow};
+pub use table1::{table1_rows, table1_to_table, Table1Row};
+pub use table2::{table2_rows, table2_to_table, Table2Row};
 pub use tears_lemmas::{
-    run_tears_structure, run_tears_structure_at, run_tears_structure_sweep, TearsStructureRow,
+    run_tears_structure, run_tears_structure_at, tears_structure_rows, TearsStructureRow,
+};
+
+#[allow(deprecated)]
+pub use deprecated::{
+    run_ablation, run_ablation_with, run_bit_complexity, run_bit_complexity_with, run_coa,
+    run_coa_with, run_knob_ablation, run_knob_ablation_with, run_live_scale, run_live_sweep,
+    run_live_sweep_with, run_lower_bound_experiment, run_lower_bound_experiment_with,
+    run_robustness, run_robustness_with, run_scale, run_scale_with, run_sears_sweep,
+    run_sears_sweep_with, run_table1, run_table1_with, run_table2, run_table2_with,
+    run_tears_structure_sweep,
 };

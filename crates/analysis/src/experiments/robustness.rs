@@ -127,10 +127,7 @@ pub fn run_protocol_under(
 }
 
 /// Runs the robustness grid at the largest system size of `scale` on `pool`.
-pub fn run_robustness_with(
-    pool: &TrialPool,
-    scale: &ExperimentScale,
-) -> SimResult<Vec<RobustnessRow>> {
+pub fn robustness_rows(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<RobustnessRow>> {
     let n = scale.n_values.iter().copied().max().unwrap_or(64);
     let grid: Vec<(AdversaryEnvironment, GossipProtocolKind)> = default_environments(n)
         .into_iter()
@@ -154,11 +151,6 @@ pub fn run_robustness_with(
             messages: aggregate.messages.clone(),
         },
     )
-}
-
-/// Serial convenience wrapper around [`run_robustness_with`].
-pub fn run_robustness(scale: &ExperimentScale) -> SimResult<Vec<RobustnessRow>> {
-    run_robustness_with(&TrialPool::serial(), scale)
 }
 
 /// Renders robustness rows as a text table.
@@ -247,7 +239,7 @@ mod tests {
     #[test]
     fn table_renders_one_row_per_grid_cell() {
         let scale = fast_scale();
-        let rows = run_robustness(&scale).unwrap();
+        let rows = robustness_rows(&TrialPool::serial(), &scale).unwrap();
         assert_eq!(rows.len(), 6 * 4);
         let table = robustness_to_table(&rows);
         assert_eq!(table.len(), rows.len());

@@ -141,7 +141,7 @@ pub struct ScaleRow {
 
 /// Runs the scale sweep on `pool`: one `tears` point per size in
 /// `scale.n_values`, each with the size's [`scale_tears_params`].
-pub fn run_scale_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<ScaleRow>> {
+pub fn scale_rows(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<ScaleRow>> {
     run_grid(
         pool,
         &scale.n_values,
@@ -157,11 +157,6 @@ pub fn run_scale_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Ve
             success_rate: aggregate.success_rate,
         },
     )
-}
-
-/// Serial convenience wrapper around [`run_scale_with`].
-pub fn run_scale(scale: &ExperimentScale) -> SimResult<Vec<ScaleRow>> {
-    run_scale_with(&TrialPool::serial(), scale)
 }
 
 /// Renders the scale rows.
@@ -261,7 +256,7 @@ mod tests {
             delta: 1,
             ..ExperimentScale::tiny()
         };
-        let rows = run_scale(&scale).unwrap();
+        let rows = scale_rows(&TrialPool::serial(), &scale).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].success_rate, 1.0);
         let table = scale_to_table(&rows);

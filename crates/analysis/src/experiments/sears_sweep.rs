@@ -41,7 +41,7 @@ pub fn default_epsilons() -> Vec<f64> {
 /// Every `ε` is validated before any trial runs (`0 < ε < 1`, Theorem 7's
 /// range, enforced by the sweep engine): an out-of-range exponent fails the
 /// sweep with a typed error instead of producing a nonsense fan-out.
-pub fn run_sears_sweep_with(
+pub fn sears_sweep_rows(
     pool: &TrialPool,
     scale: &ExperimentScale,
     epsilons: &[f64],
@@ -66,11 +66,6 @@ pub fn run_sears_sweep_with(
             success_rate: aggregate.success_rate,
         },
     )
-}
-
-/// Serial convenience wrapper around [`run_sears_sweep_with`].
-pub fn run_sears_sweep(scale: &ExperimentScale, epsilons: &[f64]) -> SimResult<Vec<SearsSweepRow>> {
-    run_sears_sweep_with(&TrialPool::serial(), scale, epsilons)
 }
 
 /// Renders the sweep as a table.
@@ -104,7 +99,7 @@ mod tests {
             trials: 1,
             ..ExperimentScale::tiny()
         };
-        let rows = run_sears_sweep(&scale, &[0.25, 0.5, 0.75]).unwrap();
+        let rows = sears_sweep_rows(&TrialPool::serial(), &scale, &[0.25, 0.5, 0.75]).unwrap();
         assert_eq!(rows.len(), 3);
         assert!(rows[0].fanout < rows[1].fanout);
         assert!(rows[1].fanout < rows[2].fanout);
@@ -122,7 +117,7 @@ mod tests {
             trials: 1,
             ..ExperimentScale::tiny()
         };
-        let rows = run_sears_sweep(&scale, &[0.25, 0.8]).unwrap();
+        let rows = sears_sweep_rows(&TrialPool::serial(), &scale, &[0.25, 0.8]).unwrap();
         assert!(
             rows[1].messages.mean > rows[0].messages.mean,
             "ε = 0.8 should send more messages than ε = 0.25: {rows:?}"

@@ -40,7 +40,7 @@ pub fn paper_bounds(kind: GossipProtocolKind) -> (&'static str, &'static str) {
 
 /// Runs the Table 1 sweep on `pool`: the whole `(protocol, n)` grid is
 /// flattened into one batch of trials so every worker stays busy.
-pub fn run_table1_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
+pub fn table1_rows(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
     let grid: Vec<(GossipProtocolKind, usize)> = GossipProtocolKind::table1_rows()
         .into_iter()
         .flat_map(|kind| scale.n_values.iter().map(move |&n| (kind, n)))
@@ -58,11 +58,6 @@ pub fn run_table1_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<V
             }
         },
     )
-}
-
-/// Serial convenience wrapper around [`run_table1_with`].
-pub fn run_table1(scale: &ExperimentScale) -> SimResult<Vec<Table1Row>> {
-    run_table1_with(&TrialPool::serial(), scale)
 }
 
 /// Fits the message-complexity growth exponent of one protocol's rows.
@@ -124,7 +119,7 @@ mod tests {
     #[test]
     fn tiny_sweep_produces_rows_for_every_protocol_and_size() {
         let scale = ExperimentScale::tiny();
-        let rows = run_table1(&scale).unwrap();
+        let rows = table1_rows(&TrialPool::serial(), &scale).unwrap();
         assert_eq!(rows.len(), 4 * scale.n_values.len());
         assert!(
             rows.iter().all(|r| r.point.success_rate == 1.0),
@@ -140,15 +135,15 @@ mod tests {
     #[test]
     fn parallel_and_serial_sweeps_are_bit_identical() {
         let scale = ExperimentScale::tiny();
-        let serial = run_table1(&scale).unwrap();
-        let sharded = run_table1_with(&TrialPool::new(4), &scale).unwrap();
+        let serial = table1_rows(&TrialPool::serial(), &scale).unwrap();
+        let sharded = table1_rows(&TrialPool::new(4), &scale).unwrap();
         assert_eq!(serial, sharded);
     }
 
     #[test]
     fn trivial_messages_grow_quadratically() {
         let scale = ExperimentScale::tiny();
-        let rows = run_table1(&scale).unwrap();
+        let rows = table1_rows(&TrialPool::serial(), &scale).unwrap();
         let fit = message_exponent(&rows, "trivial").unwrap();
         assert!(
             (fit.exponent - 2.0).abs() < 0.05,
@@ -160,7 +155,7 @@ mod tests {
     #[test]
     fn ears_messages_grow_subquadratically() {
         let scale = ExperimentScale::tiny();
-        let rows = run_table1(&scale).unwrap();
+        let rows = table1_rows(&TrialPool::serial(), &scale).unwrap();
         let ears = message_exponent(&rows, "ears").unwrap();
         let trivial = message_exponent(&rows, "trivial").unwrap();
         assert!(

@@ -63,7 +63,7 @@ pub fn paper_bounds(protocol: ConsensusProtocol) -> (&'static str, &'static str)
 
 /// Runs the Table 2 sweep on `pool`. Inputs are split 50/50 between 0 and 1
 /// so the protocols actually have to resolve a conflict.
-pub fn run_table2_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
+pub fn table2_rows(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
     let grid: Vec<(ConsensusProtocol, usize)> = table2_protocols()
         .into_iter()
         .flat_map(|protocol| scale.n_values.iter().map(move |&n| (protocol, n)))
@@ -88,11 +88,6 @@ pub fn run_table2_with(pool: &TrialPool, scale: &ExperimentScale) -> SimResult<V
             }
         },
     )
-}
-
-/// Serial convenience wrapper around [`run_table2_with`].
-pub fn run_table2(scale: &ExperimentScale) -> SimResult<Vec<Table2Row>> {
-    run_table2_with(&TrialPool::serial(), scale)
 }
 
 /// Fits the message-complexity growth exponent of one protocol's rows.
@@ -157,7 +152,7 @@ mod tests {
 
     #[test]
     fn tiny_sweep_produces_rows_for_every_protocol_and_size() {
-        let rows = run_table2(&tiny()).unwrap();
+        let rows = table2_rows(&TrialPool::serial(), &tiny()).unwrap();
         assert_eq!(rows.len(), 4 * 2);
         for row in &rows {
             assert_eq!(row.success_rate, 1.0, "{row:?}");
@@ -172,14 +167,14 @@ mod tests {
     #[test]
     fn parallel_and_serial_sweeps_are_bit_identical() {
         let scale = tiny();
-        let serial = run_table2(&scale).unwrap();
-        let sharded = run_table2_with(&TrialPool::new(3), &scale).unwrap();
+        let serial = table2_rows(&TrialPool::serial(), &scale).unwrap();
+        let sharded = table2_rows(&TrialPool::new(3), &scale).unwrap();
         assert_eq!(serial, sharded);
     }
 
     #[test]
     fn baseline_message_growth_is_roughly_quadratic() {
-        let rows = run_table2(&tiny()).unwrap();
+        let rows = table2_rows(&TrialPool::serial(), &tiny()).unwrap();
         let fit = message_exponent(&rows, "CR").unwrap();
         assert!(
             fit.exponent > 1.5,

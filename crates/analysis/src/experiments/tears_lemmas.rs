@@ -127,7 +127,7 @@ pub fn run_tears_structure_at(
 /// `scale.trials` independently seeded runs per size (one output row each —
 /// the structural quantities are per-execution, not averages), sharding the
 /// mutually independent runs across `pool`'s workers.
-pub fn run_tears_structure_sweep(
+pub fn tears_structure_rows(
     pool: &TrialPool,
     scale: &ExperimentScale,
 ) -> SimResult<Vec<TearsStructureRow>> {

@@ -30,10 +30,11 @@ pub mod report;
 pub mod stats;
 pub mod sweep;
 
+pub use experiments::experiment::Experiment;
 pub use fit::{fit_power_law, PowerLawFit};
 pub use report::{render_table, Table};
 pub use stats::Summary;
 pub use sweep::{
-    find_scenario, registry, run_grid, AdversarySpec, Scenario, ScenarioSpec, SweepArgs,
-    SweepArgsError, TrialAggregate, TrialPool, TrialProtocol, TrialReport,
+    find_scenario, registry, run_grid, AdversarySpec, ScenarioSpec, SweepArgs, SweepArgsError,
+    TrialAggregate, TrialPool, TrialProtocol, TrialReport,
 };

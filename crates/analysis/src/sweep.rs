@@ -59,7 +59,7 @@ use agossip_sim::{
 use crossbeam::channel;
 
 use crate::experiments::common::{ExperimentScale, GossipProtocolKind};
-use crate::report::Table;
+pub use crate::experiments::experiment::Experiment;
 use crate::stats::Summary;
 
 /// Which protocol one trial runs.
@@ -621,278 +621,31 @@ impl Default for TrialPool {
     }
 }
 
-/// One entry of the scenario registry: a named, runnable evaluation
-/// artifact.
-#[derive(Clone)]
-pub struct Scenario {
-    /// Registry name (what `--scenario` matches).
-    pub name: &'static str,
-    /// One-line description.
-    pub summary: &'static str,
-    /// Which paper table/figure/theorem the scenario reproduces.
-    pub artifact: &'static str,
-    /// The example or binary that runs it standalone.
-    pub example: &'static str,
-    /// Whether `ExperimentScale::trials` affects this scenario. `false` only
-    /// for the Theorem 1 lower bound, whose adversary construction is fully
-    /// deterministic per `(n, protocol)` — runners should tell the user a
-    /// `--trials` override is a no-op there instead of silently ignoring it.
-    pub trials_apply: bool,
-    /// The curated scale this scenario is meant to run at by default — the
-    /// same sizes/trials/bounds its standalone example uses, so the registry
-    /// path and the example produce the same rows. (One global default would
-    /// be wrong: the grids differ in size, failure fraction and `(d, δ)`,
-    /// and a tears grid at `n = 256` has a multi-GB working set per trial.)
-    default_scale: fn() -> ExperimentScale,
-    runner: fn(&ExperimentScale, &TrialPool) -> SimResult<Table>,
-}
-
-impl std::fmt::Debug for Scenario {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Scenario")
-            .field("name", &self.name)
-            .field("artifact", &self.artifact)
-            .finish()
-    }
-}
-
-impl Scenario {
-    /// The curated default scale (the one the scenario's standalone example
-    /// uses).
-    pub fn default_scale(&self) -> ExperimentScale {
-        (self.default_scale)()
-    }
-
-    /// Runs the scenario at `scale` on `pool` and renders its table.
-    pub fn run(&self, scale: &ExperimentScale, pool: &TrialPool) -> SimResult<Table> {
-        (self.runner)(scale, pool)
-    }
-
-    /// Runs the scenario at its curated default scale on `pool`.
-    pub fn run_default(&self, pool: &TrialPool) -> SimResult<Table> {
-        self.run(&self.default_scale(), pool)
-    }
-}
-
-/// The catalogue of every registered scenario, one per experiment driver.
-pub fn registry() -> Vec<Scenario> {
-    use crate::experiments::{
-        ablation, bit_complexity, coa, live, lower_bound, robustness, scale, sears_sweep, table1,
-        table2, tears_lemmas,
-    };
+/// The catalogue of every registered experiment, as trait objects — one
+/// per evaluation artifact. See [`Experiment`] for the migration from the
+/// old `Scenario` struct of function pointers.
+pub fn registry() -> Vec<Box<dyn Experiment>> {
+    use crate::experiments::experiment;
     vec![
-        Scenario {
-            name: "table1",
-            summary: "gossip protocols: time and message complexity vs n",
-            artifact: "Table 1",
-            example: "cargo run --release --example table1",
-            trials_apply: true,
-            // The full paper grid, n = 256 included: since the dense
-            // RumorSet + Arc snapshot rework a tears n = 256 trial measures
-            // 5.5 s / 1.3 GiB peak RSS (it was >35 min / ~60 GB with
-            // per-destination BTreeMap clones; see BENCH_rumorset.json).
-            default_scale: || ExperimentScale {
-                n_values: vec![32, 64, 128, 256],
-                trials: 3,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                table1::run_table1_with(pool, scale).map(|rows| table1::table1_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "table2",
-            summary: "consensus protocols built on the gossip protocols",
-            artifact: "Table 2",
-            example: "cargo run --release --example consensus_demo",
-            trials_apply: true,
-            default_scale: || ExperimentScale {
-                n_values: vec![16, 32, 64, 128],
-                trials: 2,
-                failure_fraction: 0.2,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                table2::run_table2_with(pool, scale).map(|rows| table2::table2_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "lower_bound",
-            summary: "adaptive adversary forces Ω(n+f²) messages or Ω(f(d+δ)) time",
-            artifact: "Theorem 1 / Figure 1",
-            example: "cargo run --release --example lower_bound_demo",
-            trials_apply: false,
-            default_scale: || ExperimentScale {
-                n_values: vec![64, 128, 256, 512],
-                trials: 1,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                lower_bound::run_lower_bound_experiment_with(pool, &scale.n_values, scale.seed)
-                    .map(|rows| lower_bound::lower_bound_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "coa",
-            summary: "cost of asynchrony: async protocols vs the synchronous baseline",
-            artifact: "Corollary 2",
-            example: "cargo run --release --example scenarios -- --scenario coa",
-            trials_apply: true,
-            default_scale: || ExperimentScale {
-                n_values: vec![32, 64, 128],
-                trials: 3,
-                d: 1,
-                delta: 1,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                coa::run_coa_with(pool, scale).map(|rows| coa::coa_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "sears_sweep",
-            summary: "the ε time/message trade-off of sears at fixed n",
-            artifact: "Theorem 7",
-            example: "cargo run --release --example sears_tradeoff",
-            trials_apply: true,
-            default_scale: || ExperimentScale {
-                n_values: vec![256],
-                trials: 3,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                sears_sweep::run_sears_sweep_with(pool, scale, &sears_sweep::default_epsilons())
-                    .map(|rows| sears_sweep::sears_sweep_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "tears_lemmas",
-            summary: "structural properties of tears: fan-out concentration, majority coverage",
-            artifact: "Lemmas 8–11 / Theorem 12",
-            example: "cargo bench -p agossip-bench --bench tears_structure",
-            trials_apply: true,
-            default_scale: || ExperimentScale {
-                n_values: vec![64, 128],
-                trials: 1,
-                d: 1,
-                delta: 1,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                tears_lemmas::run_tears_structure_sweep(pool, scale)
-                    .map(|rows| tears_lemmas::tears_structure_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "bit_complexity",
-            summary: "wire-unit (bit) complexity per protocol — the Section 7 open question",
-            artifact: "Section 7",
-            example: "cargo run --release --example bit_complexity",
-            trials_apply: true,
-            // Same full grid as table1: the n = 256 tears row is affordable
-            // again since the dense-set rework (see BENCH_rumorset.json).
-            default_scale: || ExperimentScale {
-                n_values: vec![32, 64, 128, 256],
-                trials: 3,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                bit_complexity::run_bit_complexity_with(pool, scale)
-                    .map(|rows| bit_complexity::bit_complexity_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "ablation",
-            summary: "sweeping the hidden Θ(·) constants of every protocol",
-            artifact: "DESIGN.md ablations",
-            example: "cargo run --release --example ablation",
-            trials_apply: true,
-            default_scale: || ExperimentScale {
-                n_values: vec![128],
-                trials: 3,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                ablation::run_ablation_with(pool, scale)
-                    .map(|rows| ablation::ablation_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "robustness",
-            summary: "correctness across the oblivious adversary family",
-            artifact: "Theorems 6/7/12",
-            example: "cargo run --release --example adversary_robustness",
-            trials_apply: true,
-            default_scale: || ExperimentScale {
-                n_values: vec![96],
-                trials: 2,
-                d: 3,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                robustness::run_robustness_with(pool, scale)
-                    .map(|rows| robustness::robustness_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "live",
-            summary: "the live runtime: OS threads exchanging byte frames over the wire codec",
-            artifact: "Section 7 (bit complexity), deployable-system north star",
-            example: "cargo run --release --example live_gossip",
-            trials_apply: true,
-            // Each live trial spawns n OS threads of its own, so the grid
-            // stays deliberately small; the rows are still bit-identical
-            // for any worker count (lockstep pacing, channel transport).
-            default_scale: || ExperimentScale {
-                n_values: vec![16, 32],
-                trials: 2,
-                failure_fraction: 0.2,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, pool| {
-                live::run_live_sweep_with(pool, scale).map(|rows| live::live_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "live_scale",
-            summary: "thousands of live processes multiplexed onto 8 reactor threads",
-            artifact: "reactor scaling north star (ROADMAP item 2)",
-            example: "cargo run --release -p agossip-bench --bin live_baseline",
-            // One trial per size, like `scale`: the single n = 4096 live run
-            // (16 staggered crashes, checker-verified, ~800k frames through
-            // the byte codec) is the point. Trial sharding would not help —
-            // each trial's reactor threads already saturate the box.
-            trials_apply: false,
-            default_scale: || ExperimentScale {
-                n_values: vec![512, 4096],
-                trials: 1,
-                ..ExperimentScale::default()
-            },
-            runner: |scale, _pool| {
-                live::run_live_scale(&scale.n_values, 8, scale.seed)
-                    .map(|rows| live::live_scale_to_table(&rows))
-            },
-        },
-        Scenario {
-            name: "scale",
-            summary: "checker-verified tears at n up to 65 536 (scaled constants)",
-            artifact: "scaling north star (ROADMAP)",
-            example: "cargo run --release -p agossip-bench --bin scale_baseline",
-            trials_apply: true,
-            // One trial per size: a single tears n = 65 536 trial (tens of
-            // millions of messages, ~GB-scale peak RSS) is the point of the
-            // scenario. CI's scale_smoke job runs it at n = 4096 only.
-            default_scale: scale::scale_default_scale,
-            runner: |sc, pool| {
-                scale::run_scale_with(pool, sc).map(|rows| scale::scale_to_table(&rows))
-            },
-        },
+        Box::new(experiment::Table1),
+        Box::new(experiment::Table2),
+        Box::new(experiment::LowerBound),
+        Box::new(experiment::Coa),
+        Box::new(experiment::SearsSweep),
+        Box::new(experiment::TearsLemmas),
+        Box::new(experiment::BitComplexity),
+        Box::new(experiment::Ablation),
+        Box::new(experiment::Robustness),
+        Box::new(experiment::Live),
+        Box::new(experiment::LiveScale),
+        Box::new(experiment::Scale),
+        Box::new(experiment::Service),
     ]
 }
 
-/// Looks up a registered scenario by name.
-pub fn find_scenario(name: &str) -> Option<Scenario> {
-    registry().into_iter().find(|s| s.name == name)
+/// Looks up a registered experiment by name.
+pub fn find_scenario(name: &str) -> Option<Box<dyn Experiment>> {
+    registry().into_iter().find(|s| s.name() == name)
 }
 
 /// The shared `--threads` / `--trials` / `--scenario` / `--n` command-line
@@ -1177,13 +930,15 @@ mod tests {
     fn trials_apply_everywhere_but_the_single_trial_scenarios() {
         // `lower_bound` is fully deterministic per `(n, protocol)`;
         // `live_scale` runs exactly one live trial per size by design (its
-        // reactor threads already saturate the box).
+        // reactor threads already saturate the box); `service` is one
+        // deterministic multi-epoch run per point.
+        let single_trial = ["lower_bound", "live_scale", "service"];
         for scenario in registry() {
             assert_eq!(
-                scenario.trials_apply,
-                scenario.name != "lower_bound" && scenario.name != "live_scale",
+                scenario.trials_apply(),
+                !single_trial.contains(&scenario.name()),
                 "{}",
-                scenario.name
+                scenario.name()
             );
         }
     }
@@ -1209,19 +964,19 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_resolvable() {
         let registry = registry();
-        assert_eq!(registry.len(), 12);
-        let mut names: Vec<&str> = registry.iter().map(|s| s.name).collect();
+        assert_eq!(registry.len(), 13);
+        let mut names: Vec<&str> = registry.iter().map(|s| s.name()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 12, "duplicate scenario names");
+        assert_eq!(names.len(), 13, "duplicate scenario names");
         for name in names {
             assert!(find_scenario(name).is_some());
         }
         assert!(find_scenario("nonexistent").is_none());
         for scenario in registry {
             let scale = scenario.default_scale();
-            assert!(!scale.n_values.is_empty(), "{}", scenario.name);
-            assert!(scale.trials >= 1, "{}", scenario.name);
+            assert!(!scale.n_values.is_empty(), "{}", scenario.name());
+            assert!(scale.trials >= 1, "{}", scenario.name());
         }
     }
 
@@ -1239,9 +994,9 @@ mod tests {
         let pool = TrialPool::new(2);
         for scenario in registry() {
             let table = scenario
-                .run(&scale, &pool)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", scenario.name));
-            assert!(!table.is_empty(), "{} produced no rows", scenario.name);
+                .run(&pool, &scale)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", scenario.name()));
+            assert!(!table.is_empty(), "{} produced no rows", scenario.name());
         }
     }
 

@@ -7,8 +7,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use agossip_analysis::experiments::ablation::{ablation_to_table, run_ablation, AblationKnob};
+use agossip_analysis::experiments::ablation::{ablation_rows, ablation_to_table, AblationKnob};
 use agossip_analysis::experiments::ExperimentScale;
+use agossip_analysis::sweep::TrialPool;
 use agossip_core::{run_gossip, Ears, EarsParams, GossipSpec, Sears, SearsParams};
 use agossip_sim::FairObliviousAdversary;
 
@@ -81,7 +82,7 @@ fn bench_ablation(c: &mut Criterion) {
     }
     group.finish();
 
-    let rows = run_ablation(&scale).expect("ablation sweep failed");
+    let rows = ablation_rows(&TrialPool::serial(), &scale).expect("ablation sweep failed");
     println!("\n{}", ablation_to_table(&rows).render());
 }
 

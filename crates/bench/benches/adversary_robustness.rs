@@ -9,9 +9,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use agossip_adversary::PolicyAdversary;
 use agossip_analysis::experiments::robustness::{
-    default_environments, robustness_to_table, run_robustness,
+    default_environments, robustness_rows, robustness_to_table,
 };
 use agossip_analysis::experiments::ExperimentScale;
+use agossip_analysis::sweep::TrialPool;
 use agossip_core::{run_gossip, Ears, GossipSpec};
 
 fn robustness_scale() -> ExperimentScale {
@@ -55,7 +56,7 @@ fn bench_robustness(c: &mut Criterion) {
     }
     group.finish();
 
-    let rows = run_robustness(&scale).expect("robustness sweep failed");
+    let rows = robustness_rows(&TrialPool::serial(), &scale).expect("robustness sweep failed");
     println!("\n{}", robustness_to_table(&rows).render());
 }
 

@@ -8,9 +8,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use agossip_analysis::experiments::bit_complexity::{
-    bit_complexity_to_table, run_bit_complexity, wire_unit_exponent,
+    bit_complexity_rows, bit_complexity_to_table, wire_unit_exponent,
 };
 use agossip_analysis::experiments::{run_one_gossip, GossipProtocolKind};
+use agossip_analysis::sweep::TrialPool;
 use agossip_bench::small_scale;
 
 fn bench_bit_complexity(c: &mut Criterion) {
@@ -28,7 +29,8 @@ fn bench_bit_complexity(c: &mut Criterion) {
     }
     group.finish();
 
-    let rows = run_bit_complexity(&scale).expect("bit-complexity sweep failed");
+    let rows =
+        bit_complexity_rows(&TrialPool::serial(), &scale).expect("bit-complexity sweep failed");
     println!("\n{}", bit_complexity_to_table(&rows).render());
     for kind in GossipProtocolKind::table1_rows() {
         if let Some(fit) = wire_unit_exponent(&rows, kind.name()) {

@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use agossip_analysis::experiments::coa::{coa_to_table, run_coa};
+use agossip_analysis::experiments::coa::{coa_rows, coa_to_table};
 use agossip_analysis::experiments::{run_one_gossip, GossipProtocolKind};
+use agossip_analysis::sweep::TrialPool;
 use agossip_bench::small_scale;
 
 fn bench_coa(c: &mut Criterion) {
@@ -29,7 +30,7 @@ fn bench_coa(c: &mut Criterion) {
     }
     group.finish();
 
-    let rows = run_coa(&scale).expect("cost-of-asynchrony sweep failed");
+    let rows = coa_rows(&TrialPool::serial(), &scale).expect("cost-of-asynchrony sweep failed");
     println!("\n{}", coa_to_table(&rows).render());
 }
 

@@ -7,9 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use agossip_adversary::theorem1::{run_lower_bound, LowerBoundParams};
-use agossip_analysis::experiments::lower_bound::{
-    lower_bound_to_table, run_lower_bound_experiment,
-};
+use agossip_analysis::experiments::lower_bound::{lower_bound_rows, lower_bound_to_table};
+use agossip_analysis::sweep::TrialPool;
 use agossip_core::{Ears, Sears, Trivial};
 
 fn bench_lower_bound(c: &mut Criterion) {
@@ -32,7 +31,7 @@ fn bench_lower_bound(c: &mut Criterion) {
     }
     group.finish();
 
-    let rows = run_lower_bound_experiment(&sizes, 2008).expect("lower bound sweep");
+    let rows = lower_bound_rows(&TrialPool::serial(), &sizes, 2008).expect("lower bound sweep");
     println!("\n{}", lower_bound_to_table(&rows).render());
 }
 

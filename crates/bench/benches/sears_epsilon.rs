@@ -6,9 +6,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use agossip_analysis::experiments::sears_sweep::{
-    default_epsilons, run_sears_sweep, sears_sweep_to_table,
+    default_epsilons, sears_sweep_rows, sears_sweep_to_table,
 };
 use agossip_analysis::experiments::{run_one_gossip, GossipProtocolKind};
+use agossip_analysis::sweep::TrialPool;
 use agossip_bench::bench_scale;
 
 fn bench_sears_epsilon(c: &mut Criterion) {
@@ -33,7 +34,8 @@ fn bench_sears_epsilon(c: &mut Criterion) {
     }
     group.finish();
 
-    let rows = run_sears_sweep(&scale, &default_epsilons()).expect("sears sweep failed");
+    let rows = sears_sweep_rows(&TrialPool::serial(), &scale, &default_epsilons())
+        .expect("sears sweep failed");
     println!("\n{}", sears_sweep_to_table(&rows).render());
 }
 

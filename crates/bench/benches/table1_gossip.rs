@@ -8,8 +8,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use agossip_analysis::experiments::{
-    run_one_gossip, run_table1, table1_to_table, GossipProtocolKind,
+    run_one_gossip, table1_rows, table1_to_table, GossipProtocolKind,
 };
+use agossip_analysis::sweep::TrialPool;
 use agossip_bench::bench_scale;
 
 fn bench_table1(c: &mut Criterion) {
@@ -33,7 +34,7 @@ fn bench_table1(c: &mut Criterion) {
     group.finish();
 
     // Regenerate the measured table once and print it.
-    let rows = run_table1(&scale).expect("table 1 sweep failed");
+    let rows = table1_rows(&TrialPool::serial(), &scale).expect("table 1 sweep failed");
     println!("\n{}", table1_to_table(&rows).render());
 }
 

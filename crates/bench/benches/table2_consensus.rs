@@ -5,7 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use agossip_analysis::experiments::table2::{run_table2, table2_protocols, table2_to_table};
+use agossip_analysis::experiments::table2::{table2_protocols, table2_rows, table2_to_table};
+use agossip_analysis::sweep::TrialPool;
 use agossip_bench::small_scale;
 use agossip_consensus::run_consensus;
 use agossip_sim::FairObliviousAdversary;
@@ -36,7 +37,7 @@ fn bench_table2(c: &mut Criterion) {
     }
     group.finish();
 
-    let rows = run_table2(&scale).expect("table 2 sweep failed");
+    let rows = table2_rows(&TrialPool::serial(), &scale).expect("table 2 sweep failed");
     println!("\n{}", table2_to_table(&rows).render());
 }
 

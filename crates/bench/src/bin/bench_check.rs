@@ -30,14 +30,15 @@ use std::time::Instant;
 
 use agossip_analysis::experiments::live::run_live_scale_trial;
 use agossip_analysis::experiments::scale::{scale_default_scale, scale_tears_params};
-use agossip_analysis::experiments::table1::run_table1_with;
+use agossip_analysis::experiments::service::run_live_service_trial;
+use agossip_analysis::experiments::table1::table1_rows;
 use agossip_analysis::experiments::ExperimentScale;
 use agossip_analysis::sweep::TrialPool;
 use agossip_analysis::{ScenarioSpec, TrialProtocol};
 use agossip_bench::hotloop::{run_oblivious, run_withheld};
 use agossip_bench::json::Json;
 use agossip_bench::rumorset::{dense_evens, dense_odds};
-use agossip_core::{Rumor, RumorSet};
+use agossip_core::{LoopMode, Rumor, RumorSet};
 use agossip_sim::ProcessId;
 
 struct Args {
@@ -274,7 +275,7 @@ fn check_sweep(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
     };
     let total_trials = 4 * scale.n_values.len() * scale.trials; // 4 table1 protocols
     let start = Instant::now();
-    let rows = run_table1_with(&TrialPool::new(1), &scale)
+    let rows = table1_rows(&TrialPool::new(1), &scale)
         .unwrap_or_else(|e| bail(&format!("toy sweep failed: {e}")));
     let secs = start.elapsed().as_secs_f64();
     assert!(!rows.is_empty());
@@ -419,6 +420,75 @@ fn check_live(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Service baseline (multi-epoch replicated log: closed loop at n = 256)
+// ---------------------------------------------------------------------------
+
+fn check_service(doc: &Json, checks: &mut Vec<Check>, fresh_lines: &mut String) {
+    // Only the small closed-loop point is re-run: the whole service path —
+    // admission frontier, epoch-tagged frames, per-epoch quiescence
+    // detection, harvest, checker, GC — regresses at n = 256 exactly as it
+    // would at 1024, and the gate must stay minutes-cheap. The larger
+    // committed rows (including the 32-epochs-in-flight acceptance point at
+    // n = 1024) are regenerated via the `service_baseline` binary when the
+    // trajectory is refreshed.
+    let (n, reactors, seed, epochs) = (256usize, 8usize, 2008u64, 16u64);
+    let mode = LoopMode::Closed { in_flight: 32 };
+    // Best of three runs, like the other wall-clock gates.
+    let mut best: Option<agossip_analysis::experiments::service::LiveServiceRow> = None;
+    for _ in 0..3 {
+        let row = run_live_service_trial(n, reactors, seed, epochs, mode)
+            .unwrap_or_else(|e| bail(&format!("service trial failed to run: {e}")));
+        if !row.ok {
+            bail(&format!(
+                "the service trial at n = {n} failed its per-epoch check"
+            ));
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| row.epochs_per_sec > b.epochs_per_sec)
+        {
+            best = Some(row);
+        }
+    }
+    let row = best.expect("three runs produce a best row");
+    writeln!(
+        fresh_lines,
+        "{{\"label\": \"bench_check\", \"n\": {n}, \"reactors\": {reactors}, \
+         \"mode\": \"{mode}\", \"epochs\": {epochs}, \"ticks\": {ticks}, \
+         \"wall_secs\": {secs:.2}, \"epochs_per_sec\": {eps:.2}, \
+         \"messages_per_sec\": {mps:.0}, \"p50_settle\": {p50}, \"p99_settle\": {p99}, \
+         \"max_open\": {max_open}, \"checker_ok\": true}}",
+        mode = row.mode,
+        ticks = row.ticks,
+        secs = row.wall_secs,
+        eps = row.epochs_per_sec,
+        mps = row.messages_per_sec,
+        p50 = row.p50,
+        p99 = row.p99,
+        max_open = row.max_open,
+    )
+    .expect("write to string");
+    let keep = |r: &Json| {
+        r.number("n") == Some(n as f64)
+            && r.number("reactors") == Some(reactors as f64)
+            && r.get("mode").and_then(Json::as_str) == Some("closed")
+            && r.number("epochs") == Some(epochs as f64)
+    };
+    match committed_number(doc, keep, "epochs_per_sec") {
+        Some(committed) => checks.push(Check {
+            bench: "service",
+            metric: format!("epochs_per_sec @ n={n} (closed loop)"),
+            committed,
+            fresh: row.epochs_per_sec,
+        }),
+        None => bail(&format!(
+            "BENCH_service.json has no closed-loop epochs_per_sec row at n={n}, \
+             reactors={reactors}, epochs={epochs}"
+        )),
+    }
+}
+
 /// Renders the per-row delta table as GitHub-flavoured markdown and appends
 /// it to the file named by `$GITHUB_STEP_SUMMARY`, so a regression is
 /// readable from the workflow summary page without downloading artifacts.
@@ -469,6 +539,7 @@ fn main() {
     let sweep = load(&args.baseline_dir, "BENCH_sweep.json");
     let scale = load(&args.baseline_dir, "BENCH_scale.json");
     let live = load(&args.baseline_dir, "BENCH_live.json");
+    let service = load(&args.baseline_dir, "BENCH_service.json");
 
     let mut checks = Vec::new();
     let mut fresh_scheduler = String::new();
@@ -476,6 +547,7 @@ fn main() {
     let mut fresh_sweep = String::new();
     let mut fresh_scale = String::new();
     let mut fresh_live = String::new();
+    let mut fresh_service = String::new();
     eprintln!("re-running the scheduler hot-loop baseline…");
     check_scheduler(&scheduler, &mut checks, &mut fresh_scheduler);
     eprintln!("re-running the rumor-set micro baseline…");
@@ -486,6 +558,8 @@ fn main() {
     check_scale(&scale, &mut checks, &mut fresh_scale);
     eprintln!("re-running the live reactor n=512 baseline…");
     check_live(&live, &mut checks, &mut fresh_live);
+    eprintln!("re-running the service closed-loop n=256 baseline…");
+    check_service(&service, &mut checks, &mut fresh_service);
 
     // Persist the fresh measurements for the CI artifact upload.
     std::fs::create_dir_all(&args.out_dir)
@@ -497,6 +571,7 @@ fn main() {
         ("BENCH_sweep.fresh.jsonl", &fresh_sweep),
         ("BENCH_scale.fresh.jsonl", &fresh_scale),
         ("BENCH_live.fresh.jsonl", &fresh_live),
+        ("BENCH_service.fresh.jsonl", &fresh_service),
     ] {
         std::fs::write(args.out_dir.join(file), lines)
             .unwrap_or_else(|e| bail(&format!("writing {file}: {e}")));

@@ -1,0 +1,132 @@
+//! Throughput runner for the service mode: a pipelined multi-epoch
+//! replicated rumor log over the live runtime — scaled `tears` inside every
+//! epoch, real byte frames through the wire codec on reactor threads,
+//! majority-checked per epoch (`agossip_runtime::service`).
+//!
+//! Each size runs under both admission disciplines:
+//!
+//! * **closed loop** — 32 epochs in flight, a fresh one admitted only when
+//!   one finalizes (the completion-driven mode; pins peak pipelining);
+//! * **open loop** — a fresh epoch every 2 lockstep ticks, window-capped
+//!   (the arrival-rate mode; pins behaviour under sustained ingest).
+//!
+//! Emits one JSON object per line, suitable for appending to
+//! `BENCH_service.json` at the repository root (the trajectory the
+//! `bench_check` CI gate compares against):
+//!
+//! * `epochs_per_sec` — epochs finalized (settled, harvested, checked,
+//!   freed) per wall-clock second;
+//! * `messages_per_sec` — encoded frames through the transport per
+//!   wall-clock second, across all concurrently open epochs;
+//! * `p50_settle` / `p99_settle` — per-epoch settle latency percentiles in
+//!   lockstep ticks, measured margin-free (admission to last observed
+//!   activity);
+//! * `peak_rss_mib` — the process's peak RSS from `/proc/self/status`
+//!   `VmHWM` after the trial (live state must stay bounded by the window,
+//!   not grow with the epoch count).
+//!
+//! Every run is asserted checker-verified per epoch — the binary aborts
+//! otherwise.
+//!
+//! Usage: `cargo run --release -p agossip-bench --bin service_baseline --
+//! [--n A,B,C] [--reactors R] [--seed S] [--epochs E] [label]`
+
+use agossip_analysis::experiments::service::run_live_service_trial;
+use agossip_core::LoopMode;
+
+/// Peak resident set size of this process so far, in MiB, from `VmHWM`
+/// (`None` off Linux).
+fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib / 1024.0)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n_values: Vec<usize> = vec![256, 1024];
+    let mut reactors = 8usize;
+    let mut seed = 2008u64;
+    let mut epochs = 48u64;
+    let mut label = "current".to_string();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--n" => {
+                n_values = value_for("--n")
+                    .split(',')
+                    .map(|v| v.trim().parse().expect("--n: sizes must be integers"))
+                    .collect();
+            }
+            "--reactors" => {
+                reactors = value_for("--reactors")
+                    .parse()
+                    .expect("--reactors: must be an integer");
+            }
+            "--seed" => {
+                seed = value_for("--seed")
+                    .parse()
+                    .expect("--seed: must be an integer");
+            }
+            "--epochs" => {
+                epochs = value_for("--epochs")
+                    .parse()
+                    .expect("--epochs: must be an integer");
+            }
+            other if !other.starts_with("--") => label = other.to_string(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: service_baseline [--n A,B,C] [--reactors R] [--seed S] \
+                     [--epochs E] [label]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let modes = [
+        LoopMode::Closed { in_flight: 32 },
+        LoopMode::Open { period: 2 },
+    ];
+
+    // Ascending n: each VmHWM reading is dominated by its own trial.
+    n_values.sort_unstable();
+    for &n in &n_values {
+        for mode in modes {
+            let row = run_live_service_trial(n, reactors, seed, epochs, mode)
+                .expect("service trial must run");
+            assert!(
+                row.ok,
+                "service trial at n = {n} ({}) failed its per-epoch check",
+                row.mode
+            );
+            let rss = peak_rss_mib().unwrap_or(-1.0);
+            println!(
+                "{{\"label\": \"{label}\", \"n\": {n}, \"reactors\": {reactors}, \
+                 \"mode\": \"{mode}\", \"epochs\": {epochs}, \"ticks\": {ticks}, \
+                 \"wall_secs\": {secs:.2}, \"epochs_per_sec\": {eps:.2}, \
+                 \"messages\": {messages}, \"messages_per_sec\": {mps:.0}, \
+                 \"p50_settle\": {p50}, \"p99_settle\": {p99}, \"max_open\": {max_open}, \
+                 \"peak_rss_mib\": {rss:.0}, \"checker_ok\": true}}",
+                mode = row.mode,
+                epochs = row.epochs,
+                ticks = row.ticks,
+                secs = row.wall_secs,
+                eps = row.epochs_per_sec,
+                messages = row.messages,
+                mps = row.messages_per_sec,
+                p50 = row.p50,
+                p99 = row.p99,
+                max_open = row.max_open,
+            );
+        }
+    }
+}

@@ -21,7 +21,7 @@
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
-use agossip_analysis::experiments::table1::run_table1_with;
+use agossip_analysis::experiments::table1::table1_rows;
 use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
 use agossip_analysis::sweep::TrialPool;
 
@@ -117,12 +117,11 @@ fn main() {
     );
 
     let start = Instant::now();
-    let serial_rows = run_table1_with(&TrialPool::new(1), &scale).expect("serial sweep failed");
+    let serial_rows = table1_rows(&TrialPool::new(1), &scale).expect("serial sweep failed");
     let serial_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
-    let sharded_rows =
-        run_table1_with(&TrialPool::new(workers), &scale).expect("sharded sweep failed");
+    let sharded_rows = table1_rows(&TrialPool::new(workers), &scale).expect("sharded sweep failed");
     let sharded_secs = start.elapsed().as_secs_f64();
 
     let bit_identical =

@@ -184,7 +184,9 @@ pub trait WireCodec: Sized {
 }
 
 /// On-wire message kind discriminants (byte 1 of every frame body). The
-/// `tears` flag is folded into the kind, giving the six wire kinds.
+/// `tears` flag is folded into the kind, giving the six protocol wire kinds;
+/// `EPOCH` is an envelope kind whose body nests a complete protocol frame
+/// (see [`crate::epoch`]).
 pub(crate) mod kind {
     pub(crate) const TRIVIAL: u8 = 0;
     pub(crate) const EARS: u8 = 1;
@@ -192,6 +194,7 @@ pub(crate) mod kind {
     pub(crate) const TEARS_UP: u8 = 3;
     pub(crate) const TEARS_DOWN: u8 = 4;
     pub(crate) const SYNC: u8 = 5;
+    pub(crate) const EPOCH: u8 = 6;
 }
 
 /// Section representation tags.
@@ -276,7 +279,7 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn write_header(buf: &mut Vec<u8>, kind: u8) {
+pub(crate) fn write_header(buf: &mut Vec<u8>, kind: u8) {
     buf.push(CODEC_VERSION);
     buf.push(kind);
 }

@@ -1,6 +1,6 @@
 //! Zero-copy decode: borrowed message *views* over an encoded frame.
 //!
-//! [`WireCodec::decode`](crate::codec::WireCodec::decode) materializes a
+//! [`WireCodec::decode`] materializes a
 //! fresh owned message per frame — for the set-carrying protocols that means
 //! a fresh `Vec<u64>` of bitmap words, possibly a payload vector, and an
 //! `Arc` allocation, *per received frame*. On the live runtime's hot path
@@ -11,7 +11,7 @@
 //! that returns a **view**: a tiny struct of borrowed sub-slices of the
 //! input buffer (the sparse entry region, the dense word region, the payload
 //! varint region). Validation is exhaustive — a view is only handed out for
-//! a frame that [`WireCodec::decode`](crate::codec::WireCodec::decode) would
+//! a frame that [`WireCodec::decode`] would
 //! also accept, with the *same typed error* otherwise (pinned by the
 //! differential proptests in `tests/tests/props_codec.rs`) — so downstream
 //! consumers can fold the view straight into their collections:

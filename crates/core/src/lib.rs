@@ -47,10 +47,12 @@ pub mod codec_view;
 pub mod driver;
 pub mod ears;
 pub mod engine;
+pub mod epoch;
 pub mod informed_list;
 pub mod params;
 pub mod rumor;
 pub mod sears;
+pub mod service;
 pub mod sync_epidemic;
 pub mod tears;
 pub mod trivial;
@@ -67,9 +69,14 @@ pub use codec_view::{
 pub use driver::{run_gossip, GossipReport};
 pub use ears::{Ears, EarsMessage};
 pub use engine::{broadcast, EncodedFrame, GossipCtx, GossipEngine};
+pub use epoch::{
+    epoch_initial_rumors, epoch_rumor, epoch_seed, service_open_upto, EpochBoard, EpochMsg,
+    EpochMux, LoopMode,
+};
 pub use params::{EarsParams, ParamError, SearsParams, SyncParams, TearsParams};
 pub use rumor::{Rumor, RumorSet};
 pub use sears::{Sears, SearsMessage};
+pub use service::{percentile, run_service_sim, EpochOutcome, ServiceSimReport, SimServiceConfig};
 pub use sync_epidemic::{SyncEpidemic, SyncMessage};
 pub use tears::{Tears, TearsFlag, TearsMessage};
 pub use trivial::{Trivial, TrivialMessage};

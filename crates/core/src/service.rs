@@ -1,0 +1,440 @@
+//! Simulator-side service mode: a pipelined multi-epoch gossip run.
+//!
+//! The deterministic counterpart of `agossip_runtime::service`: the same
+//! [`EpochMux`]/[`EpochBoard`] machinery from [`crate::epoch`], driven by
+//! the discrete-event simulator via [`Simulation::step_manual`] instead of
+//! threads. One global step of the simulator is one board time unit; the
+//! driver publishes the admission frontier before each step, detects
+//! per-epoch settling from the board's activity clocks after each step,
+//! harvests settled epochs (which garbage-collects their engines), checks
+//! each harvested epoch against [`check_gossip`] with the rumors of the
+//! deterministic workload generator, and finalizes epochs strictly in
+//! order like a replicated-log commit index.
+//!
+//! The whole run is a pure function of the [`SimServiceConfig`] (the
+//! delays come from a seeded RNG, the workload from [`crate::epoch_rumor`]), so
+//! per-epoch latencies and message counts are exactly reproducible.
+
+use std::sync::Arc;
+
+use agossip_sim::rng::{rng_for, splitmix64, RngStream};
+use agossip_sim::{ProcessId, SimError, SimResult, Simulation};
+use rand::Rng;
+
+use crate::adapter::SimGossip;
+use crate::checker::{check_gossip, CheckReport, GossipSpec};
+use crate::codec::WireCodec;
+use crate::engine::{GossipCtx, GossipEngine};
+use crate::epoch::{epoch_initial_rumors, service_open_upto, EpochBoard, EpochMux, LoopMode};
+use crate::rumor::RumorSet;
+
+/// Domain-separation salt for the service driver's delay RNG.
+const SERVICE_DELAY_SALT: u64 = 0xD31A_7E70_C200_8001;
+
+/// Configuration of one simulated service run.
+#[derive(Debug, Clone)]
+pub struct SimServiceConfig {
+    /// System size.
+    pub n: usize,
+    /// Failure budget (crash slots available to `crashes`).
+    pub f: usize,
+    /// Message delay bound `d`; every delivery delay is drawn uniformly
+    /// from `1..=d`.
+    pub d: u64,
+    /// Master seed: protocol randomness, delivery delays, and the epoch
+    /// workload all derive from it.
+    pub seed: u64,
+    /// Total number of epochs to push through the log.
+    pub epochs: u64,
+    /// Maximum number of concurrently open epochs (the slot-ring size).
+    pub window: usize,
+    /// How fresh epochs are admitted.
+    pub mode: LoopMode,
+    /// Which gossip variant each epoch is checked against.
+    pub spec: GossipSpec,
+    /// Processes to crash, as `(pid, step)` pairs.
+    pub crashes: Vec<(ProcessId, u64)>,
+    /// An epoch still unsettled this many steps after opening aborts the
+    /// run (stall detection).
+    pub stall_steps: u64,
+    /// Global step budget for the whole run.
+    pub max_steps: u64,
+}
+
+impl SimServiceConfig {
+    /// A closed-loop config with sensible defaults: window 8, in-flight 4,
+    /// full-gossip checking, no crashes.
+    pub fn closed(n: usize, f: usize, d: u64, seed: u64, epochs: u64) -> Self {
+        SimServiceConfig {
+            n,
+            f,
+            d,
+            seed,
+            epochs,
+            window: 8,
+            mode: LoopMode::Closed { in_flight: 4 },
+            spec: GossipSpec::Full,
+            crashes: Vec::new(),
+            stall_steps: 10_000,
+            max_steps: 1 << 20,
+        }
+    }
+
+    fn validate(&self) -> SimResult<()> {
+        let reason = if self.n == 0 {
+            Some("n must be positive".to_string())
+        } else if self.f >= self.n {
+            Some(format!(
+                "failure budget f = {} must be < n = {}",
+                self.f, self.n
+            ))
+        } else if self.d == 0 {
+            Some("delay bound d must be ≥ 1".to_string())
+        } else if self.epochs == 0 {
+            Some("epochs must be ≥ 1".to_string())
+        } else if self.window == 0 {
+            Some("window must be ≥ 1".to_string())
+        } else if self.crashes.len() > self.f {
+            Some(format!(
+                "{} crashes exceed failure budget f = {}",
+                self.crashes.len(),
+                self.f
+            ))
+        } else if self.crashes.iter().any(|(pid, _)| pid.index() >= self.n) {
+            Some("crash victim out of range".to_string())
+        } else {
+            None
+        };
+        match reason {
+            Some(reason) => Err(SimError::InvalidConfig { reason }),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The lifecycle record of one finalized epoch.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// The epoch number.
+    pub epoch: u64,
+    /// Step at which the driver admitted the epoch.
+    pub opened_at: u64,
+    /// Step at which the epoch was detected settled (its settle latency is
+    /// `settled_at - opened_at`).
+    pub settled_at: u64,
+    /// Step at which it was finalized (settled *and* every earlier epoch
+    /// finalized — the commit-index semantics).
+    pub finalized_at: u64,
+    /// Per-epoch correctness verdict.
+    pub check: CheckReport,
+}
+
+impl EpochOutcome {
+    /// Settle latency in steps: time from admission to detected settling.
+    pub fn settle_latency(&self) -> u64 {
+        self.settled_at.saturating_sub(self.opened_at)
+    }
+}
+
+/// The result of one simulated service run.
+#[derive(Debug, Clone)]
+pub struct ServiceSimReport {
+    /// One outcome per finalized epoch, in epoch order.
+    pub epochs: Vec<EpochOutcome>,
+    /// Total steps the run took.
+    pub steps: u64,
+    /// Total point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Stale frames absorbed by the multiplexers.
+    pub stale_drops: u64,
+    /// Peak number of concurrently open epochs observed.
+    pub max_open: usize,
+}
+
+impl ServiceSimReport {
+    /// True when every epoch passed its per-epoch check.
+    pub fn all_ok(&self) -> bool {
+        self.epochs.iter().all(|e| e.check.all_ok())
+    }
+
+    /// Settle latencies in epoch order.
+    pub fn settle_latencies(&self) -> Vec<u64> {
+        self.epochs.iter().map(|e| e.settle_latency()).collect()
+    }
+}
+
+/// Nearest-rank percentile of a latency sample (`p` in `0..=100`). Returns
+/// 0 for an empty sample. The input need not be sorted.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.max(1).min(sorted.len()) - 1;
+    sorted.get(idx).copied().unwrap_or(0)
+}
+
+/// Driver-side view of one slot of the ring.
+#[derive(Debug, Clone, Copy)]
+enum SlotState {
+    Free,
+    Open {
+        epoch: u64,
+        opened_at: u64,
+    },
+    Harvesting {
+        epoch: u64,
+        opened_at: u64,
+        settled_at: u64,
+    },
+}
+
+/// Runs a multi-epoch gossip service on the discrete-event simulator.
+///
+/// `make` builds one inner engine per `(process, epoch)` pair from a
+/// [`GossipCtx`] carrying the epoch's derived seed and generated rumor.
+pub fn run_service_sim<G, F>(cfg: &SimServiceConfig, make: F) -> SimResult<ServiceSimReport>
+where
+    G: GossipEngine,
+    G::Msg: WireCodec,
+    F: Fn(GossipCtx) -> G + Clone,
+{
+    cfg.validate()?;
+    let board = Arc::new(EpochBoard::new(cfg.window));
+    let processes: Vec<SimGossip<EpochMux<G, F>>> = ProcessId::all(cfg.n)
+        .map(|pid| {
+            SimGossip::new(EpochMux::new(
+                board.clone(),
+                pid,
+                cfg.n,
+                cfg.f,
+                cfg.seed,
+                make.clone(),
+            ))
+        })
+        .collect();
+    let sim_config = agossip_sim::SimConfig::new(cfg.n, cfg.f)
+        .with_d(cfg.d)
+        .with_seed(cfg.seed)
+        .with_max_steps(cfg.max_steps);
+    let mut sim = Simulation::new(sim_config, processes)?;
+    let mut delay_rng = rng_for(
+        splitmix64(cfg.seed ^ SERVICE_DELAY_SALT),
+        RngStream::Adversary,
+    );
+
+    let schedule: Vec<ProcessId> = ProcessId::all(cfg.n).collect();
+    let window = cfg.window;
+    let mut slots: Vec<SlotState> = vec![SlotState::Free; window];
+    let mut outcomes: Vec<EpochOutcome> = Vec::with_capacity(cfg.epochs as usize);
+    let mut finalized: u64 = 0;
+    let mut admitted: u64 = 0;
+    let mut max_open = 0usize;
+    let mut step: u64 = 0;
+
+    while finalized < cfg.epochs {
+        if step >= cfg.max_steps {
+            return Err(SimError::StepLimitExceeded {
+                max_steps: cfg.max_steps,
+            });
+        }
+        board.set_now(step);
+
+        // Admit fresh epochs up to the frontier (a pure function of the
+        // step and the finalized count).
+        let upto = service_open_upto(cfg.mode, window, cfg.epochs, step, finalized);
+        while admitted < upto {
+            let epoch = admitted;
+            admitted += 1;
+            let slot = board.slot_of(epoch);
+            slots[slot] = SlotState::Open {
+                epoch,
+                opened_at: step,
+            };
+            board.reset_activity(slot, step);
+        }
+        board.publish_open_upto(upto);
+        max_open = max_open.max(
+            slots
+                .iter()
+                .filter(|s| matches!(s, SlotState::Open { .. }))
+                .count(),
+        );
+
+        // One global step: crashes due now, then every alive process
+        // receives, computes, and sends with seeded uniform delays.
+        let due: Vec<ProcessId> = cfg
+            .crashes
+            .iter()
+            .filter(|(_, at)| *at == step)
+            .map(|(pid, _)| *pid)
+            .collect();
+        let d = cfg.d;
+        sim.step_manual(&schedule, &due, |_meta| delay_rng.gen_range(1..=d))?;
+
+        // Finalize: a harvest requested at step S is complete after the
+        // step S+1 every process harvested in; epochs finalize strictly in
+        // order.
+        loop {
+            let ready = slots.iter().position(|s| {
+                matches!(s, SlotState::Harvesting { epoch, settled_at, .. }
+                    if *epoch == finalized && *settled_at < step)
+            });
+            let Some(slot) = ready else { break };
+            let SlotState::Harvesting {
+                epoch,
+                opened_at,
+                settled_at,
+            } = slots[slot]
+            else {
+                break;
+            };
+            let mut final_rumors: Vec<RumorSet> = vec![RumorSet::new(); cfg.n];
+            for (pid, set) in board.take_harvest(slot) {
+                if let Some(entry) = final_rumors.get_mut(pid.index()) {
+                    *entry = set;
+                }
+            }
+            let correct: Vec<bool> = sim.statuses().iter().map(|s| s.is_alive()).collect();
+            let initial = epoch_initial_rumors(cfg.seed, epoch, cfg.n);
+            let check = check_gossip(cfg.spec, &final_rumors, &initial, &correct, true);
+            outcomes.push(EpochOutcome {
+                epoch,
+                opened_at,
+                settled_at,
+                finalized_at: step,
+                check,
+            });
+            slots[slot] = SlotState::Free;
+            finalized += 1;
+            board.set_finalized_floor(finalized);
+        }
+
+        // Settle detection: an epoch with no activity for more than `d`
+        // steps has drained the network and gone quiescent (any frame sent
+        // at its last activity step would have been delivered — and bumped
+        // the clock — within `d` steps). Stall detection rides along.
+        for (slot, state) in slots.iter_mut().enumerate() {
+            if let SlotState::Open { epoch, opened_at } = *state {
+                if step.saturating_sub(board.last_activity(slot)) > cfg.d {
+                    board.request_harvest(slot, epoch);
+                    *state = SlotState::Harvesting {
+                        epoch,
+                        opened_at,
+                        settled_at: step,
+                    };
+                } else if step.saturating_sub(opened_at) > cfg.stall_steps {
+                    return Err(SimError::InvalidConfig {
+                        reason: format!(
+                            "epoch {epoch} stalled: unsettled {} steps after opening",
+                            step - opened_at
+                        ),
+                    });
+                }
+            }
+        }
+
+        step += 1;
+    }
+
+    Ok(ServiceSimReport {
+        epochs: outcomes,
+        steps: step,
+        messages_sent: sim.metrics().messages_sent,
+        stale_drops: board.stale_drops(),
+        max_open,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ears::Ears;
+    use crate::tears::Tears;
+    use crate::trivial::Trivial;
+
+    #[test]
+    fn closed_loop_service_finalizes_every_epoch_in_order() {
+        let cfg = SimServiceConfig::closed(16, 0, 2, 0xC105ED, 12);
+        let report = run_service_sim(&cfg, Trivial::new).unwrap();
+        assert!(report.all_ok(), "{:?}", report.epochs);
+        assert_eq!(report.epochs.len(), 12);
+        for (i, outcome) in report.epochs.iter().enumerate() {
+            assert_eq!(outcome.epoch, i as u64);
+            assert!(outcome.settled_at >= outcome.opened_at);
+            assert!(outcome.finalized_at > outcome.settled_at);
+        }
+        assert!(report.max_open >= 2, "closed loop must pipeline epochs");
+        assert_eq!(report.stale_drops, 0, "no stale frames in a clean run");
+    }
+
+    #[test]
+    fn open_loop_service_finalizes_every_epoch() {
+        let cfg = SimServiceConfig {
+            mode: LoopMode::Open { period: 6 },
+            window: 6,
+            ..SimServiceConfig::closed(12, 0, 2, 0x09E7, 8)
+        };
+        let report = run_service_sim(&cfg, Ears::new).unwrap();
+        assert!(report.all_ok());
+        assert_eq!(report.epochs.len(), 8);
+    }
+
+    #[test]
+    fn service_runs_are_bit_identical_per_seed() {
+        let cfg = SimServiceConfig::closed(12, 0, 3, 77, 6);
+        let a = run_service_sim(&cfg, Ears::new).unwrap();
+        let b = run_service_sim(&cfg, Ears::new).unwrap();
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.settle_latencies(), b.settle_latencies());
+    }
+
+    #[test]
+    fn service_tolerates_crashes_within_budget() {
+        let mut cfg = SimServiceConfig::closed(16, 4, 2, 5, 6);
+        cfg.crashes = (0..4)
+            .map(|i| (ProcessId(15 - i), 3 + i as u64 * 5))
+            .collect();
+        let report = run_service_sim(&cfg, Ears::new).unwrap();
+        assert!(report.all_ok(), "{:?}", report.epochs);
+        assert_eq!(report.epochs.len(), 6);
+    }
+
+    #[test]
+    fn majority_spec_checks_tears_epochs() {
+        let cfg = SimServiceConfig {
+            spec: GossipSpec::Majority,
+            ..SimServiceConfig::closed(32, 0, 1, 9, 4)
+        };
+        let report = run_service_sim(&cfg, Tears::new).unwrap();
+        assert!(report.all_ok(), "{:?}", report.epochs);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = SimServiceConfig::closed(8, 0, 1, 1, 4);
+        cfg.window = 0;
+        assert!(run_service_sim(&cfg, Trivial::new).is_err());
+        let mut cfg = SimServiceConfig::closed(8, 0, 1, 1, 4);
+        cfg.epochs = 0;
+        assert!(run_service_sim(&cfg, Trivial::new).is_err());
+        let mut cfg = SimServiceConfig::closed(8, 0, 1, 1, 4);
+        cfg.crashes = vec![(ProcessId(0), 1)];
+        assert!(run_service_sim(&cfg, Trivial::new).is_err(), "crash budget");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        let unsorted = vec![30, 10, 20];
+        assert_eq!(percentile(&unsorted, 50.0), 20);
+    }
+}

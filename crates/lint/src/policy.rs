@@ -119,17 +119,22 @@ pub fn default_policy() -> Policy {
         // because it joins node threads and surfaces their errors — a panic
         // there takes down the whole run; the reactor multiplexes *every*
         // process of its shard, so a panic there takes out all of them at
-        // once.
+        // once. The epoch/service paths peel and route epoch-tagged frames
+        // (and absorb stale ones) on that same per-frame surface, so they
+        // are held to the same rule.
         entry(
             RuleId::NeverPanicDecode,
             &[
                 "crates/core/src/codec.rs",
                 "crates/core/src/codec_view.rs",
+                "crates/core/src/epoch.rs",
+                "crates/core/src/service.rs",
                 "crates/runtime/src/transport.rs",
                 "crates/runtime/src/event_loop.rs",
                 "crates/runtime/src/driver.rs",
                 "crates/runtime/src/reactor.rs",
                 "crates/runtime/src/clock.rs",
+                "crates/runtime/src/service.rs",
             ],
             &[],
         ),
@@ -198,6 +203,19 @@ mod tests {
         let reactor = policy.rules_for("crates/runtime/src/reactor.rs");
         assert!(reactor.contains(&RuleId::NeverPanicDecode));
         assert!(reactor.contains(&RuleId::NoWallClock));
+
+        for service_path in [
+            "crates/core/src/epoch.rs",
+            "crates/core/src/service.rs",
+            "crates/runtime/src/service.rs",
+        ] {
+            let rules = policy.rules_for(service_path);
+            assert!(
+                rules.contains(&RuleId::NeverPanicDecode),
+                "{service_path} routes epoch-tagged frames and must not panic on decode"
+            );
+            assert!(rules.contains(&RuleId::NoWallClock));
+        }
 
         let bench = policy.rules_for("crates/bench/src/lib.rs");
         assert!(

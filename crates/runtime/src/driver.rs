@@ -39,7 +39,7 @@ use agossip_core::{GossipCtx, GossipEngine, RumorSet, WireCodec, WireDecodeView}
 use agossip_sim::ProcessId;
 
 use crate::clock::{Clock, MonotonicClock};
-use crate::error::RuntimeError;
+use crate::error::{ConfigError, RuntimeError};
 use crate::event_loop::{
     run_free_node, run_lockstep_node, FreeNode, LockstepNode, NodeOutcome, SharedRun,
 };
@@ -136,6 +136,27 @@ pub struct LiveConfig {
 }
 
 impl LiveConfig {
+    /// Starts a validating builder: checks that used to fire inside
+    /// [`run_live`] (process count, failure budget, crash victims, delay
+    /// bound, reactor count) run at [`LiveConfigBuilder::build`] time and
+    /// return a typed [`ConfigError`].
+    ///
+    /// ```
+    /// use agossip_runtime::{LiveConfig, Pacing, Threading};
+    ///
+    /// let config = LiveConfig::builder(64, 4, 0xFEED)
+    ///     .pacing(Pacing::lockstep())
+    ///     .threading(Threading::Reactor { reactors: 2 })
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(config.n, 64);
+    /// ```
+    pub fn builder(n: usize, f: usize, seed: u64) -> LiveConfigBuilder {
+        LiveConfigBuilder {
+            config: LiveConfig::lockstep(n, f, seed),
+        }
+    }
+
     /// A deterministic lockstep configuration (thread per process).
     pub fn lockstep(n: usize, f: usize, seed: u64) -> Self {
         LiveConfig {
@@ -173,44 +194,86 @@ impl LiveConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), RuntimeError> {
+    pub(crate) fn validate(&self) -> Result<(), ConfigError> {
         if self.n == 0 {
-            return Err(RuntimeError::Config("need at least one process".into()));
+            return Err(ConfigError::NoProcesses);
         }
         if self.f >= self.n {
-            return Err(RuntimeError::Config(format!(
-                "f = {} must be < n = {}",
-                self.f, self.n
-            )));
+            return Err(ConfigError::FailureBudget {
+                f: self.f,
+                n: self.n,
+            });
         }
         if let Some((victim, _)) = self
             .crashes
             .iter()
             .find(|(victim, _)| victim.index() >= self.n)
         {
-            return Err(RuntimeError::Config(format!(
-                "crash victim {victim} out of range for n = {}",
-                self.n
-            )));
+            return Err(ConfigError::CrashVictimOutOfRange {
+                pid: victim.index(),
+                n: self.n,
+            });
         }
         if let Pacing::Lockstep { d, .. } = self.pacing {
             if d == 0 {
-                return Err(RuntimeError::Config("lockstep d must be ≥ 1".into()));
+                return Err(ConfigError::ZeroDelayBound);
             }
         }
         if let Threading::Reactor { reactors } = self.threading {
             if reactors == 0 {
-                return Err(RuntimeError::Config("need at least one reactor".into()));
+                return Err(ConfigError::ZeroReactors);
             }
         }
         Ok(())
     }
 
-    fn crash_after(&self, pid: ProcessId) -> Option<u64> {
+    pub(crate) fn crash_after(&self, pid: ProcessId) -> Option<u64> {
         self.crashes
             .iter()
             .find(|(victim, _)| *victim == pid)
             .map(|(_, steps)| *steps)
+    }
+}
+
+/// Builder returned by [`LiveConfig::builder`]; validates at [`build`] time.
+///
+/// [`build`]: LiveConfigBuilder::build
+#[derive(Debug, Clone)]
+pub struct LiveConfigBuilder {
+    config: LiveConfig,
+}
+
+impl LiveConfigBuilder {
+    /// Sets the pacing discipline (defaults to [`Pacing::lockstep`]).
+    pub fn pacing(mut self, pacing: Pacing) -> Self {
+        self.config.pacing = pacing;
+        self
+    }
+
+    /// Sets the thread scheduling discipline (defaults to
+    /// [`Threading::PerProcess`]).
+    pub fn threading(mut self, threading: Threading) -> Self {
+        self.config.threading = threading;
+        self
+    }
+
+    /// Shorthand for [`Threading::Reactor`] with `reactors` threads.
+    pub fn reactors(self, reactors: usize) -> Self {
+        self.threading(Threading::Reactor { reactors })
+    }
+
+    /// Sets crash injections: each listed process halts after taking the
+    /// paired number of local steps.
+    pub fn crashes(mut self, crashes: Vec<(ProcessId, u64)>) -> Self {
+        self.config.crashes = crashes;
+        self
+    }
+
+    /// Validates and returns the config. All the checks [`run_live`] used to
+    /// perform at call time fire here instead.
+    pub fn build(self) -> Result<LiveConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -399,7 +462,7 @@ where
 
 /// Splits engines/endpoints into per-reactor groups by the pinning rule
 /// (`pid mod reactors`), pid-ordered within each group.
-fn pin_to_reactors<G, E>(
+pub(crate) fn pin_to_reactors<G, E>(
     config: &LiveConfig,
     engines: Vec<G>,
     endpoints: Vec<E>,
@@ -504,7 +567,7 @@ fn drive_free(shared: &SharedRun, quiet_period: Duration, max_duration: Duration
 /// [`RuntimeError::NodePanicked`] instead of propagating it. `run_live`
 /// surfaces the first recorded error before the (then short) outcome list
 /// is ever read.
-fn join_nodes<'scope>(
+pub(crate) fn join_nodes<'scope>(
     handles: Vec<thread::ScopedJoinHandle<'scope, NodeOutcome>>,
     shared: &SharedRun,
 ) -> Vec<NodeOutcome> {
@@ -521,7 +584,7 @@ fn join_nodes<'scope>(
 /// Joins reactor threads and re-assembles their per-process outcomes into
 /// pid order. A panicked reactor is recorded like a panicked node; the
 /// error is surfaced before the (then short) outcome list is read.
-fn join_reactors<'scope>(
+pub(crate) fn join_reactors<'scope>(
     handles: Vec<thread::ScopedJoinHandle<'scope, Vec<(ProcessId, NodeOutcome)>>>,
     n: usize,
     shared: &SharedRun,
@@ -709,6 +772,40 @@ mod tests {
             run_live(&bad_reactors, &ChannelTransport, Trivial::new),
             Err(RuntimeError::Config(_))
         ));
+    }
+
+    #[test]
+    fn builder_validates_at_build_time() {
+        let ok = LiveConfig::builder(8, 2, 7).reactors(2).build().unwrap();
+        assert_eq!(ok.threading, Threading::Reactor { reactors: 2 });
+        assert_eq!(ok, LiveConfig::lockstep(8, 2, 7).on_reactors(2));
+        assert_eq!(
+            LiveConfig::builder(0, 0, 7).build(),
+            Err(ConfigError::NoProcesses)
+        );
+        assert_eq!(
+            LiveConfig::builder(4, 4, 7).build(),
+            Err(ConfigError::FailureBudget { f: 4, n: 4 })
+        );
+        assert_eq!(
+            LiveConfig::builder(4, 1, 7)
+                .crashes(vec![(ProcessId(9), 1)])
+                .build(),
+            Err(ConfigError::CrashVictimOutOfRange { pid: 9, n: 4 })
+        );
+        assert_eq!(
+            LiveConfig::builder(4, 1, 7)
+                .pacing(Pacing::Lockstep {
+                    d: 0,
+                    max_ticks: 10
+                })
+                .build(),
+            Err(ConfigError::ZeroDelayBound)
+        );
+        assert_eq!(
+            LiveConfig::builder(4, 1, 7).reactors(0).build(),
+            Err(ConfigError::ZeroReactors)
+        );
     }
 
     #[test]

@@ -48,13 +48,17 @@ mod error;
 mod event_loop;
 pub mod harness;
 pub mod reactor;
+pub mod service;
 pub mod transport;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
-pub use driver::{run_live, run_live_with_clock, LiveConfig, LiveReport, Pacing, Threading};
-pub use error::RuntimeError;
+pub use driver::{
+    run_live, run_live_with_clock, LiveConfig, LiveConfigBuilder, LiveReport, Pacing, Threading,
+};
+pub use error::{ConfigError, RuntimeError};
 pub use event_loop::RunStats;
 pub use harness::{run_threaded, RuntimeConfig, RuntimeReport};
+pub use service::{run_service, run_service_with_clock, EpochReport, ServiceConfig, ServiceReport};
 pub use transport::{
     frame_bytes, ChannelTransport, Endpoint, FrameBuf, RawFrame, SendOutcome, SocketKind,
     SocketTransport, Transport, MAX_FRAME_BYTES,

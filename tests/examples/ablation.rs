@@ -11,7 +11,7 @@
 //! reports where the high-probability guarantees start to fail and what the
 //! larger constants cost.
 
-use agossip_analysis::experiments::ablation::{ablation_to_table, run_ablation_with};
+use agossip_analysis::experiments::ablation::{ablation_rows, ablation_to_table};
 use agossip_analysis::experiments::ExperimentScale;
 use agossip_analysis::sweep::SweepArgs;
 
@@ -33,7 +33,7 @@ fn main() {
         "running the parameter ablation on {} worker thread(s)...\n",
         pool.threads()
     );
-    let rows = run_ablation_with(&pool, &scale).expect("ablation failed");
+    let rows = ablation_rows(&pool, &scale).expect("ablation failed");
     println!("{}", ablation_to_table(&rows).render());
     println!(
         "reading guide: success below 100% marks the point where a constant is\n\

@@ -13,7 +13,7 @@
 //! nastier adversaries against the claimed bounds.
 
 use agossip_adversary::{DelayPolicy, PolicyAdversary, RecordingAdversary, SchedulePolicy};
-use agossip_analysis::experiments::robustness::{robustness_to_table, run_robustness_with};
+use agossip_analysis::experiments::robustness::{robustness_rows, robustness_to_table};
 use agossip_analysis::experiments::ExperimentScale;
 use agossip_analysis::sweep::SweepArgs;
 use agossip_core::{run_gossip, Ears, GossipSpec};
@@ -37,7 +37,7 @@ fn main() {
         "running the robustness grid (protocols × adversary environments) on {} worker thread(s)...\n",
         pool.threads()
     );
-    let rows = run_robustness_with(&pool, &scale).expect("robustness sweep failed");
+    let rows = robustness_rows(&pool, &scale).expect("robustness sweep failed");
     println!("{}", robustness_to_table(&rows).render());
 
     // Audit one adversary: the skewed scheduler with worst-case delays.

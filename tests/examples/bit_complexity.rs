@@ -12,7 +12,7 @@
 //! message. This example measures both axes for every protocol.
 
 use agossip_analysis::experiments::bit_complexity::{
-    bit_complexity_to_table, run_bit_complexity_with, wire_unit_exponent,
+    bit_complexity_rows, bit_complexity_to_table, wire_unit_exponent,
 };
 use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
 use agossip_analysis::sweep::SweepArgs;
@@ -39,7 +39,7 @@ fn main() {
         scale.n_values,
         pool.threads()
     );
-    let rows = run_bit_complexity_with(&pool, &scale).expect("sweep failed");
+    let rows = bit_complexity_rows(&pool, &scale).expect("sweep failed");
     println!("{}", bit_complexity_to_table(&rows).render());
 
     println!("fitted wire-unit growth exponents (units ≈ c·n^k):");

@@ -5,7 +5,7 @@
 //! cargo run --release --example consensus_demo -- [--threads N] [--trials N] [--n A,B,C]
 //! ```
 
-use agossip_analysis::experiments::table2::{run_table2_with, table2_to_table};
+use agossip_analysis::experiments::table2::{table2_rows, table2_to_table};
 use agossip_analysis::experiments::ExperimentScale;
 use agossip_analysis::sweep::SweepArgs;
 use agossip_consensus::{run_consensus, ConsensusProtocol};
@@ -57,6 +57,6 @@ fn main() {
         "running the Table 2 sweep on {} worker thread(s)...\n",
         pool.threads()
     );
-    let rows = run_table2_with(&pool, &scale).expect("sweep failed");
+    let rows = table2_rows(&pool, &scale).expect("sweep failed");
     println!("{}", table2_to_table(&rows).render());
 }

@@ -6,9 +6,7 @@
 //! cargo run --release --example lower_bound_demo -- [--threads N] [--n A,B,C]
 //! ```
 
-use agossip_analysis::experiments::lower_bound::{
-    lower_bound_to_table, run_lower_bound_experiment_with,
-};
+use agossip_analysis::experiments::lower_bound::{lower_bound_rows, lower_bound_to_table};
 use agossip_analysis::sweep::SweepArgs;
 
 fn main() {
@@ -30,8 +28,7 @@ fn main() {
         "running the Theorem 1 adversary against trivial / ears / sears on {} worker thread(s)...\n",
         pool.threads()
     );
-    let rows = run_lower_bound_experiment_with(&pool, &sizes, 2008)
-        .expect("lower bound experiment failed");
+    let rows = lower_bound_rows(&pool, &sizes, 2008).expect("lower bound experiment failed");
     println!("{}", lower_bound_to_table(&rows).render());
     println!("every row must report 'holds': the adversary forces the dichotomy of Theorem 1.");
 }

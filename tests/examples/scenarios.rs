@@ -21,7 +21,9 @@ fn main() {
         for scenario in registry() {
             println!(
                 "  {:15} {:28} {}",
-                scenario.name, scenario.artifact, scenario.summary
+                scenario.name(),
+                scenario.artifact(),
+                scenario.summary()
             );
         }
         println!("\nrun one with: --scenario NAME [--threads N] [--trials N] [--n A,B,C]");
@@ -42,11 +44,11 @@ fn main() {
     };
 
     for scenario in selected {
-        if args.trials.is_some() && !scenario.trials_apply {
+        if args.trials.is_some() && !scenario.trials_apply() {
             eprintln!(
                 "note: '{}' ignores --trials — the Theorem 1 adversary construction is \
                  deterministic per (n, protocol)",
-                scenario.name
+                scenario.name()
             );
         }
         // Each scenario starts from its own curated scale (the one its
@@ -56,15 +58,15 @@ fn main() {
         args.apply(&mut scale);
         println!(
             "running '{}' ({}) at n = {:?} on {} worker thread(s)...\n",
-            scenario.name,
-            scenario.artifact,
+            scenario.name(),
+            scenario.artifact(),
             scale.n_values,
             pool.threads()
         );
-        match scenario.run(&scale, &pool) {
+        match scenario.run(&pool, &scale) {
             Ok(table) => println!("{}", table.render()),
             Err(e) => {
-                eprintln!("scenario '{}' failed: {e}", scenario.name);
+                eprintln!("scenario '{}' failed: {e}", scenario.name());
                 std::process::exit(1);
             }
         }

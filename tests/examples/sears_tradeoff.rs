@@ -7,7 +7,7 @@
 //! ```
 
 use agossip_analysis::experiments::sears_sweep::{
-    default_epsilons, run_sears_sweep_with, sears_sweep_to_table,
+    default_epsilons, sears_sweep_rows, sears_sweep_to_table,
 };
 use agossip_analysis::experiments::ExperimentScale;
 use agossip_analysis::sweep::SweepArgs;
@@ -31,6 +31,6 @@ fn main() {
         "sweeping ε at n = {n} on {} worker thread(s)...\n",
         pool.threads()
     );
-    let rows = run_sears_sweep_with(&pool, &scale, &default_epsilons()).expect("sweep failed");
+    let rows = sears_sweep_rows(&pool, &scale, &default_epsilons()).expect("sweep failed");
     println!("{}", sears_sweep_to_table(&rows).render());
 }

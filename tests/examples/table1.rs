@@ -10,7 +10,7 @@
 //! core. Pass `--n 32,64,128,256` to reproduce the full-size grid on a
 //! machine with the memory for it.
 
-use agossip_analysis::experiments::table1::{message_exponent, run_table1_with, table1_to_table};
+use agossip_analysis::experiments::table1::{message_exponent, table1_rows, table1_to_table};
 use agossip_analysis::experiments::{ExperimentScale, GossipProtocolKind};
 use agossip_analysis::sweep::SweepArgs;
 
@@ -33,7 +33,7 @@ fn main() {
         scale.n_values,
         pool.threads()
     );
-    let rows = run_table1_with(&pool, &scale).expect("sweep failed");
+    let rows = table1_rows(&pool, &scale).expect("sweep failed");
     println!("{}", table1_to_table(&rows).render());
 
     println!("fitted message-complexity growth exponents (messages ≈ c·n^k):");

@@ -4,14 +4,15 @@
 
 use agossip_adversary::theorem1::{run_lower_bound, LowerBoundCase, LowerBoundParams};
 use agossip_analysis::experiments::lower_bound::{
-    run_lower_bound_experiment, DICHOTOMY_C_MSG, DICHOTOMY_C_TIME,
+    lower_bound_rows, DICHOTOMY_C_MSG, DICHOTOMY_C_TIME,
 };
+use agossip_analysis::sweep::TrialPool;
 use agossip_core::{Ears, Sears, Trivial};
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
 fn dichotomy_holds_for_every_protocol_and_size() {
-    let rows = run_lower_bound_experiment(&[32, 64, 128], 2024).unwrap();
+    let rows = lower_bound_rows(&TrialPool::serial(), &[32, 64, 128], 2024).unwrap();
     assert_eq!(rows.len(), 9);
     for row in &rows {
         assert!(
@@ -53,7 +54,7 @@ fn trivial_always_lands_in_the_message_heavy_case() {
 #[test]
 #[cfg_attr(debug_assertions, ignore = "expensive sweep; run with --release")]
 fn crash_budget_is_never_exceeded() {
-    let rows = run_lower_bound_experiment(&[64, 128], 7).unwrap();
+    let rows = lower_bound_rows(&TrialPool::serial(), &[64, 128], 7).unwrap();
     for row in rows {
         // The construction promises < f failures.
         assert!(row.f < row.n);

@@ -25,7 +25,7 @@
 #![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use std::sync::Arc;
@@ -35,8 +35,8 @@ use agossip_analysis::experiments::scale::{
     scale_a_target, scale_tears_params, tears_params_for_a,
 };
 use agossip_core::{
-    run_gossip, GossipCtx, GossipEngine, GossipSpec, Rumor, RumorSet, Tears, TearsFlag,
-    TearsMessage,
+    run_gossip, run_service_sim, GossipCtx, GossipEngine, GossipSpec, LoopMode, Rumor, RumorSet,
+    SimServiceConfig, Tears, TearsFlag, TearsMessage, Trivial,
 };
 use agossip_runtime::{run_live, ChannelTransport, LiveConfig, Threading};
 use agossip_sim::{ProcessId, SimConfig};
@@ -47,6 +47,17 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+/// Bytes currently live (allocated minus freed). Signed: memory allocated
+/// before the counter existed may be freed under it.
+static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+/// High-water mark of [`LIVE_BYTES`] since the last window reset.
+static PEAK_LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+
+/// Raises the live-bytes count by `delta` and folds it into the peak.
+fn track_live(delta: i64) {
+    let live = LIVE_BYTES.fetch_add(delta, Ordering::Relaxed) + delta;
+    PEAK_LIVE_BYTES.fetch_max(live, Ordering::Relaxed);
+}
 
 /// Held for the duration of each test's measurement window so the counters
 /// only ever observe one workload at a time.
@@ -58,11 +69,13 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        track_live(layout.size() as i64);
         // SAFETY: `layout` is the caller's layout, passed through unchanged.
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        track_live(-(layout.size() as i64));
         // SAFETY: `ptr` was allocated by `System::alloc` above with `layout`.
         unsafe { System.dealloc(ptr, layout) }
     }
@@ -70,6 +83,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        track_live(new_size as i64 - layout.size() as i64);
         // SAFETY: forwarded unchanged; `ptr`/`layout` come from this
         // allocator and `new_size` is the caller's request.
         unsafe { System.realloc(ptr, layout, new_size) }
@@ -228,5 +242,59 @@ fn early_phase_tears_step_at_n_65536_allocates_o_informed_not_theta_n() {
         "an early-phase tears step at n = {N} must allocate O(informed) \
          bytes, got {during} (Θ(n) would be ≥ {})",
         N / 8
+    );
+}
+
+#[test]
+fn service_epoch_gc_keeps_live_state_o_window_not_o_epochs() {
+    // The epoch-GC pin: a service run streams epochs through a fixed-size
+    // slot ring, freeing each epoch's engines, harvest, and in-flight
+    // frames when it finalizes. Live state must therefore be bounded by the
+    // *window*, not by how many epochs the log has pushed through — a
+    // 16×-longer run may not raise the live-bytes high-water mark by more
+    // than the finalized-epoch ledger it legitimately accumulates (one
+    // ~100-byte outcome record per epoch, dwarfed by a single open epoch's
+    // engines). A GC regression — slots never reclaimed, per-epoch engines
+    // retained past finalization — multiplies peak live bytes by the epoch
+    // ratio and trips the assertion by an order of magnitude.
+    let config = |epochs: u64| {
+        let mut cfg = SimServiceConfig::closed(16, 0, 2, 0xEC0_2008, epochs);
+        cfg.window = 4;
+        cfg.mode = LoopMode::Closed { in_flight: 2 };
+        cfg
+    };
+    let short_cfg = config(16);
+    let long_cfg = config(256);
+
+    // Both runs measure under one lock hold: identical ambient noise, no
+    // interleaving between the two windows.
+    let window = ALLOC_WINDOW.lock().unwrap();
+    let measure = |cfg: &SimServiceConfig| {
+        let floor = LIVE_BYTES.load(Ordering::Relaxed);
+        PEAK_LIVE_BYTES.store(floor, Ordering::Relaxed);
+        let report = run_service_sim(cfg, Trivial::new).unwrap();
+        let peak = (PEAK_LIVE_BYTES.load(Ordering::Relaxed) - floor).max(1) as u64;
+        (report, peak)
+    };
+    let (short_report, short_peak) = measure(&short_cfg);
+    let (long_report, long_peak) = measure(&long_cfg);
+    drop(window);
+
+    assert!(short_report.all_ok(), "short service run must verify");
+    assert!(long_report.all_ok(), "long service run must verify");
+    assert_eq!(short_report.epochs.len(), 16);
+    assert_eq!(long_report.epochs.len(), 256);
+
+    eprintln!("peak live bytes: short (16 epochs) = {short_peak}, long (256 epochs) = {long_peak}");
+
+    // 16× the epochs through the same window: O(window) live state keeps
+    // the peaks within a small constant of each other (the factor 4 leaves
+    // room for the outcome ledger and allocator noise), while O(epochs)
+    // live state — the regression this test exists to catch — puts the
+    // long run's peak an epoch-ratio multiple above the short one's.
+    assert!(
+        long_peak < short_peak.saturating_mul(4),
+        "a 256-epoch service run must keep live state O(window), not \
+         O(epochs): peak {long_peak} bytes vs {short_peak} for 16 epochs"
     );
 }
